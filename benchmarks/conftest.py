@@ -1,0 +1,48 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's figures and prints the same
+rows/series the figure plots.  Scale is ``smoke`` by default so the whole
+suite completes in minutes; set ``REPRO_PROFILE=default`` (or ``full``) to
+reproduce the EXPERIMENTS.md numbers.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.eval.profiles import get_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """Experiment scale: $REPRO_PROFILE if set, else smoke (CI speed)."""
+    name = os.environ.get("REPRO_PROFILE", "smoke")
+    return get_scale(name)
+
+
+def at_least_default(scale):
+    """Promote *scale* to ``default`` if it is smaller.
+
+    Capacity-regime experiments (Figure 2's L2-size sweep, the pollution
+    deltas) are compulsory-miss-dominated at ``smoke`` scale: the measured
+    window is too short for a 1-4MB L2 to fill, so capacity has no visible
+    effect.  Benches asserting capacity shapes run at ``default`` minimum.
+    """
+    if scale.measure_instructions < get_scale("default").measure_instructions:
+        return get_scale("default")
+    return scale
+
+
+def run_figure(benchmark, driver, scale):
+    """Time one figure driver (single round) and print its panels."""
+    panels = benchmark.pedantic(lambda: driver(scale=scale), rounds=1, iterations=1)
+    for panel in panels:
+        print()
+        print(panel.format_table())
+    return panels

@@ -1,0 +1,33 @@
+"""Figure 8 — prefetcher speedups with L2-bypass installation (§7)."""
+
+from repro.eval import fig06, fig08
+
+from benchmarks.conftest import at_least_default, run_figure
+
+
+def test_fig08_perf_bypass(benchmark, scale):
+    panel_single, panel_cmp = run_figure(benchmark, fig08.run, at_least_default(scale))
+
+    for panel in (panel_single, panel_cmp):
+        for workload in panel.col_labels:
+            for scheme in panel.row_labels:
+                assert panel.value(scheme, workload) > 0.97
+
+    # Paper headline: the discontinuity prefetcher with bypass reaches
+    # 1.08-1.37X on the CMP (loose band at reduced scale).
+    cmp_gains = [panel_cmp.value("Discontinuity", w) for w in panel_cmp.col_labels]
+    assert max(cmp_gains) > 1.15
+    assert min(cmp_gains) > 1.02
+
+    # Bypass recovers performance the normal install loses to pollution
+    # for the aggressive schemes (compare against Figure 6's runs, which
+    # are already cached).
+    fig06_panels = fig06.run(scale=at_least_default(scale))
+    normal_cmp = fig06_panels[1]
+    recovered = 0
+    for workload in panel_cmp.col_labels:
+        if panel_cmp.value("Discontinuity", workload) >= normal_cmp.value(
+            "Discontinuity", workload
+        ) - 0.01:
+            recovered += 1
+    assert recovered >= len(panel_cmp.col_labels) - 1

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Every prefetching style from the paper's §2 survey, head to head.
+
+Run:  python examples/alternative_schemes.py [workload]
+
+Compares, on a single core of the default system:
+
+- the sequential family (next-4-line),
+- the classic history-based target prefetcher [1] (current-line probing),
+- a Markov multi-target predictor [6],
+- execution-based fetch-directed prefetching [9] on the gshare/BTB/RAS
+  substrate (paper-sized 1K BTB and an impractical 64K BTB),
+- compiler-inserted software prefetching [13] (perfect profile feedback),
+- the paper's discontinuity prefetcher.
+"""
+
+import sys
+
+from repro.cmp.system import System, SystemConfig
+from repro.swpf import software_prefetcher_for
+from repro.trace.synth.workloads import generate_trace
+
+N_INSTRUCTIONS = 700_000
+WARM = 180_000
+SEED = 2026
+
+
+def run(trace, prefetcher=None, factory=None, overrides=None):
+    config = SystemConfig(
+        n_cores=1,
+        prefetcher=prefetcher or "none",
+        prefetcher_overrides=overrides or {},
+        prefetcher_factory=factory,
+        l2_policy="bypass",
+        warm_instructions=WARM,
+    )
+    return System(config, [trace]).run()
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "db"
+    trace = generate_trace(workload, SEED, N_INSTRUCTIONS)
+    baseline = run(trace)
+
+    contenders = [
+        ("next-4-line (sequential)", dict(prefetcher="next-4-line")),
+        ("target prefetcher [1]", dict(prefetcher="target")),
+        ("markov 2-target [6]", dict(prefetcher="markov")),
+        ("fetch-directed, 1K BTB [9]", dict(prefetcher="fdp", overrides={"btb_entries": 1024})),
+        ("fetch-directed, 64K BTB", dict(prefetcher="fdp", overrides={"btb_entries": 65536})),
+        (
+            "software prefetch [13]",
+            dict(factory=lambda core: software_prefetcher_for(workload, SEED, core=core)),
+        ),
+        ("discontinuity (this paper)", dict(prefetcher="discontinuity")),
+    ]
+
+    print(f"=== prefetching styles on {workload} (single core, bypass) ===\n")
+    print(f"{'scheme':<28} {'speedup':>8} {'coverage':>9} {'accuracy':>9}")
+    for label, kwargs in contenders:
+        result = run(trace, **kwargs)
+        speedup = result.aggregate_ipc / baseline.aggregate_ipc
+        print(
+            f"{label:<28} {speedup:>7.3f}x {100 * result.l1i_coverage:>8.1f}% "
+            f"{100 * result.prefetch_accuracy:>8.1f}%"
+        )
+    print(
+        "\nThe discontinuity prefetcher's probe-ahead + single-target table"
+        "\nmatches or beats every alternative at a fraction of the state."
+    )
+
+
+if __name__ == "__main__":
+    main()

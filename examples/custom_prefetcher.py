@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Extending the library with a custom prefetcher.
+
+Run:  python examples/custom_prefetcher.py
+
+Shows the extension surface a prefetcher researcher would use: subclass
+:class:`repro.prefetch.Prefetcher`, implement the three hooks, and drop the
+instance into a :class:`~repro.cmp.System` (bypassing the name registry by
+building the system's engines directly is unnecessary — the registry is
+only sugar; here we assemble a system manually to show the full wiring).
+
+The toy scheme below is a *stride-2* sequential prefetcher with a
+discontinuity table bolted on, probing only the current line (no
+probe-ahead) — i.e. the classic target-prefetcher timing the paper argues
+against.  Comparing it against the paper's probe-ahead discontinuity
+prefetcher demonstrates why the probe-ahead matters.
+"""
+
+from repro.caches.cache import SetAssociativeCache
+from repro.caches.config import DEFAULT_HIERARCHY
+from repro.cmp.link import OffChipLink
+from repro.core.engine import CoreEngine, EngineConfig
+from repro.core.l2policy import BYPASS_INSTALL
+from repro.core.metrics import CoreStats
+from repro.prefetch.base import PrefetchCandidate, Prefetcher
+from repro.prefetch.discontinuity import DiscontinuityTable
+from repro.prefetch.queue import PrefetchQueue
+from repro.timing.params import DEFAULT_TIMING
+from repro.trace.synth.workloads import generate_trace
+
+
+class NoLookaheadDiscontinuity(Prefetcher):
+    """Discontinuity table probed with the current line only (no probe-ahead).
+
+    Identical learning rules to the paper's prefetcher; the only difference
+    is prediction timing — which is the point of the comparison.
+    """
+
+    name = "no-lookahead-discontinuity"
+
+    def __init__(self, table_entries: int = 8192, degree: int = 4) -> None:
+        self.table = DiscontinuityTable(table_entries)
+        self.degree = degree
+
+    def on_demand_fetch(self, line, was_miss, first_use_of_prefetch, kind):
+        if not (was_miss or first_use_of_prefetch):
+            return []
+        candidates = [
+            PrefetchCandidate(line + depth, ("seq",)) for depth in range(1, self.degree + 1)
+        ]
+        target = self.table.predict(line)
+        if target is not None:
+            provenance = ("disc", self.table.index_of(line), line)
+            candidates.append(PrefetchCandidate(target, provenance))
+        return candidates
+
+    def on_discontinuity(self, source_line, target_line, caused_miss):
+        if caused_miss:
+            self.table.observe(source_line, target_line)
+
+    def credit(self, provenance):
+        if provenance and provenance[0] == "disc":
+            _, index, source = provenance
+            self.table.credit(index, source)
+
+
+def run_with(prefetcher: Prefetcher, trace) -> CoreStats:
+    """Wire one core around *prefetcher* and run the trace."""
+    hierarchy = DEFAULT_HIERARCHY
+    timing = DEFAULT_TIMING
+    engine = CoreEngine(
+        EngineConfig(warm_instructions=100_000, l2_policy=BYPASS_INSTALL),
+        trace,
+        hierarchy.line_size,
+        SetAssociativeCache("L1I", hierarchy.l1i),
+        SetAssociativeCache("L1D", hierarchy.l1d),
+        SetAssociativeCache("L2", hierarchy.l2),
+        OffChipLink(timing.bytes_per_cycle(10.0), hierarchy.line_size),
+        prefetcher,
+        PrefetchQueue(),
+        timing,
+    )
+    return engine.run()
+
+
+def main() -> None:
+    from repro.prefetch.discontinuity import DiscontinuityPrefetcher
+
+    trace = generate_trace("db", seed=7, n_instructions=500_000)
+
+    print("=== probe-ahead vs probe-current discontinuity prefetching ===\n")
+    for label, prefetcher in [
+        ("paper (probe-ahead)", DiscontinuityPrefetcher()),
+        ("custom (no lookahead)", NoLookaheadDiscontinuity()),
+    ]:
+        stats = run_with(prefetcher, trace)
+        print(
+            f"{label:<24} IPC={stats.ipc:6.3f}  "
+            f"L1I={100 * stats.l1i_miss_rate_per_instruction:5.2f}%  "
+            f"coverage={100 * stats.l1i_coverage:5.1f}%  "
+            f"late={stats.prefetch.useful_late}/{stats.prefetch.useful}"
+        )
+    print(
+        "\nThe no-lookahead variant issues its discontinuity prefetch only"
+        "\nwhen the stream reaches the source line - too late to cover the"
+        "\nmemory latency, so more of its useful prefetches arrive late."
+    )
+
+
+if __name__ == "__main__":
+    main()

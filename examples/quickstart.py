@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Quickstart: simulate one workload with and without the discontinuity
+prefetcher and print the headline numbers.
+
+Run:  python examples/quickstart.py [workload]
+
+This is the 60-second tour of the library: generate a synthetic commercial
+workload (the paper's proprietary traces substituted by a statistically
+calibrated generator), run the baseline system, then run the paper's full
+scheme — discontinuity prefetcher + next-4-line sequential + prefetch
+filtering + L2-bypass installation — and compare.
+"""
+
+import sys
+
+from repro import quick_run
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "db"
+
+    print(f"=== workload: {workload} (single core, paper default caches) ===\n")
+
+    baseline = quick_run(workload, "none")
+    print("--- no prefetch (baseline) ---")
+    print(baseline.summary())
+
+    prefetched = quick_run(workload, "discontinuity", l2_policy="bypass")
+    print("\n--- discontinuity prefetcher + L2 bypass (paper scheme) ---")
+    print(prefetched.summary())
+
+    speedup = prefetched.aggregate_ipc / baseline.aggregate_ipc
+    residual = prefetched.l1i_miss_rate / baseline.l1i_miss_rate
+    print(f"\nspeedup               : {speedup:.2f}x")
+    print(f"residual L1I miss rate: {100 * residual:.0f}% of baseline")
+    print("(paper: miss rate cut to 10-16% of baseline; 1.08-1.37x on the CMP)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Dissect a workload's fetch stream: the facts behind the paper's design.
+
+Run:  python examples/workload_anatomy.py [workload]
+
+Measures, directly on the generated trace:
+
+1. the paper's §5 claim that most taken-forward branch targets lie within
+   four cache lines of the branch (why next-4-line covers short branches);
+2. the §4 claim that most discontinuity sources have a single dominant
+   target (why one target per table entry suffices);
+3. sequential run lengths (how much work the sequential prefetcher has).
+"""
+
+import sys
+
+from repro.trace import analyze_stream
+from repro.trace.synth.workloads import generate_trace
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "db"
+    trace = generate_trace(workload, seed=11, n_instructions=300_000)
+    analysis = analyze_stream(trace.events)
+
+    print(f"=== fetch-stream anatomy: {workload} ===\n")
+    print(analysis.summary())
+
+    print("\ntaken-forward branch distance histogram (lines):")
+    total = sum(analysis.tf_distance_histogram.values())
+    for distance in sorted(analysis.tf_distance_histogram):
+        count = analysis.tf_distance_histogram[distance]
+        bar = "#" * max(1, round(40 * count / total))
+        label = f"{distance}" if distance < 16 else ">=16"
+        print(f"  {label:>4} | {bar} {100 * count / total:.1f}%")
+
+    print(
+        f"\npaper §5: 'most taken forward branches have targets within four"
+        f"\ncache lines' -> measured {100 * analysis.tf_within(4):.1f}%"
+    )
+    print(
+        f"paper §4: 'for any one start address there is just one associated"
+        f"\ntarget' -> {100 * analysis.monomorphic_fraction:.1f}% of sources are"
+        f" monomorphic,"
+        f"\ncovering {100 * analysis.dominant_target_fraction:.1f}% of dynamic"
+        f" discontinuities"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Sweep hot region size/skew for db to balance CMP L2D vs I-share."""
+import dataclasses, time
+from repro.trace.synth.workloads import DB_PROFILE
+from repro.trace.synth.walker import generate_program_trace
+from repro.cmp.system import System, SystemConfig
+from repro.util.units import KB
+from repro.util.rng import derive_seed
+
+def run(profile, n_cores, prefetcher, policy="bypass"):
+    total = 140_000 + 500_000 if n_cores == 4 else 300_000 + 1_200_000
+    warm = 140_000 if n_cores == 4 else 300_000
+    traces = [generate_program_trace(profile, 1337, total, core=c) for c in range(n_cores)]
+    cfg = SystemConfig(n_cores=n_cores, prefetcher=prefetcher, l2_policy=policy,
+                       warm_instructions=warm)
+    return System(cfg, traces).run()
+
+for hot_kb in (128, 192, 256):
+    for zipf in (0.9, 1.05):
+        p = dataclasses.replace(DB_PROFILE, hot_bytes=hot_kb*KB, hot_zipf=zipf)
+        base = run(p, 4, "none")
+        disc = run(p, 4, "discontinuity")
+        print(f"hot={hot_kb}KB zipf={zipf}: CMP base L2D={100*base.l2d_miss_rate:.3f}% "
+              f"L2I={100*base.l2i_miss_rate:.3f}% disc={disc.aggregate_ipc/base.aggregate_ipc:.3f}x")

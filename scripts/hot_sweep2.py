@@ -1,0 +1,24 @@
+import dataclasses
+from repro.trace.synth.workloads import DB_PROFILE
+from repro.trace.synth.walker import generate_program_trace
+from repro.cmp.system import System, SystemConfig
+from repro.util.units import KB
+
+def run(profile, n_cores, prefetcher, policy="bypass"):
+    total = 140_000 + 500_000 if n_cores == 4 else 300_000 + 1_200_000
+    warm = 140_000 if n_cores == 4 else 300_000
+    traces = [generate_program_trace(profile, 1337, total, core=c) for c in range(n_cores)]
+    cfg = SystemConfig(n_cores=n_cores, prefetcher=prefetcher, l2_policy=policy,
+                       warm_instructions=warm)
+    return System(cfg, traces).run()
+
+for hot_kb, zipf, reuse in ((768, 0.80, 0.90), (1024, 0.85, 0.91), (512, 0.75, 0.90)):
+    p = dataclasses.replace(DB_PROFILE, hot_bytes=hot_kb*KB, hot_zipf=zipf, p_reuse=reuse)
+    s1 = run(p, 1, "none")
+    s4 = run(p, 4, "none")
+    d4 = run(p, 4, "discontinuity")
+    d1 = run(p, 1, "discontinuity")
+    print(f"hot={hot_kb}K z={zipf} r={reuse}: "
+          f"1c L2I={100*s1.l2i_miss_rate:.3f} L2D={100*s1.l2d_miss_rate:.3f} | "
+          f"4c L2I={100*s4.l2i_miss_rate:.3f} L2D={100*s4.l2d_miss_rate:.3f} | "
+          f"disc 1c={d1.aggregate_ipc/s1.aggregate_ipc:.3f}x 4c={d4.aggregate_ipc/s4.aggregate_ipc:.3f}x")

@@ -1,0 +1,27 @@
+import dataclasses
+from repro.trace.synth.workloads import DB_PROFILE
+from repro.trace.synth.walker import generate_program_trace
+from repro.cmp.system import System, SystemConfig
+from repro.timing.params import TimingParams
+from repro.util.units import KB
+
+def run(profile, n_cores, prefetcher, timing, policy="bypass"):
+    total = 140_000 + 500_000 if n_cores == 4 else 300_000 + 1_200_000
+    warm = 140_000 if n_cores == 4 else 300_000
+    traces = [generate_program_trace(profile, 1337, total, core=c) for c in range(n_cores)]
+    cfg = SystemConfig(n_cores=n_cores, prefetcher=prefetcher, l2_policy=policy,
+                       warm_instructions=warm, timing=timing)
+    return System(cfg, traces).run()
+
+timing = TimingParams(data_l2_exposed_fraction=0.25, data_memory_exposed_fraction=0.38)
+for hot_kb, zipf in ((320, 0.40), (384, 0.45)):
+    p = dataclasses.replace(DB_PROFILE, hot_bytes=hot_kb*KB, hot_zipf=zipf)
+    s1 = run(p, 1, "none", timing)
+    s4 = run(p, 4, "none", timing)
+    d1 = run(p, 1, "discontinuity", timing)
+    d4 = run(p, 4, "discontinuity", timing)
+    n4 = run(p, 4, "discontinuity", timing, policy="normal")
+    print(f"hot={hot_kb}K z={zipf}:")
+    print(f"  1c L2I={100*s1.l2i_miss_rate:.3f} L2D={100*s1.l2d_miss_rate:.3f} IPC={s1.aggregate_ipc:.3f} disc={d1.aggregate_ipc/s1.aggregate_ipc:.3f}x")
+    print(f"  4c L2I={100*s4.l2i_miss_rate:.3f} L2D={100*s4.l2d_miss_rate:.3f} IPC={s4.aggregate_ipc:.3f} disc={d4.aggregate_ipc/s4.aggregate_ipc:.3f}x "
+          f"normal={n4.aggregate_ipc/s4.aggregate_ipc:.3f}x pollution={n4.l2d_miss_rate/s4.l2d_miss_rate:.3f}")

@@ -1,0 +1,24 @@
+import dataclasses
+from repro.trace.synth.workloads import DB_PROFILE
+from repro.trace.synth.walker import generate_program_trace
+from repro.cmp.system import System, SystemConfig
+from repro.timing.params import TimingParams
+from repro.util.units import KB
+
+def run(profile, n_cores, prefetcher, timing, policy="bypass", warm=150_000, measure=500_000):
+    total = warm + measure
+    traces = [generate_program_trace(profile, 1337, total, core=c) for c in range(n_cores)]
+    cfg = SystemConfig(n_cores=n_cores, prefetcher=prefetcher, l2_policy=policy,
+                       warm_instructions=warm, timing=timing)
+    return System(cfg, traces).run()
+
+timing = TimingParams(data_l2_exposed_fraction=0.25, data_memory_exposed_fraction=0.38)
+for ez, cz, nfn in ((0.9, 0.9, 3400), (1.1, 1.0, 3400), (0.9, 0.9, 2600)):
+    p = dataclasses.replace(DB_PROFILE, hot_bytes=320*KB, hot_zipf=0.40,
+                            entry_zipf=ez, callee_zipf=cz, n_functions=nfn)
+    s1 = run(p, 1, "none", timing)
+    s4 = run(p, 4, "none", timing)
+    d1 = run(p, 1, "discontinuity", timing)
+    d4 = run(p, 4, "discontinuity", timing)
+    print(f"ez={ez} cz={cz} nfn={nfn}: 1c L1I={100*s1.l1i_miss_rate:.2f} L2I={100*s1.l2i_miss_rate:.3f} L2D={100*s1.l2d_miss_rate:.3f} disc={d1.aggregate_ipc/s1.aggregate_ipc:.3f}x | "
+          f"4c L1I={100*s4.l1i_miss_rate:.2f} L2I={100*s4.l2i_miss_rate:.3f} L2D={100*s4.l2d_miss_rate:.3f} disc={d4.aggregate_ipc/s4.aggregate_ipc:.3f}x")

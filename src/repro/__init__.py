@@ -1,0 +1,49 @@
+"""repro — reproduction of "Effective Instruction Prefetching in Chip
+Multiprocessors for Modern Commercial Applications" (HPCA 2005).
+
+The package is organised bottom-up:
+
+- :mod:`repro.util`      — small shared helpers (seeded RNG, units, containers).
+- :mod:`repro.isa`       — mini-ISA: instruction kinds and the control-transfer
+  taxonomy used to categorise instruction-cache misses.
+- :mod:`repro.trace`     — trace records, streams, file I/O and the synthetic
+  commercial-workload generators (``repro.trace.synth``).
+- :mod:`repro.caches`    — set-associative cache substrate with replacement
+  policies, per-line prefetch/used metadata and in-flight (MSHR) tracking.
+- :mod:`repro.prefetch`  — the prefetcher family: the sequential baselines,
+  the history-based target prefetcher and the paper's discontinuity
+  prefetcher, plus the prefetch queue and filtering machinery.
+- :mod:`repro.core`      — the per-core front-end engine that ties demand
+  fetch, prefetch generation, the L2 install policy and timing together.
+- :mod:`repro.cmp`       — the chip-multiprocessor system model (shared L2,
+  shared off-chip link, multi-core interleaving).
+- :mod:`repro.timing`    — the simplified performance model parameters.
+- :mod:`repro.eval`      — one experiment driver per paper figure.
+
+Quickstart::
+
+    from repro import quick_run
+
+    result = quick_run(workload="db", prefetcher="discontinuity")
+    print(result.summary())
+"""
+
+from repro.version import __version__
+from repro.api import (
+    available_prefetchers,
+    available_workloads,
+    make_prefetcher,
+    make_system,
+    make_workload_trace,
+    quick_run,
+)
+
+__all__ = [
+    "__version__",
+    "available_prefetchers",
+    "available_workloads",
+    "make_prefetcher",
+    "make_system",
+    "make_workload_trace",
+    "quick_run",
+]

@@ -1,0 +1,109 @@
+"""High-level convenience API.
+
+Everything here is sugar over the underlying packages; library users doing
+custom experiments should reach for :mod:`repro.cmp`, :mod:`repro.core` and
+:mod:`repro.trace.synth` directly.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cmp.system import System, SystemConfig, SystemResult
+from repro.prefetch.base import Prefetcher
+from repro.prefetch.registry import PREFETCHER_NAMES, create_prefetcher
+from repro.trace.stream import Trace
+from repro.trace.synth.mix import mixed_traces
+from repro.trace.synth.workloads import generate_trace, workload_names
+
+
+def available_workloads() -> List[str]:
+    """Names of the built-in synthetic workloads (plus ``"mix"``)."""
+    return workload_names() + ["mix"]
+
+
+def available_prefetchers() -> List[str]:
+    """Names of the registered prefetch schemes."""
+    return list(PREFETCHER_NAMES)
+
+
+def make_prefetcher(name: str, **overrides) -> Prefetcher:
+    """Instantiate a prefetcher by registry name."""
+    return create_prefetcher(name, **overrides)
+
+
+def make_workload_trace(workload: str, seed: int = 42, n_instructions: int = 1_000_000) -> Trace:
+    """Generate one synthetic workload trace."""
+    return generate_trace(workload, seed, n_instructions)
+
+
+def make_traces(
+    workload: str,
+    n_cores: int,
+    seed: int,
+    n_instructions: int,
+) -> List[Trace]:
+    """Generate the per-core traces for a workload/core-count combination.
+
+    - ``workload="mix"`` produces the paper's multiprogrammed mix (one of
+      the four applications per core, disjoint address spaces).
+    - otherwise every core runs the *same* program with decorrelated
+      transaction sequences (threads of one server application), so cores
+      share code in the L2 — exactly the paper's homogeneous CMP setup.
+    """
+    if workload == "mix":
+        names = None
+        if n_cores != 4:
+            base = workload_names()
+            names = [base[i % len(base)] for i in range(n_cores)]
+        return mixed_traces(seed, n_instructions, names or ())
+    return [
+        generate_trace(workload, seed, n_instructions, core=core)
+        for core in range(n_cores)
+    ]
+
+
+def make_system(
+    workload: str = "db",
+    prefetcher: str = "none",
+    n_cores: int = 1,
+    seed: int = 42,
+    n_instructions: int = 1_000_000,
+    warm_instructions: int = 250_000,
+    **config_overrides,
+) -> System:
+    """Build a ready-to-run :class:`~repro.cmp.System`.
+
+    ``config_overrides`` are forwarded to :class:`SystemConfig` (e.g.
+    ``l2_policy="bypass"``, ``hierarchy=...``, ``offchip_gbps=...``).
+    """
+    traces = make_traces(workload, n_cores, seed, n_instructions)
+    config = SystemConfig(
+        n_cores=n_cores,
+        prefetcher=prefetcher,
+        warm_instructions=warm_instructions,
+        **config_overrides,
+    )
+    return System(config, traces)
+
+
+def quick_run(
+    workload: str = "db",
+    prefetcher: str = "discontinuity",
+    n_cores: int = 1,
+    seed: int = 42,
+    n_instructions: int = 600_000,
+    warm_instructions: int = 150_000,
+    **config_overrides,
+) -> SystemResult:
+    """Generate, simulate and return results in one call (quickstart API)."""
+    system = make_system(
+        workload,
+        prefetcher,
+        n_cores,
+        seed,
+        n_instructions,
+        warm_instructions,
+        **config_overrides,
+    )
+    return system.run()

@@ -1,0 +1,20 @@
+"""Branch-prediction substrate (paper §5's front-end structures).
+
+The paper's modeled core carries a 64K-entry gshare conditional-branch
+predictor, a 1K-entry direct-mapped tagless BTB and a 16-entry return
+address stack.  Our per-line timing model doesn't need them for the main
+results (their cost is folded into ``base_cpi_overhead``), but they are
+the substrate of the *execution-based* prefetchers of the paper's §2.2 —
+fetch-directed prefetching [9] runs a branch predictor ahead of the fetch
+unit.  This package implements the three structures at fetch-line
+granularity plus the :class:`~repro.prefetch.fdp.FetchDirectedPrefetcher`
+built on them, enabling the comparison the paper argues qualitatively:
+commercial instruction footprints need impractically large predictor
+state for execution-based prefetching to work.
+"""
+
+from repro.branch.gshare import GsharePredictor
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.ras import ReturnAddressStack
+
+__all__ = ["GsharePredictor", "BranchTargetBuffer", "ReturnAddressStack"]

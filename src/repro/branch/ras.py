@@ -1,0 +1,38 @@
+"""Return address stack (16 entries in the paper's §5 core)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class ReturnAddressStack:
+    """Bounded stack of return lines; overflow discards the oldest frame."""
+
+    __slots__ = ("capacity", "_stack")
+
+    def __init__(self, capacity: int = 16) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._stack: List[int] = []
+
+    def push(self, return_line: int) -> None:
+        if len(self._stack) >= self.capacity:
+            self._stack.pop(0)
+        self._stack.append(return_line)
+
+    def pop(self) -> Optional[int]:
+        if self._stack:
+            return self._stack.pop()
+        return None
+
+    def peek(self) -> Optional[int]:
+        if self._stack:
+            return self._stack[-1]
+        return None
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def reset(self) -> None:
+        self._stack.clear()

@@ -1,0 +1,30 @@
+"""Set-associative cache substrate.
+
+The caches operate on *line indices* (byte address >> line shift); the
+line size is fixed per hierarchy and shared by the instruction stream, the
+data stream and the unified L2 so that a single L2 object can hold both
+kinds of lines (the coupling behind the paper's pollution study).
+
+Per-line metadata (:class:`LineState`) carries the prefetch bookkeeping the
+paper's schemes need: the *prefetched* bit (tagged prefetch triggers), the
+*used* bit (prefetch-accuracy accounting and the bypass install decision),
+the *arrival* cycle (partial-latency hiding for late prefetches) and the
+*bypass-pending* bit (L2 install deferred until proven useful).
+"""
+
+from repro.caches.line import LineState
+from repro.caches.cache import SetAssociativeCache, CacheStats
+from repro.caches.config import CacheConfig, HierarchyConfig, DEFAULT_HIERARCHY
+from repro.caches.missclass import MissBreakdown
+from repro.caches.mshr import OutstandingRequestTracker
+
+__all__ = [
+    "LineState",
+    "SetAssociativeCache",
+    "CacheStats",
+    "CacheConfig",
+    "HierarchyConfig",
+    "DEFAULT_HIERARCHY",
+    "MissBreakdown",
+    "OutstandingRequestTracker",
+]

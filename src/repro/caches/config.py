@@ -1,0 +1,102 @@
+"""Cache and hierarchy configuration.
+
+:data:`DEFAULT_HIERARCHY` is the paper's §5 baseline: per-core 32KB 4-way
+64B-line L1 instruction and data caches, and a unified 2MB 4-way 64B-line
+L2 (shared by all cores of a CMP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.util.units import KB, MB, format_size
+from repro.util.validation import check_positive, check_power_of_two
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache."""
+
+    capacity_bytes: int
+    associativity: int
+    line_size: int
+
+    def __post_init__(self) -> None:
+        check_positive("capacity_bytes", self.capacity_bytes)
+        check_positive("associativity", self.associativity)
+        check_power_of_two("line_size", self.line_size)
+        n_lines = self.capacity_bytes // self.line_size
+        if n_lines * self.line_size != self.capacity_bytes:
+            raise ValueError("capacity must be a multiple of the line size")
+        if n_lines % self.associativity != 0:
+            raise ValueError(
+                f"capacity {self.capacity_bytes} / line {self.line_size} is not "
+                f"divisible into {self.associativity}-way sets"
+            )
+        check_power_of_two("number of sets", self.n_sets)
+
+    @property
+    def n_lines(self) -> int:
+        return self.capacity_bytes // self.line_size
+
+    @property
+    def n_sets(self) -> int:
+        return self.n_lines // self.associativity
+
+    @property
+    def line_shift(self) -> int:
+        return self.line_size.bit_length() - 1
+
+    def describe(self) -> str:
+        return (
+            f"{format_size(self.capacity_bytes)} {self.associativity}-way "
+            f"{self.line_size}B-line"
+        )
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Per-core L1s plus the (possibly shared) unified L2."""
+
+    l1i: CacheConfig
+    l1d: CacheConfig
+    l2: CacheConfig
+
+    def __post_init__(self) -> None:
+        if not (self.l1i.line_size == self.l1d.line_size == self.l2.line_size):
+            raise ValueError(
+                "all caches must share one line size (the unified L2 holds both "
+                "instruction and data lines)"
+            )
+
+    @property
+    def line_size(self) -> int:
+        return self.l2.line_size
+
+    def with_l1i(self, **kwargs) -> "HierarchyConfig":
+        """Return a copy with the L1I geometry overridden.
+
+        When the line size changes, all levels change together (the paper's
+        Figure 1 line-size sweep varies the instruction-cache line size; we
+        keep the hierarchy's single-line-size invariant by moving all
+        levels, which preserves the L1I miss-rate trend under study).
+        """
+        if "line_size" in kwargs:
+            line = kwargs["line_size"]
+            return HierarchyConfig(
+                l1i=replace(self.l1i, **kwargs),
+                l1d=replace(self.l1d, line_size=line),
+                l2=replace(self.l2, line_size=line),
+            )
+        return replace(self, l1i=replace(self.l1i, **kwargs))
+
+    def with_l2(self, **kwargs) -> "HierarchyConfig":
+        """Return a copy with the L2 geometry overridden."""
+        return replace(self, l2=replace(self.l2, **kwargs))
+
+
+DEFAULT_HIERARCHY = HierarchyConfig(
+    l1i=CacheConfig(capacity_bytes=32 * KB, associativity=4, line_size=64),
+    l1d=CacheConfig(capacity_bytes=32 * KB, associativity=4, line_size=64),
+    l2=CacheConfig(capacity_bytes=2 * MB, associativity=4, line_size=64),
+)

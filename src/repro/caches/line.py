@@ -1,0 +1,72 @@
+"""Per-line cache metadata."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+
+class LineState:
+    """Metadata attached to a resident cache line.
+
+    Attributes:
+        prefetched: the line was brought in by a prefetch (and not yet
+            consumed by a demand fetch).  Cleared on first demand use so
+            "tagged" prefetch triggers fire exactly once per prefetch.
+        used: a demand access touched the line since it was installed.
+            Drives prefetch-accuracy stats and the paper's §7 rule: a
+            bypass-pending line is installed into the L2 on eviction iff
+            ``used``.
+        arrival: cycle at which the line's fill completes.  A demand access
+            before ``arrival`` stalls for the residual latency (late — but
+            partially useful — prefetch).
+        bypass_pending: the line's fill bypassed the L2 and will be
+            installed there on eviction if proven useful (§7).
+        from_memory: the fill was sourced from memory (vs. an L2 hit);
+            distinguishes prefetches that removed an L2 miss for the
+            L2-coverage metric.
+        useless_hint: (L2 lines only) the line was previously prefetched
+            into the L1I and evicted unused.  With the Luk & Mowry-style
+            re-prefetch filter enabled (paper §2.4), prefetches for lines
+            carrying this hint are dropped; a demand use clears it.
+        provenance: opaque token identifying which prefetcher component
+            predicted the line (used to credit the discontinuity table's
+            eviction counter on first use).
+    """
+
+    __slots__ = (
+        "prefetched",
+        "used",
+        "arrival",
+        "bypass_pending",
+        "from_memory",
+        "useless_hint",
+        "provenance",
+    )
+
+    def __init__(
+        self,
+        prefetched: bool = False,
+        used: bool = False,
+        arrival: int = 0,
+        bypass_pending: bool = False,
+        from_memory: bool = False,
+        useless_hint: bool = False,
+        provenance: Optional[Tuple] = None,
+    ) -> None:
+        self.prefetched = prefetched
+        self.used = used
+        self.arrival = arrival
+        self.bypass_pending = bypass_pending
+        self.from_memory = from_memory
+        self.useless_hint = useless_hint
+        self.provenance = provenance
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = []
+        if self.prefetched:
+            flags.append("prefetched")
+        if self.used:
+            flags.append("used")
+        if self.bypass_pending:
+            flags.append("bypass_pending")
+        return f"LineState({', '.join(flags) or 'demand'}, arrival={self.arrival})"

@@ -1,0 +1,72 @@
+"""Per-transition-kind miss accounting (the paper's Figure 3 breakdown)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.isa.classify import MissClass, classify_transition, kind_label
+from repro.isa.kinds import TransitionKind
+
+
+class MissBreakdown:
+    """Counts demand misses by :class:`~repro.isa.TransitionKind`.
+
+    Internally a flat list indexed by the kind's integer value, because the
+    hot path increments it once per miss.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts = [0] * len(TransitionKind)
+
+    def record(self, kind: int) -> None:
+        self._counts[kind] += 1
+
+    def reset(self) -> None:
+        for index in range(len(self._counts)):
+            self._counts[index] = 0
+
+    @property
+    def total(self) -> int:
+        return sum(self._counts)
+
+    def count(self, kind: TransitionKind) -> int:
+        return self._counts[int(kind)]
+
+    def by_kind(self) -> Dict[TransitionKind, int]:
+        """Return a kind → count mapping (all kinds present, even zeros)."""
+        return {kind: self._counts[int(kind)] for kind in TransitionKind}
+
+    def by_class(self) -> Dict[MissClass, int]:
+        """Aggregate into the coarse sequential/branch/function/trap classes."""
+        result = {cls: 0 for cls in MissClass}
+        for kind in TransitionKind:
+            result[classify_transition(kind)] += self._counts[int(kind)]
+        return result
+
+    def fractions(self) -> Dict[TransitionKind, float]:
+        """Per-kind fractions of all misses (zeros if no misses)."""
+        total = self.total
+        if total == 0:
+            return {kind: 0.0 for kind in TransitionKind}
+        return {kind: self._counts[int(kind)] / total for kind in TransitionKind}
+
+    def merged_with(self, others: Iterable["MissBreakdown"]) -> "MissBreakdown":
+        """Return a new breakdown summing self with *others* (CMP roll-up)."""
+        merged = MissBreakdown()
+        merged._counts = list(self._counts)
+        for other in others:
+            for index, value in enumerate(other._counts):
+                merged._counts[index] += value
+        return merged
+
+    def format_table(self) -> str:
+        """Human-readable table using the paper's category labels."""
+        total = self.total
+        rows = []
+        for kind in TransitionKind:
+            count = self._counts[int(kind)]
+            share = 100.0 * count / total if total else 0.0
+            rows.append(f"  {kind_label(kind):<18} {count:>10}  {share:5.1f}%")
+        return "\n".join(rows)

@@ -1,0 +1,55 @@
+"""Outstanding-request tracking (a simplified MSHR file).
+
+The engine uses this to bound the number of prefetch fills in flight per
+core.  Entries are (line, completion-cycle) pairs; completed entries are
+pruned lazily on each query, so the structure stays tiny (the cap is 16 by
+default) and costs O(outstanding) per operation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class OutstandingRequestTracker:
+    """Tracks fills in flight, bounded by a capacity."""
+
+    __slots__ = ("_capacity", "_entries")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._entries: Dict[int, int] = {}
+
+    def _prune(self, now: int) -> None:
+        if not self._entries:
+            return
+        done = [line for line, arrival in self._entries.items() if arrival <= now]
+        for line in done:
+            del self._entries[line]
+
+    def can_accept(self, now: int) -> bool:
+        """True if a new request can be tracked at cycle *now*."""
+        self._prune(now)
+        return len(self._entries) < self._capacity
+
+    def add(self, line: int, arrival: int, now: int) -> None:
+        """Track a fill for *line* completing at *arrival*.
+
+        Raises ``RuntimeError`` when full — callers must check
+        :meth:`can_accept` first (the engine throttles prefetch issue on a
+        full MSHR file, as real hardware does).
+        """
+        self._prune(now)
+        if len(self._entries) >= self._capacity:
+            raise RuntimeError("MSHR file full")
+        self._entries[line] = arrival
+
+    def outstanding(self, now: int) -> int:
+        self._prune(now)
+        return len(self._entries)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity

@@ -1,0 +1,11 @@
+"""Chip-multiprocessor system model.
+
+A :class:`System` owns the shared resources — the unified L2 and the
+off-chip link — plus one :class:`~repro.core.engine.CoreEngine` per core,
+and interleaves the cores' execution in (approximate) global cycle order.
+"""
+
+from repro.cmp.link import OffChipLink
+from repro.cmp.system import System, SystemConfig, SystemResult
+
+__all__ = ["OffChipLink", "System", "SystemConfig", "SystemResult"]

@@ -1,0 +1,21 @@
+"""Per-core front-end engine, L2 install policies and metrics."""
+
+from repro.core.engine import CoreEngine, EngineConfig
+from repro.core.l2policy import (
+    L2InstallPolicy,
+    NORMAL_INSTALL,
+    BYPASS_INSTALL,
+    get_policy,
+)
+from repro.core.metrics import CoreStats, PrefetchStats
+
+__all__ = [
+    "CoreEngine",
+    "EngineConfig",
+    "L2InstallPolicy",
+    "NORMAL_INSTALL",
+    "BYPASS_INSTALL",
+    "get_policy",
+    "CoreStats",
+    "PrefetchStats",
+]

@@ -1,0 +1,61 @@
+"""L2 installation policy for instruction prefetches (paper §7).
+
+Aggressive instruction prefetching pollutes the shared unified L2: every
+speculative line installed there can evict a data line, raising the L2
+*data* miss rate enough to cancel the prefetcher's gains (Figures 6/7).
+
+Two policies:
+
+- :data:`NORMAL_INSTALL` — prefetch fills from memory are installed into
+  the L2 (and L1I), like demand fills.  This reproduces the pollution.
+- :data:`BYPASS_INSTALL` — the paper's fix: prefetch fills initially
+  *bypass* the L2 and are installed only into the L1I, tagged
+  ``bypass_pending``.  When the L1I later evicts the line, it is installed
+  into the L2 **iff it was demand-used** while resident ("the line only
+  being installed in the L2 cache iff the prefetched line proves to be
+  useful").  Useless prefetches therefore never displace L2 data.  A
+  prefetch that *hits* in the L2 also avoids promoting the line's recency,
+  so speculation never strengthens a line's claim on L2 capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class L2InstallPolicy:
+    """How instruction-prefetch fills interact with the unified L2."""
+
+    name: str
+    #: install memory-sourced prefetch fills into the L2 immediately.
+    install_prefetch_fills: bool
+    #: update L2 recency when a prefetch hits in the L2.
+    promote_on_prefetch_hit: bool
+    #: on L1I eviction of a used bypass line, install it into the L2.
+    install_used_on_eviction: bool
+
+
+NORMAL_INSTALL = L2InstallPolicy(
+    name="normal",
+    install_prefetch_fills=True,
+    promote_on_prefetch_hit=True,
+    install_used_on_eviction=False,
+)
+
+BYPASS_INSTALL = L2InstallPolicy(
+    name="bypass",
+    install_prefetch_fills=False,
+    promote_on_prefetch_hit=False,
+    install_used_on_eviction=True,
+)
+
+_POLICIES = {policy.name: policy for policy in (NORMAL_INSTALL, BYPASS_INSTALL)}
+
+
+def get_policy(name: str) -> L2InstallPolicy:
+    """Look up a policy by name (``"normal"`` or ``"bypass"``)."""
+    try:
+        return _POLICIES[name]
+    except KeyError:
+        raise KeyError(f"unknown L2 install policy {name!r}; available: {sorted(_POLICIES)}") from None

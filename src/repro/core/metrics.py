@@ -1,0 +1,165 @@
+"""Per-core statistics and derived metrics.
+
+All counters describe the *measurement window* (the engine resets them at
+the warm-up boundary).  Derived quantities follow the paper's definitions:
+
+- miss rates are **per retired instruction** (Figures 1, 2);
+- *accuracy* is useful prefetches / issued prefetches (Figure 9);
+- *coverage* is the fraction of would-be misses a prefetcher removed,
+  measured as ``useful / (useful + remaining misses)`` (Figure 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.caches.missclass import MissBreakdown
+
+
+@dataclass
+class PrefetchStats:
+    """Prefetch flow counters for one core."""
+
+    #: candidates the prefetcher generated (pre-filter).
+    generated: int = 0
+    #: tag probes where the line was already resident (probe wasted).
+    probe_found_present: int = 0
+    #: prefetches actually issued (fill initiated).
+    issued: int = 0
+    #: issued fills sourced from the L2.
+    issued_from_l2: int = 0
+    #: issued fills sourced from memory (consume off-chip bandwidth).
+    issued_from_memory: int = 0
+    #: prefetched lines consumed by a demand fetch (first use).
+    useful: int = 0
+    #: useful, but the fill had not completed — partial stall remained.
+    useful_late: int = 0
+    #: useful fills that had been sourced from memory.
+    useful_from_memory: int = 0
+    #: prefetched lines evicted from the L1I without ever being used.
+    useless_evicted: int = 0
+    #: prefetches dropped by the §2.4 used-bit re-prefetch filter.
+    dropped_useless_hint: int = 0
+    #: used bypass lines installed into the L2 on L1I eviction (§7).
+    promoted_to_l2: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        """Useful / issued (0 when nothing was issued)."""
+        if self.issued == 0:
+            return 0.0
+        return self.useful / self.issued
+
+    def reset(self) -> None:
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
+
+
+@dataclass
+class CoreStats:
+    """Complete measurement-window statistics for one core."""
+
+    instructions: int = 0
+    cycles: float = 0.0
+    exec_cycles: float = 0.0
+    fetch_stall_cycles: float = 0.0
+    data_stall_cycles: float = 0.0
+
+    l1i_fetches: int = 0
+    l1i_misses: int = 0
+    l1i_breakdown: MissBreakdown = field(default_factory=MissBreakdown)
+
+    l2i_demand_accesses: int = 0
+    l2i_demand_misses: int = 0
+    l2i_breakdown: MissBreakdown = field(default_factory=MissBreakdown)
+
+    data_accesses: int = 0
+    l1d_misses: int = 0
+    l2d_accesses: int = 0
+    l2d_misses: int = 0
+
+    prefetch: PrefetchStats = field(default_factory=PrefetchStats)
+
+    # ------------------------------------------------------------------ #
+    # Derived metrics (paper definitions)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def ipc(self) -> float:
+        if self.cycles <= 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def l1i_miss_rate_per_instruction(self) -> float:
+        """Figure 1 metric: L1I misses per retired instruction."""
+        if self.instructions == 0:
+            return 0.0
+        return self.l1i_misses / self.instructions
+
+    @property
+    def l2i_miss_rate_per_instruction(self) -> float:
+        """Figure 2 metric: L2 instruction misses per retired instruction."""
+        if self.instructions == 0:
+            return 0.0
+        return self.l2i_demand_misses / self.instructions
+
+    @property
+    def l2d_miss_rate_per_instruction(self) -> float:
+        """Figure 7 metric: L2 data misses per retired instruction."""
+        if self.instructions == 0:
+            return 0.0
+        return self.l2d_misses / self.instructions
+
+    @property
+    def l1i_coverage(self) -> float:
+        """Fraction of would-be L1I misses removed by prefetching."""
+        would_be = self.prefetch.useful + self.l1i_misses
+        if would_be == 0:
+            return 0.0
+        return self.prefetch.useful / would_be
+
+    @property
+    def l2i_coverage(self) -> float:
+        """Fraction of would-be L2 instruction misses removed.
+
+        Memory-sourced useful prefetches are fills that would otherwise
+        have been L2 demand misses.
+        """
+        would_be = self.prefetch.useful_from_memory + self.l2i_demand_misses
+        if would_be == 0:
+            return 0.0
+        return self.prefetch.useful_from_memory / would_be
+
+    def reset(self) -> None:
+        self.instructions = 0
+        self.cycles = 0.0
+        self.exec_cycles = 0.0
+        self.fetch_stall_cycles = 0.0
+        self.data_stall_cycles = 0.0
+        self.l1i_fetches = 0
+        self.l1i_misses = 0
+        self.l1i_breakdown.reset()
+        self.l2i_demand_accesses = 0
+        self.l2i_demand_misses = 0
+        self.l2i_breakdown.reset()
+        self.data_accesses = 0
+        self.l1d_misses = 0
+        self.l2d_accesses = 0
+        self.l2d_misses = 0
+        self.prefetch.reset()
+
+    def summary(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"instructions        : {self.instructions}",
+            f"cycles              : {self.cycles:.0f}",
+            f"IPC                 : {self.ipc:.3f}",
+            f"L1I miss rate       : {100 * self.l1i_miss_rate_per_instruction:.3f}% per instr",
+            f"L2I miss rate       : {100 * self.l2i_miss_rate_per_instruction:.3f}% per instr",
+            f"L2D miss rate       : {100 * self.l2d_miss_rate_per_instruction:.3f}% per instr",
+            f"prefetch issued     : {self.prefetch.issued}",
+            f"prefetch accuracy   : {100 * self.prefetch.accuracy:.1f}%",
+            f"L1I coverage        : {100 * self.l1i_coverage:.1f}%",
+        ]
+        return "\n".join(lines)

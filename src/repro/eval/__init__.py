@@ -1,0 +1,39 @@
+"""Experiment harness: one driver per paper figure.
+
+Each ``figNN`` module exposes a ``run(scale=...)`` function returning a
+structured result object with a ``format_table()`` method that prints the
+same rows/series the paper's figure shows.  Beyond the figures there are
+ablations (:mod:`repro.eval.ablations`), comparisons against the §2 survey
+of alternative prefetching styles (:mod:`repro.eval.comparisons`) and
+multi-seed replication (:mod:`repro.eval.replication`).
+``repro-experiment`` (see :mod:`repro.eval.cli`) is the command-line front
+end; :mod:`repro.eval.report` exports results as JSON/Markdown.
+
+Experiment scale is controlled by :mod:`repro.eval.profiles`: the paper
+warms 50M and measures 100M instructions of real traces, which pure-Python
+simulation cannot afford per configuration; the ``default`` profile keeps
+the paper's cache geometry but simulates fewer (still representative)
+instructions.  Set ``REPRO_PROFILE=full`` for longer runs or
+``REPRO_PROFILE=smoke`` for CI-speed runs.
+"""
+
+from repro.eval.profiles import ExperimentScale, get_scale
+from repro.eval.runner import (
+    run_system,
+    run_system_cached,
+    get_traces,
+    clear_trace_cache,
+    clear_result_cache,
+)
+from repro.eval.figures import ExperimentResult
+
+__all__ = [
+    "ExperimentScale",
+    "get_scale",
+    "run_system",
+    "run_system_cached",
+    "get_traces",
+    "clear_trace_cache",
+    "clear_result_cache",
+    "ExperimentResult",
+]

@@ -1,0 +1,474 @@
+"""Ablation studies for the design choices the paper calls out.
+
+These go beyond the paper's figures to isolate individual mechanisms:
+
+- ``filtering`` — the §4.1 prefetch-queue filters on/off.  The paper
+  reports that after filtering, up to 90% of prefetch tag probes miss
+  (i.e. the probe results in an issue) and that filtering's performance
+  cost is "extremely minor"; without filtering, the queue clogs with
+  duplicates and wastes tag probes.
+- ``eviction_counter`` — the discontinuity table's 2-bit counter vs.
+  always-replace (counter disabled), isolating the thrash protection.
+- ``prefetch_ahead`` — the prefetch-ahead distance sweep behind the
+  paper's "4 lines is a good balance" statement (§4).
+- ``queue_discipline`` — the LIFO queue vs. FIFO ("managed on a last-in,
+  first-out basis to de-emphasize the older prefetches").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.eval.figures import ExperimentResult
+from repro.eval.profiles import ExperimentScale
+from repro.eval.runner import DEFAULT_SEED, run_system, run_system_cached
+from repro.trace.synth.workloads import DISPLAY_NAMES, workload_names
+
+
+def run_filtering(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[ExperimentResult]:
+    """Queue filtering on vs. off (discontinuity prefetcher, 4-way CMP)."""
+    workloads = workload_names()
+    col_labels = [DISPLAY_NAMES[w] for w in workloads]
+    speedups = []
+    probe_waste = []
+    for filtering in (True, False):
+        speedup_row = []
+        waste_row = []
+        for workload in workloads:
+            base = run_system_cached(workload, 4, "none", scale=scale, seed=seed)
+            result = run_system(
+                workload,
+                4,
+                "discontinuity",
+                scale=scale,
+                l2_policy="bypass",
+                queue_filtering=filtering,
+                seed=seed,
+            )
+            speedup_row.append(result.aggregate_ipc / base.aggregate_ipc)
+            probes = sum(
+                core.prefetch.probe_found_present + core.prefetch.issued
+                for core in result.cores
+            )
+            found = sum(core.prefetch.probe_found_present for core in result.cores)
+            waste_row.append(100.0 * found / probes if probes else 0.0)
+        speedups.append(speedup_row)
+        probe_waste.append(waste_row)
+    rows = ["Filtering on", "Filtering off"]
+    return [
+        ExperimentResult(
+            experiment="ablation-filtering-speedup",
+            title="Discontinuity speedup with/without queue filtering (CMP)",
+            row_labels=rows,
+            col_labels=col_labels,
+            values=speedups,
+            unit="speedup, X",
+        ),
+        ExperimentResult(
+            experiment="ablation-filtering-probes",
+            title="Prefetch tag probes finding the line already present",
+            row_labels=rows,
+            col_labels=col_labels,
+            values=probe_waste,
+            unit="% of probes",
+            fmt=".1f",
+            notes=["paper: after filtering, for up to 90% of probes the line is absent"],
+        ),
+    ]
+
+
+def run_eviction_counter(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[ExperimentResult]:
+    """2-bit eviction counter vs. always-replace, small table (CMP).
+
+    The counter matters most when the table is contended, so this runs the
+    256-entry configuration.
+    """
+    workloads = workload_names()
+    col_labels = [DISPLAY_NAMES[w] for w in workloads]
+    values = []
+    for counter_max in (3, 0):
+        row = []
+        for workload in workloads:
+            result = run_system(
+                workload,
+                4,
+                "discontinuity",
+                scale=scale,
+                l2_policy="bypass",
+                prefetcher_overrides={"table_entries": 256, "counter_max": counter_max},
+                seed=seed,
+            )
+            row.append(100.0 * result.l1i_coverage)
+        values.append(row)
+    return [
+        ExperimentResult(
+            experiment="ablation-eviction-counter",
+            title="L1 coverage, 256-entry table: eviction counter vs always-replace",
+            row_labels=["2-bit counter", "always replace"],
+            col_labels=col_labels,
+            values=values,
+            unit="% coverage",
+            fmt=".1f",
+        )
+    ]
+
+
+def run_prefetch_ahead(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[ExperimentResult]:
+    """Prefetch-ahead distance sweep for the discontinuity prefetcher (CMP)."""
+    workloads = workload_names()
+    col_labels = [DISPLAY_NAMES[w] for w in workloads]
+    distances = (1, 2, 3, 4, 6, 8)
+    speedups = []
+    accuracies = []
+    for distance in distances:
+        speedup_row = []
+        accuracy_row = []
+        for workload in workloads:
+            base = run_system_cached(workload, 4, "none", scale=scale, seed=seed)
+            result = run_system_cached(
+                workload,
+                4,
+                "discontinuity",
+                scale=scale,
+                l2_policy="bypass",
+                prefetcher_overrides={"prefetch_ahead": distance},
+                seed=seed,
+            )
+            speedup_row.append(result.aggregate_ipc / base.aggregate_ipc)
+            accuracy_row.append(100.0 * result.prefetch_accuracy)
+        speedups.append(speedup_row)
+        accuracies.append(accuracy_row)
+    rows = [f"ahead={distance}" for distance in distances]
+    return [
+        ExperimentResult(
+            experiment="ablation-prefetch-ahead-speedup",
+            title="Discontinuity speedup vs prefetch-ahead distance (CMP, bypass)",
+            row_labels=rows,
+            col_labels=col_labels,
+            values=speedups,
+            unit="speedup, X",
+            notes=["paper: 4 lines balances timeliness against accuracy/bandwidth"],
+        ),
+        ExperimentResult(
+            experiment="ablation-prefetch-ahead-accuracy",
+            title="Discontinuity accuracy vs prefetch-ahead distance (CMP, bypass)",
+            row_labels=rows,
+            col_labels=col_labels,
+            values=accuracies,
+            unit="% useful/issued",
+            fmt=".1f",
+        ),
+    ]
+
+
+def run_probe_ahead(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[ExperimentResult]:
+    """Probe-ahead vs probe-current-line discontinuity prediction.
+
+    Probing only the current line is the classic target-prefetcher timing
+    [1]; the paper's prefetcher probes the whole prefetch-ahead window so
+    discontinuity prefetches launch early enough to cover L2 misses.  The
+    difference shows up as *late* useful prefetches (fills still in flight
+    when the demand arrives).
+    """
+    workloads = workload_names()
+    col_labels = [DISPLAY_NAMES[w] for w in workloads]
+    speedups = []
+    late_fractions = []
+    variants = [("discontinuity", "Probe-ahead (paper)"), ("discontinuity-noprobeahead", "Probe current line")]
+    for scheme, _ in variants:
+        speedup_row = []
+        late_row = []
+        for workload in workloads:
+            base = run_system_cached(workload, 4, "none", scale=scale, seed=seed)
+            result = run_system_cached(
+                workload, 4, scheme, scale=scale, l2_policy="bypass", seed=seed
+            )
+            speedup_row.append(result.aggregate_ipc / base.aggregate_ipc)
+            useful = sum(core.prefetch.useful for core in result.cores)
+            late = sum(core.prefetch.useful_late for core in result.cores)
+            late_row.append(100.0 * late / useful if useful else 0.0)
+        speedups.append(speedup_row)
+        late_fractions.append(late_row)
+    rows = [label for _, label in variants]
+    return [
+        ExperimentResult(
+            experiment="ablation-probe-ahead-speedup",
+            title="Discontinuity speedup: probe-ahead vs probe-current (CMP)",
+            row_labels=rows,
+            col_labels=col_labels,
+            values=speedups,
+            unit="speedup, X",
+        ),
+        ExperimentResult(
+            experiment="ablation-probe-ahead-late",
+            title="Late useful prefetches: probe-ahead vs probe-current (CMP)",
+            row_labels=rows,
+            col_labels=col_labels,
+            values=late_fractions,
+            unit="% of useful prefetches arriving late",
+            fmt=".1f",
+        ),
+    ]
+
+
+def run_single_vs_multi_target(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[ExperimentResult]:
+    """Single-target discontinuity table vs multi-target Markov predictor.
+
+    The paper (§4) justifies one target per entry by observing that most
+    discontinuities have a single dominant target, making the table far
+    smaller than multi-target predictors [8].  This ablation compares the
+    discontinuity table against a 2-target Markov predictor at *equal
+    storage*: N single-target entries vs N/2 two-target entries.
+    """
+    workloads = workload_names()
+    col_labels = [DISPLAY_NAMES[w] for w in workloads]
+    variants = [
+        ("Discontinuity 4096x1", "discontinuity", {"table_entries": 4096}),
+        ("Markov 2048x2", "markov", {"table_entries": 2048, "targets_per_entry": 2}),
+        ("Markov 4096x2 (2x storage)", "markov", {"table_entries": 4096, "targets_per_entry": 2}),
+    ]
+    coverage = []
+    speedups = []
+    for _, scheme, overrides in variants:
+        coverage_row = []
+        speedup_row = []
+        for workload in workloads:
+            base = run_system_cached(workload, 4, "none", scale=scale, seed=seed)
+            result = run_system_cached(
+                workload,
+                4,
+                scheme,
+                scale=scale,
+                l2_policy="bypass",
+                prefetcher_overrides=overrides,
+                seed=seed,
+            )
+            coverage_row.append(100.0 * result.l1i_coverage)
+            speedup_row.append(result.aggregate_ipc / base.aggregate_ipc)
+        coverage.append(coverage_row)
+        speedups.append(speedup_row)
+    rows = [label for label, _, _ in variants]
+    return [
+        ExperimentResult(
+            experiment="ablation-table-design-coverage",
+            title="L1 coverage: single-target vs multi-target tables (CMP)",
+            row_labels=rows,
+            col_labels=col_labels,
+            values=coverage,
+            unit="% coverage",
+            fmt=".1f",
+            notes=["paper §4: one target per entry suffices at half the storage"],
+        ),
+        ExperimentResult(
+            experiment="ablation-table-design-speedup",
+            title="Speedup: single-target vs multi-target tables (CMP)",
+            row_labels=rows,
+            col_labels=col_labels,
+            values=speedups,
+            unit="speedup, X",
+        ),
+    ]
+
+
+def run_useless_hint_filter(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[ExperimentResult]:
+    """The §2.4 used-bit re-prefetch filter [Luk & Mowry] on/off.
+
+    With the filter, prefetches for L2 lines that previously proved
+    useless in the L1I are dropped, trading a little coverage for
+    bandwidth and accuracy.
+    """
+    workloads = workload_names()
+    col_labels = [DISPLAY_NAMES[w] for w in workloads]
+    accuracy = []
+    speedups = []
+    for hint_filter in (False, True):
+        accuracy_row = []
+        speedup_row = []
+        for workload in workloads:
+            base = run_system_cached(workload, 4, "none", scale=scale, seed=seed)
+            result = run_system(
+                workload,
+                4,
+                "discontinuity",
+                scale=scale,
+                l2_policy="bypass",
+                useless_hint_filter=hint_filter,
+                seed=seed,
+            )
+            accuracy_row.append(100.0 * result.prefetch_accuracy)
+            speedup_row.append(result.aggregate_ipc / base.aggregate_ipc)
+        accuracy.append(accuracy_row)
+        speedups.append(speedup_row)
+    rows = ["No re-prefetch filter", "Used-bit filter (§2.4)"]
+    return [
+        ExperimentResult(
+            experiment="ablation-useless-hint-accuracy",
+            title="Prefetch accuracy with the used-bit re-prefetch filter (CMP)",
+            row_labels=rows,
+            col_labels=col_labels,
+            values=accuracy,
+            unit="% useful/issued",
+            fmt=".1f",
+        ),
+        ExperimentResult(
+            experiment="ablation-useless-hint-speedup",
+            title="Speedup with the used-bit re-prefetch filter (CMP)",
+            row_labels=rows,
+            col_labels=col_labels,
+            values=speedups,
+            unit="speedup, X",
+        ),
+    ]
+
+
+def run_inclusion(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[ExperimentResult]:
+    """Inclusive vs non-inclusive shared L2 (substrate sensitivity).
+
+    The paper does not state its L2's inclusion policy; this ablation
+    bounds how much the choice matters for the headline result.  Inclusive
+    L2s back-invalidate L1 lines on eviction, so instruction-prefetch
+    pollution of the L2 can reach into the L1s — slightly amplifying the
+    pollution effect the bypass policy removes.
+    """
+    workloads = workload_names()
+    col_labels = [DISPLAY_NAMES[w] for w in workloads]
+    speedups = []
+    l1i_rates = []
+    for inclusive in (False, True):
+        speedup_row = []
+        l1i_row = []
+        for workload in workloads:
+            base = run_system(
+                workload, 4, "none", scale=scale, l2_inclusive=inclusive, seed=seed
+            )
+            result = run_system(
+                workload,
+                4,
+                "discontinuity",
+                scale=scale,
+                l2_policy="bypass",
+                l2_inclusive=inclusive,
+                seed=seed,
+            )
+            speedup_row.append(result.aggregate_ipc / base.aggregate_ipc)
+            l1i_row.append(100.0 * base.l1i_miss_rate)
+        speedups.append(speedup_row)
+        l1i_rates.append(l1i_row)
+    rows = ["Non-inclusive (default)", "Inclusive"]
+    return [
+        ExperimentResult(
+            experiment="ablation-inclusion-speedup",
+            title="Discontinuity speedup: non-inclusive vs inclusive L2 (CMP)",
+            row_labels=rows,
+            col_labels=col_labels,
+            values=speedups,
+            unit="speedup, X",
+        ),
+        ExperimentResult(
+            experiment="ablation-inclusion-l1i",
+            title="Baseline L1I miss rate: non-inclusive vs inclusive L2 (CMP)",
+            row_labels=rows,
+            col_labels=col_labels,
+            values=l1i_rates,
+            unit="% per instruction",
+        ),
+    ]
+
+
+def run_replacement(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[ExperimentResult]:
+    """Cache replacement policy sensitivity (substrate check).
+
+    The paper's simulator uses LRU; real L1s often implement tree-PLRU and
+    some designs use random.  This ablation verifies the headline result
+    is not an artifact of the replacement policy.
+    """
+    workloads = workload_names()
+    col_labels = [DISPLAY_NAMES[w] for w in workloads]
+    policies = ("lru", "plru", "fifo", "random")
+    l1i_rates = []
+    speedups = []
+    for policy in policies:
+        l1i_row = []
+        speedup_row = []
+        for workload in workloads:
+            base = run_system(
+                workload, 4, "none", scale=scale,
+                l1_replacement=policy, l2_replacement=policy, seed=seed,
+            )
+            result = run_system(
+                workload, 4, "discontinuity", scale=scale, l2_policy="bypass",
+                l1_replacement=policy, l2_replacement=policy, seed=seed,
+            )
+            l1i_row.append(100.0 * base.l1i_miss_rate)
+            speedup_row.append(result.aggregate_ipc / base.aggregate_ipc)
+        l1i_rates.append(l1i_row)
+        speedups.append(speedup_row)
+    rows = [policy.upper() for policy in policies]
+    return [
+        ExperimentResult(
+            experiment="ablation-replacement-l1i",
+            title="Baseline L1I miss rate by replacement policy (CMP)",
+            row_labels=rows,
+            col_labels=col_labels,
+            values=l1i_rates,
+            unit="% per instruction",
+        ),
+        ExperimentResult(
+            experiment="ablation-replacement-speedup",
+            title="Discontinuity speedup by replacement policy (CMP)",
+            row_labels=rows,
+            col_labels=col_labels,
+            values=speedups,
+            unit="speedup, X",
+        ),
+    ]
+
+
+def run_queue_discipline(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[ExperimentResult]:
+    """LIFO vs FIFO prefetch queue (discontinuity, 4-way CMP, bypass)."""
+    workloads = workload_names()
+    col_labels = [DISPLAY_NAMES[w] for w in workloads]
+    values = []
+    for lifo in (True, False):
+        row = []
+        for workload in workloads:
+            base = run_system_cached(workload, 4, "none", scale=scale, seed=seed)
+            result = run_system(
+                workload,
+                4,
+                "discontinuity",
+                scale=scale,
+                l2_policy="bypass",
+                queue_lifo=lifo,
+                seed=seed,
+            )
+            row.append(result.aggregate_ipc / base.aggregate_ipc)
+        values.append(row)
+    return [
+        ExperimentResult(
+            experiment="ablation-queue-discipline",
+            title="Discontinuity speedup: LIFO vs FIFO prefetch queue (CMP)",
+            row_labels=["LIFO (paper)", "FIFO"],
+            col_labels=col_labels,
+            values=values,
+            unit="speedup, X",
+        )
+    ]

@@ -1,0 +1,108 @@
+"""``repro-experiment`` command-line front end.
+
+Usage::
+
+    repro-experiment --list
+    repro-experiment fig05 --scale smoke
+    repro-experiment all --scale default --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.eval.profiles import SCALES, get_scale
+from repro.eval.registry import experiment_names, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description=(
+            "Reproduce the figures of 'Effective Instruction Prefetching in "
+            "Chip Multiprocessors for Modern Commercial Applications' (HPCA 2005)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        default=None,
+        help="experiment name (see --list), or 'all'",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments and exit"
+    )
+    parser.add_argument(
+        "--scale",
+        default=None,
+        choices=sorted(SCALES),
+        help="experiment scale (default: $REPRO_PROFILE or 'default')",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="experiment seed")
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write all result panels to PATH as JSON",
+    )
+    parser.add_argument(
+        "--markdown",
+        metavar="PATH",
+        default=None,
+        help="also write all result panels to PATH as Markdown tables",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in experiment_names():
+            print(name)
+        return 0
+
+    if args.experiment is None:
+        parser.print_usage()
+        print("error: specify an experiment name or --list", file=sys.stderr)
+        return 2
+
+    names = experiment_names() if args.experiment == "all" else [args.experiment]
+    scale = get_scale(args.scale) if args.scale else None
+    all_panels = []
+    for name in names:
+        started = time.time()
+        try:
+            panels = run_experiment(name, scale=scale, seed=args.seed)
+        except KeyError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        elapsed = time.time() - started
+        all_panels.extend(panels)
+        for panel in panels:
+            print(panel.format_table())
+            print()
+        print(f"[{name} completed in {elapsed:.1f}s]")
+        print()
+
+    if args.json:
+        from repro.eval.report import panels_to_json
+
+        with open(args.json, "w") as handle:
+            handle.write(panels_to_json(all_panels))
+        print(f"[wrote {args.json}]")
+    if args.markdown:
+        from repro.eval.report import panels_to_markdown
+
+        with open(args.markdown, "w") as handle:
+            handle.write(panels_to_markdown(all_panels))
+        print(f"[wrote {args.markdown}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

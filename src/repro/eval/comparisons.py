@@ -1,0 +1,370 @@
+"""Beyond-the-paper comparisons against the alternative prefetching styles
+the paper's §2 surveys.
+
+Three experiments:
+
+- :func:`run_alternatives` — every prefetching *style* head-to-head on the
+  4-way CMP: the sequential baseline, the classic history-based target
+  prefetcher, the Markov multi-target predictor, the execution-based
+  fetch-directed prefetcher, compiler-inserted software prefetching, and
+  the paper's discontinuity prefetcher.
+- :func:`run_execution_based` — the fetch-directed prefetcher across BTB
+  sizes, quantifying the paper's §2.2 argument that commercial footprints
+  need impractically large predictor state for execution-based schemes.
+- :func:`run_software_prefetch` — the §2.3 cooperative split (software
+  non-sequential + hardware sequential) vs. the all-hardware scheme.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.eval.figures import ExperimentResult
+from repro.eval.profiles import ExperimentScale
+from repro.eval.runner import DEFAULT_SEED, run_system, run_system_cached
+from repro.swpf.prefetcher import software_prefetcher_for
+from repro.trace.synth.workloads import DISPLAY_NAMES, workload_names
+
+
+def _metric_rows(results_by_label, workloads, baselines):
+    speedups = []
+    coverage = []
+    accuracy = []
+    for label, results in results_by_label:
+        speedup_row = []
+        coverage_row = []
+        accuracy_row = []
+        for workload, result in zip(workloads, results):
+            base = baselines[workload]
+            speedup_row.append(result.aggregate_ipc / base.aggregate_ipc)
+            coverage_row.append(100.0 * result.l1i_coverage)
+            accuracy_row.append(100.0 * result.prefetch_accuracy)
+        speedups.append(speedup_row)
+        coverage.append(coverage_row)
+        accuracy.append(accuracy_row)
+    return speedups, coverage, accuracy
+
+
+def run_alternatives(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[ExperimentResult]:
+    """All prefetching styles head-to-head (4-way CMP, bypass install)."""
+    workloads = workload_names()
+    col_labels = [DISPLAY_NAMES[w] for w in workloads]
+    baselines = {
+        workload: run_system_cached(workload, 4, "none", scale=scale, seed=seed)
+        for workload in workloads
+    }
+
+    variants = [
+        ("Next-4-lines (tagged)", "next-4-line", {}),
+        ("Target prefetcher", "target", {}),
+        ("Markov (multi-target)", "markov", {}),
+        ("Fetch-directed (1K BTB)", "fdp", {"btb_entries": 1024}),
+        ("Software + next-4-line", None, {}),  # factory-based
+        ("Discontinuity (paper)", "discontinuity", {}),
+    ]
+    results_by_label = []
+    for label, scheme, overrides in variants:
+        results = []
+        for workload in workloads:
+            if scheme is None:
+                result = run_system(
+                    workload,
+                    4,
+                    scale=scale,
+                    l2_policy="bypass",
+                    prefetcher_factory=lambda core, w=workload: software_prefetcher_for(
+                        w, seed, core=core
+                    ),
+                    seed=seed,
+                )
+            else:
+                result = run_system_cached(
+                    workload,
+                    4,
+                    scheme,
+                    scale=scale,
+                    l2_policy="bypass",
+                    prefetcher_overrides=overrides,
+                    seed=seed,
+                )
+            results.append(result)
+        results_by_label.append((label, results))
+
+    speedups, coverage, accuracy = _metric_rows(results_by_label, workloads, baselines)
+    rows = [label for label, _ in results_by_label]
+    return [
+        ExperimentResult(
+            experiment="comparison-alternatives-speedup",
+            title="All prefetching styles: speedup (4-way CMP, bypass)",
+            row_labels=rows,
+            col_labels=col_labels,
+            values=speedups,
+            unit="speedup, X",
+        ),
+        ExperimentResult(
+            experiment="comparison-alternatives-coverage",
+            title="All prefetching styles: L1 coverage (4-way CMP)",
+            row_labels=rows,
+            col_labels=col_labels,
+            values=coverage,
+            unit="% coverage",
+            fmt=".1f",
+        ),
+        ExperimentResult(
+            experiment="comparison-alternatives-accuracy",
+            title="All prefetching styles: accuracy (4-way CMP)",
+            row_labels=rows,
+            col_labels=col_labels,
+            values=accuracy,
+            unit="% useful/issued",
+            fmt=".1f",
+        ),
+    ]
+
+
+#: BTB sweep for the execution-based comparison.
+FDP_BTB_SIZES = (1024, 4096, 16384, 65536)
+
+
+def run_execution_based(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[ExperimentResult]:
+    """Fetch-directed prefetching vs BTB size (4-way CMP)."""
+    workloads = workload_names()
+    col_labels = [DISPLAY_NAMES[w] for w in workloads]
+    baselines = {
+        workload: run_system_cached(workload, 4, "none", scale=scale, seed=seed)
+        for workload in workloads
+    }
+    results_by_label = []
+    for btb in FDP_BTB_SIZES:
+        results = [
+            run_system_cached(
+                workload,
+                4,
+                "fdp",
+                scale=scale,
+                l2_policy="bypass",
+                prefetcher_overrides={"btb_entries": btb},
+                seed=seed,
+            )
+            for workload in workloads
+        ]
+        results_by_label.append((f"FDP {btb}-entry BTB", results))
+    results_by_label.append(
+        (
+            "Discontinuity 8K (paper)",
+            [
+                run_system_cached(
+                    workload, 4, "discontinuity", scale=scale, l2_policy="bypass", seed=seed
+                )
+                for workload in workloads
+            ],
+        )
+    )
+    speedups, coverage, _ = _metric_rows(results_by_label, workloads, baselines)
+    rows = [label for label, _ in results_by_label]
+    notes = [
+        "paper §2.2: execution-based prefetching needs impractically large "
+        "predictor state on commercial footprints"
+    ]
+    return [
+        ExperimentResult(
+            experiment="comparison-fdp-coverage",
+            title="Fetch-directed prefetching: L1 coverage vs BTB size (CMP)",
+            row_labels=rows,
+            col_labels=col_labels,
+            values=coverage,
+            unit="% coverage",
+            fmt=".1f",
+            notes=notes,
+        ),
+        ExperimentResult(
+            experiment="comparison-fdp-speedup",
+            title="Fetch-directed prefetching: speedup vs BTB size (CMP)",
+            row_labels=rows,
+            col_labels=col_labels,
+            values=speedups,
+            unit="speedup, X",
+            notes=notes,
+        ),
+    ]
+
+
+#: off-chip bandwidth sweep (GB/s); 20 is the paper's CMP default.
+BANDWIDTH_SWEEP_GBPS = (20.0, 10.0, 6.0, 4.0)
+
+
+def run_bandwidth_sensitivity(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[ExperimentResult]:
+    """Prefetcher speedups vs. off-chip bandwidth (DB workload, CMP).
+
+    The paper's §7 closes Figure 9 with: "in environments where off-chip
+    bandwidth is constrained, the next-2-line discontinuity prefetcher may
+    be a good choice."  This sweep makes that operating point explicit:
+    as the link tightens, the accuracy-ordered schemes (2NL > next-4 >
+    4NL-discontinuity) take over the performance ordering — wasted
+    prefetches stop being free.
+    """
+    schemes = ["next-4-line", "discontinuity", "discontinuity-2nl"]
+    col_labels = [f"{gbps:g} GB/s" for gbps in BANDWIDTH_SWEEP_GBPS]
+    rows = []
+    values = []
+    from repro.prefetch.registry import prefetcher_display_name
+
+    for scheme in schemes:
+        row = []
+        for gbps in BANDWIDTH_SWEEP_GBPS:
+            base = run_system(
+                "db", 4, "none", scale=scale, offchip_gbps=gbps, seed=seed
+            )
+            result = run_system(
+                "db",
+                4,
+                scheme,
+                scale=scale,
+                l2_policy="bypass",
+                offchip_gbps=gbps,
+                seed=seed,
+            )
+            row.append(result.aggregate_ipc / base.aggregate_ipc)
+        rows.append(prefetcher_display_name(scheme))
+        values.append(row)
+    return [
+        ExperimentResult(
+            experiment="comparison-bandwidth",
+            title="Speedup vs off-chip bandwidth (DB, 4-way CMP, bypass)",
+            row_labels=rows,
+            col_labels=col_labels,
+            values=values,
+            unit="speedup, X",
+            notes=[
+                "paper §7: under constrained bandwidth the 2NL discontinuity "
+                "prefetcher is the better choice — the crossover appears as "
+                "the link tightens"
+            ],
+        )
+    ]
+
+
+#: core counts for the scaling extension (paper evaluates 1 and 4).
+CORE_SCALING = (1, 2, 4, 8)
+
+
+def run_core_scaling(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[ExperimentResult]:
+    """Extension: how the paper's effects scale with core count (DB).
+
+    The paper evaluates a single core and a 4-way CMP; this sweep extends
+    to 2 and 8 cores (off-chip bandwidth interpolated/extrapolated from
+    the paper's two published points), showing that the shared-L2
+    instruction pressure — and therefore the discontinuity prefetcher's
+    value — grows with the core count.
+    """
+    col_labels = [f"{n} core{'s' if n > 1 else ''}" for n in CORE_SCALING]
+    l2i_rates = []
+    l2d_rates = []
+    speedups = []
+    for n_cores in CORE_SCALING:
+        base = run_system("db", n_cores, "none", scale=scale, seed=seed)
+        prefetched = run_system(
+            "db", n_cores, "discontinuity", scale=scale, l2_policy="bypass", seed=seed
+        )
+        l2i_rates.append(100.0 * base.l2i_miss_rate)
+        l2d_rates.append(100.0 * base.l2d_miss_rate)
+        speedups.append(prefetched.aggregate_ipc / base.aggregate_ipc)
+    return [
+        ExperimentResult(
+            experiment="comparison-core-scaling",
+            title="Baseline L2 miss rates and discontinuity speedup vs cores (DB)",
+            row_labels=[
+                "Baseline L2I (% per instr)",
+                "Baseline L2D (% per instr)",
+                "Discontinuity speedup (X)",
+            ],
+            col_labels=col_labels,
+            values=[l2i_rates, l2d_rates, speedups],
+            notes=[
+                "extension beyond the paper's 1/4-core points; bandwidth "
+                "scaled per SystemConfig.resolve_bandwidth"
+            ],
+        )
+    ]
+
+
+def run_software_prefetch(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[ExperimentResult]:
+    """§2.3 cooperative software prefetching vs the hardware scheme (CMP)."""
+    workloads = workload_names()
+    col_labels = [DISPLAY_NAMES[w] for w in workloads]
+    baselines = {
+        workload: run_system_cached(workload, 4, "none", scale=scale, seed=seed)
+        for workload in workloads
+    }
+    variants = []
+    sw_results = []
+    for workload in workloads:
+        sw_results.append(
+            run_system(
+                workload,
+                4,
+                scale=scale,
+                l2_policy="bypass",
+                prefetcher_factory=lambda core, w=workload: software_prefetcher_for(
+                    w, seed, core=core
+                ),
+                seed=seed,
+            )
+        )
+    variants.append(("Software + next-4-line", sw_results))
+    variants.append(
+        (
+            "Next-4-line only",
+            [
+                run_system_cached(
+                    workload, 4, "next-4-line", scale=scale, l2_policy="bypass", seed=seed
+                )
+                for workload in workloads
+            ],
+        )
+    )
+    variants.append(
+        (
+            "Discontinuity (paper)",
+            [
+                run_system_cached(
+                    workload, 4, "discontinuity", scale=scale, l2_policy="bypass", seed=seed
+                )
+                for workload in workloads
+            ],
+        )
+    )
+    speedups, coverage, accuracy = _metric_rows(variants, workloads, baselines)
+    rows = [label for label, _ in variants]
+    return [
+        ExperimentResult(
+            experiment="comparison-swpf-speedup",
+            title="Software vs hardware non-sequential prefetching (CMP)",
+            row_labels=rows,
+            col_labels=col_labels,
+            values=speedups,
+            unit="speedup, X",
+            notes=[
+                "software plan uses perfect profile feedback (generous to §2.3)"
+            ],
+        ),
+        ExperimentResult(
+            experiment="comparison-swpf-coverage",
+            title="Software vs hardware: L1 coverage (CMP)",
+            row_labels=rows,
+            col_labels=col_labels,
+            values=coverage,
+            unit="% coverage",
+            fmt=".1f",
+        ),
+    ]

@@ -1,0 +1,75 @@
+"""Figure 1 — L1 instruction cache miss rates vs. cache geometry.
+
+Paper: "Instruction cache miss rates (% per retired instruction) as cache
+associativity, line size and capacity are varied (default is 32KB, 4-way,
+64B line size)."
+
+Expected shape (paper §3.1):
+
+- default-config miss rates between ~1.3% and ~3.2%, jApp highest;
+- increasing line size is highly effective;
+- capacity helps strongly; associativity helps, with little benefit
+  beyond 4-way.
+
+Each configuration varies exactly one dimension of the per-core L1I; the
+data applies to both the single-core processor and the CMP (private L1Is),
+so we run single-core systems.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.caches.config import DEFAULT_HIERARCHY
+from repro.eval.figures import ExperimentResult
+from repro.eval.profiles import ExperimentScale
+from repro.eval.runner import DEFAULT_SEED, run_system_cached
+from repro.trace.synth.workloads import DISPLAY_NAMES, workload_names
+from repro.util.units import KB
+
+#: the paper's sweep points: (label, L1I config overrides).
+CONFIGS = [
+    ("Default", {}),
+    ("Direct-mapped", {"associativity": 1}),
+    ("2-way", {"associativity": 2}),
+    ("8-way", {"associativity": 8}),
+    ("32B line size", {"line_size": 32}),
+    ("128B line size", {"line_size": 128}),
+    ("256B line size", {"line_size": 256}),
+    ("16KB", {"capacity_bytes": 16 * KB}),
+    ("64KB", {"capacity_bytes": 64 * KB}),
+    ("128KB", {"capacity_bytes": 128 * KB}),
+]
+
+
+def run(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[ExperimentResult]:
+    """Run the Figure 1 sweep; returns one panel."""
+    workloads = workload_names()
+    rows = []
+    values = []
+    for label, overrides in CONFIGS:
+        hierarchy = DEFAULT_HIERARCHY.with_l1i(**overrides) if overrides else DEFAULT_HIERARCHY
+        row = []
+        for workload in workloads:
+            result = run_system_cached(
+                workload, 1, "none", scale=scale, hierarchy=hierarchy, seed=seed
+            )
+            row.append(100.0 * result.l1i_miss_rate)
+        rows.append(label)
+        values.append(row)
+    return [
+        ExperimentResult(
+            experiment="fig01",
+            title="I$ miss rate vs. associativity / line size / capacity",
+            row_labels=rows,
+            col_labels=[DISPLAY_NAMES[w] for w in workloads],
+            values=values,
+            unit="% per instruction",
+            notes=[
+                "paper band for the default config: 1.32-3.16%, jApp highest",
+                "default = 32KB, 4-way, 64B lines",
+            ],
+        )
+    ]

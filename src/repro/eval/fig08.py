@@ -1,0 +1,51 @@
+"""Figure 8 — performance gains with L2-bypass prefetches.
+
+Paper: "Performance gains achieved by different HW prefetching schemes
+(with L2 cache bypass prefetches); (i) single core and (ii) 4-way CMP."
+
+Expected shape (paper §7):
+
+- compared to Figure 6(ii), the CMP discontinuity improvement rises from
+  1.05-1.28× to 1.08-1.37×;
+- the aggressive prefetchers gain more on the CMP than on the single core.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.eval.fig06 import perf_panel
+from repro.eval.figures import ExperimentResult
+from repro.eval.profiles import ExperimentScale
+from repro.eval.runner import DEFAULT_SEED
+from repro.trace.synth.workloads import workload_names
+
+
+def run(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[ExperimentResult]:
+    """Run Figure 8; returns panels (i) and (ii)."""
+    base = workload_names()
+    note = "bypass install (§7): pollution removed; paper: 1.08-1.37X on CMP"
+    return [
+        perf_panel(
+            "fig08i",
+            "Prefetcher speedups, L2-bypass install (single core)",
+            base,
+            1,
+            "bypass",
+            scale,
+            seed,
+            note=note,
+        ),
+        perf_panel(
+            "fig08ii",
+            "Prefetcher speedups, L2-bypass install (4-way CMP)",
+            base + ["mix"],
+            4,
+            "bypass",
+            scale,
+            seed,
+            note=note,
+        ),
+    ]

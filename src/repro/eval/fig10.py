@@ -1,0 +1,91 @@
+"""Figure 10 — miss coverage vs. discontinuity-table size.
+
+Paper: "Prefetch coverage achieved with various sizes of the next-4-line
+discontinuity predictor; (i) L1 cache (ii) L2 cache (4-way CMP)", for
+table sizes 256–8192 entries plus the next-4-lines (tagged) reference.
+
+Expected shape (paper §7):
+
+- larger tables cover more, but the curve is flat at the top: the table
+  can shrink 4× (8192 → 2048) with minimal coverage loss;
+- every table size beats the next-4-line sequential prefetcher.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.eval.figures import ExperimentResult
+from repro.eval.profiles import ExperimentScale
+from repro.eval.runner import DEFAULT_SEED, run_system_cached
+from repro.trace.synth.workloads import DISPLAY_NAMES, workload_names
+
+#: the paper's sweep, largest first (legend order).
+TABLE_SIZES = (8192, 4096, 2048, 1024, 512, 256)
+
+
+def run(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[ExperimentResult]:
+    """Run Figure 10; returns panels (i) L1 and (ii) L2 coverage."""
+    workloads = workload_names() + ["mix"]
+    col_labels = [DISPLAY_NAMES[w] for w in workloads]
+
+    row_labels = [f"{size}-entries" for size in TABLE_SIZES] + ["Next-4lines (tagged)"]
+    l1_values: List[List[float]] = []
+    l2_values: List[List[float]] = []
+
+    for size in TABLE_SIZES:
+        l1_row = []
+        l2_row = []
+        for workload in workloads:
+            result = run_system_cached(
+                workload,
+                4,
+                "discontinuity",
+                scale=scale,
+                l2_policy="bypass",
+                prefetcher_overrides={"table_entries": size},
+                seed=seed,
+            )
+            l1_row.append(100.0 * result.l1i_coverage)
+            l2_row.append(100.0 * result.l2i_coverage)
+        l1_values.append(l1_row)
+        l2_values.append(l2_row)
+
+    seq_l1 = []
+    seq_l2 = []
+    for workload in workloads:
+        result = run_system_cached(
+            workload, 4, "next-4-line", scale=scale, l2_policy="bypass", seed=seed
+        )
+        seq_l1.append(100.0 * result.l1i_coverage)
+        seq_l2.append(100.0 * result.l2i_coverage)
+    l1_values.append(seq_l1)
+    l2_values.append(seq_l2)
+
+    notes = [
+        "paper: 4x table reduction costs minimal coverage; all sizes beat next-4-line",
+    ]
+    return [
+        ExperimentResult(
+            experiment="fig10i",
+            title="L1 miss coverage vs. discontinuity table size (4-way CMP)",
+            row_labels=row_labels,
+            col_labels=col_labels,
+            values=l1_values,
+            unit="% coverage",
+            fmt=".1f",
+            notes=notes,
+        ),
+        ExperimentResult(
+            experiment="fig10ii",
+            title="L2 miss coverage vs. discontinuity table size (4-way CMP)",
+            row_labels=row_labels,
+            col_labels=col_labels,
+            values=l2_values,
+            unit="% coverage",
+            fmt=".1f",
+            notes=notes,
+        ),
+    ]

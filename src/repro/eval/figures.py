@@ -1,0 +1,101 @@
+"""Result containers and table formatting shared by the figure drivers.
+
+Every driver returns an :class:`ExperimentResult`: a labelled grid of
+values (rows × columns) plus metadata.  ``format_table()`` renders the
+same rows/series the paper's figure plots, in plain text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """A labelled grid of experiment values.
+
+    Attributes:
+        experiment: identifier, e.g. ``"fig05"``.
+        title: human-readable description (matches the paper caption).
+        row_labels: one label per data row (e.g. prefetcher names).
+        col_labels: one label per column (e.g. workload names).
+        values: ``values[row][col]`` floats.
+        unit: display unit appended to the header (e.g. ``"% per instr"``).
+        fmt: per-cell format spec.
+        notes: free-form annotations (assumptions, paper bands).
+    """
+
+    experiment: str
+    title: str
+    row_labels: List[str]
+    col_labels: List[str]
+    values: List[List[float]]
+    unit: str = ""
+    fmt: str = ".3f"
+    notes: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.values) != len(self.row_labels):
+            raise ValueError(
+                f"{self.experiment}: {len(self.values)} value rows for "
+                f"{len(self.row_labels)} row labels"
+            )
+        for row_label, row in zip(self.row_labels, self.values):
+            if len(row) != len(self.col_labels):
+                raise ValueError(
+                    f"{self.experiment}: row {row_label!r} has {len(row)} values "
+                    f"for {len(self.col_labels)} columns"
+                )
+
+    def value(self, row_label: str, col_label: str) -> float:
+        """Look up one cell by labels."""
+        row = self.row_labels.index(row_label)
+        col = self.col_labels.index(col_label)
+        return self.values[row][col]
+
+    def row(self, row_label: str) -> List[float]:
+        return list(self.values[self.row_labels.index(row_label)])
+
+    def column(self, col_label: str) -> List[float]:
+        col = self.col_labels.index(col_label)
+        return [row[col] for row in self.values]
+
+    def format_table(self) -> str:
+        """Render the grid as an aligned text table."""
+        label_width = max([len(label) for label in self.row_labels] + [12])
+        col_width = max([len(label) for label in self.col_labels] + [9]) + 1
+        header_unit = f" ({self.unit})" if self.unit else ""
+        lines = [f"{self.experiment}: {self.title}{header_unit}"]
+        header = " " * label_width + "".join(
+            f"{label:>{col_width}}" for label in self.col_labels
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for label, row in zip(self.row_labels, self.values):
+            cells = "".join(f"{value:>{col_width}{self.fmt}}" for value in row)
+            lines.append(f"{label:<{label_width}}{cells}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        """Plain-data form (for JSON dumps in EXPERIMENTS.md tooling)."""
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "rows": self.row_labels,
+            "columns": self.col_labels,
+            "values": self.values,
+            "unit": self.unit,
+            "notes": list(self.notes),
+        }
+
+
+def grid_from(
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    cell: Callable[[str, str], float],
+) -> List[List[float]]:
+    """Build a values grid by evaluating *cell* for every (row, col)."""
+    return [[cell(row, col) for col in col_labels] for row in row_labels]

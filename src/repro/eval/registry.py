@@ -1,0 +1,74 @@
+"""Registry of all experiment drivers (figures + ablations)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.eval import (
+    ablations,
+    comparisons,
+    replication,
+    fig01,
+    fig02,
+    fig03,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+)
+from repro.eval.figures import ExperimentResult
+from repro.eval.profiles import ExperimentScale
+
+#: experiment name → driver returning a list of result panels.
+EXPERIMENTS: Dict[str, Callable[..., List[ExperimentResult]]] = {
+    "fig01": fig01.run,
+    "fig02": fig02.run,
+    "fig03": fig03.run,
+    "fig04": fig04.run,
+    "fig05": fig05.run,
+    "fig06": fig06.run,
+    "fig07": fig07.run,
+    "fig08": fig08.run,
+    "fig09": fig09.run,
+    "fig10": fig10.run,
+    "ablation-filtering": ablations.run_filtering,
+    "ablation-eviction-counter": ablations.run_eviction_counter,
+    "ablation-prefetch-ahead": ablations.run_prefetch_ahead,
+    "ablation-probe-ahead": ablations.run_probe_ahead,
+    "ablation-queue-discipline": ablations.run_queue_discipline,
+    "ablation-table-design": ablations.run_single_vs_multi_target,
+    "ablation-useless-hint": ablations.run_useless_hint_filter,
+    "ablation-inclusion": ablations.run_inclusion,
+    "ablation-replacement": ablations.run_replacement,
+    "comparison-alternatives": comparisons.run_alternatives,
+    "comparison-bandwidth": comparisons.run_bandwidth_sensitivity,
+    "comparison-core-scaling": comparisons.run_core_scaling,
+    "comparison-execution-based": comparisons.run_execution_based,
+    "comparison-software-prefetch": comparisons.run_software_prefetch,
+    "replication-check": replication.run_replication_check,
+}
+
+
+def experiment_names() -> List[str]:
+    return list(EXPERIMENTS)
+
+
+def run_experiment(
+    name: str, scale: Optional[ExperimentScale] = None, seed: Optional[int] = None
+) -> List[ExperimentResult]:
+    """Run one registered experiment by name."""
+    try:
+        driver = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {experiment_names()}"
+        ) from None
+    kwargs = {}
+    if scale is not None:
+        kwargs["scale"] = scale
+    if seed is not None:
+        kwargs["seed"] = seed
+    return driver(**kwargs)

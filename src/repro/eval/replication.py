@@ -1,0 +1,119 @@
+"""Multi-seed replication: are the headline results seed-robust?
+
+Every experiment in this repo is deterministic in its seed; this module
+reruns a configuration across several seeds and reports mean ± sample
+standard deviation, so claims like "discontinuity gives 1.46× on DB" can
+be qualified with their sensitivity to the synthetic-trace randomness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.eval.figures import ExperimentResult
+from repro.eval.profiles import ExperimentScale
+from repro.eval.runner import run_system
+from repro.trace.synth.workloads import DISPLAY_NAMES, workload_names
+
+#: default replication seeds (arbitrary, fixed for reproducibility).
+DEFAULT_SEEDS = (1337, 2024, 31415, 27182, 16180)
+
+
+@dataclass(frozen=True)
+class Replicate:
+    """Mean and sample standard deviation of one metric across seeds."""
+
+    mean: float
+    std: float
+    n: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {self.std:.3f} (n={self.n})"
+
+
+def summarize(values: Sequence[float]) -> Replicate:
+    """Mean ± sample standard deviation of *values*."""
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return Replicate(mean, 0.0, 1)
+    variance = sum((value - mean) ** 2 for value in values) / (n - 1)
+    return Replicate(mean, math.sqrt(variance), n)
+
+
+def replicate_metric(
+    metric: Callable[[int], float],
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+) -> Replicate:
+    """Evaluate ``metric(seed)`` across *seeds* and summarize."""
+    return summarize([metric(seed) for seed in seeds])
+
+
+def replicate_speedup(
+    workload: str,
+    n_cores: int,
+    prefetcher: str,
+    scale: Optional[ExperimentScale] = None,
+    l2_policy: str = "bypass",
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+) -> Replicate:
+    """Speedup of *prefetcher* over no-prefetch, replicated across seeds."""
+
+    def one(seed: int) -> float:
+        base = run_system(workload, n_cores, "none", scale=scale, seed=seed)
+        result = run_system(
+            workload, n_cores, prefetcher, scale=scale, l2_policy=l2_policy, seed=seed
+        )
+        return result.aggregate_ipc / base.aggregate_ipc
+
+    return replicate_metric(one, seeds)
+
+
+def run_replication_check(
+    scale: Optional[ExperimentScale] = None,
+    seed: int = DEFAULT_SEEDS[0],
+    seeds: Sequence[int] = DEFAULT_SEEDS[:3],
+) -> List[ExperimentResult]:
+    """Registry driver: the headline CMP speedups with seed error bars.
+
+    (The ``seed`` argument is accepted for registry-interface uniformity;
+    the replication always spans ``seeds``.)
+    """
+    del seed
+    workloads = workload_names()
+    col_labels = [DISPLAY_NAMES[w] for w in workloads]
+    means = []
+    stds = []
+    for scheme in ("next-4-line", "discontinuity"):
+        mean_row = []
+        std_row = []
+        for workload in workloads:
+            replicate = replicate_speedup(
+                workload, 4, scheme, scale=scale, seeds=seeds
+            )
+            mean_row.append(replicate.mean)
+            std_row.append(replicate.std)
+        means.append(mean_row)
+        stds.append(std_row)
+    return [
+        ExperimentResult(
+            experiment="replication-mean",
+            title=f"CMP speedup, mean over {len(seeds)} seeds (bypass)",
+            row_labels=["Next-4-lines (tagged)", "Discontinuity"],
+            col_labels=col_labels,
+            values=means,
+            unit="speedup, X",
+        ),
+        ExperimentResult(
+            experiment="replication-std",
+            title=f"CMP speedup, sample std over {len(seeds)} seeds",
+            row_labels=["Next-4-lines (tagged)", "Discontinuity"],
+            col_labels=col_labels,
+            values=stds,
+            unit="speedup, X",
+        ),
+    ]

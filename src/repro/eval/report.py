@@ -1,0 +1,61 @@
+"""Result export: JSON and Markdown rendering of experiment panels.
+
+Used by the CLI's ``--json``/``--markdown`` flags and by the maintainers
+to regenerate the tables in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, Iterable, List
+
+from repro.eval.figures import ExperimentResult
+
+
+def panels_to_json(panels: Iterable[ExperimentResult]) -> str:
+    """Serialise panels to a JSON document (stable key order)."""
+    return json.dumps(
+        [panel.to_dict() for panel in panels],
+        indent=2,
+        sort_keys=True,
+        allow_nan=True,
+    )
+
+
+def panels_from_json(text: str) -> List[Dict]:
+    """Parse a document produced by :func:`panels_to_json` (plain dicts)."""
+    data = json.loads(text)
+    if not isinstance(data, list):
+        raise ValueError("expected a JSON list of panels")
+    for panel in data:
+        for key in ("experiment", "title", "rows", "columns", "values"):
+            if key not in panel:
+                raise ValueError(f"panel missing key {key!r}")
+    return data
+
+
+def _format_cell(value: float, fmt: str) -> str:
+    if isinstance(value, float) and math.isnan(value):
+        return "—"
+    return format(value, fmt)
+
+
+def panel_to_markdown(panel: ExperimentResult) -> str:
+    """Render one panel as a GitHub-flavoured Markdown table."""
+    header_unit = f" ({panel.unit})" if panel.unit else ""
+    lines = [f"**{panel.experiment}** — {panel.title}{header_unit}", ""]
+    lines.append("| | " + " | ".join(panel.col_labels) + " |")
+    lines.append("|---" * (len(panel.col_labels) + 1) + "|")
+    for label, row in zip(panel.row_labels, panel.values):
+        cells = " | ".join(_format_cell(value, panel.fmt) for value in row)
+        lines.append(f"| {label} | {cells} |")
+    for note in panel.notes:
+        lines.append("")
+        lines.append(f"> {note}")
+    return "\n".join(lines)
+
+
+def panels_to_markdown(panels: Iterable[ExperimentResult]) -> str:
+    """Render a sequence of panels as one Markdown document."""
+    return "\n\n".join(panel_to_markdown(panel) for panel in panels)

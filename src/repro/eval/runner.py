@@ -1,0 +1,148 @@
+"""Shared experiment plumbing: trace caching and system runs.
+
+Trace generation is the most expensive step of an experiment sweep, and
+every configuration of a sweep must replay the *same* trace for results to
+be comparable.  :func:`get_traces` memoizes generated traces by
+``(workload, n_cores, seed, n_instructions)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.caches.config import HierarchyConfig, DEFAULT_HIERARCHY
+from repro.cmp.system import System, SystemConfig, SystemResult
+from repro.eval.profiles import ExperimentScale, get_scale
+from repro.isa.classify import MissClass
+from repro.timing.params import TimingParams, DEFAULT_TIMING
+from repro.trace.stream import Trace
+from repro.api import make_traces
+
+#: default experiment seed (any fixed value works; results are deterministic
+#: in it).
+DEFAULT_SEED = 1337
+
+_TRACE_CACHE: Dict[Tuple[str, int, int, int], List[Trace]] = {}
+
+_RESULT_CACHE: Dict[Tuple, SystemResult] = {}
+
+
+def get_traces(
+    workload: str,
+    n_cores: int,
+    n_instructions: int,
+    seed: int = DEFAULT_SEED,
+) -> List[Trace]:
+    """Return (cached) per-core traces for a workload/core-count pair."""
+    key = (workload, n_cores, seed, n_instructions)
+    traces = _TRACE_CACHE.get(key)
+    if traces is None:
+        traces = make_traces(workload, n_cores, seed, n_instructions)
+        _TRACE_CACHE[key] = traces
+    return traces
+
+
+def clear_trace_cache() -> None:
+    """Drop all cached traces (frees memory between experiment suites)."""
+    _TRACE_CACHE.clear()
+
+
+def run_system(
+    workload: str,
+    n_cores: int,
+    prefetcher: str = "none",
+    scale: Optional[ExperimentScale] = None,
+    hierarchy: HierarchyConfig = DEFAULT_HIERARCHY,
+    timing: TimingParams = DEFAULT_TIMING,
+    l2_policy: str = "normal",
+    prefetcher_overrides: Optional[dict] = None,
+    free_miss_classes: FrozenSet[MissClass] = frozenset(),
+    queue_filtering: bool = True,
+    queue_lifo: bool = True,
+    useless_hint_filter: bool = False,
+    l2_inclusive: bool = False,
+    l1_replacement: str = "lru",
+    l2_replacement: str = "lru",
+    offchip_gbps: Optional[float] = None,
+    prefetcher_factory=None,
+    seed: int = DEFAULT_SEED,
+) -> SystemResult:
+    """Run one fully specified configuration and return its results."""
+    scale = scale or get_scale()
+    if n_cores == 1:
+        total = scale.single_total
+        warm = scale.warm_instructions
+    else:
+        total = scale.cmp_total_per_core
+        warm = scale.cmp_warm_instructions
+    traces = get_traces(workload, n_cores, total, seed)
+    config = SystemConfig(
+        n_cores=n_cores,
+        hierarchy=hierarchy,
+        timing=timing,
+        offchip_gbps=offchip_gbps,
+        prefetcher=prefetcher,
+        prefetcher_overrides=prefetcher_overrides or {},
+        l2_policy=l2_policy,
+        queue_filtering=queue_filtering,
+        queue_lifo=queue_lifo,
+        useless_hint_filter=useless_hint_filter,
+        l2_inclusive=l2_inclusive,
+        l1_replacement=l1_replacement,
+        l2_replacement=l2_replacement,
+        prefetcher_factory=prefetcher_factory,
+        warm_instructions=warm,
+        free_miss_classes=free_miss_classes,
+    )
+    return System(config, traces).run()
+
+
+def run_system_cached(
+    workload: str,
+    n_cores: int,
+    prefetcher: str = "none",
+    scale: Optional[ExperimentScale] = None,
+    hierarchy: HierarchyConfig = DEFAULT_HIERARCHY,
+    l2_policy: str = "normal",
+    prefetcher_overrides: Optional[dict] = None,
+    free_miss_classes: FrozenSet[MissClass] = frozenset(),
+    seed: int = DEFAULT_SEED,
+) -> SystemResult:
+    """Like :func:`run_system`, but memoized.
+
+    The paper's figures share many configurations (e.g. Figures 5, 6 and 7
+    all read the same runs); caching lets each figure driver ask for what
+    it needs without coordinating with the others.
+    """
+    scale = scale or get_scale()
+    key = (
+        workload,
+        n_cores,
+        prefetcher,
+        scale.name,
+        hierarchy,
+        l2_policy,
+        tuple(sorted((prefetcher_overrides or {}).items())),
+        frozenset(free_miss_classes),
+        seed,
+    )
+    result = _RESULT_CACHE.get(key)
+    if result is None:
+        result = run_system(
+            workload,
+            n_cores,
+            prefetcher,
+            scale=scale,
+            hierarchy=hierarchy,
+            l2_policy=l2_policy,
+            prefetcher_overrides=prefetcher_overrides,
+            free_miss_classes=free_miss_classes,
+            seed=seed,
+        )
+        _RESULT_CACHE[key] = result
+    return result
+
+
+def clear_result_cache() -> None:
+    """Drop memoized run results."""
+    _RESULT_CACHE.clear()

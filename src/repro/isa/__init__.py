@@ -1,0 +1,35 @@
+"""Mini-ISA: the control-transfer taxonomy of the paper's SPARC traces.
+
+The simulator never executes instruction semantics; the prefetchers under
+study react only to the fetch-line stream and to *why* the stream moved to a
+new cache line.  This package defines that "why" — the transition kinds of
+the paper's Figure 3 (sequential, conditional branch taken-forward /
+taken-backward / not-taken, unconditional branch, call, jump, return, trap)
+— plus the classification helpers used to attribute misses to categories.
+"""
+
+from repro.isa.kinds import (
+    TransitionKind,
+    BRANCH_KINDS,
+    FUNCTION_CALL_KINDS,
+    SEQUENTIAL_KINDS,
+    ALL_KINDS,
+)
+from repro.isa.classify import (
+    MissClass,
+    classify_transition,
+    is_discontinuity,
+    kind_label,
+)
+
+__all__ = [
+    "TransitionKind",
+    "BRANCH_KINDS",
+    "FUNCTION_CALL_KINDS",
+    "SEQUENTIAL_KINDS",
+    "ALL_KINDS",
+    "MissClass",
+    "classify_transition",
+    "is_discontinuity",
+    "kind_label",
+]

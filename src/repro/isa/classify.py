@@ -1,0 +1,92 @@
+"""Miss classification: map fetch-stream transitions to miss classes.
+
+The paper groups miss categories three ways (Figures 3 and 4):
+
+- the fine-grained per-kind breakdown of Figure 3;
+- the coarse *sequential / branch / function-call / trap* grouping used by
+  the Figure 4 limit study ("eliminate sequential misses only", "branch
+  only", "function only", and combinations).
+
+``MissClass`` is the coarse grouping; ``classify_transition`` maps a
+:class:`~repro.isa.kinds.TransitionKind` to it.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, unique
+
+from repro.isa.kinds import TransitionKind, BRANCH_KINDS, FUNCTION_CALL_KINDS
+
+
+@unique
+class MissClass(Enum):
+    """Coarse miss grouping used by the Figure 4 limit study."""
+
+    SEQUENTIAL = "sequential"
+    BRANCH = "branch"
+    FUNCTION = "function"
+    TRAP = "trap"
+
+
+_CLASS_BY_KIND = {}
+for _kind in TransitionKind:
+    if _kind is TransitionKind.SEQUENTIAL:
+        _CLASS_BY_KIND[_kind] = MissClass.SEQUENTIAL
+    elif _kind in BRANCH_KINDS:
+        _CLASS_BY_KIND[_kind] = MissClass.BRANCH
+    elif _kind in FUNCTION_CALL_KINDS:
+        _CLASS_BY_KIND[_kind] = MissClass.FUNCTION
+    else:
+        _CLASS_BY_KIND[_kind] = MissClass.TRAP
+
+
+def classify_transition(kind: TransitionKind) -> MissClass:
+    """Return the coarse :class:`MissClass` for a transition kind."""
+    return _CLASS_BY_KIND[kind]
+
+
+def is_discontinuity(kind: TransitionKind, source_line: int, target_line: int) -> bool:
+    """Return True when a transition is a *discontinuity* for the prefetcher.
+
+    Per the paper (§4): a control-transfer instruction causes a discontinuity
+    when it moves the fetch stream to a non-sequential cache line.
+    Transitions within the same line are invisible at line granularity and
+    are never passed to this function; the checks here are:
+
+    - plain sequential fall-through (``target == source + 1`` with a
+      sequential or not-taken kind) is *not* a discontinuity;
+    - any control transfer landing on a line other than the next sequential
+      line is a discontinuity — including backward branches to the same
+      function and calls/returns/jumps/traps.
+
+    A taken branch whose target happens to be the next sequential line is
+    treated as sequential: the next-line prefetcher already covers it, and a
+    (source → source+1) table entry would waste discontinuity-table space.
+    """
+    if target_line == source_line + 1:
+        return False
+    if kind is TransitionKind.SEQUENTIAL:
+        # Sequential fall-through always lands on source + 1 by construction;
+        # tolerate callers handing us an inconsistent pair.
+        return False
+    if kind is TransitionKind.COND_NOT_TAKEN:
+        return False
+    return True
+
+
+_LABELS = {
+    TransitionKind.SEQUENTIAL: "Sequential",
+    TransitionKind.COND_TAKEN_FWD: "Cond branch (tf)",
+    TransitionKind.COND_TAKEN_BWD: "Cond branch (tb)",
+    TransitionKind.COND_NOT_TAKEN: "Cond branch (nt)",
+    TransitionKind.UNCOND_BRANCH: "Uncond branch",
+    TransitionKind.CALL: "Call",
+    TransitionKind.JUMP: "Jump",
+    TransitionKind.RETURN: "Return",
+    TransitionKind.TRAP: "Trap",
+}
+
+
+def kind_label(kind: TransitionKind) -> str:
+    """Return the paper's Figure 3 legend label for a transition kind."""
+    return _LABELS[kind]

@@ -1,0 +1,77 @@
+"""Fetch-stream transition kinds.
+
+A *transition* describes how the fetch stream arrived at the current cache
+line from the previous one.  The taxonomy follows the paper's Figure 3
+exactly:
+
+- ``SEQUENTIAL``      — straight-line fall-through across a line boundary
+  with no control-transfer instruction at the boundary.
+- ``COND_TAKEN_FWD``  — conditional branch, taken, forward target.
+- ``COND_TAKEN_BWD``  — conditional branch, taken, backward target.
+- ``COND_NOT_TAKEN``  — conditional branch, not taken, whose fall-through
+  crossed into a new line (attributed to the branch, not to "sequential").
+- ``UNCOND_BRANCH``   — unconditional PC-relative branch.
+- ``CALL``            — direct function call (SPARC ``call``; target embedded
+  in the instruction).
+- ``JUMP``            — indirect jump (SPARC ``jmpl``; register target).
+- ``RETURN``          — function return (indirect).
+- ``TRAP``            — trap to a handler.
+
+We use an ``IntEnum`` so transitions can be stored as small ints inside
+trace tuples while remaining readable at API boundaries.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum, unique
+
+
+@unique
+class TransitionKind(IntEnum):
+    """How the fetch stream arrived at a cache line."""
+
+    SEQUENTIAL = 0
+    COND_TAKEN_FWD = 1
+    COND_TAKEN_BWD = 2
+    COND_NOT_TAKEN = 3
+    UNCOND_BRANCH = 4
+    CALL = 5
+    JUMP = 6
+    RETURN = 7
+    TRAP = 8
+
+    @property
+    def is_branch(self) -> bool:
+        """True for the conditional/unconditional branch kinds."""
+        return self in BRANCH_KINDS
+
+    @property
+    def is_function_call(self) -> bool:
+        """True for the call / jump / return kinds (function-call related)."""
+        return self in FUNCTION_CALL_KINDS
+
+    @property
+    def is_sequential(self) -> bool:
+        return self is TransitionKind.SEQUENTIAL
+
+
+BRANCH_KINDS = frozenset(
+    {
+        TransitionKind.COND_TAKEN_FWD,
+        TransitionKind.COND_TAKEN_BWD,
+        TransitionKind.COND_NOT_TAKEN,
+        TransitionKind.UNCOND_BRANCH,
+    }
+)
+
+FUNCTION_CALL_KINDS = frozenset(
+    {
+        TransitionKind.CALL,
+        TransitionKind.JUMP,
+        TransitionKind.RETURN,
+    }
+)
+
+SEQUENTIAL_KINDS = frozenset({TransitionKind.SEQUENTIAL})
+
+ALL_KINDS = tuple(TransitionKind)

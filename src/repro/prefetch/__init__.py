@@ -1,0 +1,62 @@
+"""Hardware instruction prefetchers.
+
+Implemented schemes (paper §2 baselines + §4 contribution):
+
+- :class:`NullPrefetcher` — no prefetching (the paper's baseline).
+- :class:`NextLineAlways` / :class:`NextLineOnMiss` / :class:`NextLineTagged`
+  — the classic sequential single-line family [Smith '78/'82].
+- :class:`NextNLineTagged` — prefetch the next N lines on a tagged trigger.
+- :class:`LookaheadN` — prefetch only the Nth line ahead [Han et al. '97].
+- :class:`TargetPrefetcher` — history-based (line → next line) predictor
+  [Smith & Hsu '92], probed with the current line only.
+- :class:`DiscontinuityPrefetcher` — the paper's contribution: a
+  direct-mapped table of fetch-stream discontinuities probed up to the
+  prefetch-ahead distance *ahead* of the demand stream, paired with a
+  next-N-line sequential prefetcher.
+
+All schemes speak the same interface (:class:`Prefetcher`), produce
+:class:`PrefetchCandidate` s, and are filtered through the paper's §4.1
+:class:`PrefetchQueue` before touching the cache tags.
+"""
+
+from repro.prefetch.base import PrefetchCandidate, Prefetcher, NullPrefetcher
+from repro.prefetch.sequential import (
+    NextLineAlways,
+    NextLineOnMiss,
+    NextLineTagged,
+    NextNLineTagged,
+    LookaheadN,
+)
+from repro.prefetch.fdp import FetchDirectedPrefetcher
+from repro.prefetch.markov import MarkovPrefetcher, MarkovTable
+from repro.prefetch.target import TargetPrefetcher
+from repro.prefetch.discontinuity import DiscontinuityTable, DiscontinuityPrefetcher
+from repro.prefetch.queue import PrefetchQueue, QueueEntry, QueueState
+from repro.prefetch.registry import (
+    PREFETCHER_NAMES,
+    create_prefetcher,
+    prefetcher_display_name,
+)
+
+__all__ = [
+    "PrefetchCandidate",
+    "Prefetcher",
+    "NullPrefetcher",
+    "NextLineAlways",
+    "NextLineOnMiss",
+    "NextLineTagged",
+    "NextNLineTagged",
+    "LookaheadN",
+    "TargetPrefetcher",
+    "MarkovPrefetcher",
+    "MarkovTable",
+    "FetchDirectedPrefetcher",
+    "DiscontinuityTable",
+    "DiscontinuityPrefetcher",
+    "PrefetchQueue",
+    "QueueEntry",
+    "QueueState",
+    "PREFETCHER_NAMES",
+    "create_prefetcher",
+    "prefetcher_display_name",
+]

@@ -1,0 +1,215 @@
+"""The prefetch queue and filtering machinery (paper §4.1).
+
+The paper deliberately avoids duplicating the instruction-cache tags;
+prefetches contend with demand fetches for tag bandwidth, so the queue
+aggressively filters before any tag probe:
+
+- candidates matching one of the last 32 **demand fetches** are dropped;
+- candidates matching a queue entry are handled by state: a *waiting*
+  duplicate hoists the existing entry to the head, an *issued* or
+  *invalidated* duplicate is dropped (unused queue slots deliberately
+  retain issued/invalidated records to serve as this filter memory);
+- every demand fetch **invalidates** matching waiting entries (the demand
+  stream got there first);
+- the queue is **LIFO** ("managed on a last-in, first-out basis to
+  de-emphasize the older prefetches"); on overflow the oldest entries are
+  dropped first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum, unique
+from typing import Dict, List, Optional
+
+from repro.prefetch.base import PrefetchCandidate
+from repro.util.containers import BoundedRecentSet
+
+
+@unique
+class QueueState(IntEnum):
+    """Lifecycle of a queue entry."""
+
+    WAITING = 0
+    ISSUED = 1
+    INVALID = 2
+
+
+class QueueEntry:
+    """One prefetch in the queue (or its residual filter record)."""
+
+    __slots__ = ("line", "provenance", "state")
+
+    def __init__(self, line: int, provenance, state: QueueState = QueueState.WAITING) -> None:
+        self.line = line
+        self.provenance = provenance
+        self.state = state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QueueEntry(line={self.line}, state={QueueState(self.state).name})"
+
+
+@dataclass
+class QueueStats:
+    """Filter and flow accounting."""
+
+    offered: int = 0
+    accepted: int = 0
+    dropped_recent_demand: int = 0
+    dropped_dup_issued: int = 0
+    dropped_dup_invalid: int = 0
+    hoisted: int = 0
+    invalidated_by_demand: int = 0
+    overflow_drops: int = 0
+    popped: int = 0
+
+    def reset(self) -> None:
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
+
+
+@dataclass
+class _QueueConfig:
+    capacity: int = 32
+    recent_capacity: int = 32
+    lifo: bool = True
+    filtering: bool = True
+
+
+class PrefetchQueue:
+    """The filtered prefetch queue of §4.1.
+
+    The entry list is ordered oldest → newest; the LIFO "head" is the end
+    of the list.  Capacity counts *all* entries, including issued and
+    invalidated records kept as filter memory, matching the paper's reuse
+    of unused slots.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 32,
+        recent_capacity: int = 32,
+        lifo: bool = True,
+        filtering: bool = True,
+    ) -> None:
+        """``filtering=False`` disables the §4.1 filters (recent-demand and
+        duplicate suppression) for the ablation study; capacity and LIFO
+        order still apply, and the cache-tag probe becomes the only thing
+        standing between a useless prefetch and the memory system."""
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._config = _QueueConfig(capacity, recent_capacity, lifo, filtering)
+        self._entries: List[QueueEntry] = []
+        self._by_line: Dict[int, QueueEntry] = {}
+        self._recent = BoundedRecentSet(recent_capacity)
+        self.stats = QueueStats()
+
+    # ------------------------------------------------------------------ #
+    # Producer side
+    # ------------------------------------------------------------------ #
+
+    def offer(self, candidate: PrefetchCandidate) -> bool:
+        """Apply the filters to *candidate*; enqueue if it survives.
+
+        Returns True iff the candidate was accepted as a new entry.
+        """
+        stats = self.stats
+        stats.offered += 1
+        line = candidate.line
+
+        if not self._config.filtering:
+            return self._append_unfiltered(candidate)
+
+        if line in self._recent:
+            stats.dropped_recent_demand += 1
+            return False
+
+        existing = self._by_line.get(line)
+        if existing is not None:
+            state = existing.state
+            if state == QueueState.WAITING:
+                # Duplicate of a pending prefetch: hoist it to the head.
+                self._entries.remove(existing)
+                self._entries.append(existing)
+                stats.hoisted += 1
+                return False
+            if state == QueueState.ISSUED:
+                stats.dropped_dup_issued += 1
+            else:
+                stats.dropped_dup_invalid += 1
+            return False
+
+        entry = QueueEntry(line, candidate.provenance)
+        if len(self._entries) >= self._config.capacity:
+            victim = self._entries.pop(0)  # oldest first
+            del self._by_line[victim.line]
+            stats.overflow_drops += 1
+        self._entries.append(entry)
+        self._by_line[line] = entry
+        stats.accepted += 1
+        return True
+
+    def _append_unfiltered(self, candidate: PrefetchCandidate) -> bool:
+        """Unfiltered ablation path: enqueue subject to capacity only."""
+        entry = QueueEntry(candidate.line, candidate.provenance)
+        if len(self._entries) >= self._config.capacity:
+            self._entries.pop(0)
+            self.stats.overflow_drops += 1
+        self._entries.append(entry)
+        self.stats.accepted += 1
+        return True
+
+    def note_demand_fetch(self, line: int) -> None:
+        """Record a demand fetch: update the recent list, invalidate dups."""
+        if not self._config.filtering:
+            return
+        self._recent.add(line)
+        entry = self._by_line.get(line)
+        if entry is not None and entry.state == QueueState.WAITING:
+            entry.state = QueueState.INVALID
+            self.stats.invalidated_by_demand += 1
+
+    # ------------------------------------------------------------------ #
+    # Consumer side
+    # ------------------------------------------------------------------ #
+
+    def pop_ready(self) -> Optional[QueueEntry]:
+        """Return the next waiting entry (newest first for LIFO), marking it
+        issued.  The entry stays in the queue as filter memory."""
+        entries = self._entries
+        indices = range(len(entries) - 1, -1, -1) if self._config.lifo else range(len(entries))
+        for index in indices:
+            entry = entries[index]
+            if entry.state == QueueState.WAITING:
+                entry.state = QueueState.ISSUED
+                self.stats.popped += 1
+                return entry
+        return None
+
+    def has_ready(self) -> bool:
+        """True if any waiting entry exists."""
+        return any(entry.state == QueueState.WAITING for entry in self._entries)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def waiting_count(self) -> int:
+        return sum(1 for entry in self._entries if entry.state == QueueState.WAITING)
+
+    def state_of(self, line: int) -> Optional[QueueState]:
+        entry = self._by_line.get(line)
+        return QueueState(entry.state) if entry is not None else None
+
+    @property
+    def capacity(self) -> int:
+        return self._config.capacity
+
+    def flush(self) -> None:
+        """Drop all entries and filter memory (stats are untouched)."""
+        self._entries.clear()
+        self._by_line.clear()
+        self._recent.clear()

@@ -1,0 +1,32 @@
+"""Software (compiler-inserted) instruction prefetching.
+
+The paper's §2.3 discusses Luk & Mowry's cooperative approach [13]: the
+compiler inserts instruction-prefetch instructions for *non-sequential*
+targets ahead of the control transfer, leaving sequential misses to a
+simple hardware prefetcher.  This package implements that scheme against
+our synthetic programs:
+
+- :mod:`repro.swpf.analysis` — the "compiler": a probability-weighted
+  forward walk of the static CFG/call graph that plans, for each basic
+  block, which distant target lines to prefetch (far enough ahead to
+  cover latency, likely enough to be worth the instruction overhead);
+- :mod:`repro.swpf.prefetcher` — the runtime: a
+  :class:`~repro.prefetch.Prefetcher` that fires the planned prefetches
+  whenever the trigger block's line is fetched (software prefetches
+  execute unconditionally with the code), paired with next-N-line
+  hardware prefetching for the sequential misses, and charging an
+  instruction-overhead cost per executed prefetch.
+
+This enables the §2.3 comparison: software non-sequential prefetching +
+sequential HW vs. the paper's all-hardware discontinuity prefetcher.
+"""
+
+from repro.swpf.analysis import PrefetchPlan, build_prefetch_plan
+from repro.swpf.prefetcher import SoftwarePrefetcher, software_prefetcher_for
+
+__all__ = [
+    "PrefetchPlan",
+    "build_prefetch_plan",
+    "SoftwarePrefetcher",
+    "software_prefetcher_for",
+]

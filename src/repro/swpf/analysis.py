@@ -1,0 +1,201 @@
+"""The "compiler" side of software instruction prefetching.
+
+:func:`build_prefetch_plan` performs a probability-weighted forward walk
+from every basic block of a program, asking: *which distant cache lines is
+execution likely to reach within the prefetch window?*  For each block it
+plans prefetches for targets that are
+
+- **far enough ahead** (``min_distance`` instructions) that the prefetch
+  has time to cover a good part of the miss latency;
+- **near enough** (``max_distance``) that the line won't be evicted again
+  before use;
+- **likely enough** (path probability >= ``min_probability``) to justify
+  the instruction overhead; and
+- **non-sequential** relative to the trigger block (within
+  ``sequential_window`` lines the hardware next-N-line prefetcher already
+  covers them — exactly Luk & Mowry's division of labour).
+
+The walk uses the static branch probabilities the generator assigned —
+i.e. perfect profile feedback, which is *generous* to the software scheme,
+making the comparison against the paper's hardware prefetcher conservative.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.trace.synth.program import Program, TermKind
+
+#: default analysis parameters (instruction distances).
+DEFAULT_MIN_DISTANCE = 24
+DEFAULT_MAX_DISTANCE = 160
+DEFAULT_MIN_PROBABILITY = 0.20
+DEFAULT_SEQUENTIAL_WINDOW = 4
+#: cap on (block, probability) frontier states explored per source block.
+_MAX_STATES_PER_BLOCK = 64
+
+
+class PrefetchPlan:
+    """Mapping from trigger line to the planned target lines."""
+
+    __slots__ = ("line_shift", "_targets_by_line", "n_sites", "n_targets")
+
+    def __init__(self, line_shift: int, targets_by_line: Dict[int, Tuple[int, ...]]) -> None:
+        self.line_shift = line_shift
+        self._targets_by_line = targets_by_line
+        self.n_sites = len(targets_by_line)
+        self.n_targets = sum(len(targets) for targets in targets_by_line.values())
+
+    def targets_for(self, line: int) -> Tuple[int, ...]:
+        """Planned prefetch target lines when *line* is fetched."""
+        return self._targets_by_line.get(line, ())
+
+    def __len__(self) -> int:
+        return self.n_sites
+
+    def rebased(self, boundary_line: int, shift_lines: int) -> "PrefetchPlan":
+        """Shift all lines at/above *boundary_line* by *shift_lines*.
+
+        Mirrors the per-core private-text rebasing of
+        :func:`repro.trace.synth.walker.generate_program_trace`, so a plan
+        built for core 0 can be reused on any core.
+        """
+
+        def move(line: int) -> int:
+            return line + shift_lines if line >= boundary_line else line
+
+        return PrefetchPlan(
+            self.line_shift,
+            {
+                move(line): tuple(move(target) for target in targets)
+                for line, targets in self._targets_by_line.items()
+            },
+        )
+
+
+def build_prefetch_plan(
+    program: Program,
+    line_size: int = 64,
+    min_distance: int = DEFAULT_MIN_DISTANCE,
+    max_distance: int = DEFAULT_MAX_DISTANCE,
+    min_probability: float = DEFAULT_MIN_PROBABILITY,
+    sequential_window: int = DEFAULT_SEQUENTIAL_WINDOW,
+) -> PrefetchPlan:
+    """Plan software prefetches for every block of *program*.
+
+    Returns a :class:`PrefetchPlan` keyed by the trigger block's cache
+    line.  Multiple blocks in one line merge their plans (the trigger in
+    hardware terms is the line fetch).
+    """
+    if min_distance < 0 or max_distance <= min_distance:
+        raise ValueError(
+            f"invalid distance window [{min_distance}, {max_distance}]"
+        )
+    if not 0.0 < min_probability <= 1.0:
+        raise ValueError(f"min_probability must be in (0, 1], got {min_probability}")
+    shift = line_size.bit_length() - 1
+
+    targets_by_line: Dict[int, set] = {}
+    functions = program.functions
+    for fn in functions:
+        blocks = fn.blocks
+        for index, block in enumerate(blocks):
+            trigger_line = block.addr >> shift
+            found = _reachable_targets(
+                program,
+                fn.index,
+                index,
+                shift,
+                min_distance,
+                max_distance,
+                min_probability,
+            )
+            if not found:
+                continue
+            bucket = targets_by_line.setdefault(trigger_line, set())
+            for target_line in found:
+                # Leave near-sequential targets to the HW prefetcher.
+                if 0 <= target_line - trigger_line <= sequential_window:
+                    continue
+                bucket.add(target_line)
+
+    return PrefetchPlan(
+        shift,
+        {
+            line: tuple(sorted(targets))
+            for line, targets in targets_by_line.items()
+            if targets
+        },
+    )
+
+
+def _reachable_targets(
+    program: Program,
+    fn_index: int,
+    block_index: int,
+    shift: int,
+    min_distance: int,
+    max_distance: int,
+    min_probability: float,
+) -> List[int]:
+    """Lines reachable from (fn, block) within the distance window.
+
+    Breadth-first expansion of (function, block, distance, probability)
+    states.  Call sites descend into the callee; returns are treated as
+    path ends (the caller's continuation is planned from its own blocks).
+    """
+    functions = program.functions
+    start_block = functions[fn_index].blocks[block_index]
+    start_line = start_block.addr >> shift
+
+    frontier: List[Tuple[int, int, int, float]] = [
+        (fn_index, block_index, 0, 1.0)
+    ]
+    found: Dict[int, float] = {}
+    states = 0
+
+    while frontier and states < _MAX_STATES_PER_BLOCK:
+        fn_i, blk_i, distance, probability = frontier.pop()
+        states += 1
+        blocks = functions[fn_i].blocks
+        block = blocks[blk_i]
+
+        if distance >= min_distance:
+            line = block.addr >> shift
+            if line != start_line:
+                previous = found.get(line, 0.0)
+                if probability > previous:
+                    found[line] = probability
+
+        next_distance = distance + block.ninstr
+        if next_distance > max_distance:
+            continue
+
+        term = block.term
+        successors: List[Tuple[int, int, float]] = []
+        if term == TermKind.FALLTHROUGH:
+            if blk_i + 1 < len(blocks):
+                successors.append((fn_i, blk_i + 1, probability))
+        elif term == TermKind.COND:
+            taken = probability * block.taken_prob
+            not_taken = probability * (1.0 - block.taken_prob)
+            successors.append((fn_i, block.target, taken))
+            if blk_i + 1 < len(blocks):
+                successors.append((fn_i, blk_i + 1, not_taken))
+        elif term == TermKind.UNCOND:
+            successors.append((fn_i, block.target, probability))
+        elif term == TermKind.CALL:
+            share = probability / len(block.callees)
+            for callee in block.callees:
+                successors.append((callee, 0, share))
+        elif term == TermKind.SWITCH:
+            share = probability / len(block.switch_targets)
+            for target in block.switch_targets:
+                successors.append((fn_i, target, share))
+        # RETURN: path ends here for this analysis.
+
+        for next_fn, next_blk, next_prob in successors:
+            if next_prob >= min_probability:
+                frontier.append((next_fn, next_blk, next_distance, next_prob))
+
+    return [line for line, probability in found.items() if probability >= min_probability]

@@ -1,0 +1,117 @@
+"""The runtime side of software instruction prefetching.
+
+:class:`SoftwarePrefetcher` fires the compiler's planned prefetches
+whenever their trigger line is demand-fetched (software prefetch
+instructions execute with the code, hit or miss), and runs a next-N-line
+hardware prefetcher for the sequential misses — Luk & Mowry's division of
+labour [13].
+
+Unlike the hardware schemes, executed software prefetches cost
+*instructions*: the engine charges
+``instruction_overhead_cycles`` execution cycles per planned candidate it
+fires, modelling the inserted prefetch instructions' occupancy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.prefetch.base import PrefetchCandidate, Prefetcher
+from repro.swpf.analysis import PrefetchPlan, build_prefetch_plan
+from repro.trace.synth.program import build_program
+from repro.trace.synth.walker import CORE_CODE_STRIDE
+from repro.trace.synth.workloads import get_profile
+from repro.util.rng import derive_seed
+
+_SEQ_PROVENANCE = ("seq",)
+_SW_PROVENANCE = ("sw",)
+
+
+class SoftwarePrefetcher(Prefetcher):
+    """Planned software prefetches + next-N-line hardware sequential."""
+
+    name = "software"
+
+    def __init__(
+        self,
+        plan: PrefetchPlan,
+        sequential_degree: int = 4,
+        instruction_overhead_cycles: float = 0.33,
+    ) -> None:
+        """Args:
+            plan: the compiler's :class:`PrefetchPlan`.
+            sequential_degree: degree of the accompanying hardware
+                next-N-line prefetcher (0 disables it).
+            instruction_overhead_cycles: execution cycles charged per
+                fired software prefetch (one extra instruction at the
+                core's issue width by default).
+        """
+        if sequential_degree < 0:
+            raise ValueError(f"sequential_degree must be >= 0, got {sequential_degree}")
+        if instruction_overhead_cycles < 0:
+            raise ValueError("instruction_overhead_cycles must be >= 0")
+        self.plan = plan
+        self.sequential_degree = sequential_degree
+        self.instruction_overhead_cycles = instruction_overhead_cycles
+        #: executed software-prefetch instructions (for overhead stats).
+        self.sw_prefetches_executed = 0
+        self._pending_overhead = 0.0
+
+    def on_demand_fetch(self, line, was_miss, first_use_of_prefetch, kind):
+        candidates: List[PrefetchCandidate] = []
+        if self.sequential_degree and (was_miss or first_use_of_prefetch):
+            candidates.extend(
+                PrefetchCandidate(line + depth, _SEQ_PROVENANCE)
+                for depth in range(1, self.sequential_degree + 1)
+            )
+        planned = self.plan.targets_for(line)
+        if planned:
+            self.sw_prefetches_executed += len(planned)
+            self._pending_overhead += len(planned) * self.instruction_overhead_cycles
+            candidates.extend(
+                PrefetchCandidate(target, _SW_PROVENANCE) for target in planned
+            )
+        return candidates
+
+    def consume_overhead_cycles(self) -> float:
+        pending = self._pending_overhead
+        self._pending_overhead = 0.0
+        return pending
+
+    @property
+    def overhead_cycles(self) -> float:
+        """Total execution-cycle overhead of the fired prefetches."""
+        return self.sw_prefetches_executed * self.instruction_overhead_cycles
+
+
+def software_prefetcher_for(
+    workload: str,
+    seed: int,
+    core: int = 0,
+    line_size: int = 64,
+    sequential_degree: int = 4,
+    min_distance: Optional[int] = None,
+    max_distance: Optional[int] = None,
+    min_probability: Optional[float] = None,
+) -> SoftwarePrefetcher:
+    """Build the software prefetcher matching a generated workload trace.
+
+    Rebuilds the same static program the trace generator used (same
+    structure-seed derivation), runs the planning analysis on it, and
+    applies the per-core private-text rebasing so the plan's lines match
+    the core's trace.
+    """
+    profile = get_profile(workload)
+    program = build_program(profile, derive_seed(seed, "structure", profile.name))
+    kwargs = {}
+    if min_distance is not None:
+        kwargs["min_distance"] = min_distance
+    if max_distance is not None:
+        kwargs["max_distance"] = max_distance
+    if min_probability is not None:
+        kwargs["min_probability"] = min_probability
+    plan = build_prefetch_plan(program, line_size=line_size, **kwargs)
+    if core:
+        shift_lines = (core * CORE_CODE_STRIDE) >> plan.line_shift
+        plan = plan.rebased(program.private_text_start >> plan.line_shift, shift_lines)
+    return SoftwarePrefetcher(plan, sequential_degree=sequential_degree)

@@ -1,0 +1,151 @@
+"""Fetch-stream analysis: the trace-level facts behind the paper's design.
+
+Two of the paper's design decisions rest on properties of the fetch stream
+itself, not on any cache configuration:
+
+- *"most taken forward branches ... have targets that are within four
+  cache lines of the current cache line"* (§5) — which is why the
+  next-4-line prefetcher covers short branches and the discontinuity
+  table "only needs to store large discontinuities";
+- *"for the majority of discontinuities, for any one start address ...
+  there is just one associated target"* (§4) — which is why one target
+  per table entry suffices.
+
+:func:`analyze_stream` measures both directly on a trace, plus the
+reuse/run-length statistics useful when calibrating new workload profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+from repro.isa.classify import is_discontinuity
+from repro.isa.kinds import TransitionKind
+from repro.trace.record import BlockEvent
+from repro.trace.stream import iter_line_visits
+
+_TF = int(TransitionKind.COND_TAKEN_FWD)
+
+
+@dataclass
+class StreamAnalysis:
+    """Fetch-stream statistics of one trace at a given line size."""
+
+    line_size: int
+    total_visits: int = 0
+    #: histogram of forward-branch distances in lines (clipped at 16).
+    tf_distance_histogram: Dict[int, int] = field(default_factory=dict)
+    #: count of discontinuity transitions observed.
+    discontinuities: int = 0
+    #: distinct (source line → target line) pairs.
+    distinct_discontinuity_pairs: int = 0
+    #: distinct discontinuity source lines.
+    distinct_sources: int = 0
+    #: sources whose single most common target covers >= 90% of their
+    #: transitions ("monomorphic" sources).
+    monomorphic_sources: int = 0
+    #: fraction of dynamic discontinuities going to each source's dominant
+    #: target (weighted).
+    dominant_target_fraction: float = 0.0
+    #: histogram of sequential run lengths (consecutive +1 transitions),
+    #: clipped at 32.
+    run_length_histogram: Dict[int, int] = field(default_factory=dict)
+
+    def tf_within(self, lines: int) -> float:
+        """Fraction of taken-forward branch transitions with distance <= n."""
+        total = sum(self.tf_distance_histogram.values())
+        if total == 0:
+            return 0.0
+        near = sum(
+            count
+            for distance, count in self.tf_distance_histogram.items()
+            if distance <= lines
+        )
+        return near / total
+
+    @property
+    def monomorphic_fraction(self) -> float:
+        """Fraction of discontinuity sources with one dominant target."""
+        if self.distinct_sources == 0:
+            return 0.0
+        return self.monomorphic_sources / self.distinct_sources
+
+    @property
+    def mean_run_length(self) -> float:
+        total_runs = sum(self.run_length_histogram.values())
+        if total_runs == 0:
+            return 0.0
+        weighted = sum(
+            length * count for length, count in self.run_length_histogram.items()
+        )
+        return weighted / total_runs
+
+    def summary(self) -> str:
+        lines = [
+            f"line size               : {self.line_size}B",
+            f"line visits             : {self.total_visits}",
+            f"tf branches <= 4 lines  : {100 * self.tf_within(4):.1f}%",
+            f"discontinuities         : {self.discontinuities}",
+            f"distinct sources        : {self.distinct_sources}",
+            f"monomorphic sources     : {100 * self.monomorphic_fraction:.1f}%",
+            f"dominant-target dynamic : {100 * self.dominant_target_fraction:.1f}%",
+            f"mean sequential run     : {self.mean_run_length:.2f} lines",
+        ]
+        return "\n".join(lines)
+
+
+def analyze_stream(
+    events: Iterable[BlockEvent], line_size: int = 64
+) -> StreamAnalysis:
+    """Measure the fetch-stream properties of *events* at *line_size*."""
+    analysis = StreamAnalysis(line_size=line_size)
+    tf_histogram: Dict[int, int] = {}
+    run_histogram: Dict[int, int] = {}
+    targets_by_source: Dict[int, Dict[int, int]] = {}
+
+    previous = -1
+    run_length = 0
+    for line, kind, _, _ in iter_line_visits(events, line_size):
+        analysis.total_visits += 1
+        if previous >= 0 and line != previous:
+            if line == previous + 1:
+                run_length += 1
+            else:
+                if run_length:
+                    clipped = min(run_length, 32)
+                    run_histogram[clipped] = run_histogram.get(clipped, 0) + 1
+                run_length = 0
+            if kind == _TF and line > previous:
+                distance = min(line - previous, 16)
+                tf_histogram[distance] = tf_histogram.get(distance, 0) + 1
+            if is_discontinuity(TransitionKind(kind), previous, line):
+                analysis.discontinuities += 1
+                bucket = targets_by_source.setdefault(previous, {})
+                bucket[line] = bucket.get(line, 0) + 1
+        previous = line
+    if run_length:
+        clipped = min(run_length, 32)
+        run_histogram[clipped] = run_histogram.get(clipped, 0) + 1
+
+    analysis.tf_distance_histogram = tf_histogram
+    analysis.run_length_histogram = run_histogram
+    analysis.distinct_sources = len(targets_by_source)
+    analysis.distinct_discontinuity_pairs = sum(
+        len(bucket) for bucket in targets_by_source.values()
+    )
+    monomorphic = 0
+    dominant_dynamic = 0
+    total_dynamic = 0
+    for bucket in targets_by_source.values():
+        source_total = sum(bucket.values())
+        dominant = max(bucket.values())
+        total_dynamic += source_total
+        dominant_dynamic += dominant
+        if dominant >= 0.9 * source_total:
+            monomorphic += 1
+    analysis.monomorphic_sources = monomorphic
+    analysis.dominant_target_fraction = (
+        dominant_dynamic / total_dynamic if total_dynamic else 0.0
+    )
+    return analysis

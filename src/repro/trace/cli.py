@@ -1,0 +1,103 @@
+"""``repro-trace`` — generate, inspect and convert trace files.
+
+Commands::
+
+    repro-trace generate db out.trc --instructions 1000000 --seed 42
+    repro-trace info out.trc
+    repro-trace head out.trc --count 20
+
+Traces are stored in the RPTRACE1 binary format (see
+:mod:`repro.trace.io`), so expensive generations can be snapshotted and
+replayed, or traces produced by external tools can be imported.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.isa.classify import kind_label
+from repro.isa.kinds import TransitionKind
+from repro.trace.io import TraceFormatError, read_trace, write_trace
+from repro.trace.stats import compute_trace_stats
+from repro.trace.synth.workloads import generate_trace, workload_names
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace", description="Generate and inspect repro trace files."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic workload trace")
+    gen.add_argument("workload", choices=workload_names())
+    gen.add_argument("output", help="output file path")
+    gen.add_argument("--instructions", type=int, default=1_000_000)
+    gen.add_argument("--seed", type=int, default=42)
+    gen.add_argument("--core", type=int, default=0, help="core index (walk decorrelation)")
+
+    info = sub.add_parser("info", help="print summary statistics of a trace file")
+    info.add_argument("input", help="trace file path")
+
+    head = sub.add_parser("head", help="print the first events of a trace file")
+    head.add_argument("input", help="trace file path")
+    head.add_argument("--count", type=int, default=20)
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    trace = generate_trace(args.workload, args.seed, args.instructions, core=args.core)
+    write_trace(trace, args.output)
+    print(
+        f"wrote {args.output}: {len(trace.events)} events, "
+        f"{trace.total_instructions} instructions"
+    )
+    return 0
+
+
+def _cmd_info(args) -> int:
+    trace = read_trace(args.input)
+    stats = compute_trace_stats(trace.events)
+    print(f"name                 : {trace.name}")
+    print(f"seed                 : {trace.seed}")
+    print(f"events               : {stats.total_events}")
+    print(f"instructions         : {stats.total_instructions}")
+    print(f"data accesses        : {stats.total_data_accesses}")
+    print(f"mean block size      : {stats.mean_block_instructions:.2f} instructions")
+    print(f"code footprint       : {stats.instruction_footprint_bytes / 1024:.0f} KB")
+    print(f"data footprint       : {stats.data_footprint_bytes / 1024:.0f} KB")
+    print("transition mix:")
+    for kind in TransitionKind:
+        share = 100.0 * stats.kind_fraction(kind)
+        print(f"  {kind_label(kind):<18} {share:5.1f}%")
+    return 0
+
+
+def _cmd_head(args) -> int:
+    trace = read_trace(args.input)
+    for event in list(trace.events)[: args.count]:
+        label = kind_label(TransitionKind(event.kind))
+        print(
+            f"{event.addr:#012x}  {event.ninstr:>4} instr  {label:<18} "
+            f"{len(event.data)} data"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "generate":
+            return _cmd_generate(args)
+        if args.command == "info":
+            return _cmd_info(args)
+        return _cmd_head(args)
+    except (TraceFormatError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Trace record definitions.
+
+A :class:`BlockEvent` is the unit of a trace: one visit to one basic block.
+Events are plain ``NamedTuple`` s because traces contain hundreds of
+thousands of them and attribute access must stay cheap.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Tuple
+
+#: Fixed instruction size in bytes (SPARC-style RISC encoding).
+INSTRUCTION_SIZE = 4
+
+
+class BlockEvent(NamedTuple):
+    """One visit to a basic block by the fetch stream.
+
+    Attributes:
+        addr: byte address of the first instruction executed in the block.
+        ninstr: number of instructions executed during this visit (>= 1).
+        kind: the :class:`~repro.isa.TransitionKind` (as ``int``) describing
+            how the stream arrived at ``addr`` from the previous event.
+        data: byte addresses of the data accesses (loads/stores) performed
+            while executing this block visit; may be empty.
+    """
+
+    addr: int
+    ninstr: int
+    kind: int
+    data: Tuple[int, ...]
+
+    @property
+    def end_addr(self) -> int:
+        """Byte address one past the last instruction of this visit."""
+        return self.addr + self.ninstr * INSTRUCTION_SIZE

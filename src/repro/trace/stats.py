@@ -1,0 +1,87 @@
+"""Trace-level statistics.
+
+These are *trace* properties (independent of any cache configuration):
+instruction counts, transition-kind histogram, instruction/data footprints,
+and basic-block geometry.  They are used by the workload-profile calibration
+tests to check that the synthetic generators produce streams with the
+published characteristics (large instruction footprint, small basic blocks,
+call-heavy control flow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+from repro.isa.kinds import TransitionKind
+from repro.trace.record import BlockEvent, INSTRUCTION_SIZE
+
+
+@dataclass
+class TraceStats:
+    """Summary statistics of a trace."""
+
+    total_instructions: int = 0
+    total_events: int = 0
+    total_data_accesses: int = 0
+    kind_counts: Dict[TransitionKind, int] = field(default_factory=dict)
+    instruction_footprint_bytes: int = 0
+    data_footprint_bytes: int = 0
+
+    @property
+    def mean_block_instructions(self) -> float:
+        """Mean instructions per block visit."""
+        if self.total_events == 0:
+            return 0.0
+        return self.total_instructions / self.total_events
+
+    @property
+    def data_accesses_per_instruction(self) -> float:
+        if self.total_instructions == 0:
+            return 0.0
+        return self.total_data_accesses / self.total_instructions
+
+    def kind_fraction(self, kind: TransitionKind) -> float:
+        """Fraction of block-visit transitions of the given kind."""
+        if self.total_events == 0:
+            return 0.0
+        return self.kind_counts.get(kind, 0) / self.total_events
+
+
+def compute_trace_stats(
+    events: Iterable[BlockEvent],
+    footprint_granularity: int = 64,
+) -> TraceStats:
+    """Compute :class:`TraceStats` over *events*.
+
+    ``footprint_granularity`` sets the block size (bytes) used to measure
+    instruction and data footprints; the default matches the paper's 64B
+    cache lines.
+    """
+    if footprint_granularity <= 0:
+        raise ValueError("footprint_granularity must be positive")
+    shift = footprint_granularity.bit_length() - 1
+    if 1 << shift != footprint_granularity:
+        raise ValueError("footprint_granularity must be a power of two")
+
+    stats = TraceStats()
+    kind_counts: Dict[int, int] = {}
+    instr_lines = set()
+    data_lines = set()
+
+    for addr, ninstr, kind, data in events:
+        stats.total_events += 1
+        stats.total_instructions += ninstr
+        stats.total_data_accesses += len(data)
+        kind_counts[kind] = kind_counts.get(kind, 0) + 1
+        first = addr >> shift
+        last = (addr + ninstr * INSTRUCTION_SIZE - 1) >> shift
+        for line in range(first, last + 1):
+            instr_lines.add(line)
+        for daddr in data:
+            data_lines.add(daddr >> shift)
+
+    stats.kind_counts = {TransitionKind(k): v for k, v in kind_counts.items()}
+    stats.instruction_footprint_bytes = len(instr_lines) * footprint_granularity
+    stats.data_footprint_bytes = len(data_lines) * footprint_granularity
+    return stats

@@ -1,0 +1,51 @@
+"""Synthetic commercial-workload generation.
+
+The paper traces four proprietary Sun workloads (an OLTP database, TPC-W,
+SPECjAppServer2002, SPECweb99).  We cannot obtain those traces, so this
+package builds the closest synthetic equivalent (see DESIGN.md §2):
+
+1. :mod:`repro.trace.synth.program` constructs a *static program* — a set of
+   functions laid out in a flat address space, each a list of basic blocks
+   with fixed terminators (conditional branches with fixed targets and
+   per-branch taken probabilities, direct calls with fixed callees,
+   indirect jumps with fixed target sets, returns).  The static structure
+   is what makes fetch-stream discontinuities *repeatable*, the property
+   the paper's discontinuity prefetcher exploits.
+2. :mod:`repro.trace.synth.walker` performs a stochastic transaction-
+   oriented walk over the program (matching the paper's "all four
+   applications are transaction-oriented" observation), emitting
+   :class:`~repro.trace.BlockEvent` records.
+3. :mod:`repro.trace.synth.datagen` attaches a data-access stream with a
+   hot working set plus a large Zipf-distributed cold region, providing the
+   L2 data pressure behind the paper's pollution study (Figure 7).
+4. :mod:`repro.trace.synth.workloads` holds the calibrated per-workload
+   profiles and the public :func:`generate_trace` entry point.
+"""
+
+from repro.trace.synth.params import WorkloadProfile
+from repro.trace.synth.program import Program, Function, BasicBlock, TermKind, build_program
+from repro.trace.synth.walker import TraceWalker
+from repro.trace.synth.datagen import DataStream
+from repro.trace.synth.workloads import (
+    WORKLOADS,
+    generate_trace,
+    get_profile,
+    workload_names,
+)
+from repro.trace.synth.mix import mixed_traces
+
+__all__ = [
+    "WorkloadProfile",
+    "Program",
+    "Function",
+    "BasicBlock",
+    "TermKind",
+    "build_program",
+    "TraceWalker",
+    "DataStream",
+    "WORKLOADS",
+    "generate_trace",
+    "get_profile",
+    "workload_names",
+    "mixed_traces",
+]

@@ -1,0 +1,379 @@
+"""Static program construction.
+
+A *program* is a set of functions laid out in a flat byte address space.
+Each function is a list of basic blocks; each block ends in a fixed
+*terminator* (conditional branch with a fixed target and a per-branch taken
+probability, unconditional branch, direct call with a fixed callee,
+polymorphic call with a fixed small callee set, intra-function switch,
+return, or plain fall-through).
+
+Structure is fixed at build time; only conditional-branch outcomes, switch
+target selection and polymorphic-callee selection are sampled during the
+walk.  This mirrors real binaries: the discontinuity (source line → target
+line) pairs the paper's prefetcher learns are properties of the *code*, not
+of the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum, unique
+from typing import List, Optional, Tuple
+
+from repro.trace.record import INSTRUCTION_SIZE
+from repro.trace.synth.params import WorkloadProfile
+from repro.util.rng import SplitMix64
+
+
+@unique
+class TermKind(IntEnum):
+    """Basic-block terminator kinds."""
+
+    FALLTHROUGH = 0
+    COND = 1
+    UNCOND = 2
+    CALL = 3
+    SWITCH = 4
+    RETURN = 5
+
+
+class BasicBlock:
+    """One basic block of a function.
+
+    Attributes:
+        addr: byte address of the first instruction.
+        ninstr: number of instructions in the block.
+        term: the :class:`TermKind` of the terminator.
+        target: for ``COND``/``UNCOND``: target block index in the function.
+        taken_prob: for ``COND``: probability the branch is taken.
+        callees: for ``CALL``: tuple of callable function indices (length 1
+            for a direct call; >1 for a polymorphic/indirect call site).
+        switch_targets: for ``SWITCH``: tuple of target block indices.
+    """
+
+    __slots__ = ("addr", "ninstr", "term", "target", "taken_prob", "callees", "switch_targets")
+
+    def __init__(
+        self,
+        addr: int,
+        ninstr: int,
+        term: TermKind = TermKind.FALLTHROUGH,
+        target: Optional[int] = None,
+        taken_prob: float = 0.0,
+        callees: Tuple[int, ...] = (),
+        switch_targets: Tuple[int, ...] = (),
+    ) -> None:
+        self.addr = addr
+        self.ninstr = ninstr
+        self.term = term
+        self.target = target
+        self.taken_prob = taken_prob
+        self.callees = callees
+        self.switch_targets = switch_targets
+
+    @property
+    def end_addr(self) -> int:
+        """Address one past the last instruction (the branch/terminator)."""
+        return self.addr + self.ninstr * INSTRUCTION_SIZE
+
+    @property
+    def terminator_addr(self) -> int:
+        """Address of the terminator instruction itself."""
+        return self.addr + (self.ninstr - 1) * INSTRUCTION_SIZE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BasicBlock(addr={self.addr:#x}, ninstr={self.ninstr}, "
+            f"term={TermKind(self.term).name})"
+        )
+
+
+@dataclass
+class Function:
+    """One function: an entry address and its blocks, laid out contiguously."""
+
+    index: int
+    entry_addr: int
+    blocks: List[BasicBlock]
+    is_entry_point: bool = False
+    is_trap_handler: bool = False
+
+    @property
+    def size_bytes(self) -> int:
+        last = self.blocks[-1]
+        return last.end_addr - self.entry_addr
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(block.ninstr for block in self.blocks)
+
+
+@dataclass
+class Program:
+    """A complete static program.
+
+    Functions are laid out in two contiguous regions: the *shared-text*
+    region first (kernel/libraries — shared between the cores of a
+    homogeneous CMP) and the *private-text* region after it (per-process
+    or JIT code — one copy per core).  ``private_text_start`` is the byte
+    address where the private region begins; trace rebasing for core *k*
+    shifts only addresses at or above it.
+    """
+
+    profile: WorkloadProfile
+    seed: int
+    functions: List[Function]
+    entry_indices: List[int]
+    trap_handler_indices: List[int]
+    private_text_start: int = 0
+
+    @property
+    def code_footprint_bytes(self) -> int:
+        """Total code bytes (sum of function sizes, gaps excluded)."""
+        return sum(fn.size_bytes for fn in self.functions)
+
+    @property
+    def end_addr(self) -> int:
+        """One past the highest code address."""
+        return max(fn.entry_addr + fn.size_bytes for fn in self.functions)
+
+    def function_of(self, index: int) -> Function:
+        return self.functions[index]
+
+
+#: number of tiny trap-handler functions appended to every program.
+N_TRAP_HANDLERS = 4
+
+#: trap handlers live far from regular code so traps are real discontinuities.
+TRAP_REGION_GAP = 1 << 22  # 4MB beyond the end of regular code
+
+
+def build_program(profile: WorkloadProfile, seed: int) -> Program:
+    """Construct the static program for *profile* deterministically from *seed*.
+
+    Layout (low to high addresses):
+
+    1. **shared text** — functions drawn (with probability
+       ``text_shared_fraction``) to represent kernel/library code shared
+       between the cores of a homogeneous CMP;
+    2. **trap handlers** — kernel code, a :data:`TRAP_REGION_GAP` beyond
+       the shared text so traps are genuine fetch-stream discontinuities;
+    3. **private text** — per-process / JIT application code; trace
+       rebasing replicates this region per core.
+    """
+    rng = SplitMix64(seed).spawn("program")
+
+    n_regular = profile.n_functions
+    sizes = [
+        rng.lognormal_int(
+            profile.fn_median_instr,
+            profile.fn_sigma,
+            profile.fn_min_instr,
+            profile.fn_max_instr,
+        )
+        for _ in range(n_regular)
+    ]
+
+    # Independent stream: sharing flags must not perturb the structural
+    # randomness (sizes/terminators) that the miss-rate calibration rests on.
+    shared_rng = rng.spawn("shared-text")
+    shared = [shared_rng.random() < profile.text_shared_fraction for _ in range(n_regular)]
+    layout_order = [i for i in range(n_regular) if shared[i]] + [
+        i for i in range(n_regular) if not shared[i]
+    ]
+
+    align = profile.fn_align
+    cursor = profile.code_base
+    entry_addr_of = {}
+    n_shared = sum(shared)
+    trap_region_base = None
+    private_text_start = None
+    for position, index in enumerate(layout_order):
+        if position == n_shared:
+            # Shared text ends here: reserve the trap-handler region, then
+            # start the private text after a second gap.
+            cursor += TRAP_REGION_GAP
+            trap_region_base = cursor
+            cursor += TRAP_REGION_GAP
+            private_text_start = cursor
+        cursor = -(-cursor // align) * align
+        entry_addr_of[index] = cursor
+        cursor += sizes[index] * INSTRUCTION_SIZE
+    if trap_region_base is None:
+        # Every function is shared (or none exist past the boundary).
+        cursor += TRAP_REGION_GAP
+        trap_region_base = cursor
+        cursor += TRAP_REGION_GAP
+        private_text_start = cursor
+
+    functions: List[Function] = []
+    for index in range(n_regular):
+        blocks = _build_blocks(
+            entry_addr_of[index], sizes[index], index, n_regular, profile, rng
+        )
+        functions.append(Function(index=index, entry_addr=entry_addr_of[index], blocks=blocks))
+
+    # Trap handlers: tiny leaf functions in their reserved (shared) region.
+    trap_indices: List[int] = []
+    cursor = trap_region_base
+    for handler in range(N_TRAP_HANDLERS):
+        cursor = -(-cursor // align) * align
+        index = len(functions)
+        ninstr = rng.randint(8, 24)
+        blocks = [
+            BasicBlock(cursor, ninstr, term=TermKind.RETURN),
+        ]
+        functions.append(
+            Function(index=index, entry_addr=cursor, blocks=blocks, is_trap_handler=True)
+        )
+        trap_indices.append(index)
+        cursor = blocks[-1].end_addr
+
+    # Entry points: a deterministic subset of the regular functions.
+    n_entries = max(1, int(n_regular * profile.entry_fraction))
+    entry_candidates = list(range(n_regular))
+    rng.shuffle(entry_candidates)
+    entry_indices = sorted(entry_candidates[:n_entries])
+    for index in entry_indices:
+        functions[index].is_entry_point = True
+
+    return Program(
+        profile=profile,
+        seed=seed,
+        functions=functions,
+        entry_indices=entry_indices,
+        trap_handler_indices=trap_indices,
+        private_text_start=private_text_start,
+    )
+
+
+def _build_blocks(
+    entry_addr: int,
+    total_instr: int,
+    fn_index: int,
+    n_functions: int,
+    profile: WorkloadProfile,
+    rng: SplitMix64,
+) -> List[BasicBlock]:
+    """Split a function body into blocks and assign terminators."""
+    # Partition total_instr into geometric block sizes.
+    sizes: List[int] = []
+    remaining = total_instr
+    while remaining > 0:
+        size = min(remaining, rng.geometric(profile.block_mean_instr))
+        sizes.append(size)
+        remaining -= size
+
+    blocks: List[BasicBlock] = []
+    addr = entry_addr
+    for size in sizes:
+        blocks.append(BasicBlock(addr, size))
+        addr += size * INSTRUCTION_SIZE
+
+    nblocks = len(blocks)
+    last = nblocks - 1
+    blocks[last].term = TermKind.RETURN
+
+    # Cumulative terminator weights for interior blocks.
+    for i in range(last):
+        point = rng.random()
+        if point < profile.p_cond:
+            _assign_cond(blocks, i, profile, rng)
+        elif point < profile.p_cond + profile.p_uncond:
+            _assign_uncond(blocks, i, profile, rng)
+        elif point < profile.p_cond + profile.p_uncond + profile.p_call:
+            _assign_call(blocks, i, fn_index, n_functions, profile, rng)
+        elif point < profile.p_cond + profile.p_uncond + profile.p_call + profile.p_switch:
+            _assign_switch(blocks, i, profile, rng)
+        elif (
+            point
+            < profile.p_cond
+            + profile.p_uncond
+            + profile.p_call
+            + profile.p_switch
+            + profile.p_early_return
+        ):
+            blocks[i].term = TermKind.RETURN
+        # else: FALLTHROUGH (the default)
+    return blocks
+
+
+def _assign_cond(
+    blocks: List[BasicBlock], i: int, profile: WorkloadProfile, rng: SplitMix64
+) -> None:
+    nblocks = len(blocks)
+    block = blocks[i]
+    block.term = TermKind.COND
+    if i > 0 and rng.random() < profile.p_backward:
+        # Loop: branch back to an earlier block.
+        span = min(i, max(1, profile.loop_span_max))
+        block.target = i - rng.randint(1, span)
+        block.taken_prob = profile.loop_taken_lo + rng.random() * (
+            profile.loop_taken_hi - profile.loop_taken_lo
+        )
+    else:
+        # Forward skip (if-then shape).
+        skip = rng.geometric(profile.fwd_skip_mean)
+        block.target = min(nblocks - 1, i + 1 + skip)
+        block.taken_prob = profile.fwd_taken_lo + rng.random() * (
+            profile.fwd_taken_hi - profile.fwd_taken_lo
+        )
+
+
+def _assign_uncond(
+    blocks: List[BasicBlock], i: int, profile: WorkloadProfile, rng: SplitMix64
+) -> None:
+    nblocks = len(blocks)
+    block = blocks[i]
+    block.term = TermKind.UNCOND
+    if rng.random() < profile.far_jump_fraction:
+        # Distant intra-function jump (cleanup / error path near the end).
+        low = min(nblocks - 1, i + 2)
+        block.target = rng.randint(low, nblocks - 1)
+    else:
+        skip = 1 + rng.geometric(profile.fwd_skip_mean)
+        block.target = min(nblocks - 1, i + 1 + skip)
+
+
+def _assign_call(
+    blocks: List[BasicBlock],
+    i: int,
+    fn_index: int,
+    n_functions: int,
+    profile: WorkloadProfile,
+    rng: SplitMix64,
+) -> None:
+    block = blocks[i]
+    block.term = TermKind.CALL
+    if rng.random() < profile.p_poly_call:
+        n_targets = max(2, profile.poly_targets)
+        callees = tuple(
+            _pick_callee(fn_index, n_functions, profile, rng) for _ in range(n_targets)
+        )
+    else:
+        callees = (_pick_callee(fn_index, n_functions, profile, rng),)
+    block.callees = callees
+
+
+def _pick_callee(
+    fn_index: int, n_functions: int, profile: WorkloadProfile, rng: SplitMix64
+) -> int:
+    callee = rng.zipf_index(n_functions, profile.callee_zipf)
+    if callee == fn_index:
+        callee = (callee + 1) % n_functions
+    return callee
+
+
+def _assign_switch(
+    blocks: List[BasicBlock], i: int, profile: WorkloadProfile, rng: SplitMix64
+) -> None:
+    nblocks = len(blocks)
+    block = blocks[i]
+    if nblocks - 1 <= i + 1:
+        return  # no room for a switch; keep fall-through
+    block.term = TermKind.SWITCH
+    n_targets = min(max(2, profile.switch_targets), nblocks - 1 - i)
+    targets = set()
+    while len(targets) < n_targets:
+        targets.add(rng.randint(i + 1, nblocks - 1))
+    block.switch_targets = tuple(sorted(targets))

@@ -1,0 +1,205 @@
+"""Calibrated per-workload profiles and the trace-generation entry point.
+
+The four profiles model the paper's four commercial applications.  Each is
+tuned toward the published characteristics:
+
+========  =====================  ==========================================
+Workload  Paper observation      Profile consequence
+========  =====================  ==========================================
+``db``    OLTP database; high    large code footprint, call-heavy, deep
+          L1I and L2 I-miss      call chains, very large cold data region
+          rates                  (buffer pool)
+``tpcw``  transactional web      mid-size footprint, moderate branching,
+          benchmark              large session data
+``japp``  SPECjAppServer2002:    largest footprint, smallest basic blocks,
+          *highest* L1I miss     deepest call stacks, most polymorphic call
+          rate (≈3.2%/instr)     sites (Java virtual dispatch)
+``web``   SPECweb99: *lowest*    smallest footprint, more loop-oriented
+          L1I miss rate          (content streaming), shallow calls
+          (≈1.3%/instr)
+========  =====================  ==========================================
+
+Calibration is validated by ``tests/integration/test_calibration.py``
+against the paper's Figure 1/Figure 3 bands.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.trace.stream import Trace
+from repro.trace.synth.params import WorkloadProfile
+from repro.trace.synth.walker import generate_program_trace
+from repro.util.units import KB, MB
+
+DB_PROFILE = WorkloadProfile(
+    name="db",
+    n_functions=3400,
+    fn_median_instr=105,
+    fn_sigma=1.0,
+    block_mean_instr=6.5,
+    entry_fraction=0.12,
+    p_cond=0.33,
+    p_uncond=0.08,
+    p_call=0.13,
+    p_switch=0.02,
+    p_early_return=0.03,
+    p_backward=0.20,
+    fwd_skip_mean=2.2,
+    p_poly_call=0.08,
+    callee_zipf=0.65,
+    entry_zipf=0.30,
+    text_shared_fraction=0.48,
+    max_call_depth=26,
+    max_transaction_instr=10_000,
+    data_rate=0.38,
+    p_reuse=0.87,
+    reuse_window_lines=384,
+    hot_bytes=256 * KB,
+    hot_zipf=0.95,
+    cold_bytes=48 * MB,
+    p_cold=0.10,
+    cold_zipf=0.72,
+)
+
+TPCW_PROFILE = WorkloadProfile(
+    name="tpcw",
+    n_functions=3100,
+    fn_median_instr=95,
+    fn_sigma=0.95,
+    block_mean_instr=6.0,
+    entry_fraction=0.14,
+    p_cond=0.34,
+    p_uncond=0.08,
+    p_call=0.12,
+    p_switch=0.02,
+    p_early_return=0.03,
+    p_backward=0.22,
+    fwd_skip_mean=2.0,
+    p_poly_call=0.12,
+    callee_zipf=0.68,
+    entry_zipf=0.32,
+    text_shared_fraction=0.48,
+    max_call_depth=24,
+    max_transaction_instr=8_000,
+    data_rate=0.36,
+    p_reuse=0.88,
+    reuse_window_lines=384,
+    hot_bytes=224 * KB,
+    hot_zipf=0.95,
+    cold_bytes=32 * MB,
+    p_cold=0.08,
+    cold_zipf=0.75,
+)
+
+JAPP_PROFILE = WorkloadProfile(
+    name="japp",
+    n_functions=5200,
+    fn_median_instr=80,
+    fn_sigma=1.05,
+    block_mean_instr=5.2,
+    entry_fraction=0.12,
+    p_cond=0.33,
+    p_uncond=0.09,
+    p_call=0.15,
+    p_switch=0.02,
+    p_early_return=0.04,
+    p_backward=0.16,
+    fwd_skip_mean=2.0,
+    p_poly_call=0.22,
+    poly_targets=3,
+    callee_zipf=0.59,
+    entry_zipf=0.28,
+    text_shared_fraction=0.60,
+    max_call_depth=32,
+    max_transaction_instr=10_000,
+    data_rate=0.34,
+    p_reuse=0.88,
+    reuse_window_lines=416,
+    hot_bytes=288 * KB,
+    hot_zipf=0.95,
+    cold_bytes=40 * MB,
+    p_cold=0.08,
+    cold_zipf=0.72,
+)
+
+WEB_PROFILE = WorkloadProfile(
+    name="web",
+    n_functions=2300,
+    fn_median_instr=90,
+    fn_sigma=0.9,
+    block_mean_instr=7.0,
+    entry_fraction=0.16,
+    p_cond=0.36,
+    p_uncond=0.07,
+    p_call=0.10,
+    p_switch=0.015,
+    p_early_return=0.025,
+    p_backward=0.30,
+    fwd_skip_mean=1.8,
+    loop_taken_lo=0.80,
+    loop_taken_hi=0.94,
+    p_poly_call=0.06,
+    callee_zipf=0.70,
+    entry_zipf=0.40,
+    text_shared_fraction=0.55,
+    max_call_depth=18,
+    max_transaction_instr=3_200,
+    data_rate=0.35,
+    p_reuse=0.90,
+    reuse_window_lines=384,
+    hot_bytes=160 * KB,
+    hot_zipf=0.95,
+    cold_bytes=24 * MB,
+    p_cold=0.06,
+    cold_zipf=0.78,
+)
+
+#: Registry of the paper's workloads in presentation order.
+WORKLOADS: Dict[str, WorkloadProfile] = {
+    "db": DB_PROFILE,
+    "tpcw": TPCW_PROFILE,
+    "japp": JAPP_PROFILE,
+    "web": WEB_PROFILE,
+}
+
+#: Paper display names, used by the figure formatters.
+DISPLAY_NAMES: Dict[str, str] = {
+    "db": "DB",
+    "tpcw": "TPC-W",
+    "japp": "jApp",
+    "web": "Web",
+    "mix": "Mixed",
+}
+
+
+def workload_names() -> List[str]:
+    """Return the four workload identifiers in the paper's order."""
+    return list(WORKLOADS)
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Return the profile registered under *name*.
+
+    Raises ``KeyError`` with the available names on a miss.
+    """
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; available: {sorted(WORKLOADS)}") from None
+
+
+def generate_trace(name: str, seed: int, n_instructions: int, core: int = 0) -> Trace:
+    """Generate a trace for the named workload.
+
+    Args:
+        name: one of :func:`workload_names`.
+        seed: experiment seed; the same (name, seed, n, core) tuple always
+            produces an identical trace.
+        n_instructions: minimum instruction count (the walk finishes its
+            last transaction, so the result may slightly exceed this).
+        core: decorrelates the *walk* only — all cores of one seed share
+            the same program structure (same binary, different threads).
+    """
+    profile = get_profile(name)
+    return generate_program_trace(profile, seed, n_instructions, core=core)

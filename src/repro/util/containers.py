@@ -1,0 +1,50 @@
+"""Small special-purpose containers used by the prefetch machinery."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class BoundedRecentSet:
+    """A fixed-capacity set of the most recently added keys.
+
+    This backs the paper's prefetch filter, which "keeps track of the most
+    recent demand fetches and checks each prefetch prediction against this
+    list" (§4.1).  Adding an existing key refreshes its recency; when the
+    capacity is exceeded the least recently added key is evicted.
+    """
+
+    __slots__ = ("_capacity", "_entries")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._entries: OrderedDict[int, None] = OrderedDict()
+
+    def add(self, key: int) -> None:
+        """Insert *key*, refreshing recency if already present."""
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+            return
+        entries[key] = None
+        if len(entries) > self._capacity:
+            entries.popitem(last=False)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def keys(self):
+        """Return the keys from least to most recently added."""
+        return list(self._entries)

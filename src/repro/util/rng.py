@@ -1,0 +1,174 @@
+"""Deterministic, fast pseudo-random number generation.
+
+Every stochastic component in the simulator (workload walkers, data-stream
+generators, replacement tie-breaking) draws from an explicitly seeded
+generator so that experiments are reproducible bit-for-bit.  We use
+SplitMix64: it is tiny, fast in pure Python, has a full 2^64 period for
+stream derivation, and — unlike sharing one ``random.Random`` — makes it
+trivial to derive independent per-component streams from a single root seed.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def derive_seed(root: int, *labels: object) -> int:
+    """Derive a child seed from *root* and a sequence of labels.
+
+    The labels are hashed into the seed so that, e.g., core 0's walker and
+    core 1's walker get decorrelated streams from the same experiment seed::
+
+        seed_core0 = derive_seed(experiment_seed, "walker", 0)
+        seed_core1 = derive_seed(experiment_seed, "walker", 1)
+    """
+    state = (root ^ 0x6A09E667F3BCC909) & _MASK64
+    for label in labels:
+        for byte in repr(label).encode():
+            state = ((state ^ byte) * 0x100000001B3) & _MASK64
+        state = _mix(state)
+    return state
+
+
+def _mix(value: int) -> int:
+    value = (value ^ (value >> 30)) * 0xBF58476D1CE4E5B9 & _MASK64
+    value = (value ^ (value >> 27)) * 0x94D049BB133111EB & _MASK64
+    return value ^ (value >> 31)
+
+
+class SplitMix64:
+    """SplitMix64 generator with the small sampling surface we need.
+
+    The interface intentionally mirrors the subset of ``random.Random`` the
+    simulator uses (``random``, ``randrange``, ``choice``, weighted choice,
+    a few distributions) so components never need the stdlib generator.
+    """
+
+    __slots__ = ("_state",)
+
+    def __init__(self, seed: int) -> None:
+        self._state = seed & _MASK64
+
+    def next_u64(self) -> int:
+        """Return the next raw 64-bit value."""
+        self._state = (self._state + _GOLDEN) & _MASK64
+        return _mix(self._state)
+
+    def random(self) -> float:
+        """Return a float uniformly distributed in [0, 1)."""
+        return self.next_u64() / 18446744073709551616.0
+
+    def randrange(self, bound: int) -> int:
+        """Return an int uniformly distributed in [0, bound)."""
+        if bound <= 0:
+            raise ValueError(f"randrange bound must be positive, got {bound}")
+        return self.next_u64() % bound
+
+    def randint(self, low: int, high: int) -> int:
+        """Return an int uniformly distributed in [low, high] inclusive."""
+        if high < low:
+            raise ValueError(f"empty range [{low}, {high}]")
+        return low + self.randrange(high - low + 1)
+
+    def choice(self, seq):
+        """Return a uniformly chosen element of a non-empty sequence."""
+        if not seq:
+            raise ValueError("cannot choose from an empty sequence")
+        return seq[self.randrange(len(seq))]
+
+    def weighted_index(self, cumulative_weights) -> int:
+        """Return an index sampled according to *cumulative_weights*.
+
+        ``cumulative_weights`` must be a non-decreasing sequence whose last
+        element is the total weight.  Sampling is a linear scan, which is
+        faster than bisect for the short (<10 entries) weight vectors used
+        by the workload walkers.
+        """
+        total = cumulative_weights[-1]
+        point = self.random() * total
+        for index, bound in enumerate(cumulative_weights):
+            if point < bound:
+                return index
+        return len(cumulative_weights) - 1
+
+    def geometric(self, mean: float) -> int:
+        """Return a geometric variate (support >= 1) with the given mean.
+
+        Used for run lengths such as loop trip counts; a mean of 1.0 always
+        returns 1.
+        """
+        if mean < 1.0:
+            raise ValueError(f"geometric mean must be >= 1, got {mean}")
+        if mean == 1.0:
+            return 1
+        success = 1.0 / mean
+        count = 1
+        # Direct inversion would need log(); the loop is fine because means
+        # used in practice are small (< 50).
+        while self.random() > success:
+            count += 1
+            if count >= mean * 20:
+                break
+        return count
+
+    def lognormal_int(self, median: int, sigma: float, low: int, high: int) -> int:
+        """Return a clamped integer that is approximately log-normal.
+
+        Implemented as ``median * 2**(sigma * z)`` with ``z`` from a cheap
+        approximate standard normal (sum of uniforms), then clamped to
+        ``[low, high]``.  Exactness of the distribution is unimportant; the
+        generator only needs a heavy right tail for function sizes.
+        """
+        z = (
+            self.random()
+            + self.random()
+            + self.random()
+            + self.random()
+            + self.random()
+            + self.random()
+            - 3.0
+        ) / 1.0
+        value = int(median * (2.0 ** (sigma * z)))
+        if value < low:
+            return low
+        if value > high:
+            return high
+        return value
+
+    def zipf_index(self, n: int, skew: float) -> int:
+        """Return an index in [0, n) with an (approximate) Zipf distribution.
+
+        Uses the standard approximate-inversion method for Zipf(skew) over a
+        finite support, which is accurate enough for workload popularity
+        modelling and, critically, O(1) per sample.
+        """
+        if n <= 0:
+            raise ValueError(f"zipf support must be positive, got {n}")
+        if n == 1:
+            return 0
+        if skew <= 0.0:
+            return self.randrange(n)
+        u = self.random()
+        if skew == 1.0:
+            # Harmonic inversion: rank ~ n**u.
+            rank = n ** u
+        else:
+            one_minus = 1.0 - skew
+            rank = ((n ** one_minus - 1.0) * u + 1.0) ** (1.0 / one_minus)
+        index = int(rank) - 1
+        if index < 0:
+            return 0
+        if index >= n:
+            return n - 1
+        return index
+
+    def shuffle(self, items: list) -> None:
+        """Fisher-Yates shuffle in place."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.randrange(i + 1)
+            items[i], items[j] = items[j], items[i]
+
+    def spawn(self, *labels: object) -> "SplitMix64":
+        """Return an independent child generator derived from this one."""
+        return SplitMix64(derive_seed(self._state, *labels))

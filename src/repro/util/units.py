@@ -1,0 +1,40 @@
+"""Byte-size units and parsing helpers."""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+_SUFFIXES = {
+    "B": 1,
+    "KB": KB,
+    "K": KB,
+    "MB": MB,
+    "M": MB,
+    "GB": GB,
+    "G": GB,
+}
+
+
+def parse_size(text: str) -> int:
+    """Parse a human-readable byte size such as ``"32KB"`` or ``"2MB"``.
+
+    Raises ``ValueError`` for unrecognised suffixes or non-numeric values.
+    """
+    stripped = text.strip().upper()
+    for suffix in ("KB", "MB", "GB", "K", "M", "G", "B"):
+        if stripped.endswith(suffix):
+            number = stripped[: -len(suffix)].strip()
+            if not number:
+                raise ValueError(f"missing magnitude in size {text!r}")
+            return int(float(number) * _SUFFIXES[suffix])
+    return int(stripped)
+
+
+def format_size(nbytes: int) -> str:
+    """Format a byte count using the largest exact unit (``2MB``, ``32KB``)."""
+    for suffix, magnitude in (("GB", GB), ("MB", MB), ("KB", KB)):
+        if nbytes >= magnitude and nbytes % magnitude == 0:
+            return f"{nbytes // magnitude}{suffix}"
+    return f"{nbytes}B"

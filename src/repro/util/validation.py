@@ -1,0 +1,21 @@
+"""Argument-validation helpers shared by configuration dataclasses."""
+
+from __future__ import annotations
+
+
+def check_positive(name: str, value) -> None:
+    """Raise ``ValueError`` unless *value* is a positive number."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+
+
+def check_power_of_two(name: str, value: int) -> None:
+    """Raise ``ValueError`` unless *value* is a positive power of two."""
+    if value <= 0 or (value & (value - 1)) != 0:
+        raise ValueError(f"{name} must be a power of two, got {value}")
+
+
+def check_probability(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless *value* lies in [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value}")

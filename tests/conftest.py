@@ -1,0 +1,63 @@
+"""Shared fixtures: small deterministic traces, caches and profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caches.cache import SetAssociativeCache
+from repro.caches.config import CacheConfig
+from repro.isa.kinds import TransitionKind
+from repro.trace.record import BlockEvent
+from repro.trace.stream import Trace
+from repro.trace.synth.params import WorkloadProfile
+
+SEQ = int(TransitionKind.SEQUENTIAL)
+CALL = int(TransitionKind.CALL)
+RETURN = int(TransitionKind.RETURN)
+TF = int(TransitionKind.COND_TAKEN_FWD)
+
+
+@pytest.fixture
+def tiny_profile() -> WorkloadProfile:
+    """A miniature workload profile that generates in milliseconds."""
+    return WorkloadProfile(
+        name="tiny",
+        n_functions=60,
+        fn_median_instr=40,
+        fn_sigma=0.8,
+        fn_max_instr=400,
+        block_mean_instr=5.0,
+        entry_fraction=0.25,
+        max_call_depth=8,
+        max_transaction_instr=2_000,
+        hot_bytes=16 * 1024,
+        cold_bytes=256 * 1024,
+    )
+
+
+@pytest.fixture
+def small_cache() -> SetAssociativeCache:
+    """A 4-set, 2-way cache (8 lines of 64B) for deterministic evictions."""
+    return SetAssociativeCache(
+        "test", CacheConfig(capacity_bytes=512, associativity=2, line_size=64)
+    )
+
+
+def make_trace(events, name: str = "manual", seed: int = 0) -> Trace:
+    """Build an in-memory trace from (addr, ninstr, kind, data) tuples."""
+    return Trace(name, seed, [BlockEvent(*event) for event in events])
+
+
+@pytest.fixture
+def sequential_trace() -> Trace:
+    """A purely sequential walk: 64 blocks of 16 instructions each.
+
+    Covers lines 0x1000>>6 .. onward, one line per block (16 instr * 4B =
+    64B), so every block starts a new line.
+    """
+    events = []
+    addr = 0x1000
+    for _ in range(64):
+        events.append((addr, 16, SEQ, ()))
+        addr += 64
+    return make_trace(events)

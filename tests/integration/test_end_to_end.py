@@ -1,0 +1,79 @@
+"""End-to-end integration tests: every workload × prefetcher × policy runs.
+
+These use tiny instruction budgets — they verify plumbing, not calibration
+(calibration has its own suite).
+"""
+
+import pytest
+
+from repro.api import quick_run
+from repro.prefetch.registry import PREFETCHER_NAMES
+from repro.trace.synth.workloads import workload_names
+
+TINY = dict(n_instructions=40_000, warm_instructions=10_000)
+
+
+class TestAllWorkloads:
+    @pytest.mark.parametrize("workload", workload_names() + ["mix"])
+    def test_baseline_runs(self, workload):
+        n_cores = 4 if workload == "mix" else 1
+        result = quick_run(workload, "none", n_cores=n_cores, **TINY)
+        # Measured window = trace length minus warm-up (per core).
+        expected = (TINY["n_instructions"] - TINY["warm_instructions"]) * n_cores
+        assert result.total_instructions >= 0.9 * expected
+        assert result.aggregate_ipc > 0
+        assert 0 <= result.l1i_miss_rate < 0.5
+
+
+class TestAllPrefetchers:
+    @pytest.mark.parametrize("prefetcher", PREFETCHER_NAMES)
+    def test_prefetcher_runs_single_core(self, prefetcher):
+        result = quick_run("web", prefetcher, **TINY)
+        assert result.aggregate_ipc > 0
+        if prefetcher != "none":
+            assert result.prefetch_issued > 0
+
+    @pytest.mark.parametrize("prefetcher", ["next-4-line", "discontinuity"])
+    @pytest.mark.parametrize("policy", ["normal", "bypass"])
+    def test_policies_on_cmp(self, prefetcher, policy):
+        result = quick_run("web", prefetcher, n_cores=4, l2_policy=policy, **TINY)
+        assert result.prefetch_issued > 0
+        if policy == "bypass":
+            promoted = sum(core.prefetch.promoted_to_l2 for core in result.cores)
+            assert promoted >= 0  # path exercised without error
+
+
+class TestPrefetchersHelp:
+    def test_discontinuity_reduces_misses_everywhere(self):
+        for workload in workload_names():
+            base = quick_run(workload, "none", seed=7, **TINY)
+            pf = quick_run(workload, "discontinuity", seed=7, l2_policy="bypass", **TINY)
+            assert pf.l1i_miss_rate < base.l1i_miss_rate * 0.6, workload
+
+    def test_aggressiveness_ordering_of_residual_misses(self):
+        residuals = {}
+        for scheme in ("next-line-on-miss", "next-line-tagged", "next-4-line", "discontinuity"):
+            result = quick_run("db", scheme, seed=7, l2_policy="bypass", **TINY)
+            residuals[scheme] = result.l1i_miss_rate
+        assert residuals["next-line-on-miss"] > residuals["next-line-tagged"]
+        assert residuals["next-line-tagged"] > residuals["next-4-line"]
+        assert residuals["next-4-line"] > residuals["discontinuity"]
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self):
+        a = quick_run("db", "discontinuity", seed=99, **TINY)
+        b = quick_run("db", "discontinuity", seed=99, **TINY)
+        assert a.aggregate_ipc == b.aggregate_ipc
+        assert a.l1i_miss_rate == b.l1i_miss_rate
+        assert a.prefetch_issued == b.prefetch_issued
+
+    def test_different_seed_different_results(self):
+        a = quick_run("db", "discontinuity", seed=99, **TINY)
+        b = quick_run("db", "discontinuity", seed=100, **TINY)
+        assert a.aggregate_ipc != b.aggregate_ipc
+
+    def test_cmp_determinism(self):
+        a = quick_run("mix", "discontinuity", n_cores=4, seed=5, **TINY)
+        b = quick_run("mix", "discontinuity", n_cores=4, seed=5, **TINY)
+        assert [core.cycles for core in a.cores] == [core.cycles for core in b.cores]

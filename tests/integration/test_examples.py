@@ -1,0 +1,34 @@
+"""The shipped examples must run to completion and print their findings."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+CASES = [
+    ("quickstart.py", ["web"], ["speedup", "residual"]),
+    ("cmp_pollution_study.py", ["web"], ["L2 data miss inflation", "bypass"]),
+    ("table_size_tuning.py", ["web"], ["entries", "coverage"]),
+    ("custom_prefetcher.py", [], ["probe-ahead", "late="]),
+    ("commercial_workloads.py", [], ["db", "japp", "miss breakdown"]),
+    ("alternative_schemes.py", ["web"], ["discontinuity", "fetch-directed", "speedup"]),
+    ("workload_anatomy.py", ["web"], ["monomorphic", "histogram"]),
+]
+
+
+@pytest.mark.parametrize("script,args,expected", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, args, expected):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for needle in expected:
+        assert needle.lower() in result.stdout.lower(), (
+            f"{script}: {needle!r} not in output\n{result.stdout[-1500:]}"
+        )

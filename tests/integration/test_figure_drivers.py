@@ -1,0 +1,80 @@
+"""Structural tests of every experiment driver.
+
+Run at an ultra-tiny scale: these verify that each driver produces
+well-formed panels (labels, shapes, finite values) — the *qualitative*
+assertions live in the benchmark suite at representative scale.
+"""
+
+import math
+
+import pytest
+
+from repro.eval.profiles import ExperimentScale
+from repro.eval.registry import EXPERIMENTS, run_experiment
+
+TINY = ExperimentScale(
+    name="tiny",
+    warm_instructions=8_000,
+    measure_instructions=30_000,
+    cmp_measure_instructions=12_000,
+)
+
+#: drivers and their expected panel counts.
+EXPECTED_PANELS = {
+    "fig01": 1,
+    "fig02": 1,
+    "fig03": 3,
+    "fig04": 2,
+    "fig05": 3,
+    "fig06": 2,
+    "fig07": 2,
+    "fig08": 2,
+    "fig09": 2,
+    "fig10": 2,
+    "ablation-filtering": 2,
+    "ablation-eviction-counter": 1,
+    "ablation-prefetch-ahead": 2,
+    "ablation-probe-ahead": 2,
+    "ablation-queue-discipline": 1,
+    "ablation-table-design": 2,
+    "ablation-useless-hint": 2,
+    "ablation-inclusion": 2,
+    "ablation-replacement": 2,
+    "comparison-alternatives": 3,
+    "comparison-bandwidth": 1,
+    "comparison-core-scaling": 1,
+    "comparison-execution-based": 2,
+    "comparison-software-prefetch": 2,
+    "replication-check": 2,
+}
+
+
+def test_every_registered_experiment_is_covered():
+    assert set(EXPECTED_PANELS) == set(EXPERIMENTS)
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_PANELS))
+def test_driver_produces_well_formed_panels(name):
+    panels = run_experiment(name, scale=TINY)
+    assert len(panels) == EXPECTED_PANELS[name]
+    for panel in panels:
+        assert panel.row_labels and panel.col_labels
+        assert len(panel.values) == len(panel.row_labels)
+        for row in panel.values:
+            assert len(row) == len(panel.col_labels)
+            for value in row:
+                assert value >= 0 or math.isnan(value)
+        # The table formatter must handle every panel.
+        table = panel.format_table()
+        assert panel.experiment in table
+
+
+def test_drivers_reuse_cached_runs():
+    """Figures 5 and 6 read the same configurations; after fig05 has run,
+    fig06 should complete from cache almost instantly."""
+    import time
+
+    run_experiment("fig05", scale=TINY)
+    started = time.time()
+    run_experiment("fig06", scale=TINY)
+    assert time.time() - started < 5.0

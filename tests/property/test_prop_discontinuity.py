@@ -1,0 +1,75 @@
+"""Property-based tests for the discontinuity table invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.prefetch.discontinuity import COUNTER_MAX, DiscontinuityTable
+
+lines = st.integers(min_value=0, max_value=1 << 20)
+observations = st.lists(st.tuples(lines, lines), max_size=300)
+
+
+@given(observations, st.sampled_from([16, 64, 256]))
+@settings(max_examples=200, deadline=None)
+def test_occupancy_bounded_by_entries(obs, entries):
+    table = DiscontinuityTable(entries=entries)
+    for source, target in obs:
+        table.observe(source, target)
+    assert table.occupancy() <= entries
+
+
+@given(observations, st.sampled_from([16, 64]))
+@settings(max_examples=200, deadline=None)
+def test_prediction_only_for_resident_source(obs, entries):
+    """predict(s) returns non-None only if s is the resident source at its
+    index, and the returned target was observed for s at some point."""
+    table = DiscontinuityTable(entries=entries)
+    observed_targets = {}
+    for source, target in obs:
+        table.observe(source, target)
+        observed_targets.setdefault(source, set()).add(target)
+    for source, target_set in observed_targets.items():
+        predicted = table.predict(source)
+        if predicted is not None:
+            assert predicted in target_set
+
+
+@given(observations)
+@settings(max_examples=200, deadline=None)
+def test_counters_stay_in_range(obs):
+    table = DiscontinuityTable(entries=32)
+    for source, target in obs:
+        table.observe(source, target)
+        index = table.index_of(source)
+        _, _, counter = table.entry(index)
+        assert 0 <= counter <= COUNTER_MAX
+
+
+@given(observations, st.lists(lines, max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_credit_never_crashes_or_corrupts(obs, credit_sources):
+    table = DiscontinuityTable(entries=32)
+    for source, target in obs:
+        table.observe(source, target)
+    for source in credit_sources:
+        table.credit(table.index_of(source), source)
+        _, _, counter = table.entry(table.index_of(source))
+        assert 0 <= counter <= COUNTER_MAX
+
+
+@given(observations)
+@settings(max_examples=100, deadline=None)
+def test_stats_balance(obs):
+    table = DiscontinuityTable(entries=32)
+    for source, target in obs:
+        table.observe(source, target)
+    stats = table.stats
+    # Every observation lands in exactly one bucket (or was a no-op
+    # re-observation of the same pair).
+    total_events = (
+        stats.allocations
+        + stats.replacements
+        + stats.replacement_denied
+        + stats.target_updates
+    )
+    assert total_events <= len(obs)
+    assert stats.allocations <= 32

@@ -1,0 +1,117 @@
+"""Property-based tests of engine-level invariants.
+
+Random small traces (mixed transition kinds, random data accesses) are run
+through the full engine with every prefetcher; the accounting invariants
+must hold regardless of input:
+
+- instruction conservation: counted == trace total;
+- fetch accounting: misses <= fetches; useful <= issued <= generated-ish;
+- monotone clock: cycles strictly positive and finite;
+- determinism: identical runs produce identical stats.
+"""
+
+import math
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.caches.cache import SetAssociativeCache
+from repro.caches.config import CacheConfig
+from repro.cmp.link import OffChipLink
+from repro.core.engine import CoreEngine, EngineConfig
+from repro.core.l2policy import BYPASS_INSTALL, NORMAL_INSTALL
+from repro.isa.kinds import TransitionKind
+from repro.prefetch.registry import create_prefetcher
+from repro.prefetch.queue import PrefetchQueue
+from repro.timing.params import TimingParams
+from repro.trace.record import BlockEvent
+from repro.trace.stream import Trace
+
+TIMING = TimingParams(memory_latency=100, prefetch_slot_rate=1.0)
+
+kinds = st.sampled_from([int(kind) for kind in TransitionKind])
+
+events = st.lists(
+    st.builds(
+        BlockEvent,
+        addr=st.integers(min_value=0x1000, max_value=0x40000).map(lambda a: a & ~0x3),
+        ninstr=st.integers(min_value=1, max_value=40),
+        kind=kinds,
+        data=st.lists(
+            st.integers(min_value=1 << 20, max_value=(1 << 20) + 65536), max_size=2
+        ).map(tuple),
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+prefetchers = st.sampled_from(
+    ["none", "next-line-tagged", "next-4-line", "discontinuity", "target"]
+)
+policies = st.sampled_from([NORMAL_INSTALL, BYPASS_INSTALL])
+
+
+def run_engine(event_list, prefetcher_name, policy):
+    engine = CoreEngine(
+        EngineConfig(l2_policy=policy),
+        Trace("p", 0, event_list),
+        64,
+        SetAssociativeCache("L1I", CacheConfig(1024, 2, 64)),
+        SetAssociativeCache("L1D", CacheConfig(1024, 2, 64)),
+        SetAssociativeCache("L2", CacheConfig(16 * 1024, 4, 64)),
+        OffChipLink(16.0, 64),
+        create_prefetcher(prefetcher_name, table_entries=64),
+        PrefetchQueue(capacity=8, recent_capacity=8),
+        TIMING,
+    )
+    engine.run()
+    return engine
+
+
+@given(events, prefetchers, policies)
+@settings(max_examples=150, deadline=None)
+def test_accounting_invariants(event_list, prefetcher_name, policy):
+    engine = run_engine(event_list, prefetcher_name, policy)
+    stats = engine.stats
+    expected_instructions = sum(event.ninstr for event in event_list)
+    assert stats.instructions == expected_instructions
+    assert stats.l1i_misses <= stats.l1i_fetches
+    assert stats.l2i_demand_misses <= stats.l2i_demand_accesses
+    assert stats.l2d_misses <= stats.l2d_accesses <= stats.data_accesses
+    pf = stats.prefetch
+    assert pf.useful <= pf.issued
+    assert pf.useful_late <= pf.useful
+    assert pf.useful_from_memory <= pf.useful
+    assert pf.issued == pf.issued_from_l2 + pf.issued_from_memory
+    assert stats.cycles > 0
+    assert math.isfinite(stats.cycles)
+    assert stats.fetch_stall_cycles >= 0
+    assert stats.data_stall_cycles >= 0
+    # Cycle accounting is exhaustive: every clock advance is execution, a
+    # fetch stall or an exposed data stall.
+    assert stats.cycles == pytest.approx(
+        stats.exec_cycles + stats.fetch_stall_cycles + stats.data_stall_cycles
+    )
+
+
+@given(events, prefetchers, policies)
+@settings(max_examples=50, deadline=None)
+def test_determinism(event_list, prefetcher_name, policy):
+    first = run_engine(event_list, prefetcher_name, policy).stats
+    second = run_engine(event_list, prefetcher_name, policy).stats
+    assert first.cycles == second.cycles
+    assert first.l1i_misses == second.l1i_misses
+    assert first.prefetch.issued == second.prefetch.issued
+    assert first.prefetch.useful == second.prefetch.useful
+
+
+@given(events)
+@settings(max_examples=50, deadline=None)
+def test_prefetching_never_increases_miss_count_much(event_list):
+    """Prefetched runs may reorder evictions, but the demand miss count
+    with a tagged next-line prefetcher should never exceed the baseline by
+    more than the L1I pollution could explain (loose sanity bound)."""
+    base = run_engine(event_list, "none", NORMAL_INSTALL).stats
+    pf = run_engine(event_list, "next-line-tagged", NORMAL_INSTALL).stats
+    assert pf.l1i_misses <= base.l1i_misses + base.l1i_fetches * 0.25 + 2

@@ -1,0 +1,80 @@
+"""Property-based tests for the Markov table and the software-prefetch plan."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.prefetch.markov import MarkovTable
+from repro.swpf.analysis import build_prefetch_plan
+from repro.trace.synth.params import WorkloadProfile
+from repro.trace.synth.program import build_program
+
+lines = st.integers(min_value=0, max_value=4096)
+observations = st.lists(st.tuples(lines, lines), max_size=300)
+
+
+@given(observations, st.integers(1, 4), st.integers(1, 64))
+@settings(max_examples=150, deadline=None)
+def test_markov_bounds(obs, targets_per_entry, capacity):
+    table = MarkovTable(capacity=capacity, targets_per_entry=targets_per_entry)
+    for source, target in obs:
+        table.observe(source, target)
+        assert table.occupancy() <= capacity
+        successors = table.entry_successors(source)
+        assert len(successors) <= targets_per_entry
+        # Frequency ordering invariant.
+        counts = [count for _, count in successors]
+        assert counts == sorted(counts, reverse=True)
+        assert all(count >= 1 for count in counts)
+
+
+@given(observations)
+@settings(max_examples=100, deadline=None)
+def test_markov_predictions_were_observed(obs):
+    table = MarkovTable(capacity=64, targets_per_entry=3)
+    observed = {}
+    for source, target in obs:
+        table.observe(source, target)
+        observed.setdefault(source, set()).add(target)
+    for source, targets in observed.items():
+        for predicted in table.predict(source, fanout=3):
+            assert predicted in targets
+
+
+@given(observations, st.integers(1, 3))
+@settings(max_examples=100, deadline=None)
+def test_markov_fanout_respected(obs, fanout):
+    table = MarkovTable(capacity=64, targets_per_entry=4)
+    for source, target in obs:
+        table.observe(source, target)
+    for source, _ in obs[:20]:
+        assert len(table.predict(source, fanout)) <= fanout
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(0, 2**32),
+    min_probability=st.floats(min_value=0.05, max_value=0.9),
+)
+def test_swpf_plan_invariants(seed, min_probability):
+    profile = WorkloadProfile(
+        name="prop",
+        n_functions=30,
+        fn_median_instr=40,
+        fn_max_instr=200,
+        entry_fraction=0.3,
+        max_call_depth=6,
+        max_transaction_instr=1_000,
+    )
+    program = build_program(profile, seed=seed)
+    plan = build_prefetch_plan(program, min_probability=min_probability)
+    code_lo = profile.code_base >> 6
+    code_hi = program.end_addr >> 6
+    count = 0
+    for line in range(code_lo, code_hi + 1):
+        targets = plan.targets_for(line)
+        count += len(targets)
+        for target in targets:
+            # All plan lines live within the program's code region.
+            assert code_lo <= target <= code_hi
+            # Never a near-sequential target (HW covers those).
+            assert not (0 <= target - line <= 4)
+    assert count == plan.n_targets

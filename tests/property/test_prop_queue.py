@@ -1,0 +1,108 @@
+"""Property-based tests for the prefetch queue invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.prefetch.base import PrefetchCandidate
+from repro.prefetch.queue import PrefetchQueue, QueueState
+
+lines = st.integers(min_value=0, max_value=40)
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("offer"), lines),
+        st.tuples(st.just("demand"), lines),
+        st.tuples(st.just("pop"), st.just(0)),
+    ),
+    max_size=300,
+)
+
+
+@given(operations, st.integers(min_value=1, max_value=16))
+@settings(max_examples=200, deadline=None)
+def test_capacity_invariant(ops, capacity):
+    queue = PrefetchQueue(capacity=capacity, recent_capacity=8)
+    for op, line in ops:
+        if op == "offer":
+            queue.offer(PrefetchCandidate(line, ("seq",)))
+        elif op == "demand":
+            queue.note_demand_fetch(line)
+        else:
+            queue.pop_ready()
+        assert len(queue) <= capacity
+
+
+@given(operations)
+@settings(max_examples=200, deadline=None)
+def test_no_duplicate_lines_in_filtered_queue(ops):
+    queue = PrefetchQueue(capacity=16, recent_capacity=8)
+    for op, line in ops:
+        if op == "offer":
+            queue.offer(PrefetchCandidate(line, ("seq",)))
+        elif op == "demand":
+            queue.note_demand_fetch(line)
+        else:
+            queue.pop_ready()
+        entry_lines = [entry.line for entry in queue._entries]
+        assert len(entry_lines) == len(set(entry_lines))
+
+
+@given(operations)
+@settings(max_examples=200, deadline=None)
+def test_pop_never_returns_recently_demanded_waiting_line(ops):
+    """A line demand-fetched after being queued must not issue."""
+    queue = PrefetchQueue(capacity=16, recent_capacity=16)
+    demanded_after_offer = set()
+    offered = set()
+    for op, line in ops:
+        if op == "offer":
+            accepted = queue.offer(PrefetchCandidate(line, ("seq",)))
+            if accepted:
+                offered.add(line)
+                demanded_after_offer.discard(line)
+        elif op == "demand":
+            queue.note_demand_fetch(line)
+            if line in offered:
+                demanded_after_offer.add(line)
+        else:
+            entry = queue.pop_ready()
+            if entry is not None:
+                assert entry.line not in demanded_after_offer
+                offered.discard(entry.line)
+
+
+@given(operations)
+@settings(max_examples=200, deadline=None)
+def test_popped_entries_marked_issued_and_counted(ops):
+    queue = PrefetchQueue(capacity=16)
+    pops = 0
+    for op, line in ops:
+        if op == "offer":
+            queue.offer(PrefetchCandidate(line, ("seq",)))
+        elif op == "demand":
+            queue.note_demand_fetch(line)
+        else:
+            entry = queue.pop_ready()
+            if entry is not None:
+                pops += 1
+                assert entry.state == QueueState.ISSUED
+    assert queue.stats.popped == pops
+
+
+@given(operations)
+@settings(max_examples=100, deadline=None)
+def test_stats_accounting_consistent(ops):
+    queue = PrefetchQueue(capacity=16, recent_capacity=8)
+    for op, line in ops:
+        if op == "offer":
+            queue.offer(PrefetchCandidate(line, ("seq",)))
+        elif op == "demand":
+            queue.note_demand_fetch(line)
+        else:
+            queue.pop_ready()
+    stats = queue.stats
+    assert stats.offered == (
+        stats.accepted
+        + stats.dropped_recent_demand
+        + stats.dropped_dup_issued
+        + stats.dropped_dup_invalid
+        + stats.hoisted
+    )

@@ -1,0 +1,110 @@
+"""Property-based tests for trace lowering and serialization."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.kinds import TransitionKind
+from repro.trace.io import read_trace, write_trace
+from repro.trace.record import BlockEvent, INSTRUCTION_SIZE
+from repro.trace.stream import Trace, iter_line_visits
+
+kinds = st.sampled_from([int(kind) for kind in TransitionKind])
+
+events = st.lists(
+    st.builds(
+        BlockEvent,
+        addr=st.integers(min_value=0, max_value=1 << 24).map(
+            lambda a: a * INSTRUCTION_SIZE
+        ),
+        ninstr=st.integers(min_value=1, max_value=300),
+        kind=kinds,
+        data=st.lists(
+            st.integers(min_value=0, max_value=1 << 32), max_size=4
+        ).map(tuple),
+    ),
+    max_size=60,
+)
+
+line_sizes = st.sampled_from([16, 32, 64, 128, 256])
+
+
+@given(events, line_sizes)
+@settings(max_examples=200, deadline=None)
+def test_line_visits_conserve_instructions(event_list, line_size):
+    total = sum(event.ninstr for event in event_list)
+    visits = list(iter_line_visits(event_list, line_size))
+    assert sum(v.ninstr for v in visits) == total
+
+
+@given(events, line_sizes)
+@settings(max_examples=200, deadline=None)
+def test_line_visits_cover_correct_lines(event_list, line_size):
+    """Every instruction's line appears in order within the visit stream."""
+    shift = line_size.bit_length() - 1
+    expected_lines = []
+    for event in event_list:
+        for i in range(event.ninstr):
+            line = (event.addr + i * INSTRUCTION_SIZE) >> shift
+            if not expected_lines or expected_lines[-1] != line:
+                expected_lines.append(line)
+    got_lines = []
+    for visit in iter_line_visits(event_list, line_size):
+        if not got_lines or got_lines[-1] != visit.line:
+            got_lines.append(visit.line)
+    # Consecutive duplicate collapse on both sides must agree.
+    assert got_lines == _collapse(expected_lines)
+
+
+def _collapse(seq):
+    out = []
+    for item in seq:
+        if not out or out[-1] != item:
+            out.append(item)
+    return out
+
+
+@given(events, line_sizes)
+@settings(max_examples=200, deadline=None)
+def test_line_visits_never_empty_ninstr(event_list, line_size):
+    for visit in iter_line_visits(event_list, line_size):
+        assert visit.ninstr >= 1
+        assert visit.line >= 0
+
+
+@given(events, line_sizes)
+@settings(max_examples=100, deadline=None)
+def test_data_accesses_conserved(event_list, line_size):
+    expected = sum(len(event.data) for event in event_list)
+    visits = list(iter_line_visits(event_list, line_size))
+    assert sum(len(v.data) for v in visits) == expected
+
+
+@given(
+    events.filter(lambda evs: all(len(e.data) <= 255 for e in evs)),
+    st.integers(min_value=0, max_value=(1 << 64) - 1),
+    st.text(max_size=20),
+)
+@settings(max_examples=100, deadline=None)
+def test_trace_io_roundtrip(event_list, seed, name):
+    trace = Trace(name, seed, event_list)
+    import io as _io
+    import tempfile, os
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "t.bin")
+        write_trace(trace, path)
+        loaded = read_trace(path)
+    assert loaded.name == name
+    assert loaded.seed == seed
+    assert list(loaded.events) == list(event_list)
+
+
+@given(events, st.integers(min_value=1, max_value=1 << 30))
+@settings(max_examples=100, deadline=None)
+def test_rebase_preserves_structure(event_list, offset):
+    trace = Trace("t", 0, event_list)
+    shifted = trace.rebased(offset)
+    assert shifted.total_instructions == trace.total_instructions
+    for original, moved in zip(trace.events, shifted.events):
+        assert moved.addr - original.addr == offset
+        assert moved.ninstr == original.ninstr
+        assert moved.kind == original.kind

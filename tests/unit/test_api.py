@@ -1,0 +1,87 @@
+"""Unit tests for the top-level convenience API (repro.api)."""
+
+import pytest
+
+import repro
+from repro.api import make_system, make_traces, make_workload_trace, quick_run
+from repro.prefetch.base import Prefetcher
+
+
+class TestDiscovery:
+    def test_available_workloads(self):
+        assert repro.available_workloads() == ["db", "tpcw", "japp", "web", "mix"]
+
+    def test_available_prefetchers_include_paper_set(self):
+        names = repro.available_prefetchers()
+        assert "discontinuity" in names
+        assert "next-4-line" in names
+        assert "none" in names
+
+    def test_make_prefetcher(self):
+        assert isinstance(repro.make_prefetcher("discontinuity"), Prefetcher)
+
+    def test_version_exported(self):
+        assert repro.__version__
+
+
+class TestMakeTraces:
+    def test_single_core(self):
+        traces = make_traces("web", 1, seed=1, n_instructions=5_000)
+        assert len(traces) == 1
+        assert traces[0].total_instructions >= 5_000
+
+    def test_homogeneous_cmp_cores_decorrelated(self):
+        traces = make_traces("web", 2, seed=1, n_instructions=3_000)
+        assert len(traces) == 2
+        assert list(traces[0].events) != list(traces[1].events)
+
+    def test_homogeneous_cmp_cores_share_code_region(self):
+        # Long enough for several transactions per core, so the Zipf-hot
+        # service functions are visited by both cores.
+        traces = make_traces("web", 2, seed=1, n_instructions=60_000)
+        lines_a = {event.addr >> 6 for event in traces[0].events}
+        lines_b = {event.addr >> 6 for event in traces[1].events}
+        # Same program (same binary): substantial code overlap — whereas
+        # two different programs (the mix) would overlap not at all.
+        overlap = len(lines_a & lines_b) / min(len(lines_a), len(lines_b))
+        assert overlap > 0.2
+
+    def test_mix_is_four_distinct_programs(self):
+        traces = make_traces("mix", 4, seed=1, n_instructions=2_000)
+        assert [t.name for t in traces] == ["db", "tpcw", "japp", "web"]
+
+    def test_mix_other_core_counts(self):
+        traces = make_traces("mix", 2, seed=1, n_instructions=2_000)
+        assert len(traces) == 2
+
+
+class TestQuickRun:
+    def test_quick_run_baseline(self):
+        result = quick_run("web", "none", n_instructions=60_000, warm_instructions=15_000)
+        assert result.total_instructions > 0
+        assert result.aggregate_ipc > 0
+
+    def test_quick_run_with_prefetcher_and_policy(self):
+        result = quick_run(
+            "web",
+            "discontinuity",
+            n_instructions=60_000,
+            warm_instructions=15_000,
+            l2_policy="bypass",
+        )
+        assert result.prefetch_issued > 0
+
+    def test_make_system_overrides_forwarded(self):
+        system = make_system(
+            "web",
+            "none",
+            n_instructions=10_000,
+            warm_instructions=1_000,
+            offchip_gbps=5.0,
+        )
+        assert system.config.offchip_gbps == 5.0
+
+    def test_make_workload_trace(self):
+        trace = make_workload_trace("db", seed=3, n_instructions=5_000)
+        assert trace.name == "db"
+        assert trace.total_instructions >= 5_000

@@ -1,0 +1,140 @@
+"""Unit tests for the branch-prediction substrate (repro.branch)."""
+
+import pytest
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.gshare import GsharePredictor
+from repro.branch.ras import ReturnAddressStack
+
+
+class TestGshare:
+    def test_initially_weakly_not_taken(self):
+        # Line-granularity prior: most lines exit sequentially.
+        gshare = GsharePredictor(entries=64, history_bits=4)
+        assert not gshare.predict(10)
+
+    def test_learns_not_taken(self):
+        gshare = GsharePredictor(entries=64, history_bits=0)
+        for _ in range(3):
+            gshare.update(10, taken=False)
+        assert not gshare.predict(10)
+
+    def test_learns_taken(self):
+        gshare = GsharePredictor(entries=64, history_bits=0)
+        assert not gshare.predict(10)
+        for _ in range(2):
+            gshare.update(10, taken=True)
+        assert gshare.predict(10)
+
+    def test_history_disambiguates_patterns(self):
+        # Alternating taken/not-taken at one line: with history the
+        # predictor separates the two contexts.
+        gshare = GsharePredictor(entries=256, history_bits=4)
+        for _ in range(40):
+            gshare.update(10, taken=True)
+            gshare.update(10, taken=False)
+        # Prediction in each context follows the pattern.
+        history = gshare.history
+        first = gshare.predict(10, history)
+        second_history = gshare.speculate_history(history, first)
+        second = gshare.predict(10, second_history)
+        assert first != second
+
+    def test_history_wraps_to_mask(self):
+        gshare = GsharePredictor(entries=64, history_bits=2)
+        for _ in range(10):
+            gshare.update(1, taken=True)
+        assert gshare.history <= 0b11
+
+    def test_counters_saturate(self):
+        gshare = GsharePredictor(entries=16, history_bits=0)
+        for _ in range(10):
+            gshare.update(3, taken=True)
+        for _ in range(3):
+            gshare.update(3, taken=False)
+        assert not gshare.predict(3)
+
+    def test_reset(self):
+        gshare = GsharePredictor(entries=16, history_bits=2)
+        for _ in range(4):
+            gshare.update(1, taken=True)
+        gshare.reset()
+        assert gshare.history == 0
+        assert not gshare.predict(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GsharePredictor(entries=100)
+        with pytest.raises(ValueError):
+            GsharePredictor(history_bits=-1)
+
+
+class TestBtb:
+    def test_untrained_returns_none(self):
+        btb = BranchTargetBuffer(entries=16)
+        assert btb.predict(5) is None
+
+    def test_update_and_predict(self):
+        btb = BranchTargetBuffer(entries=16)
+        btb.update(5, 500)
+        assert btb.predict(5) == 500
+
+    def test_tagless_aliasing(self):
+        # Lines 5 and 21 share the entry in a 16-entry BTB: the later
+        # update wins and the earlier line sees the aliased target.
+        btb = BranchTargetBuffer(entries=16)
+        btb.update(5, 500)
+        btb.update(21, 900)
+        assert btb.predict(5) == 900
+
+    def test_occupancy(self):
+        btb = BranchTargetBuffer(entries=16)
+        btb.update(1, 10)
+        btb.update(2, 20)
+        assert btb.occupancy() == 2
+
+    def test_reset(self):
+        btb = BranchTargetBuffer(entries=16)
+        btb.update(1, 10)
+        btb.reset()
+        assert btb.predict(1) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(entries=12)
+
+
+class TestRas:
+    def test_push_pop_lifo(self):
+        ras = ReturnAddressStack(capacity=4)
+        ras.push(10)
+        ras.push(20)
+        assert ras.pop() == 20
+        assert ras.pop() == 10
+        assert ras.pop() is None
+
+    def test_overflow_discards_oldest(self):
+        ras = ReturnAddressStack(capacity=2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)
+        assert len(ras) == 2
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None
+
+    def test_peek_does_not_pop(self):
+        ras = ReturnAddressStack(capacity=4)
+        ras.push(7)
+        assert ras.peek() == 7
+        assert len(ras) == 1
+
+    def test_reset(self):
+        ras = ReturnAddressStack(capacity=4)
+        ras.push(1)
+        ras.reset()
+        assert len(ras) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReturnAddressStack(capacity=0)

@@ -1,0 +1,64 @@
+"""Unit tests for cache/hierarchy configuration."""
+
+import pytest
+
+from repro.caches.config import CacheConfig, DEFAULT_HIERARCHY, HierarchyConfig
+from repro.util.units import KB, MB
+
+
+class TestCacheConfig:
+    def test_paper_default_l1(self):
+        config = DEFAULT_HIERARCHY.l1i
+        assert config.capacity_bytes == 32 * KB
+        assert config.associativity == 4
+        assert config.line_size == 64
+        assert config.n_sets == 128
+
+    def test_paper_default_l2(self):
+        config = DEFAULT_HIERARCHY.l2
+        assert config.capacity_bytes == 2 * MB
+        assert config.n_lines == 32768
+
+    def test_line_shift(self):
+        assert CacheConfig(512, 2, 64).line_shift == 6
+        assert CacheConfig(512, 2, 128).line_shift == 7
+
+    def test_describe(self):
+        assert DEFAULT_HIERARCHY.l1i.describe() == "32KB 4-way 64B-line"
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            CacheConfig(capacity_bytes=3 * 64 * 2, associativity=2, line_size=64)
+
+
+class TestHierarchyConfig:
+    def test_line_size_consistency_enforced(self):
+        with pytest.raises(ValueError, match="line size"):
+            HierarchyConfig(
+                l1i=CacheConfig(32 * KB, 4, 64),
+                l1d=CacheConfig(32 * KB, 4, 64),
+                l2=CacheConfig(2 * MB, 4, 128),
+            )
+
+    def test_with_l1i_capacity(self):
+        changed = DEFAULT_HIERARCHY.with_l1i(capacity_bytes=64 * KB)
+        assert changed.l1i.capacity_bytes == 64 * KB
+        assert changed.l1d == DEFAULT_HIERARCHY.l1d
+        assert changed.l2 == DEFAULT_HIERARCHY.l2
+
+    def test_with_l1i_line_size_moves_all_levels(self):
+        changed = DEFAULT_HIERARCHY.with_l1i(line_size=128)
+        assert changed.l1i.line_size == 128
+        assert changed.l1d.line_size == 128
+        assert changed.l2.line_size == 128
+        assert changed.line_size == 128
+
+    def test_with_l2(self):
+        changed = DEFAULT_HIERARCHY.with_l2(capacity_bytes=4 * MB)
+        assert changed.l2.capacity_bytes == 4 * MB
+        assert changed.l1i == DEFAULT_HIERARCHY.l1i
+
+    def test_default_is_immutable_value(self):
+        copy = DEFAULT_HIERARCHY.with_l2(capacity_bytes=MB)
+        assert DEFAULT_HIERARCHY.l2.capacity_bytes == 2 * MB
+        assert copy is not DEFAULT_HIERARCHY

@@ -1,0 +1,52 @@
+"""Unit tests for repro.util.containers.BoundedRecentSet."""
+
+import pytest
+
+from repro.util.containers import BoundedRecentSet
+
+
+class TestBoundedRecentSet:
+    def test_contains_after_add(self):
+        recent = BoundedRecentSet(4)
+        recent.add(10)
+        assert 10 in recent
+        assert 11 not in recent
+
+    def test_capacity_enforced(self):
+        recent = BoundedRecentSet(3)
+        for key in range(5):
+            recent.add(key)
+        assert len(recent) == 3
+        assert 0 not in recent
+        assert 1 not in recent
+        assert all(key in recent for key in (2, 3, 4))
+
+    def test_re_add_refreshes_recency(self):
+        recent = BoundedRecentSet(3)
+        recent.add(1)
+        recent.add(2)
+        recent.add(3)
+        recent.add(1)  # refresh: now 2 is the oldest
+        recent.add(4)
+        assert 2 not in recent
+        assert 1 in recent
+
+    def test_keys_order_oldest_first(self):
+        recent = BoundedRecentSet(3)
+        for key in (7, 8, 9):
+            recent.add(key)
+        assert recent.keys() == [7, 8, 9]
+
+    def test_clear(self):
+        recent = BoundedRecentSet(2)
+        recent.add(1)
+        recent.clear()
+        assert len(recent) == 0
+        assert 1 not in recent
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            BoundedRecentSet(0)
+
+    def test_capacity_property(self):
+        assert BoundedRecentSet(5).capacity == 5

@@ -1,0 +1,36 @@
+"""Unit tests for the probe-ahead configuration of the discontinuity
+prefetcher (ablation surface)."""
+
+from repro.isa.kinds import TransitionKind
+from repro.prefetch.discontinuity import DiscontinuityPrefetcher
+from repro.prefetch.registry import create_prefetcher
+
+SEQ = int(TransitionKind.SEQUENTIAL)
+
+
+class TestProbeAheadToggle:
+    def test_no_probe_ahead_only_probes_current_line(self):
+        pf = DiscontinuityPrefetcher(table_entries=64, prefetch_ahead=4, probe_ahead=False)
+        pf.on_discontinuity(12, 500, caused_miss=True)  # two lines ahead of 10
+        candidates = pf.on_demand_fetch(10, True, False, SEQ)
+        # Sequential window only: the entry at 12 must not be found.
+        assert [c.line for c in candidates] == [11, 12, 13, 14]
+
+    def test_no_probe_ahead_still_finds_current_line_entry(self):
+        pf = DiscontinuityPrefetcher(table_entries=64, prefetch_ahead=4, probe_ahead=False)
+        pf.on_discontinuity(10, 500, caused_miss=True)
+        candidates = pf.on_demand_fetch(10, True, False, SEQ)
+        assert 500 in [c.line for c in candidates]
+
+    def test_probe_ahead_default_on(self):
+        assert DiscontinuityPrefetcher().probe_ahead is True
+
+    def test_name_reflects_variant(self):
+        pf = DiscontinuityPrefetcher(probe_ahead=False)
+        assert pf.name == "discontinuity-noprobeahead"
+
+    def test_registry_variant(self):
+        pf = create_prefetcher("discontinuity-noprobeahead", table_entries=128)
+        assert isinstance(pf, DiscontinuityPrefetcher)
+        assert pf.probe_ahead is False
+        assert pf.table.entries == 128

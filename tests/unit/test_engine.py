@@ -1,0 +1,280 @@
+"""Unit tests for the per-core front-end engine with crafted traces.
+
+These build tiny deterministic traces and small caches so individual
+mechanisms — miss classification, fetch stalls, tagged prefetch triggers,
+late-prefetch residual stalls, bypass promotion — can be asserted exactly.
+"""
+
+import pytest
+
+from repro.caches.cache import SetAssociativeCache
+from repro.caches.config import CacheConfig
+from repro.cmp.link import OffChipLink
+from repro.core.engine import CoreEngine, EngineConfig
+from repro.core.l2policy import BYPASS_INSTALL, NORMAL_INSTALL
+from repro.isa.classify import MissClass
+from repro.isa.kinds import TransitionKind
+from repro.prefetch.base import NullPrefetcher
+from repro.prefetch.registry import create_prefetcher
+from repro.prefetch.queue import PrefetchQueue
+from repro.timing.params import TimingParams
+from repro.trace.record import BlockEvent
+from repro.trace.stream import Trace
+
+SEQ = int(TransitionKind.SEQUENTIAL)
+CALL = int(TransitionKind.CALL)
+TF = int(TransitionKind.COND_TAKEN_FWD)
+
+TIMING = TimingParams(
+    issue_width=4.0,
+    l2_latency=20,
+    memory_latency=100,
+    # Zero overhead keeps cycle arithmetic exact for assertions.
+    base_cpi_overhead=0.0,
+    fetch_stall_exposed_fraction=1.0,
+    # Generous prefetch slots so tests exercise prefetching readily.
+    prefetch_slot_rate=1.0,
+)
+
+
+def make_trace(events):
+    return Trace("manual", 0, [BlockEvent(*event) for event in events])
+
+
+def make_engine(
+    events,
+    prefetcher=None,
+    l2_policy=NORMAL_INSTALL,
+    l1i_kb=1,
+    l2_kb=64,
+    warm=0,
+    free_classes=frozenset(),
+    link_bpc=64.0,
+):
+    """One core with a small L1I (16 lines by default) and L2."""
+    trace = make_trace(events)
+    l1i = SetAssociativeCache("L1I", CacheConfig(l1i_kb * 1024, 4, 64))
+    l1d = SetAssociativeCache("L1D", CacheConfig(8 * 1024, 4, 64))
+    l2 = SetAssociativeCache("L2", CacheConfig(l2_kb * 1024, 4, 64))
+    link = OffChipLink(link_bpc, 64)
+    engine = CoreEngine(
+        EngineConfig(warm_instructions=warm, free_miss_classes=free_classes, l2_policy=l2_policy),
+        trace,
+        64,
+        l1i,
+        l1d,
+        l2,
+        link,
+        prefetcher or NullPrefetcher(),
+        PrefetchQueue(),
+        TIMING,
+    )
+    return engine
+
+
+def seq_events(n_lines, start=0x10000, instr_per_line=16):
+    """n_lines sequential line-filling blocks."""
+    return [(start + i * 64, instr_per_line, SEQ, ()) for i in range(n_lines)]
+
+
+class TestBaselineFetch:
+    def test_every_new_line_misses_once(self):
+        engine = make_engine(seq_events(8))
+        stats = engine.run()
+        assert stats.l1i_fetches == 8
+        assert stats.l1i_misses == 8
+        assert stats.instructions == 8 * 16
+
+    def test_revisit_hits(self):
+        events = seq_events(4) + [(0x10000, 16, TF, ())] + seq_events(3, start=0x10040)
+        engine = make_engine(events)
+        stats = engine.run()
+        # 4 cold misses; the revisits all hit.
+        assert stats.l1i_misses == 4
+        assert stats.l1i_fetches == 8
+
+    def test_miss_classification(self):
+        events = [
+            (0x10000, 16, SEQ, ()),
+            (0x20000, 16, CALL, ()),
+            (0x30000, 16, TF, ()),
+        ]
+        stats = make_engine(events).run()
+        assert stats.l1i_breakdown.count(TransitionKind.SEQUENTIAL) == 1
+        assert stats.l1i_breakdown.count(TransitionKind.CALL) == 1
+        assert stats.l1i_breakdown.count(TransitionKind.COND_TAKEN_FWD) == 1
+
+    def test_cycles_include_memory_stalls(self):
+        stats = make_engine(seq_events(2)).run()
+        # 2 memory misses (100 cycles each) + 32 instructions at width 4.
+        expected = 2 * 100 + 32 / 4.0
+        assert stats.cycles == pytest.approx(expected)
+        assert stats.fetch_stall_cycles == pytest.approx(200.0)
+        assert stats.exec_cycles == pytest.approx(8.0)
+
+    def test_l2_hit_costs_l2_latency(self):
+        # Visit two lines, thrash L1I with 16 other lines mapping over it,
+        # then revisit: L2 hit at 20 cycles.
+        events = (
+            seq_events(1)
+            + seq_events(16, start=0x20000)
+            + [(0x10000, 16, TF, ())]
+        )
+        stats = make_engine(events).run()
+        assert stats.l2i_demand_accesses == 18
+        assert stats.l2i_demand_misses == 17  # all but the final revisit
+        # Final stall was an L2 hit: fetch stalls = 17 * 100 + 20.
+        assert stats.fetch_stall_cycles == pytest.approx(17 * 100 + 20)
+
+    def test_ipc_computed(self):
+        stats = make_engine(seq_events(2)).run()
+        assert stats.ipc == pytest.approx(32 / (200 + 8.0))
+
+
+class TestFreeMissClasses:
+    def test_free_sequential_waives_stall(self):
+        stats = make_engine(
+            seq_events(4), free_classes=frozenset({MissClass.SEQUENTIAL})
+        ).run()
+        assert stats.l1i_misses == 4  # still counted as misses
+        assert stats.fetch_stall_cycles == 0.0
+
+    def test_other_classes_still_charged(self):
+        events = [(0x10000, 16, SEQ, ()), (0x20000, 16, CALL, ())]
+        stats = make_engine(
+            events, free_classes=frozenset({MissClass.SEQUENTIAL})
+        ).run()
+        assert stats.fetch_stall_cycles == pytest.approx(100.0)  # the CALL miss
+
+
+class TestWarmup:
+    def test_warm_window_excluded(self):
+        engine = make_engine(seq_events(10), warm=64)  # warm = first 4 blocks
+        stats = engine.run()
+        assert stats.instructions == 6 * 16
+        assert stats.l1i_misses == 6
+        # Cycles only cover the measurement window.
+        assert stats.cycles == pytest.approx(6 * 100 + 6 * 16 / 4.0)
+
+
+class TestPrefetching:
+    def test_next_line_tagged_covers_sequential_run(self):
+        prefetcher = create_prefetcher("next-line-tagged")
+        engine = make_engine(seq_events(32), prefetcher=prefetcher)
+        stats = engine.run()
+        # First line misses; the tagged chain should prefetch most of the
+        # rest (some may arrive late but they are still not misses).
+        assert stats.l1i_misses <= 3
+        assert stats.prefetch.useful >= 28
+
+    def test_late_prefetch_charges_residual_only(self):
+        prefetcher = create_prefetcher("next-line-tagged")
+        engine = make_engine(seq_events(8), prefetcher=prefetcher)
+        stats = engine.run()
+        assert stats.prefetch.useful_late > 0
+        # Residual stalls are less than full misses would have been.
+        assert stats.fetch_stall_cycles < 8 * 100
+
+    def test_prefetch_accuracy_accounting(self):
+        prefetcher = create_prefetcher("next-line-tagged")
+        stats = make_engine(seq_events(32), prefetcher=prefetcher).run()
+        assert stats.prefetch.issued >= stats.prefetch.useful
+        assert 0.0 < stats.prefetch.accuracy <= 1.0
+
+    def test_useless_prefetches_counted_on_eviction(self):
+        # Fetch one line, prefetch brings the next; then jump far away and
+        # thrash the L1I so the unused prefetched line is evicted.
+        events = (
+            seq_events(1)
+            + seq_events(40, start=0x40000)
+        )
+        prefetcher = create_prefetcher("next-4-line")
+        stats = make_engine(events, prefetcher=prefetcher, l1i_kb=1).run()
+        assert stats.prefetch.useless_evicted > 0
+
+    def test_discontinuity_learns_and_covers(self):
+        # A repeated pattern: line A -> distant line B. After the first
+        # miss of B, the discontinuity prefetcher should cover later visits.
+        loop = [
+            (0x10000, 16, TF, ()),
+            (0x80000, 16, CALL, ()),
+            (0x90000, 16, TF, ()),  # decoy lines to churn the L1I
+        ]
+        thrash = seq_events(20, start=0x200000)
+        events = []
+        for _ in range(6):
+            events += loop + thrash
+        prefetcher = create_prefetcher("discontinuity", table_entries=16384)
+        stats = make_engine(events, prefetcher=prefetcher, l1i_kb=1).run()
+        assert prefetcher.table.predict(0x10000 >> 6) == 0x80000 >> 6
+        assert stats.prefetch.useful > 0
+
+
+class TestBypassPolicy:
+    def _run_policy(self, policy):
+        # One spine line repeatedly revisited + a long prefetch-heavy run.
+        events = []
+        for rep in range(3):
+            events += seq_events(30, start=0x40000)
+        prefetcher = create_prefetcher("next-4-line")
+        engine = make_engine(events, prefetcher=prefetcher, l2_kb=8, l2_policy=policy)
+        stats = engine.run()
+        return engine, stats
+
+    def test_normal_installs_prefetches_into_l2(self):
+        engine, stats = self._run_policy(NORMAL_INSTALL)
+        assert stats.prefetch.issued_from_memory > 0
+        assert stats.prefetch.promoted_to_l2 == 0
+
+    def test_bypass_promotes_used_lines_on_eviction(self):
+        engine, stats = self._run_policy(BYPASS_INSTALL)
+        assert stats.prefetch.promoted_to_l2 > 0
+
+    def test_bypass_keeps_useless_lines_out_of_l2(self):
+        # Prefetch beyond the end of a run: those lines are never used and
+        # must never appear in the L2 under bypass.
+        events = seq_events(4) + [(0x80000, 16, CALL, ())]
+        prefetcher = create_prefetcher("next-4-line")
+        engine = make_engine(events, prefetcher=prefetcher, l2_policy=BYPASS_INSTALL)
+        engine.run()
+        # Lines beyond the 4-block run (e.g. base+5..7) may have been
+        # prefetched; they must not be L2-resident.
+        base = 0x10000 >> 6
+        resident = {line for line, _ in engine.l2.resident_lines()}
+        prefetched_tail = {base + 5, base + 6, base + 7}
+        assert not (prefetched_tail & resident)
+
+
+class TestDataPath:
+    def test_data_hits_cost_nothing(self):
+        # Same data line touched repeatedly: one L1D miss then hits.
+        events = [(0x10000 + i * 64, 16, SEQ, (0x4000000,)) for i in range(4)]
+        stats = make_engine(events).run()
+        assert stats.data_accesses == 4
+        assert stats.l1d_misses == 1
+
+    def test_l2_data_misses_counted(self):
+        events = [(0x10000, 16, SEQ, tuple(0x4000000 + i * 64 for i in range(8)))]
+        stats = make_engine(events).run()
+        assert stats.l2d_misses == 8
+        assert stats.data_stall_cycles > 0
+
+    def test_data_stalls_use_exposure_fraction(self):
+        events = [(0x10000, 16, SEQ, (0x4000000,))]
+        stats = make_engine(events).run()
+        expected = 100 * TIMING.data_memory_exposed_fraction
+        assert stats.data_stall_cycles == pytest.approx(expected)
+
+
+class TestStepInterface:
+    def test_step_returns_false_at_end(self):
+        engine = make_engine(seq_events(2))
+        assert engine.step()
+        assert engine.step()
+        assert not engine.step()
+        assert engine.finished
+
+    def test_run_is_idempotent_after_finish(self):
+        engine = make_engine(seq_events(2))
+        engine.run()
+        assert not engine.step()

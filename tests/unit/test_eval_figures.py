@@ -1,0 +1,102 @@
+"""Unit tests for the ExperimentResult container and the CLI plumbing."""
+
+import math
+
+import pytest
+
+from repro.eval.cli import build_parser, main
+from repro.eval.figures import ExperimentResult, grid_from
+from repro.eval.registry import EXPERIMENTS, experiment_names, run_experiment
+
+
+def sample_result():
+    return ExperimentResult(
+        experiment="figXX",
+        title="demo",
+        row_labels=["a", "b"],
+        col_labels=["x", "y", "z"],
+        values=[[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]],
+        unit="things",
+        notes=["a note"],
+    )
+
+
+class TestExperimentResult:
+    def test_value_lookup(self):
+        result = sample_result()
+        assert result.value("b", "y") == 5.0
+
+    def test_row_and_column(self):
+        result = sample_result()
+        assert result.row("a") == [1.0, 2.0, 3.0]
+        assert result.column("z") == [3.0, 6.0]
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="rows"):
+            ExperimentResult("e", "t", ["a"], ["x"], [[1.0], [2.0]])
+        with pytest.raises(ValueError, match="columns"):
+            ExperimentResult("e", "t", ["a"], ["x", "y"], [[1.0]])
+
+    def test_format_table_contains_labels_and_notes(self):
+        text = sample_result().format_table()
+        assert "figXX" in text
+        assert "demo" in text
+        assert "(things)" in text
+        assert "a note" in text
+        for label in ("a", "b", "x", "y", "z"):
+            assert label in text
+
+    def test_format_handles_nan(self):
+        result = ExperimentResult(
+            "e", "t", ["a"], ["x"], [[float("nan")]]
+        )
+        assert "nan" in result.format_table()
+
+    def test_to_dict_roundtrips_values(self):
+        data = sample_result().to_dict()
+        assert data["values"] == [[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]]
+        assert data["columns"] == ["x", "y", "z"]
+
+    def test_grid_from(self):
+        grid = grid_from(["r1", "r2"], ["c1"], lambda r, c: float(len(r + c)))
+        assert grid == [[4.0], [4.0]]
+
+
+class TestRegistry:
+    def test_all_ten_figures_registered(self):
+        names = experiment_names()
+        for index in range(1, 11):
+            assert f"fig{index:02d}" in names
+
+    def test_ablations_registered(self):
+        names = experiment_names()
+        assert "ablation-filtering" in names
+        assert "ablation-prefetch-ahead" in names
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_drivers_are_callables(self):
+        assert all(callable(driver) for driver in EXPERIMENTS.values())
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig01" in out
+        assert "fig10" in out
+
+    def test_requires_experiment(self, capsys):
+        assert main([]) == 2
+
+    def test_unknown_experiment_exit_code(self, capsys):
+        assert main(["fig99"]) == 2
+
+    def test_parser_scale_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig01", "--scale", "smoke"])
+        assert args.scale == "smoke"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig01", "--scale", "huge"])

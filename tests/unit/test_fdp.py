@@ -1,0 +1,96 @@
+"""Unit tests for the fetch-directed prefetcher."""
+
+import pytest
+
+from repro.isa.kinds import TransitionKind
+from repro.prefetch.fdp import FetchDirectedPrefetcher
+
+SEQ = int(TransitionKind.SEQUENTIAL)
+CALL = int(TransitionKind.CALL)
+RETURN = int(TransitionKind.RETURN)
+TF = int(TransitionKind.COND_TAKEN_FWD)
+
+
+def feed(pf, lines_and_kinds):
+    """Drive the prefetcher through a fetch-line sequence (no triggers)."""
+    for line, kind in lines_and_kinds:
+        pf.on_demand_fetch(line, False, False, kind)
+
+
+class TestTraining:
+    def test_sequential_stream_trains_not_taken(self):
+        pf = FetchDirectedPrefetcher(btb_entries=64, gshare_entries=64, lookahead=4, history_bits=0)
+        feed(pf, [(i, SEQ) for i in range(10, 30)])
+        candidates = pf.on_demand_fetch(30, True, False, SEQ)
+        # The predicted path for a sequential stream is sequential.
+        assert [c.line for c in candidates] == [31, 32, 33, 34]
+
+    def test_taken_transition_trains_btb(self):
+        pf = FetchDirectedPrefetcher(btb_entries=64, gshare_entries=64, lookahead=2, history_bits=0)
+        # Repeated pattern 10 -> 500 trains gshare(10)=taken, BTB[10]=500.
+        for _ in range(4):
+            feed(pf, [(10, SEQ), (500, TF), (501, SEQ)])
+        assert pf.btb.predict(10) == 500
+
+    def test_runahead_follows_learned_jump(self):
+        pf = FetchDirectedPrefetcher(btb_entries=64, gshare_entries=64, lookahead=3, history_bits=0)
+        for _ in range(6):
+            feed(pf, [(10, SEQ), (500, TF), (501, SEQ), (502, SEQ)])
+        candidates = pf.on_demand_fetch(10, True, False, SEQ)
+        lines = [c.line for c in candidates]
+        assert lines[0] == 500  # jump followed
+        assert 501 in lines  # continues along the target path
+
+    def test_untrained_follows_sequential_prior(self):
+        pf = FetchDirectedPrefetcher(btb_entries=64, gshare_entries=64, lookahead=8, history_bits=0)
+        # Untrained gshare predicts not-taken (sequential prior), so the
+        # run-ahead path is the sequential one.
+        candidates = pf.on_demand_fetch(10, True, False, SEQ)
+        assert [c.line for c in candidates] == list(range(11, 19))
+
+    def test_path_ends_without_btb_target(self):
+        pf = FetchDirectedPrefetcher(btb_entries=64, gshare_entries=64, lookahead=8, history_bits=0)
+        # Train line 10 as strongly taken, but never reveal its target:
+        # the BTB has no entry and the run-ahead path ends immediately.
+        pf.gshare.update(10, taken=True)
+        pf.gshare.update(10, taken=True)
+        candidates = pf.on_demand_fetch(10, True, False, SEQ)
+        assert candidates == []
+
+    def test_call_trains_ras(self):
+        pf = FetchDirectedPrefetcher(btb_entries=64, gshare_entries=64, lookahead=2, history_bits=0)
+        feed(pf, [(10, SEQ), (500, CALL)])
+        assert pf.ras.peek() == 11  # return resumes after the call line
+
+    def test_return_pops_ras(self):
+        pf = FetchDirectedPrefetcher(btb_entries=64, gshare_entries=64, lookahead=2, history_bits=0)
+        feed(pf, [(10, SEQ), (500, CALL), (501, SEQ), (11, RETURN)])
+        assert len(pf.ras) == 0
+
+
+class TestBehaviour:
+    def test_no_trigger_no_candidates(self):
+        pf = FetchDirectedPrefetcher()
+        pf.on_demand_fetch(10, False, False, SEQ)
+        # training-only call returns no candidates (not a trigger)
+        assert pf.on_demand_fetch(11, False, False, SEQ) == []
+
+    def test_lookahead_bounds_candidates(self):
+        pf = FetchDirectedPrefetcher(btb_entries=64, gshare_entries=64, lookahead=5)
+        feed(pf, [(i, SEQ) for i in range(10, 40)])
+        candidates = pf.on_demand_fetch(40, True, False, SEQ)
+        assert len(candidates) <= 5
+
+    def test_reset(self):
+        pf = FetchDirectedPrefetcher(btb_entries=64, gshare_entries=64)
+        feed(pf, [(10, SEQ), (500, TF)])
+        pf.reset()
+        assert pf.btb.predict(10) is None
+        assert pf.gshare.history == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FetchDirectedPrefetcher(lookahead=0)
+
+    def test_name_reflects_btb(self):
+        assert FetchDirectedPrefetcher(btb_entries=2048).name == "fdp-2048btb"

@@ -1,0 +1,119 @@
+"""Unit tests for the inclusive-L2 back-invalidation option."""
+
+import pytest
+
+from repro.cmp.system import System, SystemConfig
+from repro.isa.kinds import TransitionKind
+from repro.caches.config import CacheConfig, HierarchyConfig
+from repro.trace.record import BlockEvent
+from repro.trace.stream import Trace
+from repro.util.units import KB
+
+SEQ = int(TransitionKind.SEQUENTIAL)
+
+#: a tiny hierarchy so the L2 thrashes quickly.
+SMALL = HierarchyConfig(
+    l1i=CacheConfig(2 * KB, 4, 64),
+    l1d=CacheConfig(2 * KB, 4, 64),
+    l2=CacheConfig(8 * KB, 4, 64),
+)
+
+
+def seq_trace(n_lines, start=0x10000, name="t", seed=0):
+    events = [BlockEvent(start + i * 64, 16, SEQ, ()) for i in range(n_lines)]
+    return Trace(name, seed, events)
+
+
+def thrash_trace():
+    """Walk far more distinct lines than the 8KB L2 holds, twice."""
+    lines = 64  # 4KB of L1I-visible code... 64 lines > 128-line L2? 64 < 128
+    events = []
+    for rep in range(3):
+        for i in range(300):  # 300 lines ≫ 128-line L2
+            events.append(BlockEvent(0x100000 + i * 64, 16, SEQ, ()))
+    return Trace("thrash", 0, events)
+
+
+class TestInclusion:
+    def test_hook_wired_when_inclusive(self):
+        system = System(
+            SystemConfig(n_cores=2, hierarchy=SMALL, l2_inclusive=True),
+            [seq_trace(4), seq_trace(4, start=0x90000)],
+        )
+        assert all(engine.l2_eviction_hook is not None for engine in system.engines)
+
+    def test_hook_absent_by_default(self):
+        system = System(
+            SystemConfig(n_cores=1, hierarchy=SMALL), [seq_trace(4)]
+        )
+        assert system.engines[0].l2_eviction_hook is None
+
+    def test_back_invalidation_increases_l1_misses(self):
+        base = System(
+            SystemConfig(n_cores=1, hierarchy=SMALL), [thrash_trace()]
+        ).run()
+        inclusive = System(
+            SystemConfig(n_cores=1, hierarchy=SMALL, l2_inclusive=True),
+            [thrash_trace()],
+        ).run()
+        # Under L2 thrash, inclusion can only add L1I misses.
+        assert inclusive.cores[0].l1i_misses >= base.cores[0].l1i_misses
+
+    def test_inclusion_property_holds_at_end(self):
+        system = System(
+            SystemConfig(n_cores=1, hierarchy=SMALL, l2_inclusive=True),
+            [thrash_trace()],
+        )
+        system.run()
+        l2_lines = {line for line, _ in system.l2.resident_lines()}
+        for engine in system.engines:
+            for line, _ in engine.l1i.resident_lines():
+                assert line in l2_lines, f"L1I line {line:#x} not in L2"
+
+    def _data_thrash_trace(self):
+        """One hot code line + data traffic that floods the tiny L2."""
+        events = [BlockEvent(0x100000, 16, SEQ, ())]
+        for i in range(400):
+            data = tuple(0x4000000 + (i * 8 + j) * 64 for j in range(8))
+            events.append(BlockEvent(0x100000, 16, SEQ, data))
+        return Trace("datathrash", 0, events)
+
+    def test_non_inclusive_violates_inclusion_under_data_thrash(self):
+        # Sanity check that inclusion is a real constraint: without the
+        # hook, data traffic evicts the hot code line from the L2 while
+        # the L1I (which the data never touches) retains it.
+        system = System(
+            SystemConfig(n_cores=1, hierarchy=SMALL), [self._data_thrash_trace()]
+        )
+        system.run()
+        hot_line = 0x100000 >> 6
+        assert system.engines[0].l1i.probe(hot_line) is not None
+        assert system.l2.probe(hot_line) is None
+
+    def test_inclusive_invalidates_hot_line_under_data_thrash(self):
+        system = System(
+            SystemConfig(n_cores=1, hierarchy=SMALL, l2_inclusive=True),
+            [self._data_thrash_trace()],
+        )
+        system.run()
+        hot_line = 0x100000 >> 6
+        if system.l2.probe(hot_line) is None:
+            assert system.engines[0].l1i.probe(hot_line) is None
+
+    def test_cross_core_back_invalidation(self):
+        # Core 0 and core 1 share one line; core 1's thrash evicts it from
+        # the L2, which must invalidate core 0's L1I copy too.
+        shared = seq_trace(1, start=0x100000, name="a")
+        thrasher = Trace(
+            "b",
+            0,
+            [BlockEvent(0x200000 + i * 64, 16, SEQ, ()) for i in range(300)],
+        )
+        system = System(
+            SystemConfig(n_cores=2, hierarchy=SMALL, l2_inclusive=True),
+            [shared, thrasher],
+        )
+        system.run()
+        shared_line = 0x100000 >> 6
+        if system.l2.probe(shared_line) is None:
+            assert system.engines[0].l1i.probe(shared_line) is None

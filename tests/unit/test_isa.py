@@ -1,0 +1,105 @@
+"""Unit tests for the mini-ISA taxonomy (repro.isa)."""
+
+import pytest
+
+from repro.isa.classify import MissClass, classify_transition, is_discontinuity, kind_label
+from repro.isa.kinds import (
+    ALL_KINDS,
+    BRANCH_KINDS,
+    FUNCTION_CALL_KINDS,
+    TransitionKind,
+)
+
+
+class TestKinds:
+    def test_all_kinds_covers_enum(self):
+        assert set(ALL_KINDS) == set(TransitionKind)
+
+    def test_branch_kinds(self):
+        assert TransitionKind.COND_TAKEN_FWD.is_branch
+        assert TransitionKind.COND_TAKEN_BWD.is_branch
+        assert TransitionKind.COND_NOT_TAKEN.is_branch
+        assert TransitionKind.UNCOND_BRANCH.is_branch
+        assert not TransitionKind.CALL.is_branch
+        assert not TransitionKind.SEQUENTIAL.is_branch
+
+    def test_function_call_kinds(self):
+        for kind in (TransitionKind.CALL, TransitionKind.JUMP, TransitionKind.RETURN):
+            assert kind.is_function_call
+        assert not TransitionKind.UNCOND_BRANCH.is_function_call
+
+    def test_sequential(self):
+        assert TransitionKind.SEQUENTIAL.is_sequential
+        assert not TransitionKind.CALL.is_sequential
+
+    def test_partition_is_disjoint_and_complete(self):
+        trap = {TransitionKind.TRAP}
+        seq = {TransitionKind.SEQUENTIAL}
+        union = BRANCH_KINDS | FUNCTION_CALL_KINDS | trap | seq
+        assert union == set(TransitionKind)
+        assert not (BRANCH_KINDS & FUNCTION_CALL_KINDS)
+
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        "kind,expected",
+        [
+            (TransitionKind.SEQUENTIAL, MissClass.SEQUENTIAL),
+            (TransitionKind.COND_TAKEN_FWD, MissClass.BRANCH),
+            (TransitionKind.COND_TAKEN_BWD, MissClass.BRANCH),
+            (TransitionKind.COND_NOT_TAKEN, MissClass.BRANCH),
+            (TransitionKind.UNCOND_BRANCH, MissClass.BRANCH),
+            (TransitionKind.CALL, MissClass.FUNCTION),
+            (TransitionKind.JUMP, MissClass.FUNCTION),
+            (TransitionKind.RETURN, MissClass.FUNCTION),
+            (TransitionKind.TRAP, MissClass.TRAP),
+        ],
+    )
+    def test_mapping(self, kind, expected):
+        assert classify_transition(kind) == expected
+
+
+class TestIsDiscontinuity:
+    def test_next_line_never_discontinuity(self):
+        # Even a CALL landing exactly on the next line is left to the
+        # sequential prefetcher.
+        for kind in TransitionKind:
+            assert not is_discontinuity(kind, 100, 101)
+
+    def test_sequential_never_discontinuity(self):
+        assert not is_discontinuity(TransitionKind.SEQUENTIAL, 100, 250)
+
+    def test_not_taken_never_discontinuity(self):
+        assert not is_discontinuity(TransitionKind.COND_NOT_TAKEN, 100, 250)
+
+    @pytest.mark.parametrize(
+        "kind",
+        [
+            TransitionKind.COND_TAKEN_FWD,
+            TransitionKind.COND_TAKEN_BWD,
+            TransitionKind.UNCOND_BRANCH,
+            TransitionKind.CALL,
+            TransitionKind.JUMP,
+            TransitionKind.RETURN,
+            TransitionKind.TRAP,
+        ],
+    )
+    def test_distant_cti_is_discontinuity(self, kind):
+        assert is_discontinuity(kind, 100, 250)
+        assert is_discontinuity(kind, 100, 50)  # backward too
+
+    def test_same_line_not_discontinuity(self):
+        assert not is_discontinuity(TransitionKind.SEQUENTIAL, 100, 100)
+
+
+class TestKindLabels:
+    def test_paper_legend_labels(self):
+        assert kind_label(TransitionKind.SEQUENTIAL) == "Sequential"
+        assert kind_label(TransitionKind.COND_TAKEN_FWD) == "Cond branch (tf)"
+        assert kind_label(TransitionKind.COND_TAKEN_BWD) == "Cond branch (tb)"
+        assert kind_label(TransitionKind.COND_NOT_TAKEN) == "Cond branch (nt)"
+        assert kind_label(TransitionKind.UNCOND_BRANCH) == "Uncond branch"
+
+    def test_every_kind_has_label(self):
+        labels = {kind_label(kind) for kind in TransitionKind}
+        assert len(labels) == len(TransitionKind)

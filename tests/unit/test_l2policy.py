@@ -1,0 +1,25 @@
+"""Unit tests for the L2 install policies."""
+
+import pytest
+
+from repro.core.l2policy import BYPASS_INSTALL, NORMAL_INSTALL, get_policy
+
+
+class TestPolicies:
+    def test_normal_installs_fills(self):
+        assert NORMAL_INSTALL.install_prefetch_fills
+        assert NORMAL_INSTALL.promote_on_prefetch_hit
+        assert not NORMAL_INSTALL.install_used_on_eviction
+
+    def test_bypass_defers_installs(self):
+        assert not BYPASS_INSTALL.install_prefetch_fills
+        assert not BYPASS_INSTALL.promote_on_prefetch_hit
+        assert BYPASS_INSTALL.install_used_on_eviction
+
+    def test_get_policy(self):
+        assert get_policy("normal") is NORMAL_INSTALL
+        assert get_policy("bypass") is BYPASS_INSTALL
+
+    def test_get_policy_unknown(self):
+        with pytest.raises(KeyError, match="unknown L2 install policy"):
+            get_policy("writeback")

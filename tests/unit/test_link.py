@@ -1,0 +1,62 @@
+"""Unit tests for the off-chip link model."""
+
+import pytest
+
+from repro.cmp.link import OffChipLink
+
+
+class TestOffChipLink:
+    def test_occupancy_computed(self):
+        link = OffChipLink(bytes_per_cycle=3.2, line_size=64)
+        assert link.occupancy_cycles == pytest.approx(20.0)
+
+    def test_idle_link_starts_immediately(self):
+        link = OffChipLink(4.0, 64)
+        assert link.request(now=100.0) == 100.0
+
+    def test_back_to_back_requests_queue(self):
+        link = OffChipLink(4.0, 64)  # 16 cycles per line
+        first = link.request(0.0)
+        second = link.request(0.0)
+        third = link.request(0.0)
+        assert first == 0.0
+        assert second == 16.0
+        assert third == 32.0
+
+    def test_gap_resets_queue(self):
+        link = OffChipLink(4.0, 64)
+        link.request(0.0)
+        assert link.request(100.0) == 100.0
+
+    def test_partial_overlap(self):
+        link = OffChipLink(4.0, 64)
+        link.request(0.0)  # busy until 16
+        assert link.request(10.0) == 16.0
+
+    def test_stats(self):
+        link = OffChipLink(4.0, 64)
+        link.request(0.0)
+        link.request(0.0)
+        assert link.stats.requests == 2
+        assert link.stats.busy_cycles == pytest.approx(32.0)
+        assert link.stats.queue_delay_cycles == pytest.approx(16.0)
+
+    def test_utilization(self):
+        link = OffChipLink(4.0, 64)
+        link.request(0.0)
+        assert link.utilization(32.0) == pytest.approx(0.5)
+        assert link.utilization(0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OffChipLink(0.0, 64)
+        with pytest.raises(ValueError):
+            OffChipLink(1.0, 0)
+
+    def test_paper_bandwidths(self):
+        from repro.timing.params import DEFAULT_TIMING
+
+        single = OffChipLink(DEFAULT_TIMING.bytes_per_cycle(10.0), 64)
+        cmp4 = OffChipLink(DEFAULT_TIMING.bytes_per_cycle(20.0), 64)
+        assert single.occupancy_cycles == pytest.approx(19.2)
+        assert cmp4.occupancy_cycles == pytest.approx(9.6)

@@ -1,0 +1,73 @@
+"""Unit tests for CoreStats / PrefetchStats derived metrics."""
+
+import pytest
+
+from repro.core.metrics import CoreStats, PrefetchStats
+from repro.isa.kinds import TransitionKind
+
+
+class TestPrefetchStats:
+    def test_accuracy(self):
+        stats = PrefetchStats(issued=10, useful=4)
+        assert stats.accuracy == pytest.approx(0.4)
+
+    def test_accuracy_no_issues(self):
+        assert PrefetchStats().accuracy == 0.0
+
+    def test_reset(self):
+        stats = PrefetchStats(issued=5, useful=2, useless_evicted=1)
+        stats.reset()
+        assert stats.issued == 0
+        assert stats.useful == 0
+        assert stats.useless_evicted == 0
+
+
+class TestCoreStats:
+    def test_ipc(self):
+        stats = CoreStats(instructions=300, cycles=100.0)
+        assert stats.ipc == pytest.approx(3.0)
+
+    def test_ipc_zero_cycles(self):
+        assert CoreStats(instructions=10, cycles=0.0).ipc == 0.0
+
+    def test_miss_rates_per_instruction(self):
+        stats = CoreStats(instructions=1000, l1i_misses=20, l2i_demand_misses=5, l2d_misses=3)
+        assert stats.l1i_miss_rate_per_instruction == pytest.approx(0.02)
+        assert stats.l2i_miss_rate_per_instruction == pytest.approx(0.005)
+        assert stats.l2d_miss_rate_per_instruction == pytest.approx(0.003)
+
+    def test_rates_zero_instructions(self):
+        stats = CoreStats()
+        assert stats.l1i_miss_rate_per_instruction == 0.0
+        assert stats.l2i_miss_rate_per_instruction == 0.0
+
+    def test_l1i_coverage(self):
+        stats = CoreStats(l1i_misses=20)
+        stats.prefetch.useful = 80
+        assert stats.l1i_coverage == pytest.approx(0.8)
+
+    def test_l1i_coverage_empty(self):
+        assert CoreStats().l1i_coverage == 0.0
+
+    def test_l2i_coverage_uses_memory_sourced(self):
+        stats = CoreStats(l2i_demand_misses=10)
+        stats.prefetch.useful = 100
+        stats.prefetch.useful_from_memory = 30
+        assert stats.l2i_coverage == pytest.approx(0.75)
+
+    def test_reset_clears_everything(self):
+        stats = CoreStats(instructions=10, cycles=5.0, l1i_misses=2)
+        stats.l1i_breakdown.record(int(TransitionKind.CALL))
+        stats.prefetch.issued = 3
+        stats.reset()
+        assert stats.instructions == 0
+        assert stats.cycles == 0.0
+        assert stats.l1i_misses == 0
+        assert stats.l1i_breakdown.total == 0
+        assert stats.prefetch.issued == 0
+
+    def test_summary_mentions_key_metrics(self):
+        stats = CoreStats(instructions=100, cycles=50.0, l1i_misses=2)
+        summary = stats.summary()
+        assert "IPC" in summary
+        assert "L1I miss rate" in summary

@@ -1,0 +1,71 @@
+"""Unit tests for MissBreakdown (repro.caches.missclass)."""
+
+import pytest
+
+from repro.caches.missclass import MissBreakdown
+from repro.isa.classify import MissClass
+from repro.isa.kinds import TransitionKind
+
+
+class TestMissBreakdown:
+    def test_record_and_count(self):
+        breakdown = MissBreakdown()
+        breakdown.record(int(TransitionKind.CALL))
+        breakdown.record(int(TransitionKind.CALL))
+        breakdown.record(int(TransitionKind.SEQUENTIAL))
+        assert breakdown.count(TransitionKind.CALL) == 2
+        assert breakdown.count(TransitionKind.SEQUENTIAL) == 1
+        assert breakdown.total == 3
+
+    def test_by_kind_includes_zeros(self):
+        breakdown = MissBreakdown()
+        by_kind = breakdown.by_kind()
+        assert set(by_kind) == set(TransitionKind)
+        assert all(count == 0 for count in by_kind.values())
+
+    def test_by_class_aggregation(self):
+        breakdown = MissBreakdown()
+        breakdown.record(int(TransitionKind.COND_TAKEN_FWD))
+        breakdown.record(int(TransitionKind.UNCOND_BRANCH))
+        breakdown.record(int(TransitionKind.RETURN))
+        breakdown.record(int(TransitionKind.SEQUENTIAL))
+        by_class = breakdown.by_class()
+        assert by_class[MissClass.BRANCH] == 2
+        assert by_class[MissClass.FUNCTION] == 1
+        assert by_class[MissClass.SEQUENTIAL] == 1
+        assert by_class[MissClass.TRAP] == 0
+
+    def test_fractions_sum_to_one(self):
+        breakdown = MissBreakdown()
+        for kind in (TransitionKind.CALL, TransitionKind.SEQUENTIAL, TransitionKind.JUMP):
+            breakdown.record(int(kind))
+        assert sum(breakdown.fractions().values()) == pytest.approx(1.0)
+
+    def test_fractions_empty(self):
+        assert all(v == 0.0 for v in MissBreakdown().fractions().values())
+
+    def test_reset(self):
+        breakdown = MissBreakdown()
+        breakdown.record(int(TransitionKind.CALL))
+        breakdown.reset()
+        assert breakdown.total == 0
+
+    def test_merged_with(self):
+        a = MissBreakdown()
+        b = MissBreakdown()
+        a.record(int(TransitionKind.CALL))
+        b.record(int(TransitionKind.CALL))
+        b.record(int(TransitionKind.TRAP))
+        merged = a.merged_with([b])
+        assert merged.count(TransitionKind.CALL) == 2
+        assert merged.count(TransitionKind.TRAP) == 1
+        # Originals untouched.
+        assert a.total == 1
+        assert b.total == 2
+
+    def test_format_table_mentions_labels(self):
+        breakdown = MissBreakdown()
+        breakdown.record(int(TransitionKind.COND_TAKEN_FWD))
+        table = breakdown.format_table()
+        assert "Cond branch (tf)" in table
+        assert "100.0%" in table

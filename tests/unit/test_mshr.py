@@ -1,0 +1,42 @@
+"""Unit tests for the outstanding-request tracker (repro.caches.mshr)."""
+
+import pytest
+
+from repro.caches.mshr import OutstandingRequestTracker
+
+
+class TestOutstandingRequestTracker:
+    def test_accepts_until_capacity(self):
+        mshr = OutstandingRequestTracker(2)
+        assert mshr.can_accept(0)
+        mshr.add(1, arrival=100, now=0)
+        mshr.add(2, arrival=100, now=0)
+        assert not mshr.can_accept(0)
+
+    def test_completion_frees_slots(self):
+        mshr = OutstandingRequestTracker(1)
+        mshr.add(1, arrival=50, now=0)
+        assert not mshr.can_accept(10)
+        assert mshr.can_accept(50)  # arrival <= now prunes
+        mshr.add(2, arrival=80, now=50)
+
+    def test_outstanding_count(self):
+        mshr = OutstandingRequestTracker(4)
+        mshr.add(1, arrival=10, now=0)
+        mshr.add(2, arrival=20, now=0)
+        assert mshr.outstanding(0) == 2
+        assert mshr.outstanding(15) == 1
+        assert mshr.outstanding(25) == 0
+
+    def test_add_when_full_raises(self):
+        mshr = OutstandingRequestTracker(1)
+        mshr.add(1, arrival=100, now=0)
+        with pytest.raises(RuntimeError, match="full"):
+            mshr.add(2, arrival=100, now=0)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            OutstandingRequestTracker(0)
+
+    def test_capacity_property(self):
+        assert OutstandingRequestTracker(16).capacity == 16

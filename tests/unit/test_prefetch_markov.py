@@ -1,0 +1,119 @@
+"""Unit tests for the Markov (multi-target) prefetcher."""
+
+import pytest
+
+from repro.isa.kinds import TransitionKind
+from repro.prefetch.markov import MarkovPrefetcher, MarkovTable
+
+SEQ = int(TransitionKind.SEQUENTIAL)
+
+
+class TestMarkovTable:
+    def test_single_observation(self):
+        table = MarkovTable(capacity=8, targets_per_entry=2)
+        table.observe(10, 100)
+        assert table.predict(10, fanout=2) == [100]
+
+    def test_multiple_targets_retained(self):
+        table = MarkovTable(capacity=8, targets_per_entry=2)
+        table.observe(10, 100)
+        table.observe(10, 200)
+        assert sorted(table.predict(10, fanout=2)) == [100, 200]
+
+    def test_frequency_ordering(self):
+        table = MarkovTable(capacity=8, targets_per_entry=2)
+        table.observe(10, 100)
+        table.observe(10, 200)
+        table.observe(10, 200)
+        assert table.predict(10, fanout=1) == [200]
+
+    def test_targets_per_entry_cap_with_decay(self):
+        table = MarkovTable(capacity=8, targets_per_entry=2)
+        table.observe(10, 100)
+        table.observe(10, 200)
+        # A third target competes with the weakest (decay halves it).
+        table.observe(10, 300)  # 200's count 1 -> 0 -> replaced by 300
+        successors = dict(table.entry_successors(10))
+        assert len(successors) == 2
+        assert 100 in successors
+        assert 300 in successors
+
+    def test_dominant_target_survives_noise(self):
+        table = MarkovTable(capacity=8, targets_per_entry=2)
+        for _ in range(8):
+            table.observe(10, 100)
+        for noise in (200, 300, 400):
+            table.observe(10, noise)
+        assert table.predict(10, fanout=1) == [100]
+
+    def test_lru_capacity(self):
+        table = MarkovTable(capacity=2, targets_per_entry=2)
+        table.observe(1, 100)
+        table.observe(2, 200)
+        table.observe(3, 300)  # evicts 1
+        assert table.predict(1, fanout=2) == []
+        assert table.predict(3, fanout=2) == [300]
+        assert table.stats.evictions == 1
+
+    def test_predict_refreshes_lru(self):
+        table = MarkovTable(capacity=2, targets_per_entry=1)
+        table.observe(1, 100)
+        table.observe(2, 200)
+        table.predict(1, fanout=1)
+        table.observe(3, 300)  # evicts 2, not 1
+        assert table.predict(1, fanout=1) == [100]
+        assert table.predict(2, fanout=1) == []
+
+    def test_occupancy_and_reset(self):
+        table = MarkovTable(capacity=8)
+        table.observe(1, 100)
+        table.observe(2, 200)
+        assert table.occupancy() == 2
+        table.reset()
+        assert table.occupancy() == 0
+        assert table.stats.allocations == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkovTable(capacity=0)
+        with pytest.raises(ValueError):
+            MarkovTable(targets_per_entry=0)
+
+
+class TestMarkovPrefetcher:
+    def test_sequential_plus_markov_candidates(self):
+        pf = MarkovPrefetcher(capacity=64, targets_per_entry=2, fanout=2, prefetch_ahead=2)
+        pf.on_discontinuity(10, 500, caused_miss=True)
+        pf.on_discontinuity(10, 800, caused_miss=True)
+        lines = [c.line for c in pf.on_demand_fetch(10, True, False, SEQ)]
+        assert lines[:2] == [11, 12]  # sequential window
+        # Both targets prefetched with the remainder window.
+        assert 500 in lines and 800 in lines
+        assert 501 in lines and 502 in lines
+
+    def test_no_trigger_no_candidates(self):
+        pf = MarkovPrefetcher()
+        assert pf.on_demand_fetch(10, False, False, SEQ) == []
+
+    def test_fanout_limits_targets(self):
+        pf = MarkovPrefetcher(capacity=64, targets_per_entry=4, fanout=1, prefetch_ahead=1)
+        pf.on_discontinuity(10, 500, caused_miss=True)
+        pf.on_discontinuity(10, 800, caused_miss=True)
+        pf.on_discontinuity(10, 800, caused_miss=True)  # 800 dominant
+        lines = [c.line for c in pf.on_demand_fetch(10, True, False, SEQ)]
+        assert 800 in lines
+        assert 500 not in lines
+
+    def test_allocation_needs_miss(self):
+        pf = MarkovPrefetcher(capacity=64)
+        pf.on_discontinuity(10, 500, caused_miss=False)
+        assert pf.table.predict(10, fanout=2) == []
+
+    def test_name(self):
+        assert MarkovPrefetcher(targets_per_entry=3).name == "markov-3t"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkovPrefetcher(fanout=0)
+        with pytest.raises(ValueError):
+            MarkovPrefetcher(prefetch_ahead=0)

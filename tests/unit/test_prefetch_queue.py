@@ -1,0 +1,165 @@
+"""Unit tests for the prefetch queue + filtering (paper §4.1)."""
+
+import pytest
+
+from repro.prefetch.base import PrefetchCandidate
+from repro.prefetch.queue import PrefetchQueue, QueueState
+
+
+def cand(line, provenance=("seq",)):
+    return PrefetchCandidate(line, provenance)
+
+
+class TestOfferAndPop:
+    def test_accept_and_pop(self):
+        queue = PrefetchQueue(capacity=4)
+        assert queue.offer(cand(10))
+        entry = queue.pop_ready()
+        assert entry.line == 10
+        assert entry.state == QueueState.ISSUED
+
+    def test_lifo_order(self):
+        queue = PrefetchQueue(capacity=4)
+        for line in (1, 2, 3):
+            queue.offer(cand(line))
+        assert queue.pop_ready().line == 3
+        assert queue.pop_ready().line == 2
+        assert queue.pop_ready().line == 1
+        assert queue.pop_ready() is None
+
+    def test_fifo_mode(self):
+        queue = PrefetchQueue(capacity=4, lifo=False)
+        for line in (1, 2, 3):
+            queue.offer(cand(line))
+        assert queue.pop_ready().line == 1
+
+    def test_issued_entry_stays_as_filter_memory(self):
+        queue = PrefetchQueue(capacity=4)
+        queue.offer(cand(10))
+        queue.pop_ready()
+        assert len(queue) == 1
+        assert queue.state_of(10) == QueueState.ISSUED
+
+    def test_overflow_drops_oldest(self):
+        queue = PrefetchQueue(capacity=2)
+        queue.offer(cand(1))
+        queue.offer(cand(2))
+        queue.offer(cand(3))
+        assert queue.state_of(1) is None
+        assert len(queue) == 2
+        assert queue.stats.overflow_drops == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            PrefetchQueue(capacity=0)
+
+
+class TestFiltering:
+    def test_recent_demand_fetch_drops_candidate(self):
+        queue = PrefetchQueue(capacity=4, recent_capacity=4)
+        queue.note_demand_fetch(10)
+        assert not queue.offer(cand(10))
+        assert queue.stats.dropped_recent_demand == 1
+
+    def test_recent_list_bounded(self):
+        queue = PrefetchQueue(capacity=8, recent_capacity=2)
+        queue.note_demand_fetch(1)
+        queue.note_demand_fetch(2)
+        queue.note_demand_fetch(3)  # 1 falls out
+        assert queue.offer(cand(1))
+        assert not queue.offer(cand(3))
+
+    def test_duplicate_waiting_hoists(self):
+        queue = PrefetchQueue(capacity=4)
+        queue.offer(cand(1))
+        queue.offer(cand(2))
+        assert not queue.offer(cand(1))  # duplicate -> hoist, not re-add
+        assert queue.stats.hoisted == 1
+        assert queue.pop_ready().line == 1  # hoisted to head
+
+    def test_duplicate_of_issued_dropped(self):
+        queue = PrefetchQueue(capacity=4)
+        queue.offer(cand(1))
+        queue.pop_ready()
+        assert not queue.offer(cand(1))
+        assert queue.stats.dropped_dup_issued == 1
+
+    def test_duplicate_of_invalidated_dropped(self):
+        # Use a tiny recent list so the invalidated line ages out of it
+        # and the duplicate is caught by the queue record, not the
+        # recent-demand filter.
+        queue = PrefetchQueue(capacity=8, recent_capacity=1)
+        queue.offer(cand(1))
+        queue.note_demand_fetch(1)  # invalidates the waiting entry
+        assert queue.stats.invalidated_by_demand == 1
+        queue.note_demand_fetch(2)  # pushes 1 out of the recent list
+        assert not queue.offer(cand(1))
+        assert queue.stats.dropped_dup_invalid == 1
+
+    def test_demand_fetch_invalidates_waiting(self):
+        queue = PrefetchQueue(capacity=4)
+        queue.offer(cand(5))
+        queue.note_demand_fetch(5)
+        assert queue.state_of(5) == QueueState.INVALID
+        assert queue.pop_ready() is None
+
+    def test_demand_fetch_does_not_invalidate_issued(self):
+        queue = PrefetchQueue(capacity=4)
+        queue.offer(cand(5))
+        queue.pop_ready()
+        queue.note_demand_fetch(5)
+        assert queue.state_of(5) == QueueState.ISSUED
+
+
+class TestUnfilteredMode:
+    def test_duplicates_allowed(self):
+        queue = PrefetchQueue(capacity=4, filtering=False)
+        assert queue.offer(cand(1))
+        assert queue.offer(cand(1))
+        assert len(queue) == 2
+
+    def test_recent_demands_ignored(self):
+        queue = PrefetchQueue(capacity=4, filtering=False)
+        queue.note_demand_fetch(1)
+        assert queue.offer(cand(1))
+
+    def test_capacity_still_enforced(self):
+        queue = PrefetchQueue(capacity=2, filtering=False)
+        for line in range(5):
+            queue.offer(cand(line))
+        assert len(queue) == 2
+
+
+class TestIntrospection:
+    def test_waiting_count(self):
+        queue = PrefetchQueue(capacity=4)
+        queue.offer(cand(1))
+        queue.offer(cand(2))
+        queue.pop_ready()
+        assert queue.waiting_count() == 1
+
+    def test_has_ready(self):
+        queue = PrefetchQueue(capacity=4)
+        assert not queue.has_ready()
+        queue.offer(cand(1))
+        assert queue.has_ready()
+        queue.pop_ready()
+        assert not queue.has_ready()
+
+    def test_flush(self):
+        queue = PrefetchQueue(capacity=4)
+        queue.offer(cand(1))
+        queue.note_demand_fetch(9)
+        queue.flush()
+        assert len(queue) == 0
+        assert queue.offer(cand(9))  # recent list cleared too
+
+    def test_stats_reset(self):
+        queue = PrefetchQueue(capacity=4)
+        queue.offer(cand(1))
+        queue.stats.reset()
+        assert queue.stats.offered == 0
+        assert queue.stats.accepted == 0
+
+    def test_capacity_property(self):
+        assert PrefetchQueue(capacity=7).capacity == 7

@@ -1,0 +1,82 @@
+"""Unit tests for the sequential prefetcher family."""
+
+import pytest
+
+from repro.isa.kinds import TransitionKind
+from repro.prefetch.sequential import (
+    LookaheadN,
+    NextLineAlways,
+    NextLineOnMiss,
+    NextLineTagged,
+    NextNLineTagged,
+)
+
+SEQ = int(TransitionKind.SEQUENTIAL)
+
+
+def lines(candidates):
+    return [candidate.line for candidate in candidates]
+
+
+class TestNextLineAlways:
+    def test_always_triggers(self):
+        pf = NextLineAlways()
+        assert lines(pf.on_demand_fetch(10, False, False, SEQ)) == [11]
+        assert lines(pf.on_demand_fetch(10, True, False, SEQ)) == [11]
+
+
+class TestNextLineOnMiss:
+    def test_triggers_only_on_miss(self):
+        pf = NextLineOnMiss()
+        assert lines(pf.on_demand_fetch(10, True, False, SEQ)) == [11]
+        assert pf.on_demand_fetch(10, False, False, SEQ) == []
+        assert pf.on_demand_fetch(10, False, True, SEQ) == []
+
+
+class TestNextLineTagged:
+    def test_triggers_on_miss_or_first_use(self):
+        pf = NextLineTagged()
+        assert lines(pf.on_demand_fetch(10, True, False, SEQ)) == [11]
+        assert lines(pf.on_demand_fetch(10, False, True, SEQ)) == [11]
+        assert pf.on_demand_fetch(10, False, False, SEQ) == []
+
+
+class TestNextNLineTagged:
+    def test_issues_n_lines(self):
+        pf = NextNLineTagged(degree=4)
+        assert lines(pf.on_demand_fetch(10, True, False, SEQ)) == [11, 12, 13, 14]
+
+    def test_degree_two(self):
+        pf = NextNLineTagged(degree=2)
+        assert lines(pf.on_demand_fetch(10, False, True, SEQ)) == [11, 12]
+
+    def test_no_trigger_no_candidates(self):
+        assert NextNLineTagged(4).on_demand_fetch(10, False, False, SEQ) == []
+
+    def test_name_reflects_degree(self):
+        assert NextNLineTagged(4).name == "next-4-line"
+        assert NextNLineTagged(2).name == "next-2-line"
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ValueError):
+            NextNLineTagged(0)
+
+
+class TestLookaheadN:
+    def test_single_distant_line(self):
+        pf = LookaheadN(distance=4)
+        assert lines(pf.on_demand_fetch(10, True, False, SEQ)) == [14]
+
+    def test_no_trigger(self):
+        assert LookaheadN(4).on_demand_fetch(10, False, False, SEQ) == []
+
+    def test_rejects_bad_distance(self):
+        with pytest.raises(ValueError):
+            LookaheadN(0)
+
+
+class TestProvenance:
+    def test_sequential_provenance_tagged(self):
+        pf = NextNLineTagged(2)
+        for candidate in pf.on_demand_fetch(5, True, False, SEQ):
+            assert candidate.provenance == ("seq",)

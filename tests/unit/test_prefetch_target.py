@@ -1,0 +1,73 @@
+"""Unit tests for the history-based target prefetcher baseline."""
+
+import pytest
+
+from repro.isa.kinds import TransitionKind
+from repro.prefetch.target import TargetPrefetcher
+
+SEQ = int(TransitionKind.SEQUENTIAL)
+
+
+class TestTargetPrefetcher:
+    def test_learns_transition(self):
+        pf = TargetPrefetcher(capacity=8)
+        pf.on_discontinuity(10, 500, caused_miss=True)
+        candidates = pf.on_demand_fetch(10, False, False, SEQ)
+        assert [c.line for c in candidates] == [500]
+
+    def test_learns_even_without_miss(self):
+        pf = TargetPrefetcher(capacity=8)
+        pf.on_discontinuity(10, 500, caused_miss=False)
+        assert [c.line for c in pf.on_demand_fetch(10, False, False, SEQ)] == [500]
+
+    def test_probes_current_line_only(self):
+        pf = TargetPrefetcher(capacity=8)
+        pf.on_discontinuity(12, 500, caused_miss=True)
+        # Fetching line 10 must NOT find the entry for 12 (no probe-ahead).
+        assert pf.on_demand_fetch(10, True, False, SEQ) == []
+
+    def test_updates_existing_entry(self):
+        pf = TargetPrefetcher(capacity=8)
+        pf.on_discontinuity(10, 500, caused_miss=True)
+        pf.on_discontinuity(10, 600, caused_miss=True)
+        assert [c.line for c in pf.on_demand_fetch(10, False, False, SEQ)] == [600]
+
+    def test_lru_capacity_eviction(self):
+        pf = TargetPrefetcher(capacity=2)
+        pf.on_discontinuity(1, 100, caused_miss=True)
+        pf.on_discontinuity(2, 200, caused_miss=True)
+        pf.on_discontinuity(3, 300, caused_miss=True)  # evicts 1
+        assert pf.on_demand_fetch(1, False, False, SEQ) == []
+        assert [c.line for c in pf.on_demand_fetch(3, False, False, SEQ)] == [300]
+
+    def test_probe_refreshes_lru(self):
+        pf = TargetPrefetcher(capacity=2)
+        pf.on_discontinuity(1, 100, caused_miss=True)
+        pf.on_discontinuity(2, 200, caused_miss=True)
+        pf.on_demand_fetch(1, False, False, SEQ)  # touch 1
+        pf.on_discontinuity(3, 300, caused_miss=True)  # evicts 2
+        assert [c.line for c in pf.on_demand_fetch(1, False, False, SEQ)] == [100]
+        assert pf.on_demand_fetch(2, False, False, SEQ) == []
+
+    def test_degree_extends_run(self):
+        pf = TargetPrefetcher(capacity=8, degree=3)
+        pf.on_discontinuity(10, 500, caused_miss=True)
+        assert [c.line for c in pf.on_demand_fetch(10, False, False, SEQ)] == [500, 501, 502]
+
+    def test_provenance(self):
+        pf = TargetPrefetcher(capacity=8)
+        pf.on_discontinuity(10, 500, caused_miss=True)
+        candidate = pf.on_demand_fetch(10, False, False, SEQ)[0]
+        assert candidate.provenance == ("tgt", 10)
+
+    def test_reset(self):
+        pf = TargetPrefetcher(capacity=8)
+        pf.on_discontinuity(10, 500, caused_miss=True)
+        pf.reset()
+        assert pf.on_demand_fetch(10, False, False, SEQ) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TargetPrefetcher(capacity=0)
+        with pytest.raises(ValueError):
+            TargetPrefetcher(degree=0)

@@ -1,0 +1,65 @@
+"""Unit tests for the multi-seed replication helpers."""
+
+import pytest
+
+from repro.eval.profiles import ExperimentScale
+from repro.eval.replication import (
+    Replicate,
+    replicate_metric,
+    replicate_speedup,
+    summarize,
+)
+
+TINY = ExperimentScale(
+    name="tiny",
+    warm_instructions=5_000,
+    measure_instructions=20_000,
+    cmp_measure_instructions=10_000,
+)
+
+
+class TestSummarize:
+    def test_mean_and_std(self):
+        replicate = summarize([1.0, 2.0, 3.0])
+        assert replicate.mean == pytest.approx(2.0)
+        assert replicate.std == pytest.approx(1.0)
+        assert replicate.n == 3
+
+    def test_single_sample(self):
+        replicate = summarize([5.0])
+        assert replicate.mean == 5.0
+        assert replicate.std == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str_format(self):
+        assert "±" in str(summarize([1.0, 2.0]))
+
+    def test_identical_samples_zero_std(self):
+        assert summarize([2.5, 2.5, 2.5]).std == 0.0
+
+
+class TestReplicateMetric:
+    def test_calls_metric_per_seed(self):
+        seen = []
+
+        def metric(seed):
+            seen.append(seed)
+            return float(seed)
+
+        replicate = replicate_metric(metric, seeds=(1, 2, 3))
+        assert seen == [1, 2, 3]
+        assert replicate.mean == pytest.approx(2.0)
+
+
+class TestReplicateSpeedup:
+    def test_speedup_stable_across_seeds(self):
+        replicate = replicate_speedup(
+            "web", 1, "next-line-tagged", scale=TINY, seeds=(1, 2)
+        )
+        assert replicate.n == 2
+        assert replicate.mean > 1.0
+        # Tiny runs are noisy, but the spread must stay bounded.
+        assert replicate.std < 0.5

@@ -1,0 +1,89 @@
+"""Unit tests for result export (repro.eval.report) and the CLI flags."""
+
+import json
+import math
+
+import pytest
+
+from repro.eval.cli import main
+from repro.eval.figures import ExperimentResult
+from repro.eval.report import (
+    panel_to_markdown,
+    panels_from_json,
+    panels_to_json,
+    panels_to_markdown,
+)
+
+
+def sample_panels():
+    return [
+        ExperimentResult(
+            experiment="figXX",
+            title="demo",
+            row_labels=["a", "b"],
+            col_labels=["x", "y"],
+            values=[[1.5, 2.0], [3.25, 4.0]],
+            unit="things",
+            notes=["note one"],
+        ),
+        ExperimentResult(
+            experiment="figYY",
+            title="with nan",
+            row_labels=["only"],
+            col_labels=["x"],
+            values=[[float("nan")]],
+        ),
+    ]
+
+
+class TestJson:
+    def test_roundtrip(self):
+        text = panels_to_json(sample_panels())
+        parsed = panels_from_json(text)
+        assert len(parsed) == 2
+        assert parsed[0]["experiment"] == "figXX"
+        assert parsed[0]["values"] == [[1.5, 2.0], [3.25, 4.0]]
+        assert math.isnan(parsed[1]["values"][0][0])
+
+    def test_rejects_non_list(self):
+        with pytest.raises(ValueError):
+            panels_from_json(json.dumps({"not": "a list"}))
+
+    def test_rejects_missing_keys(self):
+        with pytest.raises(ValueError, match="missing key"):
+            panels_from_json(json.dumps([{"experiment": "x"}]))
+
+
+class TestMarkdown:
+    def test_table_structure(self):
+        markdown = panel_to_markdown(sample_panels()[0])
+        lines = markdown.splitlines()
+        assert lines[0].startswith("**figXX**")
+        assert "| | x | y |" in markdown
+        assert "| a | 1.500 | 2.000 |" in markdown
+        assert "> note one" in markdown
+
+    def test_nan_rendered_as_dash(self):
+        markdown = panel_to_markdown(sample_panels()[1])
+        assert "—" in markdown
+
+    def test_document_joins_panels(self):
+        document = panels_to_markdown(sample_panels())
+        assert "figXX" in document and "figYY" in document
+
+
+class TestCliExportFlags:
+    def test_json_and_markdown_written(self, tmp_path, monkeypatch):
+        # Patch in a fast fake experiment so the CLI itself is what's
+        # under test, not a simulation.
+        from repro.eval import registry
+
+        monkeypatch.setitem(
+            registry.EXPERIMENTS, "fake", lambda **kw: sample_panels()
+        )
+        json_path = tmp_path / "out.json"
+        md_path = tmp_path / "out.md"
+        code = main(["fake", "--json", str(json_path), "--markdown", str(md_path)])
+        assert code == 0
+        assert panels_from_json(json_path.read_text())[0]["experiment"] == "figXX"
+        assert "**figXX**" in md_path.read_text()

@@ -1,0 +1,143 @@
+"""Unit tests for repro.util.rng."""
+
+import pytest
+
+from repro.util.rng import SplitMix64, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "walker", 0) == derive_seed(42, "walker", 0)
+
+    def test_labels_decorrelate(self):
+        assert derive_seed(42, "walker", 0) != derive_seed(42, "walker", 1)
+
+    def test_root_matters(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_label_order_matters(self):
+        assert derive_seed(42, "a", "b") != derive_seed(42, "b", "a")
+
+    def test_result_fits_in_64_bits(self):
+        assert 0 <= derive_seed(2**63, "big", -5) < 2**64
+
+
+class TestSplitMix64:
+    def test_reproducible_stream(self):
+        a = SplitMix64(123)
+        b = SplitMix64(123)
+        assert [a.next_u64() for _ in range(10)] == [b.next_u64() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = SplitMix64(1)
+        b = SplitMix64(2)
+        assert [a.next_u64() for _ in range(4)] != [b.next_u64() for _ in range(4)]
+
+    def test_random_in_unit_interval(self):
+        rng = SplitMix64(7)
+        for _ in range(1000):
+            value = rng.random()
+            assert 0.0 <= value < 1.0
+
+    def test_randrange_bounds(self):
+        rng = SplitMix64(7)
+        for _ in range(500):
+            assert 0 <= rng.randrange(13) < 13
+
+    def test_randrange_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            SplitMix64(1).randrange(0)
+
+    def test_randint_inclusive(self):
+        rng = SplitMix64(3)
+        seen = {rng.randint(2, 4) for _ in range(200)}
+        assert seen == {2, 3, 4}
+
+    def test_randint_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            SplitMix64(1).randint(5, 4)
+
+    def test_choice(self):
+        rng = SplitMix64(9)
+        items = ["a", "b", "c"]
+        assert all(rng.choice(items) in items for _ in range(50))
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(ValueError):
+            SplitMix64(1).choice([])
+
+    def test_geometric_mean_one_is_constant(self):
+        rng = SplitMix64(5)
+        assert all(rng.geometric(1.0) == 1 for _ in range(20))
+
+    def test_geometric_mean_approx(self):
+        rng = SplitMix64(5)
+        samples = [rng.geometric(6.0) for _ in range(20000)]
+        mean = sum(samples) / len(samples)
+        assert 5.0 < mean < 7.0
+
+    def test_geometric_rejects_sub_one_mean(self):
+        with pytest.raises(ValueError):
+            SplitMix64(1).geometric(0.5)
+
+    def test_lognormal_int_respects_clamps(self):
+        rng = SplitMix64(11)
+        for _ in range(500):
+            value = rng.lognormal_int(100, 1.0, 10, 400)
+            assert 10 <= value <= 400
+
+    def test_lognormal_int_median_roughly_centered(self):
+        rng = SplitMix64(11)
+        samples = sorted(rng.lognormal_int(100, 1.0, 1, 100000) for _ in range(5001))
+        median = samples[2500]
+        assert 70 <= median <= 140
+
+    def test_zipf_index_in_range(self):
+        rng = SplitMix64(13)
+        for _ in range(500):
+            assert 0 <= rng.zipf_index(50, 0.8) < 50
+
+    def test_zipf_skew_concentrates_low_indices(self):
+        rng = SplitMix64(13)
+        skewed = sum(rng.zipf_index(1000, 1.2) for _ in range(3000))
+        uniform = sum(rng.zipf_index(1000, 0.0) for _ in range(3000))
+        assert skewed < uniform * 0.5
+
+    def test_zipf_single_element(self):
+        assert SplitMix64(1).zipf_index(1, 1.0) == 0
+
+    def test_zipf_rejects_empty_support(self):
+        with pytest.raises(ValueError):
+            SplitMix64(1).zipf_index(0, 1.0)
+
+    def test_weighted_index_degenerate(self):
+        rng = SplitMix64(17)
+        assert all(rng.weighted_index([1.0]) == 0 for _ in range(10))
+
+    def test_weighted_index_distribution(self):
+        rng = SplitMix64(17)
+        counts = [0, 0]
+        for _ in range(4000):
+            counts[rng.weighted_index([0.25, 1.0])] += 1
+        assert counts[0] < counts[1]
+
+    def test_shuffle_is_permutation(self):
+        rng = SplitMix64(19)
+        items = list(range(30))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+        assert shuffled != items  # astronomically unlikely to be identity
+
+    def test_spawn_streams_independent(self):
+        rng = SplitMix64(21)
+        child_a = rng.spawn("a")
+        child_b = rng.spawn("b")
+        assert [child_a.next_u64() for _ in range(4)] != [
+            child_b.next_u64() for _ in range(4)
+        ]
+
+    def test_spawn_deterministic(self):
+        a = SplitMix64(21).spawn("x", 1)
+        b = SplitMix64(21).spawn("x", 1)
+        assert a.next_u64() == b.next_u64()

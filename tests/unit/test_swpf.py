@@ -1,0 +1,116 @@
+"""Unit tests for software prefetching (analysis + runtime)."""
+
+import pytest
+
+from repro.isa.kinds import TransitionKind
+from repro.swpf.analysis import PrefetchPlan, build_prefetch_plan
+from repro.swpf.prefetcher import SoftwarePrefetcher, software_prefetcher_for
+from repro.trace.synth.params import WorkloadProfile
+from repro.trace.synth.program import build_program
+
+SEQ = int(TransitionKind.SEQUENTIAL)
+
+
+@pytest.fixture(scope="module")
+def program():
+    profile = WorkloadProfile(
+        name="tiny",
+        n_functions=60,
+        fn_median_instr=60,
+        fn_max_instr=400,
+        block_mean_instr=5.0,
+        entry_fraction=0.3,
+        max_call_depth=8,
+        max_transaction_instr=2_000,
+    )
+    return build_program(profile, seed=17)
+
+
+class TestBuildPrefetchPlan:
+    def test_produces_sites(self, program):
+        plan = build_prefetch_plan(program)
+        assert plan.n_sites > 0
+        assert plan.n_targets >= plan.n_sites
+
+    def test_targets_are_distant(self, program):
+        plan = build_prefetch_plan(program, sequential_window=4)
+        for line in range(0, 1 << 16):
+            targets = plan.targets_for(line)
+            for target in targets:
+                # Within the sequential window the HW prefetcher covers it.
+                assert not (0 <= target - line <= 4)
+            if targets:
+                break  # checked at least one populated site
+
+    def test_probability_threshold_prunes(self, program):
+        permissive = build_prefetch_plan(program, min_probability=0.05)
+        strict = build_prefetch_plan(program, min_probability=0.6)
+        assert strict.n_targets < permissive.n_targets
+
+    def test_distance_window_validated(self, program):
+        with pytest.raises(ValueError):
+            build_prefetch_plan(program, min_distance=100, max_distance=50)
+        with pytest.raises(ValueError):
+            build_prefetch_plan(program, min_probability=0.0)
+
+    def test_deterministic(self, program):
+        a = build_prefetch_plan(program)
+        b = build_prefetch_plan(program)
+        for line in range(0, 1 << 14):
+            assert a.targets_for(line) == b.targets_for(line)
+
+    def test_rebased_shifts_private_lines(self, program):
+        plan = build_prefetch_plan(program)
+        boundary = 1 << 40  # nothing above: rebasing is a no-op
+        same = plan.rebased(boundary, 100)
+        assert same.n_targets == plan.n_targets
+        moved = plan.rebased(0, 100)  # everything shifts
+        for line in range(0, 1 << 14):
+            targets = plan.targets_for(line)
+            if targets:
+                assert moved.targets_for(line + 100) == tuple(
+                    t + 100 for t in targets
+                )
+                break
+
+
+class TestSoftwarePrefetcher:
+    def test_fires_plan_on_any_fetch(self):
+        plan = PrefetchPlan(6, {100: (500, 900)})
+        pf = SoftwarePrefetcher(plan, sequential_degree=0)
+        # Software prefetches execute with the code: hit or miss.
+        lines = [c.line for c in pf.on_demand_fetch(100, False, False, SEQ)]
+        assert lines == [500, 900]
+
+    def test_sequential_component_on_trigger(self):
+        plan = PrefetchPlan(6, {})
+        pf = SoftwarePrefetcher(plan, sequential_degree=2)
+        assert [c.line for c in pf.on_demand_fetch(10, True, False, SEQ)] == [11, 12]
+        assert pf.on_demand_fetch(10, False, False, SEQ) == []
+
+    def test_overhead_accrues_and_resets(self):
+        plan = PrefetchPlan(6, {100: (500, 900)})
+        pf = SoftwarePrefetcher(plan, sequential_degree=0, instruction_overhead_cycles=0.5)
+        pf.on_demand_fetch(100, False, False, SEQ)
+        assert pf.consume_overhead_cycles() == pytest.approx(1.0)
+        assert pf.consume_overhead_cycles() == 0.0
+        assert pf.overhead_cycles == pytest.approx(1.0)
+
+    def test_validation(self):
+        plan = PrefetchPlan(6, {})
+        with pytest.raises(ValueError):
+            SoftwarePrefetcher(plan, sequential_degree=-1)
+        with pytest.raises(ValueError):
+            SoftwarePrefetcher(plan, instruction_overhead_cycles=-0.1)
+
+
+class TestFactory:
+    def test_builds_matching_plan(self):
+        pf = software_prefetcher_for("web", seed=1337, core=0)
+        assert pf.plan.n_sites > 100
+
+    def test_core_rebasing_changes_lines(self):
+        base = software_prefetcher_for("web", seed=1337, core=0)
+        shifted = software_prefetcher_for("web", seed=1337, core=1)
+        assert base.plan.n_sites == shifted.plan.n_sites
+        assert base.plan.n_targets == shifted.plan.n_targets

@@ -1,0 +1,112 @@
+"""Unit tests for the data-access stream (repro.trace.synth.datagen)."""
+
+import pytest
+
+from repro.trace.synth.datagen import DATA_BASE, DataStream
+from repro.trace.synth.params import WorkloadProfile
+
+
+@pytest.fixture
+def profile():
+    return WorkloadProfile(
+        name="d",
+        data_rate=0.5,
+        p_reuse=0.8,
+        reuse_window_lines=64,
+        hot_bytes=64 * 1024,
+        cold_bytes=1024 * 1024,
+        p_cold=0.2,
+    )
+
+
+class TestDataStream:
+    def test_rate_matches_profile(self, profile):
+        stream = DataStream(profile, seed=1)
+        total = sum(len(stream.accesses_for_block(10)) for _ in range(2000))
+        rate = total / 20000
+        assert 0.45 < rate < 0.55
+
+    def test_deterministic(self, profile):
+        a = DataStream(profile, seed=9)
+        b = DataStream(profile, seed=9)
+        for _ in range(100):
+            assert a.accesses_for_block(8) == b.accesses_for_block(8)
+
+    def test_seed_changes_stream(self, profile):
+        a = DataStream(profile, seed=9)
+        b = DataStream(profile, seed=10)
+        streams = [a.accesses_for_block(8) for _ in range(50)], [
+            b.accesses_for_block(8) for _ in range(50)
+        ]
+        assert streams[0] != streams[1]
+
+    def test_addresses_above_data_base(self, profile):
+        stream = DataStream(profile, seed=2)
+        for _ in range(500):
+            for addr in stream.accesses_for_block(10):
+                assert addr >= DATA_BASE
+
+    def test_addresses_within_declared_regions(self, profile):
+        stream = DataStream(profile, seed=3)
+        summary = stream.region_summary()
+        regions = [
+            (summary["hot_base"], summary["hot_base"] + summary["hot_bytes"] + 64),
+            (summary["cold_base"], summary["cold_base"] + summary["cold_bytes"] + 64),
+            (
+                summary["cold_private_base"],
+                summary["cold_private_base"] + summary["cold_private_bytes"] + 64,
+            ),
+        ]
+        for _ in range(1000):
+            for addr in stream.accesses_for_block(10):
+                assert any(lo <= addr < hi for lo, hi in regions)
+
+    def test_private_cold_region_distinct_per_core(self, profile):
+        a = DataStream(profile, seed=3, core=0).region_summary()
+        b = DataStream(profile, seed=3, core=1).region_summary()
+        assert a["cold_private_base"] != b["cold_private_base"]
+        assert a["cold_base"] == b["cold_base"]  # buffer pool shared
+        assert a["hot_base"] != b["hot_base"]  # session data private
+
+    def test_reuse_produces_repeats(self, profile):
+        stream = DataStream(profile, seed=4)
+        lines = []
+        for _ in range(2000):
+            lines.extend(addr >> 6 for addr in stream.accesses_for_block(10))
+        distinct = len(set(lines))
+        # With p_reuse=0.8, distinct lines should be far fewer than accesses.
+        assert distinct < len(lines) * 0.45
+
+    def test_zero_instruction_block_possible(self, profile):
+        stream = DataStream(profile, seed=5)
+        # A 1-instruction block at rate 0.5 often yields no accesses.
+        counts = {len(stream.accesses_for_block(1)) for _ in range(200)}
+        assert 0 in counts
+
+    def test_region_summary_keys(self, profile):
+        summary = DataStream(profile, seed=6).region_summary()
+        assert set(summary) == {
+            "hot_base",
+            "hot_bytes",
+            "cold_base",
+            "cold_bytes",
+            "cold_private_base",
+            "cold_private_bytes",
+            "reuse_window_lines",
+        }
+
+    def test_cold_fraction_respected(self, profile):
+        stream = DataStream(profile, seed=7)
+        summary = stream.region_summary()
+        cold_lo = summary["cold_base"]
+        total = 0
+        cold = 0
+        for _ in range(4000):
+            for addr in stream.accesses_for_block(10):
+                total += 1
+                if addr >= cold_lo:
+                    cold += 1
+        # Fresh accesses are 20% of the stream; of those 20% are cold, but
+        # reused cold lines inflate the total. Just check it is a modest
+        # minority and nonzero.
+        assert 0 < cold / total < 0.5

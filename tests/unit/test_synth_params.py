@@ -1,0 +1,66 @@
+"""Unit tests for WorkloadProfile validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.trace.synth.params import WorkloadProfile
+
+
+def make(**overrides):
+    return WorkloadProfile(name="p", **overrides)
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        make()
+
+    def test_rejects_nonpositive_functions(self):
+        with pytest.raises(ValueError):
+            make(n_functions=0)
+
+    def test_rejects_bad_size_bounds(self):
+        with pytest.raises(ValueError):
+            make(fn_min_instr=10, fn_max_instr=5)
+        with pytest.raises(ValueError):
+            make(fn_min_instr=0)
+
+    def test_rejects_probability_out_of_range(self):
+        with pytest.raises(ValueError):
+            make(p_cond=1.5)
+        with pytest.raises(ValueError):
+            make(p_cold=-0.1)
+
+    def test_rejects_terminator_probs_exceeding_one(self):
+        with pytest.raises(ValueError, match="sum"):
+            make(p_cond=0.5, p_uncond=0.3, p_call=0.3)
+
+    def test_rejects_inverted_taken_ranges(self):
+        with pytest.raises(ValueError):
+            make(fwd_taken_lo=0.6, fwd_taken_hi=0.4)
+        with pytest.raises(ValueError):
+            make(loop_taken_lo=0.9, loop_taken_hi=0.8)
+
+    def test_rejects_nonpositive_depth_and_budget(self):
+        with pytest.raises(ValueError):
+            make(max_call_depth=0)
+        with pytest.raises(ValueError):
+            make(max_transaction_instr=0)
+
+    def test_rejects_nonpositive_data_params(self):
+        with pytest.raises(ValueError):
+            make(data_rate=0)
+        with pytest.raises(ValueError):
+            make(hot_bytes=0)
+        with pytest.raises(ValueError):
+            make(reuse_window_lines=0)
+
+    def test_frozen(self):
+        profile = make()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            profile.n_functions = 5
+
+    def test_footprint_estimate_positive_and_scales(self):
+        small = make(n_functions=100, fn_median_instr=50)
+        large = make(n_functions=1000, fn_median_instr=50)
+        assert 0 < small.approx_code_footprint_bytes < large.approx_code_footprint_bytes

@@ -1,0 +1,157 @@
+"""Unit tests for the static program builder (repro.trace.synth.program)."""
+
+import pytest
+
+from repro.trace.record import INSTRUCTION_SIZE
+from repro.trace.synth.program import (
+    N_TRAP_HANDLERS,
+    TermKind,
+    build_program,
+)
+
+
+@pytest.fixture(scope="module")
+def program(tiny_profile=None):
+    # Build once for the module; tiny profile inline to allow scope=module.
+    from repro.trace.synth.params import WorkloadProfile
+
+    profile = WorkloadProfile(
+        name="tiny",
+        n_functions=80,
+        fn_median_instr=40,
+        fn_sigma=0.8,
+        fn_max_instr=400,
+        block_mean_instr=5.0,
+        entry_fraction=0.25,
+        max_call_depth=8,
+        max_transaction_instr=2_000,
+        hot_bytes=16 * 1024,
+        cold_bytes=256 * 1024,
+    )
+    return build_program(profile, seed=99)
+
+
+class TestBuildProgram:
+    def test_function_count(self, program):
+        assert len(program.functions) == 80 + N_TRAP_HANDLERS
+
+    def test_deterministic(self, program):
+        again = build_program(program.profile, seed=99)
+        assert [fn.entry_addr for fn in again.functions] == [
+            fn.entry_addr for fn in program.functions
+        ]
+        first = program.functions[0].blocks
+        second = again.functions[0].blocks
+        assert [(b.addr, b.ninstr, b.term) for b in first] == [
+            (b.addr, b.ninstr, b.term) for b in second
+        ]
+
+    def test_seed_changes_structure(self, program):
+        other = build_program(program.profile, seed=100)
+        sizes_a = [fn.total_instructions for fn in program.functions]
+        sizes_b = [fn.total_instructions for fn in other.functions]
+        assert sizes_a != sizes_b
+
+    def test_functions_do_not_overlap_and_are_aligned(self, program):
+        intervals = sorted(
+            (fn.entry_addr, fn.entry_addr + fn.size_bytes) for fn in program.functions
+        )
+        previous_end = 0
+        for start, end in intervals:
+            assert start >= previous_end
+            assert start % program.profile.fn_align == 0
+            previous_end = end
+
+    def test_shared_and_private_text_regions(self, program):
+        boundary = program.private_text_start
+        shared = [
+            fn for fn in program.functions
+            if not fn.is_trap_handler and fn.entry_addr < boundary
+        ]
+        private = [
+            fn for fn in program.functions
+            if not fn.is_trap_handler and fn.entry_addr >= boundary
+        ]
+        # With text_shared_fraction strictly between 0 and 1 both regions
+        # should be populated.
+        assert shared and private
+        # Trap handlers are kernel code: always in the shared region.
+        for index in program.trap_handler_indices:
+            assert program.functions[index].entry_addr < boundary
+
+    def test_blocks_contiguous_within_function(self, program):
+        for fn in program.functions[:20]:
+            addr = fn.entry_addr
+            for block in fn.blocks:
+                assert block.addr == addr
+                addr += block.ninstr * INSTRUCTION_SIZE
+
+    def test_function_sizes_within_bounds(self, program):
+        profile = program.profile
+        for fn in program.functions:
+            if fn.is_trap_handler:
+                continue
+            assert profile.fn_min_instr <= fn.total_instructions <= profile.fn_max_instr
+
+    def test_last_block_returns(self, program):
+        for fn in program.functions:
+            assert fn.blocks[-1].term == TermKind.RETURN
+
+    def test_cond_targets_valid(self, program):
+        for fn in program.functions:
+            nblocks = len(fn.blocks)
+            for index, block in enumerate(fn.blocks):
+                if block.term == TermKind.COND:
+                    assert 0 <= block.target < nblocks
+                    assert block.target != index  # no self-loop branches
+                    assert 0.0 < block.taken_prob < 1.0
+
+    def test_uncond_targets_forward(self, program):
+        for fn in program.functions:
+            for index, block in enumerate(fn.blocks):
+                if block.term == TermKind.UNCOND:
+                    assert block.target > index
+
+    def test_call_targets_are_regular_functions(self, program):
+        n_regular = program.profile.n_functions
+        for fn in program.functions:
+            for block in fn.blocks:
+                if block.term == TermKind.CALL:
+                    assert len(block.callees) >= 1
+                    for callee in block.callees:
+                        assert 0 <= callee < n_regular
+                        assert callee != fn.index  # no direct self-recursion
+
+    def test_switch_targets_forward_and_distinct(self, program):
+        for fn in program.functions:
+            for index, block in enumerate(fn.blocks):
+                if block.term == TermKind.SWITCH:
+                    assert len(set(block.switch_targets)) == len(block.switch_targets)
+                    assert all(t > index for t in block.switch_targets)
+
+    def test_entry_points_marked(self, program):
+        marked = [fn.index for fn in program.functions if fn.is_entry_point]
+        assert sorted(marked) == program.entry_indices
+        expected = max(1, int(program.profile.n_functions * program.profile.entry_fraction))
+        assert len(marked) == expected
+
+    def test_trap_handlers_distant_and_leaf(self, program):
+        boundary = program.private_text_start
+        shared_end = max(
+            fn.entry_addr + fn.size_bytes
+            for fn in program.functions
+            if not fn.is_trap_handler and fn.entry_addr < boundary
+        )
+        for index in program.trap_handler_indices:
+            handler = program.functions[index]
+            assert handler.is_trap_handler
+            # Far beyond the shared text (traps are real discontinuities).
+            assert handler.entry_addr > shared_end + 1_000_000
+            assert len(handler.blocks) == 1
+            assert handler.blocks[0].term == TermKind.RETURN
+
+    def test_code_footprint_reported(self, program):
+        assert program.code_footprint_bytes == sum(
+            fn.size_bytes for fn in program.functions
+        )
+        assert program.end_addr > program.private_text_start

@@ -1,0 +1,126 @@
+"""Unit tests for the trace walker (repro.trace.synth.walker)."""
+
+import pytest
+
+from repro.isa.kinds import TransitionKind
+from repro.trace.stats import compute_trace_stats
+from repro.trace.synth.program import build_program
+from repro.trace.synth.walker import TraceWalker, generate_program_trace
+
+
+@pytest.fixture(scope="module")
+def walked():
+    from repro.trace.synth.params import WorkloadProfile
+
+    profile = WorkloadProfile(
+        name="tiny",
+        n_functions=80,
+        fn_median_instr=40,
+        fn_sigma=0.8,
+        fn_max_instr=400,
+        block_mean_instr=5.0,
+        entry_fraction=0.25,
+        max_call_depth=8,
+        max_transaction_instr=2_000,
+        p_trap=0.001,
+        hot_bytes=16 * 1024,
+        cold_bytes=256 * 1024,
+    )
+    program = build_program(profile, seed=5)
+    trace = TraceWalker(program, seed=6).walk(30_000)
+    return program, trace
+
+
+class TestWalk:
+    def test_reaches_requested_length(self, walked):
+        _, trace = walked
+        assert trace.total_instructions >= 30_000
+
+    def test_does_not_wildly_overshoot(self, walked):
+        _, trace = walked
+        # Overshoot is bounded by one transaction.
+        assert trace.total_instructions < 30_000 + 2_100
+
+    def test_deterministic(self, walked):
+        program, trace = walked
+        again = TraceWalker(program, seed=6).walk(30_000)
+        assert list(again.events) == list(trace.events)
+
+    def test_seed_changes_walk(self, walked):
+        program, trace = walked
+        other = TraceWalker(program, seed=7).walk(30_000)
+        assert list(other.events) != list(trace.events)
+
+    def test_addresses_within_program(self, walked):
+        program, trace = walked
+        hi = program.end_addr
+        lo = program.profile.code_base
+        for event in trace.events:
+            assert lo <= event.addr < hi
+
+    def test_events_start_at_block_boundaries(self, walked):
+        program, trace = walked
+        block_addrs = {
+            block.addr for fn in program.functions for block in fn.blocks
+        }
+        for event in trace.events:
+            assert event.addr in block_addrs
+
+    def test_first_event_is_entry_call(self, walked):
+        program, trace = walked
+        first = trace.events[0]
+        assert first.kind == int(TransitionKind.CALL)
+        entry_addrs = {program.functions[i].entry_addr for i in program.entry_indices}
+        assert first.addr in entry_addrs
+
+    def test_all_transition_kinds_occur(self, walked):
+        _, trace = walked
+        stats = compute_trace_stats(trace.events)
+        seen = {kind for kind, count in stats.kind_counts.items() if count}
+        # Every kind should appear in a 30k-instruction walk of a program
+        # with traps enabled.
+        assert seen == set(TransitionKind)
+
+    def test_traps_enter_trap_handlers(self, walked):
+        program, trace = walked
+        handler_addrs = {
+            program.functions[i].entry_addr for i in program.trap_handler_indices
+        }
+        trap_kind = int(TransitionKind.TRAP)
+        trap_events = [e for e in trace.events if e.kind == trap_kind]
+        assert trap_events, "expected some traps at p_trap=0.001"
+        assert all(e.addr in handler_addrs for e in trap_events)
+
+    def test_traps_are_negligible_fraction(self, walked):
+        _, trace = walked
+        stats = compute_trace_stats(trace.events)
+        assert stats.kind_fraction(TransitionKind.TRAP) < 0.01
+
+    def test_data_attached(self, walked):
+        _, trace = walked
+        stats = compute_trace_stats(trace.events)
+        rate = stats.data_accesses_per_instruction
+        assert 0.8 * 0.36 < rate < 1.2 * 0.36
+
+    def test_rejects_nonpositive_budget(self, walked):
+        program, _ = walked
+        with pytest.raises(ValueError):
+            TraceWalker(program, seed=1).walk(0)
+
+
+class TestGenerateProgramTrace:
+    def test_convenience_wrapper(self):
+        from repro.trace.synth.params import WorkloadProfile
+
+        profile = WorkloadProfile(
+            name="mini",
+            n_functions=40,
+            fn_median_instr=30,
+            fn_max_instr=200,
+            entry_fraction=0.3,
+            max_call_depth=6,
+            max_transaction_instr=1_000,
+        )
+        trace = generate_program_trace(profile, seed=3, n_instructions=5_000)
+        assert trace.total_instructions >= 5_000
+        assert trace.name == "mini"

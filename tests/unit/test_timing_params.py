@@ -1,0 +1,42 @@
+"""Unit tests for TimingParams."""
+
+import dataclasses
+
+import pytest
+
+from repro.timing.params import DEFAULT_TIMING, TimingParams
+
+
+class TestTimingParams:
+    def test_paper_defaults(self):
+        assert DEFAULT_TIMING.issue_width == 3.0
+        assert DEFAULT_TIMING.l2_latency == 25
+        assert DEFAULT_TIMING.memory_latency == 400
+        assert DEFAULT_TIMING.clock_ghz == 3.0
+
+    def test_bytes_per_cycle(self):
+        assert DEFAULT_TIMING.bytes_per_cycle(10.0) == pytest.approx(10.0 / 3.0)
+        assert DEFAULT_TIMING.bytes_per_cycle(20.0) == pytest.approx(20.0 / 3.0)
+
+    def test_bytes_per_cycle_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DEFAULT_TIMING.bytes_per_cycle(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimingParams(issue_width=0)
+        with pytest.raises(ValueError):
+            TimingParams(l2_latency=0)
+        with pytest.raises(ValueError):
+            TimingParams(data_l2_exposed_fraction=1.5)
+        with pytest.raises(ValueError):
+            TimingParams(prefetch_mshr_capacity=0)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DEFAULT_TIMING.l2_latency = 30
+
+    def test_custom_values(self):
+        timing = TimingParams(memory_latency=200, issue_width=4.0)
+        assert timing.memory_latency == 200
+        assert timing.issue_width == 4.0

@@ -1,0 +1,126 @@
+"""Unit tests for the fetch-stream analysis (repro.trace.analysis)."""
+
+import pytest
+
+from repro.isa.kinds import TransitionKind
+from repro.trace.analysis import analyze_stream
+from repro.trace.record import BlockEvent
+
+SEQ = int(TransitionKind.SEQUENTIAL)
+TF = int(TransitionKind.COND_TAKEN_FWD)
+CALL = int(TransitionKind.CALL)
+
+
+def events(*specs):
+    return [BlockEvent(addr, ninstr, kind, ()) for addr, ninstr, kind in specs]
+
+
+class TestTfDistances:
+    def test_distance_histogram(self):
+        trace = events(
+            (0x1000, 16, SEQ),
+            (0x1080, 16, TF),   # +2 lines
+            (0x1200, 16, TF),   # +6 lines
+        )
+        analysis = analyze_stream(trace)
+        assert analysis.tf_distance_histogram == {2: 1, 6: 1}
+
+    def test_tf_within(self):
+        trace = events(
+            (0x1000, 16, SEQ),
+            (0x1080, 16, TF),   # +2
+            (0x1200, 16, TF),   # +6
+            (0x1280, 16, TF),   # +2
+        )
+        analysis = analyze_stream(trace)
+        assert analysis.tf_within(4) == pytest.approx(2 / 3)
+        assert analysis.tf_within(16) == pytest.approx(1.0)
+
+    def test_distances_clipped_at_16(self):
+        trace = events((0x1000, 16, SEQ), (0x9000, 16, TF))
+        analysis = analyze_stream(trace)
+        assert analysis.tf_distance_histogram == {16: 1}
+
+
+class TestDiscontinuities:
+    def test_counts_distinct_pairs_and_sources(self):
+        trace = events(
+            (0x1000, 16, SEQ),
+            (0x8000, 16, CALL),  # source 0x40, target 0x200
+            (0x1000, 16, TF),    # backward... source 0x200 -> 0x40
+            (0x8000, 16, CALL),  # repeat of the first pair
+        )
+        analysis = analyze_stream(trace)
+        assert analysis.discontinuities == 3
+        assert analysis.distinct_sources == 2
+        assert analysis.distinct_discontinuity_pairs == 2
+
+    def test_monomorphic_detection(self):
+        trace = events(
+            (0x1000, 16, SEQ),
+            (0x8000, 16, CALL),
+            (0x1000, 16, CALL),
+            (0x8000, 16, CALL),
+        )
+        analysis = analyze_stream(trace)
+        assert analysis.monomorphic_fraction == 1.0
+        assert analysis.dominant_target_fraction == 1.0
+
+    def test_polymorphic_source(self):
+        # Source line 0x40 goes to two different distant targets equally.
+        trace = events(
+            (0x1000, 16, SEQ),
+            (0x8000, 16, CALL),
+            (0x1000, 16, CALL),
+            (0x9000, 16, CALL),
+            (0x1000, 16, CALL),
+            (0x8000, 16, CALL),
+            (0x1000, 16, CALL),
+            (0x9000, 16, CALL),
+        )
+        analysis = analyze_stream(trace)
+        # Source 0x1000>>6 alternates between two targets: not monomorphic.
+        assert analysis.monomorphic_fraction < 1.0
+
+    def test_sequential_transitions_not_discontinuities(self):
+        trace = events((0x1000, 16, SEQ), (0x1040, 16, SEQ), (0x1080, 16, SEQ))
+        analysis = analyze_stream(trace)
+        assert analysis.discontinuities == 0
+
+
+class TestRunLengths:
+    def test_run_length_histogram(self):
+        trace = events(
+            (0x1000, 16, SEQ),
+            (0x1040, 16, SEQ),
+            (0x1080, 16, SEQ),   # run of 2 (+1 transitions)
+            (0x8000, 16, CALL),
+            (0x8040, 16, SEQ),   # run of 1
+        )
+        analysis = analyze_stream(trace)
+        assert analysis.run_length_histogram == {2: 1, 1: 1}
+        assert analysis.mean_run_length == pytest.approx(1.5)
+
+    def test_summary_renders(self):
+        trace = events((0x1000, 16, SEQ), (0x8000, 16, CALL))
+        text = analyze_stream(trace).summary()
+        assert "discontinuities" in text
+        assert "monomorphic" in text
+
+
+class TestPaperClaimsOnSyntheticWorkloads:
+    """The two §4/§5 stream claims, verified on the shipped workloads."""
+
+    @pytest.fixture(scope="class")
+    def analysis(self):
+        from repro.trace.synth.workloads import generate_trace
+
+        trace = generate_trace("db", seed=7, n_instructions=150_000)
+        return analyze_stream(trace.events)
+
+    def test_most_tf_targets_within_4_lines(self, analysis):
+        assert analysis.tf_within(4) > 0.5
+
+    def test_majority_of_discontinuities_single_target(self, analysis):
+        assert analysis.monomorphic_fraction > 0.5
+        assert analysis.dominant_target_fraction > 0.6

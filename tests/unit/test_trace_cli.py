@@ -1,0 +1,65 @@
+"""Unit tests for the repro-trace command-line tool."""
+
+import pytest
+
+from repro.trace.cli import main
+from repro.trace.io import read_trace
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "web.trc"
+    code = main(["generate", "web", str(path), "--instructions", "5000", "--seed", "3"])
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_generates_valid_file(self, trace_file):
+        trace = read_trace(trace_file)
+        assert trace.name == "web"
+        assert trace.total_instructions >= 5000
+
+    def test_deterministic(self, tmp_path, trace_file):
+        other = tmp_path / "web2.trc"
+        main(["generate", "web", str(other), "--instructions", "5000", "--seed", "3"])
+        assert other.read_bytes() == trace_file.read_bytes()
+
+    def test_core_changes_walk(self, tmp_path, trace_file):
+        other = tmp_path / "web2.trc"
+        main(
+            ["generate", "web", str(other), "--instructions", "5000", "--seed", "3",
+             "--core", "1"]
+        )
+        assert other.read_bytes() != trace_file.read_bytes()
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "oracle", "x.trc"])
+
+
+class TestInfo:
+    def test_prints_summary(self, trace_file, capsys):
+        assert main(["info", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "instructions" in out
+        assert "web" in out
+        assert "Sequential" in out
+        assert "Call" in out
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["info", str(tmp_path / "nope.trc")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_corrupt_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.trc"
+        bad.write_bytes(b"garbage bytes here definitely not a trace")
+        assert main(["info", str(bad)]) == 1
+
+
+class TestHead:
+    def test_prints_events(self, trace_file, capsys):
+        assert main(["head", str(trace_file), "--count", "5"]) == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        assert len(lines) == 5
+        assert "instr" in lines[0]

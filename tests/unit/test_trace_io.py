@@ -1,0 +1,97 @@
+"""Unit tests for the binary trace format (repro.trace.io)."""
+
+import struct
+
+import pytest
+
+from repro.isa.kinds import TransitionKind
+from repro.trace.io import TraceFormatError, read_trace, write_trace
+from repro.trace.record import BlockEvent
+from repro.trace.stream import Trace
+
+SEQ = int(TransitionKind.SEQUENTIAL)
+CALL = int(TransitionKind.CALL)
+
+
+def sample_trace() -> Trace:
+    events = [
+        BlockEvent(0x1000, 5, SEQ, ()),
+        BlockEvent(0x2040, 12, CALL, (0x40000000, 0x40000040)),
+        BlockEvent(0x1000, 3, SEQ, (0x50000000,)),
+    ]
+    return Trace("sample", 42, events)
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        path = tmp_path / "trace.bin"
+        original = sample_trace()
+        write_trace(original, path)
+        loaded = read_trace(path)
+        assert loaded.name == original.name
+        assert loaded.seed == original.seed
+        assert list(loaded.events) == list(original.events)
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        write_trace(Trace("empty", 0, []), path)
+        loaded = read_trace(path)
+        assert len(loaded.events) == 0
+        assert loaded.name == "empty"
+
+    def test_unicode_name(self, tmp_path):
+        path = tmp_path / "u.bin"
+        write_trace(Trace("wörkload-⚙", 1, []), path)
+        assert read_trace(path).name == "wörkload-⚙"
+
+    def test_oversized_data_list_truncated(self, tmp_path):
+        path = tmp_path / "big.bin"
+        event = BlockEvent(0, 1, SEQ, tuple(range(300)))
+        write_trace(Trace("big", 0, [event]), path)
+        loaded = read_trace(path)
+        assert len(loaded.events[0].data) == 255
+
+
+class TestMalformedFiles:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"NOTMAGIC" + b"\0" * 32)
+        with pytest.raises(TraceFormatError, match="magic"):
+            read_trace(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "short.bin"
+        path.write_bytes(b"RP")
+        with pytest.raises(TraceFormatError, match="header"):
+            read_trace(path)
+
+    def test_truncated_events(self, tmp_path):
+        path = tmp_path / "trunc.bin"
+        write_trace(sample_trace(), path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-6])
+        with pytest.raises(TraceFormatError):
+            read_trace(path)
+
+    def test_trailing_garbage(self, tmp_path):
+        path = tmp_path / "extra.bin"
+        write_trace(sample_trace(), path)
+        path.write_bytes(path.read_bytes() + b"xx")
+        with pytest.raises(TraceFormatError, match="trailing"):
+            read_trace(path)
+
+    def test_unknown_kind(self, tmp_path):
+        path = tmp_path / "kind.bin"
+        header = struct.Struct("<8sQQH").pack(b"RPTRACE1", 0, 1, 0)
+        event = struct.Struct("<QHBB").pack(0, 1, 200, 0)  # kind 200 invalid
+        path.write_bytes(header + event)
+        with pytest.raises(TraceFormatError, match="kind"):
+            read_trace(path)
+
+    def test_zero_instruction_event(self, tmp_path):
+        path = tmp_path / "zero.bin"
+        header = struct.Struct("<8sQQH").pack(b"RPTRACE1", 0, 1, 0)
+        event = struct.Struct("<QHBB").pack(0, 0, SEQ, 0)
+        path.write_bytes(header + event)
+        with pytest.raises(TraceFormatError, match="zero-instruction"):
+            read_trace(path)

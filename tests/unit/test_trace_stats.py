@@ -1,0 +1,69 @@
+"""Unit tests for repro.trace.stats."""
+
+import pytest
+
+from repro.isa.kinds import TransitionKind
+from repro.trace.record import BlockEvent
+from repro.trace.stats import compute_trace_stats
+
+SEQ = int(TransitionKind.SEQUENTIAL)
+CALL = int(TransitionKind.CALL)
+
+
+def stats_of(events, **kwargs):
+    return compute_trace_stats([BlockEvent(*event) for event in events], **kwargs)
+
+
+class TestComputeTraceStats:
+    def test_counts(self):
+        stats = stats_of([(0, 5, SEQ, (1, 2)), (64, 7, CALL, (3,))])
+        assert stats.total_instructions == 12
+        assert stats.total_events == 2
+        assert stats.total_data_accesses == 3
+
+    def test_kind_counts(self):
+        stats = stats_of([(0, 5, SEQ, ()), (64, 7, CALL, ()), (128, 2, CALL, ())])
+        assert stats.kind_counts[TransitionKind.SEQUENTIAL] == 1
+        assert stats.kind_counts[TransitionKind.CALL] == 2
+
+    def test_kind_fraction(self):
+        stats = stats_of([(0, 5, SEQ, ()), (64, 7, CALL, ())])
+        assert stats.kind_fraction(TransitionKind.CALL) == pytest.approx(0.5)
+        assert stats.kind_fraction(TransitionKind.TRAP) == 0.0
+
+    def test_instruction_footprint_counts_distinct_lines(self):
+        # Two blocks in the same 64B line + one in another line.
+        stats = stats_of([(0, 4, SEQ, ()), (16, 4, SEQ, ()), (128, 4, SEQ, ())])
+        assert stats.instruction_footprint_bytes == 2 * 64
+
+    def test_block_spanning_lines_counts_both(self):
+        stats = stats_of([(0, 32, SEQ, ())])  # 128 bytes = 2 lines
+        assert stats.instruction_footprint_bytes == 2 * 64
+
+    def test_data_footprint(self):
+        stats = stats_of([(0, 4, SEQ, (0x1000, 0x1004, 0x2000))])
+        assert stats.data_footprint_bytes == 2 * 64
+
+    def test_mean_block_instructions(self):
+        stats = stats_of([(0, 4, SEQ, ()), (64, 8, SEQ, ())])
+        assert stats.mean_block_instructions == pytest.approx(6.0)
+
+    def test_data_accesses_per_instruction(self):
+        stats = stats_of([(0, 10, SEQ, (1, 2, 3))])
+        assert stats.data_accesses_per_instruction == pytest.approx(0.3)
+
+    def test_empty_trace(self):
+        stats = stats_of([])
+        assert stats.total_instructions == 0
+        assert stats.mean_block_instructions == 0.0
+        assert stats.data_accesses_per_instruction == 0.0
+
+    def test_granularity_validation(self):
+        with pytest.raises(ValueError):
+            stats_of([(0, 1, SEQ, ())], footprint_granularity=48)
+        with pytest.raises(ValueError):
+            stats_of([(0, 1, SEQ, ())], footprint_granularity=0)
+
+    def test_custom_granularity(self):
+        stats = stats_of([(0, 32, SEQ, ())], footprint_granularity=32)
+        assert stats.instruction_footprint_bytes == 128

@@ -1,0 +1,129 @@
+"""Unit tests for the trace containers and line-visit lowering."""
+
+import pytest
+
+from repro.isa.kinds import TransitionKind
+from repro.trace.record import BlockEvent
+from repro.trace.stream import Trace, iter_line_visits
+
+from tests.conftest import make_trace
+
+SEQ = int(TransitionKind.SEQUENTIAL)
+CALL = int(TransitionKind.CALL)
+TF = int(TransitionKind.COND_TAKEN_FWD)
+
+
+def visits(events, line_size=64):
+    return list(iter_line_visits([BlockEvent(*event) for event in events], line_size))
+
+
+class TestIterLineVisits:
+    def test_single_block_single_line(self):
+        result = visits([(0x1000, 4, CALL, (0x99,))])
+        assert len(result) == 1
+        line, kind, ninstr, data = result[0]
+        assert line == 0x1000 >> 6
+        assert kind == CALL
+        assert ninstr == 4
+        assert data == (0x99,)
+
+    def test_merges_blocks_in_same_line(self):
+        result = visits([(0x1000, 4, CALL, (1,)), (0x1010, 4, TF, (2,))])
+        assert len(result) == 1
+        assert result[0].ninstr == 8
+        assert result[0].data == (1, 2)
+        assert result[0].kind == CALL  # first entry kind wins
+
+    def test_block_spanning_lines_splits(self):
+        # 32 instructions from 0x1000 = 128 bytes = exactly 2 lines.
+        result = visits([(0x1000, 32, CALL, ())])
+        assert [(v.line, v.kind, v.ninstr) for v in result] == [
+            (0x1000 >> 6, CALL, 16),
+            ((0x1000 >> 6) + 1, SEQ, 16),
+        ]
+
+    def test_unaligned_block_split(self):
+        # Start 8 instructions (32B) into a line; 24 instructions overflow
+        # 16 into the next line.
+        result = visits([(0x1020, 24, SEQ, ())])
+        assert [v.ninstr for v in result] == [8, 16]
+
+    def test_data_attributed_to_first_line(self):
+        result = visits([(0x1000, 32, CALL, (7, 8))])
+        assert result[0].data == (7, 8)
+        assert result[1].data == ()
+
+    def test_line_size_respected(self):
+        events = [(0x1000, 32, CALL, ())]
+        assert len(visits(events, line_size=128)) == 1
+        assert len(visits(events, line_size=32)) == 4
+
+    def test_revisit_same_line_after_leaving(self):
+        # A loop: line A, line B, back to line A -> three visits.
+        result = visits(
+            [
+                (0x1000, 16, SEQ, ()),
+                (0x1040, 16, SEQ, ()),
+                (0x1000, 16, TF, ()),
+            ]
+        )
+        assert [v.line for v in result] == [64, 65, 64]
+        assert result[2].kind == TF
+
+    def test_instruction_conservation(self):
+        events = [
+            (0x1004, 3, CALL, ()),
+            (0x1010, 40, SEQ, ()),
+            (0x2000, 7, TF, ()),
+        ]
+        for line_size in (32, 64, 128, 256):
+            total = sum(v.ninstr for v in visits(events, line_size))
+            assert total == 50
+
+    def test_rejects_bad_line_size(self):
+        with pytest.raises(ValueError):
+            visits([(0, 1, SEQ, ())], line_size=48)
+        with pytest.raises(ValueError):
+            visits([(0, 1, SEQ, ())], line_size=2)
+
+    def test_empty_events(self):
+        assert visits([]) == []
+
+
+class TestTrace:
+    def test_total_instructions(self):
+        trace = make_trace([(0, 5, SEQ, ()), (64, 7, SEQ, ())])
+        assert trace.total_instructions == 12
+
+    def test_len_and_iter(self):
+        trace = make_trace([(0, 5, SEQ, ()), (64, 7, SEQ, ())])
+        assert len(trace) == 2
+        assert [event.ninstr for event in trace] == [5, 7]
+
+    def test_head_cuts_at_event_boundary(self):
+        trace = make_trace([(0, 5, SEQ, ()), (64, 7, SEQ, ()), (128, 9, SEQ, ())])
+        head = trace.head(11)
+        assert head.total_instructions == 5  # 5+7 would exceed 11
+        head = trace.head(12)
+        assert head.total_instructions == 12
+
+    def test_head_keeps_at_least_one_event(self):
+        trace = make_trace([(0, 50, SEQ, ())])
+        assert trace.head(1).total_instructions == 50
+
+    def test_head_rejects_nonpositive(self):
+        trace = make_trace([(0, 5, SEQ, ())])
+        with pytest.raises(ValueError):
+            trace.head(0)
+
+    def test_rebased_shifts_all_addresses(self):
+        trace = make_trace([(0x100, 5, SEQ, (0x900, 0x910))])
+        shifted = trace.rebased(0x1000)
+        event = shifted.events[0]
+        assert event.addr == 0x1100
+        assert event.data == (0x1900, 0x1910)
+        assert shifted.total_instructions == trace.total_instructions
+
+    def test_block_event_end_addr(self):
+        event = BlockEvent(0x100, 5, SEQ, ())
+        assert event.end_addr == 0x100 + 20

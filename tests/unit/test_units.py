@@ -1,0 +1,50 @@
+"""Unit tests for repro.util.units."""
+
+import pytest
+
+from repro.util.units import GB, KB, MB, format_size, parse_size
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("32KB", 32 * KB),
+            ("2MB", 2 * MB),
+            ("1GB", GB),
+            ("64", 64),
+            ("64B", 64),
+            ("32kb", 32 * KB),
+            (" 2 MB ", 2 * MB),
+            ("4K", 4 * KB),
+            ("3M", 3 * MB),
+            ("1G", GB),
+            ("1.5KB", 1536),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_size(text) == expected
+
+    @pytest.mark.parametrize("text", ["KB", "", "abcMB", "12QB"])
+    def test_invalid_raises(self, text):
+        with pytest.raises(ValueError):
+            parse_size(text)
+
+
+class TestFormatSize:
+    @pytest.mark.parametrize(
+        "nbytes,expected",
+        [
+            (32 * KB, "32KB"),
+            (2 * MB, "2MB"),
+            (3 * GB, "3GB"),
+            (100, "100B"),
+            (1536, "1536B"),  # not an exact KB multiple
+        ],
+    )
+    def test_format(self, nbytes, expected):
+        assert format_size(nbytes) == expected
+
+    def test_roundtrip(self):
+        for nbytes in (64, 16 * KB, 2 * MB, GB):
+            assert parse_size(format_size(nbytes)) == nbytes

@@ -1,0 +1,95 @@
+"""Unit tests for the §2.4 used-bit re-prefetch filter."""
+
+from repro.caches.cache import SetAssociativeCache
+from repro.caches.config import CacheConfig
+from repro.cmp.link import OffChipLink
+from repro.core.engine import CoreEngine, EngineConfig
+from repro.core.l2policy import NORMAL_INSTALL
+from repro.isa.kinds import TransitionKind
+from repro.prefetch.registry import create_prefetcher
+from repro.prefetch.queue import PrefetchQueue
+from repro.timing.params import TimingParams
+from repro.trace.record import BlockEvent
+from repro.trace.stream import Trace
+
+SEQ = int(TransitionKind.SEQUENTIAL)
+CALL = int(TransitionKind.CALL)
+
+TIMING = TimingParams(
+    memory_latency=100,
+    base_cpi_overhead=0.0,
+    fetch_stall_exposed_fraction=1.0,
+    prefetch_slot_rate=1.0,
+)
+
+
+def build(events, hint_filter):
+    return CoreEngine(
+        EngineConfig(l2_policy=NORMAL_INSTALL, useless_hint_filter=hint_filter),
+        Trace("t", 0, [BlockEvent(*event) for event in events]),
+        64,
+        SetAssociativeCache("L1I", CacheConfig(1024, 4, 64)),
+        SetAssociativeCache("L1D", CacheConfig(8 * 1024, 4, 64)),
+        SetAssociativeCache("L2", CacheConfig(64 * 1024, 4, 64)),
+        OffChipLink(64.0, 64),
+        create_prefetcher("next-4-line"),
+        PrefetchQueue(),
+        TIMING,
+    )
+
+
+def wasteful_trace(repeats=6):
+    """A pattern whose over-run prefetches are repeatedly useless.
+
+    Each iteration runs a 2-line burst then jumps far away; next-4-line
+    always over-runs past the burst, and the same useless lines get
+    re-prefetched every iteration.  L1I thrash between visits evicts them
+    unused, and the thrash region is made large enough (40+ distinct
+    prefetch candidates) to rotate the 32-entry prefetch queue's filter
+    memory — otherwise the queue's duplicate suppression would hide the
+    re-prefetches from the L2 hint filter.
+    """
+    events = []
+    for rep in range(repeats):
+        events.append((0x10000, 16, CALL, ()))
+        events.append((0x10040, 16, SEQ, ()))
+        # Far-away thrash region: 40 lines mapping over the whole L1I.
+        for i in range(40):
+            events.append((0x80000 + i * 64, 16, CALL if i == 0 else SEQ, ()))
+    return events
+
+
+class TestUselessHintFilter:
+    def test_filter_drops_re_prefetches(self):
+        engine = build(wasteful_trace(), hint_filter=True)
+        stats = engine.run()
+        assert stats.prefetch.dropped_useless_hint > 0
+
+    def test_no_filter_no_drops(self):
+        engine = build(wasteful_trace(), hint_filter=False)
+        stats = engine.run()
+        assert stats.prefetch.dropped_useless_hint == 0
+
+    def test_filter_reduces_issued_prefetches(self):
+        with_filter = build(wasteful_trace(), hint_filter=True).run()
+        without = build(wasteful_trace(), hint_filter=False).run()
+        assert with_filter.prefetch.issued < without.prefetch.issued
+
+    def test_demand_use_clears_hint(self):
+        engine = build(wasteful_trace(), hint_filter=True)
+        engine.run()
+        # Any line that was demand-fetched must not carry the hint.
+        demanded = {0x10000 >> 6, 0x10040 >> 6}
+        for line in demanded:
+            state = engine.l2.probe(line)
+            if state is not None:
+                assert not state.useless_hint
+
+    def test_useful_prefetches_unaffected(self):
+        # A long sequential run: every prefetch is useful, so the filter
+        # must never fire and coverage must match the unfiltered engine.
+        events = [(0x10000 + i * 64, 16, SEQ, ()) for i in range(40)]
+        with_filter = build(events, hint_filter=True).run()
+        without = build(events, hint_filter=False).run()
+        assert with_filter.prefetch.dropped_useless_hint == 0
+        assert with_filter.prefetch.useful == without.prefetch.useful

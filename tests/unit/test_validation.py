@@ -1,0 +1,38 @@
+"""Unit tests for repro.util.validation."""
+
+import pytest
+
+from repro.util.validation import check_positive, check_power_of_two, check_probability
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 1)
+        check_positive("x", 0.5)
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_rejects_nonpositive(self, value):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", value)
+
+
+class TestCheckPowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 64, 8192])
+    def test_accepts_powers(self, value):
+        check_power_of_two("x", value)
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 6, 100])
+    def test_rejects_non_powers(self, value):
+        with pytest.raises(ValueError, match="x"):
+            check_power_of_two("x", value)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        check_probability("p", value)
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 5])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError, match="p"):
+            check_probability("p", value)
