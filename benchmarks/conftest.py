@@ -19,6 +19,23 @@ import pytest
 from repro.eval.profiles import get_scale
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_result_cache(tmp_path_factory):
+    """Keep benchmark results out of the repo's ``.repro-cache/``.
+
+    Session-scoped (unlike the per-test fixture in ``tests/conftest.py``)
+    so figure benches within one run still share disk-cached results.
+    Respects an explicit ``REPRO_CACHE_DIR`` override.
+    """
+    if "REPRO_CACHE_DIR" not in os.environ:
+        cache_dir = str(tmp_path_factory.mktemp("repro-cache"))
+        os.environ["REPRO_CACHE_DIR"] = cache_dir
+        yield
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        yield
+
+
 @pytest.fixture(scope="session")
 def scale():
     """Experiment scale: $REPRO_PROFILE if set, else smoke (CI speed)."""

@@ -1,0 +1,102 @@
+"""Performance smoke benchmark — records the numbers CI tracks.
+
+Two measurements, written to ``BENCH_perf.json`` at the repo root:
+
+- ``engine_visits_per_sec``: line-visits/second of one fixed-seed engine
+  run (db / 1 core / discontinuity / bypass at the same instruction budget
+  ``scripts/profile_engine.py`` uses), trace generation excluded.  This is
+  the metric the hot-loop optimizations in ``repro.core.engine`` and
+  ``repro.caches.cache`` are validated against.
+- ``fig01_cold_seconds`` / ``fig01_warm_seconds``: wall-clock of the
+  Figure 1 driver at smoke scale, first from an empty result cache and
+  then again with only the on-disk cache warm (in-process memo cleared),
+  demonstrating the persistent-cache win.
+
+Run directly with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_smoke.py -q -p no:cacheprovider
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.eval import executor, fig01
+from repro.eval.profiles import get_scale
+from repro.eval.runner import DEFAULT_SEED, clear_trace_cache, get_traces, run_system
+
+from scripts.profile_engine import BENCH_SCALE
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+OUTPUT_PATH = REPO_ROOT / "BENCH_perf.json"
+
+
+def _measure_engine() -> dict:
+    """Visits/sec of the profile_engine.py reference configuration."""
+    workload, cores, prefetcher, policy = "db", 1, "discontinuity", "bypass"
+    get_traces(workload, cores, BENCH_SCALE.single_total, DEFAULT_SEED)
+    started = time.perf_counter()
+    result = run_system(
+        workload,
+        cores,
+        prefetcher,
+        scale=BENCH_SCALE,
+        l2_policy=policy,
+        seed=DEFAULT_SEED,
+    )
+    elapsed = time.perf_counter() - started
+    visits = sum(core.l1i_fetches for core in result.cores)
+    return {
+        "config": f"{workload}/{cores}c/{prefetcher}/{policy}",
+        "measure_instructions": BENCH_SCALE.measure_instructions,
+        "line_visits": visits,
+        "seconds": round(elapsed, 4),
+        "engine_visits_per_sec": round(visits / elapsed, 1),
+        "aggregate_ipc": result.aggregate_ipc,
+    }
+
+
+def _measure_fig01(scale) -> dict:
+    """Cold (empty caches) and warm (disk-cache only) driver wall-clock."""
+    executor.clear_memo()
+    clear_trace_cache()
+    started = time.perf_counter()
+    fig01.run(scale=scale)
+    cold = time.perf_counter() - started
+
+    # Drop the in-process memo so the rerun exercises the disk cache.
+    executor.clear_memo()
+    started = time.perf_counter()
+    fig01.run(scale=scale)
+    warm = time.perf_counter() - started
+    return {
+        "scale": scale.name,
+        "fig01_cold_seconds": round(cold, 3),
+        "fig01_warm_seconds": round(warm, 3),
+    }
+
+
+def test_perf_smoke(scale):
+    engine = _measure_engine()
+    figure = _measure_fig01(scale)
+
+    report = {
+        "python": platform.python_version(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "engine": engine,
+        "figure": figure,
+    }
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print()
+    print(json.dumps(report, indent=2))
+
+    # Sanity floors only — absolute throughput varies across machines, so
+    # the asserted bounds are an order of magnitude below expectation.
+    assert engine["line_visits"] > 0
+    assert engine["engine_visits_per_sec"] > 1_000
+    # The warm rerun is served from the on-disk cache, so it must beat the
+    # cold run by a wide margin.
+    assert figure["fig01_warm_seconds"] < figure["fig01_cold_seconds"] / 2

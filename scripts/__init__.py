@@ -1,0 +1,5 @@
+"""Maintainer scripts (see README.md).
+
+Packaged only so the benchmark suite can import shared constants such as
+``scripts.profile_engine.BENCH_SCALE``; nothing here is public API.
+"""

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Profile the simulator's hot loop and report visits/second.
+
+Runs one fixed-seed configuration (db, discontinuity, bypass — the
+configuration the perf benchmarks track) and prints:
+
+- line visits per second of wall-clock (the engine throughput metric that
+  ``benchmarks/test_perf_smoke.py`` records in ``BENCH_perf.json``), and
+- optionally a cProfile table of the hottest functions (``--profile``).
+
+Usage::
+
+    PYTHONPATH=src python scripts/profile_engine.py
+    PYTHONPATH=src python scripts/profile_engine.py --profile --top 25
+    PYTHONPATH=src python scripts/profile_engine.py --workload web --cores 4
+
+Trace generation is excluded from the timed region (it is measured and
+reported separately), so the visits/sec number isolates the engine loop
+the hot-path optimizations target.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import time
+
+from repro.eval.profiles import ExperimentScale
+from repro.eval.runner import DEFAULT_SEED, get_traces, run_system
+
+#: fixed instruction budget so visits/sec is comparable across runs.
+BENCH_SCALE = ExperimentScale(
+    name="bench",
+    warm_instructions=30_000,
+    measure_instructions=180_000,
+    cmp_measure_instructions=80_000,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workload", default="db")
+    parser.add_argument("--cores", type=int, default=1)
+    parser.add_argument("--prefetcher", default="discontinuity")
+    parser.add_argument("--l2-policy", default="bypass")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--profile", action="store_true", help="print a cProfile table of the run"
+    )
+    parser.add_argument("--top", type=int, default=20, help="profile rows to print")
+    args = parser.parse_args()
+
+    total = (
+        BENCH_SCALE.single_total if args.cores == 1 else BENCH_SCALE.cmp_total_per_core
+    )
+    started = time.perf_counter()
+    get_traces(args.workload, args.cores, total, args.seed)
+    trace_seconds = time.perf_counter() - started
+
+    def simulate():
+        return run_system(
+            args.workload,
+            args.cores,
+            args.prefetcher,
+            scale=BENCH_SCALE,
+            l2_policy=args.l2_policy,
+            seed=args.seed,
+        )
+
+    if args.profile:
+        profiler = cProfile.Profile()
+        started = time.perf_counter()
+        result = profiler.runcall(simulate)
+        elapsed = time.perf_counter() - started
+    else:
+        started = time.perf_counter()
+        result = simulate()
+        elapsed = time.perf_counter() - started
+
+    visits = sum(core.l1i_fetches for core in result.cores)
+    print(
+        f"{args.workload}/{args.cores}c/{args.prefetcher}/{args.l2_policy} "
+        f"seed={args.seed}"
+    )
+    print(f"trace generation : {trace_seconds:.2f}s (excluded from timing)")
+    print(f"simulation       : {elapsed:.2f}s")
+    print(f"line visits      : {visits}")
+    print(f"visits/sec       : {visits / elapsed:,.0f}")
+    print(f"aggregate IPC    : {result.aggregate_ipc:.6f}")
+
+    if args.profile:
+        print()
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative").print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

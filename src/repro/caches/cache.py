@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from itertools import islice
 from typing import Iterator, Optional, Tuple
 
 from repro.caches.config import CacheConfig
@@ -61,6 +62,9 @@ class SetAssociativeCache:
         "_set_mask",
         "_assoc",
         "_policy",
+        "_is_lru",
+        "_is_plru",
+        "_evict_in_order",
         "_rng",
         "_plru_bits",
         "_plru_ways",
@@ -88,6 +92,12 @@ class SetAssociativeCache:
         self._set_mask = config.n_sets - 1
         self._assoc = config.associativity
         self._policy = policy
+        # The policy is fixed for the cache's lifetime; lookup/install/touch
+        # run once per simulated access, so they branch on these booleans
+        # instead of re-comparing the policy string.
+        self._is_lru = policy == "lru"
+        self._is_plru = policy == "plru"
+        self._evict_in_order = policy in ("lru", "fifo")
         self._rng = SplitMix64(rng_seed) if policy == "random" else None
         if policy == "plru":
             # Per set: tree bits (assoc-1 of them) and way -> key mapping.
@@ -117,9 +127,9 @@ class SetAssociativeCache:
             return None
         stats.hits += 1
         if update_recency:
-            if self._policy == "lru":
+            if self._is_lru:
                 cache_set.move_to_end(line)
-            elif self._policy == "plru":
+            elif self._is_plru:
                 self._plru_touch(line)
         return state
 
@@ -142,16 +152,16 @@ class SetAssociativeCache:
         cache_set = self._sets[set_index]
         if line in cache_set:
             cache_set[line] = state
-            if self._policy == "lru":
+            if self._is_lru:
                 cache_set.move_to_end(line)
-            elif self._policy == "plru":
+            elif self._is_plru:
                 self._plru_touch(line)
             return None
         victim = None
         if len(cache_set) >= self._assoc:
             victim = self._evict(cache_set, set_index)
         cache_set[line] = state
-        if self._policy == "plru":
+        if self._is_plru:
             ways = self._plru_ways[set_index]
             way = ways.index(None)
             ways[way] = line
@@ -163,31 +173,34 @@ class SetAssociativeCache:
         cache_set = self._sets[line & self._set_mask]
         if line not in cache_set:
             return
-        if self._policy == "lru":
+        if self._is_lru:
             cache_set.move_to_end(line)
-        elif self._policy == "plru":
+        elif self._is_plru:
             self._plru_touch(line)
 
     def invalidate(self, line: int) -> Optional[LineState]:
         """Remove *line* if resident; return its state."""
         set_index = line & self._set_mask
         state = self._sets[set_index].pop(line, None)
-        if state is not None and self._policy == "plru":
+        if state is not None and self._is_plru:
             ways = self._plru_ways[set_index]
             ways[ways.index(line)] = None
         return state
 
     def _evict(self, cache_set: OrderedDict, set_index: int) -> Tuple[int, LineState]:
         self.stats.evictions += 1
-        if self._policy in ("lru", "fifo"):
+        if self._evict_in_order:
             return cache_set.popitem(last=False)
-        if self._policy == "plru":
+        if self._is_plru:
             way = self._plru_victim_way(set_index)
             ways = self._plru_ways[set_index]
             victim_key = ways[way]
             ways[way] = None
             return victim_key, cache_set.pop(victim_key)
-        victim_key = list(cache_set)[self._rng.randrange(len(cache_set))]
+        # Same victim the list()[k] form selected, without materializing the
+        # whole set on every eviction.
+        k = self._rng.randrange(len(cache_set))
+        victim_key = next(islice(iter(cache_set), k, None))
         return victim_key, cache_set.pop(victim_key)
 
     # ------------------------------------------------------------------ #
@@ -259,7 +272,7 @@ class SetAssociativeCache:
         """Empty the cache (statistics are left untouched)."""
         for cache_set in self._sets:
             cache_set.clear()
-        if self._policy == "plru":
+        if self._is_plru:
             for bits in self._plru_bits:
                 for index in range(len(bits)):
                     bits[index] = 0

@@ -23,6 +23,21 @@ class MissBreakdown:
     def record(self, kind: int) -> None:
         self._counts[kind] += 1
 
+    def counts(self) -> list:
+        """Plain per-kind counts, indexed by the kind's integer value."""
+        return list(self._counts)
+
+    @classmethod
+    def from_counts(cls, counts) -> "MissBreakdown":
+        """Rebuild a breakdown from :meth:`counts` output (serialization)."""
+        if len(counts) != len(TransitionKind):
+            raise ValueError(
+                f"expected {len(TransitionKind)} counts, got {len(counts)}"
+            )
+        breakdown = cls()
+        breakdown._counts = [int(value) for value in counts]
+        return breakdown
+
     def reset(self) -> None:
         for index in range(len(self._counts)):
             self._counts[index] = 0

@@ -102,6 +102,35 @@ class CoreEngine:
         self._exec_cpi = 1.0 / timing.issue_width + timing.base_cpi_overhead
         self._free_kind = self._build_free_kind_table(config.free_miss_classes)
         self._finished = False
+        # step() and its callees run once per line visit — the simulator's
+        # hottest loop.  Everything below is immutable for the engine's
+        # lifetime, so hoist the repeated attribute chains (timing scalars,
+        # bound methods of the caches/queue/prefetcher, TransitionKind
+        # members) into locals-at-one-load distance.  l2_eviction_hook is
+        # deliberately NOT hoisted: the system wires it up after
+        # construction.
+        self._fetch_stall_exposed = timing.fetch_stall_exposed_fraction
+        self._slot_rate = timing.prefetch_slot_rate
+        self._l2_latency = float(timing.l2_latency)
+        self._memory_latency = timing.memory_latency
+        self._data_l2_exposed = timing.l2_latency * timing.data_l2_exposed_fraction
+        self._data_memory_exposed = timing.data_memory_exposed_fraction
+        self._l2_policy = config.l2_policy
+        self._useless_hint_filter = config.useless_hint_filter
+        self._l1i_lookup = l1i.lookup
+        self._l1i_probe = l1i.probe
+        self._l1d_lookup = l1d.lookup
+        self._l2_lookup = l2.lookup
+        self._l2_probe = l2.probe
+        self._link_request = link.request
+        self._queue_offer = queue.offer
+        self._queue_pop_ready = queue.pop_ready
+        self._queue_note_demand = queue.note_demand_fetch
+        self._pf_on_demand_fetch = prefetcher.on_demand_fetch
+        self._pf_on_discontinuity = prefetcher.on_discontinuity
+        self._pf_credit = prefetcher.credit
+        self._pf_overhead = prefetcher.consume_overhead_cycles
+        self._kind_members = list(TransitionKind)
         #: optional callback invoked with the line index of every L2
         #: victim this engine causes; the CMP system uses it to implement
         #: inclusive-L2 back-invalidation of all cores' L1s.
@@ -141,7 +170,7 @@ class CoreEngine:
         # stall.  That overlap is precisely how a tagged next-line chain
         # hides latency on a sequential run.
         stats.l1i_fetches += 1
-        state = self.l1i.lookup(line)
+        state = self._l1i_lookup(line)
         first_use = False
         stall = 0.0
         if state is not None:
@@ -154,7 +183,7 @@ class CoreEngine:
                 if state.from_memory:
                     pf.useful_from_memory += 1
                 if state.provenance is not None:
-                    self.prefetcher.credit(state.provenance)
+                    self._pf_credit(state.provenance)
                 if state.arrival > now:
                     # Late prefetch: stall for the residual fill latency.
                     stall = state.arrival - now
@@ -170,34 +199,34 @@ class CoreEngine:
 
         # (3) discontinuity observation.
         prev = self._prev_line
-        if prev >= 0 and line != prev and is_discontinuity(TransitionKind(kind), prev, line):
-            self.prefetcher.on_discontinuity(prev, line, was_miss)
+        if prev >= 0 and line != prev and is_discontinuity(self._kind_members[kind], prev, line):
+            self._pf_on_discontinuity(prev, line, was_miss)
         self._prev_line = line
 
         # (4) prefetch generation + filtering; newly generated prefetches
         # may issue during the demand stall (the fetch unit is idle, so the
         # tag port is free — §4.1).
-        self.queue.note_demand_fetch(line)
-        candidates = self.prefetcher.on_demand_fetch(line, was_miss, first_use, kind)
+        self._queue_note_demand(line)
+        candidates = self._pf_on_demand_fetch(line, was_miss, first_use, kind)
         if candidates:
             stats.prefetch.generated += len(candidates)
-            offer = self.queue.offer
+            offer = self._queue_offer
             for candidate in candidates:
                 if candidate.line != line:
                     offer(candidate)
         if stall > 0.0:
             # The OoO window hides a slice of every fetch stall; only the
             # exposed fraction reaches the clock.
-            stall *= self.timing.fetch_stall_exposed_fraction
+            stall *= self._fetch_stall_exposed
             stats.fetch_stall_cycles += stall
-            self._slot_credit += stall * self.timing.prefetch_slot_rate
+            self._slot_credit += stall * self._slot_rate
             self._issue_prefetches(now)
             now += stall
             # The stall window's slots were granted explicitly above; do not
             # grant them again from elapsed time at the next visit.
             self._last_slot_cycle = now
 
-        overhead = self.prefetcher.consume_overhead_cycles()
+        overhead = self._pf_overhead()
         if overhead:
             stats.exec_cycles += overhead
             now += overhead
@@ -245,14 +274,13 @@ class CoreEngine:
     def _demand_fill(self, line: int, kind: int, now: float) -> float:
         """Fetch *line* on a demand L1I miss; return the stall in cycles."""
         stats = self.stats
-        timing = self.timing
         stats.l2i_demand_accesses += 1
-        l2_state = self.l2.lookup(line)
+        l2_state = self._l2_lookup(line)
         if l2_state is not None:
             l2_state.used = True
             l2_state.prefetched = False
             l2_state.useless_hint = False
-            stall = float(timing.l2_latency)
+            stall = self._l2_latency
             if l2_state.arrival > now + stall:
                 # The L2 copy itself is still arriving (it was installed by
                 # an in-flight fill); wait for it.
@@ -260,8 +288,8 @@ class CoreEngine:
         else:
             stats.l2i_demand_misses += 1
             stats.l2i_breakdown.record(kind)
-            start = self.link.request(now)
-            stall = (start - now) + timing.memory_latency
+            start = self._link_request(now)
+            stall = (start - now) + self._memory_latency
             arrival = now + stall
             self._install_l2(line, LineState(used=True, arrival=arrival))
         arrival = now + stall
@@ -277,15 +305,15 @@ class CoreEngine:
         if victim_state.prefetched:
             # Evicted without ever being demand-used.
             self.stats.prefetch.useless_evicted += 1
-            if self.config.useless_hint_filter:
-                l2_copy = self.l2.probe(victim_line)
+            if self._useless_hint_filter:
+                l2_copy = self._l2_probe(victim_line)
                 if l2_copy is not None:
                     l2_copy.useless_hint = True
             return
         if victim_state.bypass_pending and victim_state.used:
             # §7: proven-useful bypass line is installed into the L2 now.
-            policy = self.config.l2_policy
-            if policy.install_used_on_eviction and self.l2.probe(victim_line) is None:
+            policy = self._l2_policy
+            if policy.install_used_on_eviction and self._l2_probe(victim_line) is None:
                 self._install_l2(victim_line, LineState(used=True, arrival=now))
                 self.stats.prefetch.promoted_to_l2 += 1
 
@@ -295,10 +323,9 @@ class CoreEngine:
 
     def _issue_prefetches(self, now: float) -> None:
         """Drain the queue using tag slots accrued since the last visit."""
-        timing = self.timing
         elapsed = now - self._last_slot_cycle
         self._last_slot_cycle = now
-        credit = self._slot_credit + elapsed * timing.prefetch_slot_rate
+        credit = self._slot_credit + elapsed * self._slot_rate
         slots = int(credit)
         if slots <= 0:
             self._slot_credit = credit
@@ -308,16 +335,17 @@ class CoreEngine:
             credit = float(slots)
         self._slot_credit = credit - slots
 
-        queue = self.queue
+        pop_ready = self._queue_pop_ready
+        probe = self._l1i_probe
         stats = self.stats.prefetch
-        policy = self.config.l2_policy
+        policy = self._l2_policy
         for _ in range(slots):
-            entry = queue.pop_ready()
+            entry = pop_ready()
             if entry is None:
                 break
             line = entry.line
             # Tag probe (§4.1): after filtering, most probes should miss.
-            if self.l1i.probe(line) is not None:
+            if probe(line) is not None:
                 stats.probe_found_present += 1
                 continue
             if not self._mshr.can_accept(now):
@@ -327,17 +355,16 @@ class CoreEngine:
             self._issue_one(line, entry.provenance, now, policy, stats)
 
     def _issue_one(self, line, provenance, now, policy, stats) -> None:
-        timing = self.timing
-        l2_state = self.l2.probe(line)
+        l2_state = self._l2_probe(line)
         if (
             l2_state is not None
-            and self.config.useless_hint_filter
+            and self._useless_hint_filter
             and l2_state.useless_hint
         ):
             stats.dropped_useless_hint += 1
             return
         if l2_state is not None:
-            arrival = now + timing.l2_latency
+            arrival = now + self._l2_latency
             if l2_state.arrival > arrival:
                 arrival = l2_state.arrival
             if policy.promote_on_prefetch_hit:
@@ -350,8 +377,8 @@ class CoreEngine:
                 now,
             )
             return
-        start = self.link.request(now)
-        arrival = start + timing.memory_latency
+        start = self._link_request(now)
+        arrival = start + self._memory_latency
         self._mshr.add(line, arrival, now)
         stats.issued += 1
         stats.issued_from_memory += 1
@@ -378,20 +405,19 @@ class CoreEngine:
         """Run one data access; return the exposed stall in cycles."""
         stats = self.stats
         stats.data_accesses += 1
-        if self.l1d.lookup(line) is not None:
+        if self._l1d_lookup(line) is not None:
             return 0.0
         stats.l1d_misses += 1
-        timing = self.timing
         stats.l2d_accesses += 1
-        l2_state = self.l2.lookup(line)
+        l2_state = self._l2_lookup(line)
         if l2_state is not None:
             l2_state.used = True
-            exposed = timing.l2_latency * timing.data_l2_exposed_fraction
+            exposed = self._data_l2_exposed
         else:
             stats.l2d_misses += 1
-            start = self.link.request(now)
-            raw = (start - now) + timing.memory_latency
-            exposed = raw * timing.data_memory_exposed_fraction
+            start = self._link_request(now)
+            raw = (start - now) + self._memory_latency
+            exposed = raw * self._data_memory_exposed
             self._install_l2(line, LineState(used=True, arrival=now + raw))
         self.l1d.install(line, LineState(used=True))
         stats.data_stall_cycles += exposed

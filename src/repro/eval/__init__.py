@@ -15,6 +15,12 @@ simulation cannot afford per configuration; the ``default`` profile keeps
 the paper's cache geometry but simulates fewer (still representative)
 instructions.  Set ``REPRO_PROFILE=full`` for longer runs or
 ``REPRO_PROFILE=smoke`` for CI-speed runs.
+
+Sweep execution (see ``docs/performance.md``): drivers declare their runs
+as :class:`~repro.eval.runspec.RunSpec` lists and batch-submit them via
+:func:`~repro.eval.executor.run_specs`, which fans out across worker
+processes (``REPRO_JOBS``) and persists every result in an on-disk cache
+(``REPRO_CACHE_DIR``, default ``.repro-cache/``).
 """
 
 from repro.eval.profiles import ExperimentScale, get_scale
@@ -25,6 +31,8 @@ from repro.eval.runner import (
     clear_trace_cache,
     clear_result_cache,
 )
+from repro.eval.runspec import RunSpec, dedupe_specs
+from repro.eval.executor import run_specs, execute_spec, resolve_jobs
 from repro.eval.figures import ExperimentResult
 
 __all__ = [
@@ -35,5 +43,10 @@ __all__ = [
     "get_traces",
     "clear_trace_cache",
     "clear_result_cache",
+    "RunSpec",
+    "dedupe_specs",
+    "run_specs",
+    "execute_spec",
+    "resolve_jobs",
     "ExperimentResult",
 ]

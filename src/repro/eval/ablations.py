@@ -19,16 +19,45 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.eval.executor import run_specs
 from repro.eval.figures import ExperimentResult
 from repro.eval.profiles import ExperimentScale
-from repro.eval.runner import DEFAULT_SEED, run_system, run_system_cached
+from repro.eval.runner import DEFAULT_SEED, run_system_cached
+from repro.eval.runspec import RunSpec
 from repro.trace.synth.workloads import DISPLAY_NAMES, workload_names
+
+
+def _baseline_specs(scale, seed) -> List[RunSpec]:
+    """The shared 4-way-CMP no-prefetch baselines most ablations divide by."""
+    return [
+        RunSpec.create(workload, 4, "none", scale=scale, seed=seed)
+        for workload in workload_names()
+    ]
+
+
+def specs_filtering(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[RunSpec]:
+    return _baseline_specs(scale, seed) + [
+        RunSpec.create(
+            workload,
+            4,
+            "discontinuity",
+            scale=scale,
+            l2_policy="bypass",
+            queue_filtering=filtering,
+            seed=seed,
+        )
+        for filtering in (True, False)
+        for workload in workload_names()
+    ]
 
 
 def run_filtering(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
     """Queue filtering on vs. off (discontinuity prefetcher, 4-way CMP)."""
+    run_specs(specs_filtering(scale, seed))
     workloads = workload_names()
     col_labels = [DISPLAY_NAMES[w] for w in workloads]
     speedups = []
@@ -38,7 +67,7 @@ def run_filtering(
         waste_row = []
         for workload in workloads:
             base = run_system_cached(workload, 4, "none", scale=scale, seed=seed)
-            result = run_system(
+            result = run_system_cached(
                 workload,
                 4,
                 "discontinuity",
@@ -79,6 +108,24 @@ def run_filtering(
     ]
 
 
+def specs_eviction_counter(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[RunSpec]:
+    return [
+        RunSpec.create(
+            workload,
+            4,
+            "discontinuity",
+            scale=scale,
+            l2_policy="bypass",
+            prefetcher_overrides={"table_entries": 256, "counter_max": counter_max},
+            seed=seed,
+        )
+        for counter_max in (3, 0)
+        for workload in workload_names()
+    ]
+
+
 def run_eviction_counter(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
@@ -87,13 +134,14 @@ def run_eviction_counter(
     The counter matters most when the table is contended, so this runs the
     256-entry configuration.
     """
+    run_specs(specs_eviction_counter(scale, seed))
     workloads = workload_names()
     col_labels = [DISPLAY_NAMES[w] for w in workloads]
     values = []
     for counter_max in (3, 0):
         row = []
         for workload in workloads:
-            result = run_system(
+            result = run_system_cached(
                 workload,
                 4,
                 "discontinuity",
@@ -117,13 +165,35 @@ def run_eviction_counter(
     ]
 
 
+AHEAD_DISTANCES = (1, 2, 3, 4, 6, 8)
+
+
+def specs_prefetch_ahead(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[RunSpec]:
+    return _baseline_specs(scale, seed) + [
+        RunSpec.create(
+            workload,
+            4,
+            "discontinuity",
+            scale=scale,
+            l2_policy="bypass",
+            prefetcher_overrides={"prefetch_ahead": distance},
+            seed=seed,
+        )
+        for distance in AHEAD_DISTANCES
+        for workload in workload_names()
+    ]
+
+
 def run_prefetch_ahead(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
     """Prefetch-ahead distance sweep for the discontinuity prefetcher (CMP)."""
+    run_specs(specs_prefetch_ahead(scale, seed))
     workloads = workload_names()
     col_labels = [DISPLAY_NAMES[w] for w in workloads]
-    distances = (1, 2, 3, 4, 6, 8)
+    distances = AHEAD_DISTANCES
     speedups = []
     accuracies = []
     for distance in distances:
@@ -167,6 +237,16 @@ def run_prefetch_ahead(
     ]
 
 
+def specs_probe_ahead(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[RunSpec]:
+    return _baseline_specs(scale, seed) + [
+        RunSpec.create(workload, 4, scheme, scale=scale, l2_policy="bypass", seed=seed)
+        for scheme in ("discontinuity", "discontinuity-noprobeahead")
+        for workload in workload_names()
+    ]
+
+
 def run_probe_ahead(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
@@ -178,6 +258,7 @@ def run_probe_ahead(
     difference shows up as *late* useful prefetches (fills still in flight
     when the demand arrives).
     """
+    run_specs(specs_probe_ahead(scale, seed))
     workloads = workload_names()
     col_labels = [DISPLAY_NAMES[w] for w in workloads]
     speedups = []
@@ -219,6 +300,32 @@ def run_probe_ahead(
     ]
 
 
+#: §4 equal-storage comparison: (label, scheme, overrides).
+TABLE_DESIGN_VARIANTS = [
+    ("Discontinuity 4096x1", "discontinuity", {"table_entries": 4096}),
+    ("Markov 2048x2", "markov", {"table_entries": 2048, "targets_per_entry": 2}),
+    ("Markov 4096x2 (2x storage)", "markov", {"table_entries": 4096, "targets_per_entry": 2}),
+]
+
+
+def specs_single_vs_multi_target(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[RunSpec]:
+    return _baseline_specs(scale, seed) + [
+        RunSpec.create(
+            workload,
+            4,
+            scheme,
+            scale=scale,
+            l2_policy="bypass",
+            prefetcher_overrides=overrides,
+            seed=seed,
+        )
+        for _, scheme, overrides in TABLE_DESIGN_VARIANTS
+        for workload in workload_names()
+    ]
+
+
 def run_single_vs_multi_target(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
@@ -230,13 +337,10 @@ def run_single_vs_multi_target(
     discontinuity table against a 2-target Markov predictor at *equal
     storage*: N single-target entries vs N/2 two-target entries.
     """
+    run_specs(specs_single_vs_multi_target(scale, seed))
     workloads = workload_names()
     col_labels = [DISPLAY_NAMES[w] for w in workloads]
-    variants = [
-        ("Discontinuity 4096x1", "discontinuity", {"table_entries": 4096}),
-        ("Markov 2048x2", "markov", {"table_entries": 2048, "targets_per_entry": 2}),
-        ("Markov 4096x2 (2x storage)", "markov", {"table_entries": 4096, "targets_per_entry": 2}),
-    ]
+    variants = TABLE_DESIGN_VARIANTS
     coverage = []
     speedups = []
     for _, scheme, overrides in variants:
@@ -280,6 +384,24 @@ def run_single_vs_multi_target(
     ]
 
 
+def specs_useless_hint_filter(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[RunSpec]:
+    return _baseline_specs(scale, seed) + [
+        RunSpec.create(
+            workload,
+            4,
+            "discontinuity",
+            scale=scale,
+            l2_policy="bypass",
+            useless_hint_filter=hint_filter,
+            seed=seed,
+        )
+        for hint_filter in (False, True)
+        for workload in workload_names()
+    ]
+
+
 def run_useless_hint_filter(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
@@ -289,6 +411,7 @@ def run_useless_hint_filter(
     useless in the L1I are dropped, trading a little coverage for
     bandwidth and accuracy.
     """
+    run_specs(specs_useless_hint_filter(scale, seed))
     workloads = workload_names()
     col_labels = [DISPLAY_NAMES[w] for w in workloads]
     accuracy = []
@@ -298,7 +421,7 @@ def run_useless_hint_filter(
         speedup_row = []
         for workload in workloads:
             base = run_system_cached(workload, 4, "none", scale=scale, seed=seed)
-            result = run_system(
+            result = run_system_cached(
                 workload,
                 4,
                 "discontinuity",
@@ -333,6 +456,31 @@ def run_useless_hint_filter(
     ]
 
 
+def specs_inclusion(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[RunSpec]:
+    out = []
+    for inclusive in (False, True):
+        for workload in workload_names():
+            out.append(
+                RunSpec.create(
+                    workload, 4, "none", scale=scale, l2_inclusive=inclusive, seed=seed
+                )
+            )
+            out.append(
+                RunSpec.create(
+                    workload,
+                    4,
+                    "discontinuity",
+                    scale=scale,
+                    l2_policy="bypass",
+                    l2_inclusive=inclusive,
+                    seed=seed,
+                )
+            )
+    return out
+
+
 def run_inclusion(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
@@ -344,6 +492,7 @@ def run_inclusion(
     pollution of the L2 can reach into the L1s — slightly amplifying the
     pollution effect the bypass policy removes.
     """
+    run_specs(specs_inclusion(scale, seed))
     workloads = workload_names()
     col_labels = [DISPLAY_NAMES[w] for w in workloads]
     speedups = []
@@ -352,10 +501,10 @@ def run_inclusion(
         speedup_row = []
         l1i_row = []
         for workload in workloads:
-            base = run_system(
+            base = run_system_cached(
                 workload, 4, "none", scale=scale, l2_inclusive=inclusive, seed=seed
             )
-            result = run_system(
+            result = run_system_cached(
                 workload,
                 4,
                 "discontinuity",
@@ -389,6 +538,30 @@ def run_inclusion(
     ]
 
 
+REPLACEMENT_POLICIES = ("lru", "plru", "fifo", "random")
+
+
+def specs_replacement(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[RunSpec]:
+    out = []
+    for policy in REPLACEMENT_POLICIES:
+        for workload in workload_names():
+            out.append(
+                RunSpec.create(
+                    workload, 4, "none", scale=scale,
+                    l1_replacement=policy, l2_replacement=policy, seed=seed,
+                )
+            )
+            out.append(
+                RunSpec.create(
+                    workload, 4, "discontinuity", scale=scale, l2_policy="bypass",
+                    l1_replacement=policy, l2_replacement=policy, seed=seed,
+                )
+            )
+    return out
+
+
 def run_replacement(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
@@ -398,20 +571,21 @@ def run_replacement(
     some designs use random.  This ablation verifies the headline result
     is not an artifact of the replacement policy.
     """
+    run_specs(specs_replacement(scale, seed))
     workloads = workload_names()
     col_labels = [DISPLAY_NAMES[w] for w in workloads]
-    policies = ("lru", "plru", "fifo", "random")
+    policies = REPLACEMENT_POLICIES
     l1i_rates = []
     speedups = []
     for policy in policies:
         l1i_row = []
         speedup_row = []
         for workload in workloads:
-            base = run_system(
+            base = run_system_cached(
                 workload, 4, "none", scale=scale,
                 l1_replacement=policy, l2_replacement=policy, seed=seed,
             )
-            result = run_system(
+            result = run_system_cached(
                 workload, 4, "discontinuity", scale=scale, l2_policy="bypass",
                 l1_replacement=policy, l2_replacement=policy, seed=seed,
             )
@@ -440,10 +614,29 @@ def run_replacement(
     ]
 
 
+def specs_queue_discipline(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[RunSpec]:
+    return _baseline_specs(scale, seed) + [
+        RunSpec.create(
+            workload,
+            4,
+            "discontinuity",
+            scale=scale,
+            l2_policy="bypass",
+            queue_lifo=lifo,
+            seed=seed,
+        )
+        for lifo in (True, False)
+        for workload in workload_names()
+    ]
+
+
 def run_queue_discipline(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
     """LIFO vs FIFO prefetch queue (discontinuity, 4-way CMP, bypass)."""
+    run_specs(specs_queue_discipline(scale, seed))
     workloads = workload_names()
     col_labels = [DISPLAY_NAMES[w] for w in workloads]
     values = []
@@ -451,7 +644,7 @@ def run_queue_discipline(
         row = []
         for workload in workloads:
             base = run_system_cached(workload, 4, "none", scale=scale, seed=seed)
-            result = run_system(
+            result = run_system_cached(
                 workload,
                 4,
                 "discontinuity",

@@ -14,8 +14,9 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.eval.executor import run_specs
 from repro.eval.profiles import SCALES, get_scale
-from repro.eval.registry import experiment_names, run_experiment
+from repro.eval.registry import collect_specs, experiment_names, run_experiment
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -42,6 +43,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="experiment scale (default: $REPRO_PROFILE or 'default')",
     )
     parser.add_argument("--seed", type=int, default=None, help="experiment seed")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the sweep (default: $REPRO_JOBS or all cores; "
+        "1 runs serially in-process)",
+    )
     parser.add_argument(
         "--json",
         metavar="PATH",
@@ -73,6 +81,24 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     names = experiment_names() if args.experiment == "all" else [args.experiment]
     scale = get_scale(args.scale) if args.scale else None
+
+    # Batch-submit every run the selected experiments will read: overlapping
+    # configurations simulate once, in parallel, before the drivers format
+    # their panels from the shared caches.
+    try:
+        specs = collect_specs(names, scale=scale, seed=args.seed)
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    started = time.time()
+    try:
+        run_specs(specs, jobs=args.jobs)
+    except ValueError as error:  # e.g. a non-integer $REPRO_JOBS
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"[{len(specs)} unique runs ready in {time.time() - started:.1f}s]")
+    print()
+
     all_panels = []
     for name in names:
         started = time.time()

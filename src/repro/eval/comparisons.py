@@ -19,10 +19,11 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.eval.executor import run_specs
 from repro.eval.figures import ExperimentResult
 from repro.eval.profiles import ExperimentScale
-from repro.eval.runner import DEFAULT_SEED, run_system, run_system_cached
-from repro.swpf.prefetcher import software_prefetcher_for
+from repro.eval.runner import DEFAULT_SEED, run_system_cached
+from repro.eval.runspec import RunSpec
 from repro.trace.synth.workloads import DISPLAY_NAMES, workload_names
 
 
@@ -45,10 +46,52 @@ def _metric_rows(results_by_label, workloads, baselines):
     return speedups, coverage, accuracy
 
 
+#: head-to-head variant set: (label, scheme or None for software, overrides).
+ALTERNATIVE_VARIANTS = [
+    ("Next-4-lines (tagged)", "next-4-line", {}),
+    ("Target prefetcher", "target", {}),
+    ("Markov (multi-target)", "markov", {}),
+    ("Fetch-directed (1K BTB)", "fdp", {"btb_entries": 1024}),
+    ("Software + next-4-line", None, {}),  # §2.3 software prefetcher
+    ("Discontinuity (paper)", "discontinuity", {}),
+]
+
+
+def _variant_spec(workload, scheme, overrides, scale, seed) -> RunSpec:
+    """One head-to-head run; ``scheme=None`` means the software prefetcher."""
+    return RunSpec.create(
+        workload,
+        4,
+        scheme or "none",
+        scale=scale,
+        l2_policy="bypass",
+        prefetcher_overrides=overrides,
+        software_prefetch=scheme is None,
+        seed=seed,
+    )
+
+
+def specs_alternatives(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[RunSpec]:
+    workloads = workload_names()
+    out = [
+        RunSpec.create(workload, 4, "none", scale=scale, seed=seed)
+        for workload in workloads
+    ]
+    out += [
+        _variant_spec(workload, scheme, overrides, scale, seed)
+        for _, scheme, overrides in ALTERNATIVE_VARIANTS
+        for workload in workloads
+    ]
+    return out
+
+
 def run_alternatives(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
     """All prefetching styles head-to-head (4-way CMP, bypass install)."""
+    run_specs(specs_alternatives(scale, seed))
     workloads = workload_names()
     col_labels = [DISPLAY_NAMES[w] for w in workloads]
     baselines = {
@@ -56,40 +99,21 @@ def run_alternatives(
         for workload in workloads
     }
 
-    variants = [
-        ("Next-4-lines (tagged)", "next-4-line", {}),
-        ("Target prefetcher", "target", {}),
-        ("Markov (multi-target)", "markov", {}),
-        ("Fetch-directed (1K BTB)", "fdp", {"btb_entries": 1024}),
-        ("Software + next-4-line", None, {}),  # factory-based
-        ("Discontinuity (paper)", "discontinuity", {}),
-    ]
     results_by_label = []
-    for label, scheme, overrides in variants:
-        results = []
-        for workload in workloads:
-            if scheme is None:
-                result = run_system(
-                    workload,
-                    4,
-                    scale=scale,
-                    l2_policy="bypass",
-                    prefetcher_factory=lambda core, w=workload: software_prefetcher_for(
-                        w, seed, core=core
-                    ),
-                    seed=seed,
-                )
-            else:
-                result = run_system_cached(
-                    workload,
-                    4,
-                    scheme,
-                    scale=scale,
-                    l2_policy="bypass",
-                    prefetcher_overrides=overrides,
-                    seed=seed,
-                )
-            results.append(result)
+    for label, scheme, overrides in ALTERNATIVE_VARIANTS:
+        results = [
+            run_system_cached(
+                workload,
+                4,
+                scheme or "none",
+                scale=scale,
+                l2_policy="bypass",
+                prefetcher_overrides=overrides,
+                software_prefetch=scheme is None,
+                seed=seed,
+            )
+            for workload in workloads
+        ]
         results_by_label.append((label, results))
 
     speedups, coverage, accuracy = _metric_rows(results_by_label, workloads, baselines)
@@ -128,10 +152,39 @@ def run_alternatives(
 FDP_BTB_SIZES = (1024, 4096, 16384, 65536)
 
 
+def specs_execution_based(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[RunSpec]:
+    workloads = workload_names()
+    out = [
+        RunSpec.create(workload, 4, "none", scale=scale, seed=seed)
+        for workload in workloads
+    ]
+    out += [
+        RunSpec.create(
+            workload,
+            4,
+            "fdp",
+            scale=scale,
+            l2_policy="bypass",
+            prefetcher_overrides={"btb_entries": btb},
+            seed=seed,
+        )
+        for btb in FDP_BTB_SIZES
+        for workload in workloads
+    ]
+    out += [
+        RunSpec.create(workload, 4, "discontinuity", scale=scale, l2_policy="bypass", seed=seed)
+        for workload in workloads
+    ]
+    return out
+
+
 def run_execution_based(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
     """Fetch-directed prefetching vs BTB size (4-way CMP)."""
+    run_specs(specs_execution_based(scale, seed))
     workloads = workload_names()
     col_labels = [DISPLAY_NAMES[w] for w in workloads]
     baselines = {
@@ -196,6 +249,26 @@ def run_execution_based(
 #: off-chip bandwidth sweep (GB/s); 20 is the paper's CMP default.
 BANDWIDTH_SWEEP_GBPS = (20.0, 10.0, 6.0, 4.0)
 
+#: the accuracy-ordered schemes whose crossover the sweep exposes.
+BANDWIDTH_SCHEMES = ["next-4-line", "discontinuity", "discontinuity-2nl"]
+
+
+def specs_bandwidth_sensitivity(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[RunSpec]:
+    out = [
+        RunSpec.create("db", 4, "none", scale=scale, offchip_gbps=gbps, seed=seed)
+        for gbps in BANDWIDTH_SWEEP_GBPS
+    ]
+    out += [
+        RunSpec.create(
+            "db", 4, scheme, scale=scale, l2_policy="bypass", offchip_gbps=gbps, seed=seed
+        )
+        for scheme in BANDWIDTH_SCHEMES
+        for gbps in BANDWIDTH_SWEEP_GBPS
+    ]
+    return out
+
 
 def run_bandwidth_sensitivity(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
@@ -209,7 +282,8 @@ def run_bandwidth_sensitivity(
     4NL-discontinuity) take over the performance ordering — wasted
     prefetches stop being free.
     """
-    schemes = ["next-4-line", "discontinuity", "discontinuity-2nl"]
+    run_specs(specs_bandwidth_sensitivity(scale, seed))
+    schemes = BANDWIDTH_SCHEMES
     col_labels = [f"{gbps:g} GB/s" for gbps in BANDWIDTH_SWEEP_GBPS]
     rows = []
     values = []
@@ -218,10 +292,10 @@ def run_bandwidth_sensitivity(
     for scheme in schemes:
         row = []
         for gbps in BANDWIDTH_SWEEP_GBPS:
-            base = run_system(
+            base = run_system_cached(
                 "db", 4, "none", scale=scale, offchip_gbps=gbps, seed=seed
             )
-            result = run_system(
+            result = run_system_cached(
                 "db",
                 4,
                 scheme,
@@ -254,6 +328,20 @@ def run_bandwidth_sensitivity(
 CORE_SCALING = (1, 2, 4, 8)
 
 
+def specs_core_scaling(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[RunSpec]:
+    out = []
+    for n_cores in CORE_SCALING:
+        out.append(RunSpec.create("db", n_cores, "none", scale=scale, seed=seed))
+        out.append(
+            RunSpec.create(
+                "db", n_cores, "discontinuity", scale=scale, l2_policy="bypass", seed=seed
+            )
+        )
+    return out
+
+
 def run_core_scaling(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
@@ -265,13 +353,14 @@ def run_core_scaling(
     instruction pressure — and therefore the discontinuity prefetcher's
     value — grows with the core count.
     """
+    run_specs(specs_core_scaling(scale, seed))
     col_labels = [f"{n} core{'s' if n > 1 else ''}" for n in CORE_SCALING]
     l2i_rates = []
     l2d_rates = []
     speedups = []
     for n_cores in CORE_SCALING:
-        base = run_system("db", n_cores, "none", scale=scale, seed=seed)
-        prefetched = run_system(
+        base = run_system_cached("db", n_cores, "none", scale=scale, seed=seed)
+        prefetched = run_system_cached(
             "db", n_cores, "discontinuity", scale=scale, l2_policy="bypass", seed=seed
         )
         l2i_rates.append(100.0 * base.l2i_miss_rate)
@@ -296,10 +385,34 @@ def run_core_scaling(
     ]
 
 
+def specs_software_prefetch(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[RunSpec]:
+    workloads = workload_names()
+    out = [
+        RunSpec.create(workload, 4, "none", scale=scale, seed=seed)
+        for workload in workloads
+    ]
+    out += [
+        RunSpec.create(
+            workload, 4, "none", scale=scale, l2_policy="bypass",
+            software_prefetch=True, seed=seed,
+        )
+        for workload in workloads
+    ]
+    out += [
+        RunSpec.create(workload, 4, scheme, scale=scale, l2_policy="bypass", seed=seed)
+        for scheme in ("next-4-line", "discontinuity")
+        for workload in workloads
+    ]
+    return out
+
+
 def run_software_prefetch(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
     """§2.3 cooperative software prefetching vs the hardware scheme (CMP)."""
+    run_specs(specs_software_prefetch(scale, seed))
     workloads = workload_names()
     col_labels = [DISPLAY_NAMES[w] for w in workloads]
     baselines = {
@@ -307,20 +420,18 @@ def run_software_prefetch(
         for workload in workloads
     }
     variants = []
-    sw_results = []
-    for workload in workloads:
-        sw_results.append(
-            run_system(
-                workload,
-                4,
-                scale=scale,
-                l2_policy="bypass",
-                prefetcher_factory=lambda core, w=workload: software_prefetcher_for(
-                    w, seed, core=core
-                ),
-                seed=seed,
-            )
+    sw_results = [
+        run_system_cached(
+            workload,
+            4,
+            "none",
+            scale=scale,
+            l2_policy="bypass",
+            software_prefetch=True,
+            seed=seed,
         )
+        for workload in workloads
+    ]
     variants.append(("Software + next-4-line", sw_results))
     variants.append(
         (

@@ -1,0 +1,148 @@
+"""Process-parallel sweep executor with layered result caching.
+
+The experiment drivers declare their configurations as
+:class:`~repro.eval.runspec.RunSpec` lists and submit them in one batch to
+:func:`run_specs`, which resolves each spec through three layers:
+
+1. **in-process memo** — repeat requests within one process are free (the
+   paper's Figures 5, 6 and 7 read the same runs; so do many ablations);
+2. **persistent disk cache** (:mod:`repro.eval.diskcache`) — repeat
+   invocations across processes and sessions replay from
+   ``$REPRO_CACHE_DIR`` instead of re-simulating;
+3. **simulation** — remaining specs run under a
+   :class:`~concurrent.futures.ProcessPoolExecutor` sized by
+   ``$REPRO_JOBS`` (default: all cores), or serially in-process when the
+   effective job count is 1.
+
+Workers return results in the disk cache's plain-data form, which the
+parent rehydrates and persists; JSON round-trips ints and floats exactly,
+so parallel results are bit-identical to a serial ``run_system`` call.
+Submission is ordered by :meth:`RunSpec.trace_key` so specs replaying the
+same synthetic traces tend to land on the same worker, whose
+per-process :func:`~repro.eval.runner.get_traces` memo then serves them
+without regenerating.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterable, Optional
+
+from repro.cmp.system import SystemResult
+from repro.eval import diskcache
+from repro.eval.runspec import RunSpec, dedupe_specs
+
+#: environment variable bounding the worker-process count; 1 forces the
+#: in-process serial path (no pool, no pickling).
+JOBS_ENV = "REPRO_JOBS"
+
+_MEMO: Dict[RunSpec, SystemResult] = {}
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Effective worker count: explicit arg → ``$REPRO_JOBS`` → cpu count."""
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV, "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(f"{JOBS_ENV} must be an integer, got {env!r}") from None
+        else:
+            jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def clear_memo() -> None:
+    """Drop the in-process result memo (the disk cache is untouched)."""
+    _MEMO.clear()
+
+
+def memo_size() -> int:
+    return len(_MEMO)
+
+
+def _simulate(spec: RunSpec) -> SystemResult:
+    """Run one spec from scratch in this process."""
+    from repro.eval.runner import run_system
+
+    kwargs = spec.run_kwargs()
+    if spec.software_prefetch:
+        from repro.swpf.prefetcher import software_prefetcher_for
+
+        workload, seed = spec.workload, spec.seed
+        kwargs["prefetcher_factory"] = lambda core: software_prefetcher_for(
+            workload, seed, core=core
+        )
+    return run_system(**kwargs)
+
+
+def _worker(spec: RunSpec) -> Dict:
+    """Pool entry point: simulate and return the plain-data payload.
+
+    Returning the payload (not the live ``SystemResult``) keeps the parallel
+    path identical to a disk-cache hit — and sidesteps unpicklable state
+    such as the software-prefetch factory closure.  Trace generation inside
+    the worker goes through ``get_traces``, whose module-level memo persists
+    for the worker's lifetime, so same-trace specs assigned to one worker
+    share a single generation.
+    """
+    return diskcache.result_to_payload(_simulate(spec), spec)
+
+
+def execute_spec(spec: RunSpec) -> SystemResult:
+    """Resolve one spec through memo → disk cache → in-process simulation."""
+    result = _MEMO.get(spec)
+    if result is not None:
+        return result
+    result = diskcache.load(spec)
+    if result is None:
+        result = _simulate(spec)
+        diskcache.store(spec, result)
+    _MEMO[spec] = result
+    return result
+
+
+def run_specs(
+    specs: Iterable[RunSpec], jobs: Optional[int] = None
+) -> Dict[RunSpec, SystemResult]:
+    """Execute a batch of specs; returns a spec → result mapping.
+
+    Duplicates are collapsed, cached specs (memo or disk) are served
+    without simulation, and the remainder fans out across worker processes
+    (serial in-process when the effective job count is 1).
+    """
+    unique = dedupe_specs(specs)
+    results: Dict[RunSpec, SystemResult] = {}
+    pending = []
+    for spec in unique:
+        cached = _MEMO.get(spec)
+        if cached is None:
+            cached = diskcache.load(spec)
+            if cached is not None:
+                _MEMO[spec] = cached
+        if cached is not None:
+            results[spec] = cached
+        else:
+            pending.append(spec)
+    if not pending:
+        return results
+
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(pending) == 1:
+        for spec in pending:
+            results[spec] = execute_spec(spec)
+        return results
+
+    pending.sort(key=lambda spec: spec.trace_key())
+    with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+        futures = [(spec, pool.submit(_worker, spec)) for spec in pending]
+        for spec, future in futures:
+            result = diskcache.payload_to_result(future.result())
+            # The parent is the single cache writer; workers stay read-free
+            # so a shared cache directory never sees write races.
+            diskcache.store(spec, result)
+            _MEMO[spec] = result
+            results[spec] = result
+    return results

@@ -21,9 +21,11 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.caches.config import DEFAULT_HIERARCHY
+from repro.eval.executor import run_specs
 from repro.eval.figures import ExperimentResult
 from repro.eval.profiles import ExperimentScale
 from repro.eval.runner import DEFAULT_SEED, run_system_cached
+from repro.eval.runspec import RunSpec
 from repro.trace.synth.workloads import DISPLAY_NAMES, workload_names
 from repro.util.units import KB
 
@@ -42,10 +44,29 @@ CONFIGS = [
 ]
 
 
+def specs(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[RunSpec]:
+    """Every run Figure 1 reads, declared up front for batch submission."""
+    return [
+        RunSpec.create(
+            workload,
+            1,
+            "none",
+            scale=scale,
+            hierarchy=DEFAULT_HIERARCHY.with_l1i(**overrides) if overrides else DEFAULT_HIERARCHY,
+            seed=seed,
+        )
+        for _, overrides in CONFIGS
+        for workload in workload_names()
+    ]
+
+
 def run(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
     """Run the Figure 1 sweep; returns one panel."""
+    run_specs(specs(scale, seed))
     workloads = workload_names()
     rows = []
     values = []

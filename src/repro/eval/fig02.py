@@ -16,9 +16,11 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.caches.config import DEFAULT_HIERARCHY
+from repro.eval.executor import run_specs
 from repro.eval.figures import ExperimentResult
 from repro.eval.profiles import ExperimentScale
 from repro.eval.runner import DEFAULT_SEED, run_system_cached
+from repro.eval.runspec import RunSpec
 from repro.trace.synth.workloads import DISPLAY_NAMES, workload_names
 from repro.util.units import MB
 
@@ -26,10 +28,30 @@ from repro.util.units import MB
 L2_SIZES_MB = (1, 2, 4)
 
 
+def specs(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[RunSpec]:
+    """Every run Figure 2 reads, declared up front for batch submission."""
+    out = []
+    for size_mb in L2_SIZES_MB:
+        hierarchy = DEFAULT_HIERARCHY.with_l2(capacity_bytes=size_mb * MB)
+        for n_cores in (1, 4):
+            for workload in workload_names() + ["mix"]:
+                if workload == "mix" and n_cores == 1:
+                    continue
+                out.append(
+                    RunSpec.create(
+                        workload, n_cores, "none", scale=scale, hierarchy=hierarchy, seed=seed
+                    )
+                )
+    return out
+
+
 def run(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
     """Run the Figure 2 sweep; returns one panel (rows = config)."""
+    run_specs(specs(scale, seed))
     single_workloads = workload_names()
     cmp_workloads = workload_names() + ["mix"]
     col_labels = [DISPLAY_NAMES[w] for w in cmp_workloads]

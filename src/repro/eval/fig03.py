@@ -17,12 +17,27 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.caches.missclass import MissBreakdown
+from repro.eval.executor import run_specs
 from repro.eval.figures import ExperimentResult
 from repro.eval.profiles import ExperimentScale
 from repro.eval.runner import DEFAULT_SEED, run_system_cached
+from repro.eval.runspec import RunSpec
 from repro.isa.classify import kind_label
 from repro.isa.kinds import TransitionKind
 from repro.trace.synth.workloads import DISPLAY_NAMES, workload_names
+
+
+def specs(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[RunSpec]:
+    """Every run Figure 3 reads, declared up front for batch submission."""
+    base = workload_names()
+    return [
+        RunSpec.create(workload, 1, "none", scale=scale, seed=seed) for workload in base
+    ] + [
+        RunSpec.create(workload, 4, "none", scale=scale, seed=seed)
+        for workload in base + ["mix"]
+    ]
 
 
 def _breakdown_panel(
@@ -61,6 +76,7 @@ def run(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
     """Run Figure 3; returns the three panels (i)-(iii)."""
+    run_specs(specs(scale, seed))
     base = workload_names()
     return [
         _breakdown_panel(

@@ -21,9 +21,11 @@ from __future__ import annotations
 
 from typing import FrozenSet, List, Optional, Tuple
 
+from repro.eval.executor import run_specs
 from repro.eval.figures import ExperimentResult
 from repro.eval.profiles import ExperimentScale
 from repro.eval.runner import DEFAULT_SEED, run_system_cached
+from repro.eval.runspec import RunSpec
 from repro.isa.classify import MissClass
 from repro.trace.synth.workloads import DISPLAY_NAMES, workload_names
 
@@ -39,6 +41,29 @@ ELIMINATIONS: List[Tuple[str, FrozenSet[MissClass]]] = [
         frozenset({MissClass.SEQUENTIAL, MissClass.BRANCH, MissClass.FUNCTION}),
     ),
 ]
+
+
+def specs(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[RunSpec]:
+    """Every run Figure 4 reads, declared up front for batch submission."""
+    base = workload_names()
+    out = []
+    for workloads, n_cores in ((base, 1), (base + ["mix"], 4)):
+        for workload in workloads:
+            out.append(RunSpec.create(workload, n_cores, "none", scale=scale, seed=seed))
+            for _, free_set in ELIMINATIONS:
+                out.append(
+                    RunSpec.create(
+                        workload,
+                        n_cores,
+                        "none",
+                        scale=scale,
+                        free_miss_classes=free_set,
+                        seed=seed,
+                    )
+                )
+    return out
 
 
 def _panel(
@@ -85,6 +110,7 @@ def run(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
     """Run Figure 4; returns panels (i) single core and (ii) 4-way CMP."""
+    run_specs(specs(scale, seed))
     base = workload_names()
     return [
         _panel("fig04i", "Miss-elimination potential (single core)", base, 1, scale, seed),

@@ -21,14 +21,30 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.eval.executor import run_specs
 from repro.eval.figures import ExperimentResult
 from repro.eval.profiles import ExperimentScale
 from repro.eval.runner import DEFAULT_SEED, run_system_cached
+from repro.eval.runspec import RunSpec
 from repro.prefetch.registry import prefetcher_display_name
 from repro.trace.synth.workloads import DISPLAY_NAMES, workload_names
 
 #: the paper's Figure 5/6/7 scheme set, legend order.
 SCHEMES = ["next-line-on-miss", "next-line-tagged", "next-4-line", "discontinuity"]
+
+
+def specs(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[RunSpec]:
+    """Every run Figure 5 reads (the same normal-install runs Figures 6
+    and 7 read), declared up front for batch submission."""
+    base = workload_names()
+    return [
+        RunSpec.create(workload, n_cores, scheme, scale=scale, seed=seed)
+        for workloads, n_cores in ((base, 1), (base + ["mix"], 4))
+        for workload in workloads
+        for scheme in ["none"] + SCHEMES
+    ]
 
 
 def _panel(
@@ -76,6 +92,7 @@ def run(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
     """Run Figure 5; returns panels (i)-(iii)."""
+    run_specs(specs(scale, seed))
     base = workload_names()
     return [
         _panel(

@@ -13,12 +13,22 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.eval.executor import run_specs
 from repro.eval.figures import ExperimentResult
 from repro.eval.profiles import ExperimentScale
 from repro.eval.runner import DEFAULT_SEED, run_system_cached
 from repro.eval.fig05 import SCHEMES
+from repro.eval.fig05 import specs as _fig05_specs
+from repro.eval.runspec import RunSpec
 from repro.prefetch.registry import prefetcher_display_name
 from repro.trace.synth.workloads import DISPLAY_NAMES, workload_names
+
+
+def specs(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[RunSpec]:
+    """Figure 6 reads exactly the Figure 5 run set (normal L2 install)."""
+    return _fig05_specs(scale, seed)
 
 
 def perf_panel(
@@ -66,6 +76,7 @@ def run(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
     """Run Figure 6; returns panels (i) and (ii)."""
+    run_specs(specs(scale, seed))
     base = workload_names()
     note = "normal L2 install: pollution limits the gains (paper: <= ~1.28X)"
     return [

@@ -14,17 +14,40 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.eval.executor import run_specs
+from repro.eval.fig05 import SCHEMES
 from repro.eval.fig06 import perf_panel
 from repro.eval.figures import ExperimentResult
 from repro.eval.profiles import ExperimentScale
 from repro.eval.runner import DEFAULT_SEED
+from repro.eval.runspec import RunSpec
 from repro.trace.synth.workloads import workload_names
+
+
+def specs(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[RunSpec]:
+    """Every run Figure 8 reads: no-prefetch baselines plus the Figure 5
+    schemes under the bypass install policy."""
+    base = workload_names()
+    out = []
+    for workloads, n_cores in ((base, 1), (base + ["mix"], 4)):
+        for workload in workloads:
+            out.append(RunSpec.create(workload, n_cores, "none", scale=scale, seed=seed))
+            for scheme in SCHEMES:
+                out.append(
+                    RunSpec.create(
+                        workload, n_cores, scheme, scale=scale, l2_policy="bypass", seed=seed
+                    )
+                )
+    return out
 
 
 def run(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
     """Run Figure 8; returns panels (i) and (ii)."""
+    run_specs(specs(scale, seed))
     base = workload_names()
     note = "bypass install (§7): pollution removed; paper: 1.08-1.37X on CMP"
     return [

@@ -18,10 +18,12 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.eval.executor import run_specs
 from repro.eval.fig06 import perf_panel
 from repro.eval.figures import ExperimentResult
 from repro.eval.profiles import ExperimentScale
 from repro.eval.runner import DEFAULT_SEED, run_system_cached
+from repro.eval.runspec import RunSpec
 from repro.prefetch.registry import prefetcher_display_name
 from repro.trace.synth.workloads import DISPLAY_NAMES, workload_names
 
@@ -35,10 +37,28 @@ SCHEMES_9 = [
 ]
 
 
+def specs(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[RunSpec]:
+    """Every run Figure 9 reads, declared up front for batch submission."""
+    workloads = workload_names() + ["mix"]
+    out = [
+        RunSpec.create(workload, 4, "none", scale=scale, seed=seed)
+        for workload in workloads
+    ]
+    out += [
+        RunSpec.create(workload, 4, scheme, scale=scale, l2_policy="bypass", seed=seed)
+        for scheme in SCHEMES_9
+        for workload in workloads
+    ]
+    return out
+
+
 def run(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
     """Run Figure 9; returns panels (i) accuracy and (ii) speedup."""
+    run_specs(specs(scale, seed))
     workloads = workload_names() + ["mix"]
     col_labels = [DISPLAY_NAMES[w] for w in workloads]
 

@@ -15,19 +15,47 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.eval.executor import run_specs
 from repro.eval.figures import ExperimentResult
 from repro.eval.profiles import ExperimentScale
 from repro.eval.runner import DEFAULT_SEED, run_system_cached
+from repro.eval.runspec import RunSpec
 from repro.trace.synth.workloads import DISPLAY_NAMES, workload_names
 
 #: the paper's sweep, largest first (legend order).
 TABLE_SIZES = (8192, 4096, 2048, 1024, 512, 256)
 
 
+def specs(
+    scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
+) -> List[RunSpec]:
+    """Every run Figure 10 reads, declared up front for batch submission."""
+    workloads = workload_names() + ["mix"]
+    out = [
+        RunSpec.create(
+            workload,
+            4,
+            "discontinuity",
+            scale=scale,
+            l2_policy="bypass",
+            prefetcher_overrides={"table_entries": size},
+            seed=seed,
+        )
+        for size in TABLE_SIZES
+        for workload in workloads
+    ]
+    out += [
+        RunSpec.create(workload, 4, "next-4-line", scale=scale, l2_policy="bypass", seed=seed)
+        for workload in workloads
+    ]
+    return out
+
+
 def run(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
     """Run Figure 10; returns panels (i) L1 and (ii) L2 coverage."""
+    run_specs(specs(scale, seed))
     workloads = workload_names() + ["mix"]
     col_labels = [DISPLAY_NAMES[w] for w in workloads]
 

@@ -1,4 +1,12 @@
-"""Registry of all experiment drivers (figures + ablations)."""
+"""Registry of all experiment drivers (figures + ablations).
+
+Each experiment is registered twice: ``EXPERIMENTS`` maps the name to its
+driver (produces the result panels), and ``EXPERIMENT_SPECS`` maps it to a
+function declaring every :class:`~repro.eval.runspec.RunSpec` the driver
+will read.  :func:`collect_specs` unions the spec lists of many experiments
+so the CLI can batch-submit one deduplicated sweep — overlapping runs
+(e.g. Figures 5, 6 and 7 share all of theirs) are simulated once.
+"""
 
 from __future__ import annotations
 
@@ -21,6 +29,7 @@ from repro.eval import (
 )
 from repro.eval.figures import ExperimentResult
 from repro.eval.profiles import ExperimentScale
+from repro.eval.runspec import DEFAULT_SEED, RunSpec, dedupe_specs
 
 #: experiment name → driver returning a list of result panels.
 EXPERIMENTS: Dict[str, Callable[..., List[ExperimentResult]]] = {
@@ -52,8 +61,68 @@ EXPERIMENTS: Dict[str, Callable[..., List[ExperimentResult]]] = {
 }
 
 
+#: experiment name → function declaring every RunSpec the driver reads.
+EXPERIMENT_SPECS: Dict[str, Callable[..., List[RunSpec]]] = {
+    "fig01": fig01.specs,
+    "fig02": fig02.specs,
+    "fig03": fig03.specs,
+    "fig04": fig04.specs,
+    "fig05": fig05.specs,
+    "fig06": fig06.specs,
+    "fig07": fig07.specs,
+    "fig08": fig08.specs,
+    "fig09": fig09.specs,
+    "fig10": fig10.specs,
+    "ablation-filtering": ablations.specs_filtering,
+    "ablation-eviction-counter": ablations.specs_eviction_counter,
+    "ablation-prefetch-ahead": ablations.specs_prefetch_ahead,
+    "ablation-probe-ahead": ablations.specs_probe_ahead,
+    "ablation-queue-discipline": ablations.specs_queue_discipline,
+    "ablation-table-design": ablations.specs_single_vs_multi_target,
+    "ablation-useless-hint": ablations.specs_useless_hint_filter,
+    "ablation-inclusion": ablations.specs_inclusion,
+    "ablation-replacement": ablations.specs_replacement,
+    "comparison-alternatives": comparisons.specs_alternatives,
+    "comparison-bandwidth": comparisons.specs_bandwidth_sensitivity,
+    "comparison-core-scaling": comparisons.specs_core_scaling,
+    "comparison-execution-based": comparisons.specs_execution_based,
+    "comparison-software-prefetch": comparisons.specs_software_prefetch,
+    "replication-check": replication.specs_replication_check,
+}
+
+
 def experiment_names() -> List[str]:
     return list(EXPERIMENTS)
+
+
+def collect_specs(
+    names: List[str],
+    scale: Optional[ExperimentScale] = None,
+    seed: Optional[int] = None,
+) -> List[RunSpec]:
+    """Deduplicated union of the RunSpecs the named experiments will read.
+
+    Experiments registered in :data:`EXPERIMENTS` without a matching
+    :data:`EXPERIMENT_SPECS` entry (e.g. third-party drivers added at
+    runtime) simply declare no specs up front — their driver simulates
+    lazily.  Truly unknown names raise ``KeyError``.
+    """
+    specs: List[RunSpec] = []
+    for name in names:
+        spec_fn = EXPERIMENT_SPECS.get(name)
+        if spec_fn is None:
+            if name in EXPERIMENTS:
+                continue
+            raise KeyError(
+                f"unknown experiment {name!r}; available: {experiment_names()}"
+            )
+        kwargs = {}
+        if scale is not None:
+            kwargs["scale"] = scale
+        if seed is not None:
+            kwargs["seed"] = seed
+        specs.extend(spec_fn(**kwargs))
+    return dedupe_specs(specs)
 
 
 def run_experiment(

@@ -12,13 +12,18 @@ import math
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
+from repro.eval.executor import run_specs
 from repro.eval.figures import ExperimentResult
 from repro.eval.profiles import ExperimentScale
-from repro.eval.runner import run_system
+from repro.eval.runner import run_system_cached
+from repro.eval.runspec import RunSpec
 from repro.trace.synth.workloads import DISPLAY_NAMES, workload_names
 
 #: default replication seeds (arbitrary, fixed for reproducibility).
 DEFAULT_SEEDS = (1337, 2024, 31415, 27182, 16180)
+
+#: the headline schemes the replication check replicates.
+REPLICATION_SCHEMES = ("next-4-line", "discontinuity")
 
 
 @dataclass(frozen=True)
@@ -64,13 +69,33 @@ def replicate_speedup(
     """Speedup of *prefetcher* over no-prefetch, replicated across seeds."""
 
     def one(seed: int) -> float:
-        base = run_system(workload, n_cores, "none", scale=scale, seed=seed)
-        result = run_system(
+        base = run_system_cached(workload, n_cores, "none", scale=scale, seed=seed)
+        result = run_system_cached(
             workload, n_cores, prefetcher, scale=scale, l2_policy=l2_policy, seed=seed
         )
         return result.aggregate_ipc / base.aggregate_ipc
 
     return replicate_metric(one, seeds)
+
+
+def specs_replication_check(
+    scale: Optional[ExperimentScale] = None,
+    seed: int = DEFAULT_SEEDS[0],
+    seeds: Sequence[int] = DEFAULT_SEEDS[:3],
+) -> List[RunSpec]:
+    """Every run the replication check reads (all seeds, all schemes)."""
+    del seed
+    out = []
+    for one_seed in seeds:
+        for workload in workload_names():
+            out.append(RunSpec.create(workload, 4, "none", scale=scale, seed=one_seed))
+            for scheme in REPLICATION_SCHEMES:
+                out.append(
+                    RunSpec.create(
+                        workload, 4, scheme, scale=scale, l2_policy="bypass", seed=one_seed
+                    )
+                )
+    return out
 
 
 def run_replication_check(
@@ -83,12 +108,13 @@ def run_replication_check(
     (The ``seed`` argument is accepted for registry-interface uniformity;
     the replication always spans ``seeds``.)
     """
+    run_specs(specs_replication_check(scale, seed, seeds))
     del seed
     workloads = workload_names()
     col_labels = [DISPLAY_NAMES[w] for w in workloads]
     means = []
     stds = []
-    for scheme in ("next-4-line", "discontinuity"):
+    for scheme in REPLICATION_SCHEMES:
         mean_row = []
         std_row = []
         for workload in workloads:

@@ -4,6 +4,12 @@ Trace generation is the most expensive step of an experiment sweep, and
 every configuration of a sweep must replay the *same* trace for results to
 be comparable.  :func:`get_traces` memoizes generated traces by
 ``(workload, n_cores, seed, n_instructions)``.
+
+Result caching is layered (see :mod:`repro.eval.executor`): an in-process
+memo, then the persistent on-disk cache of :mod:`repro.eval.diskcache`.
+:func:`run_system_cached` routes through both; batch submission of many
+configurations (with process parallelism) goes through
+:func:`repro.eval.executor.run_specs`.
 """
 
 from __future__ import annotations
@@ -13,18 +19,22 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 from repro.caches.config import HierarchyConfig, DEFAULT_HIERARCHY
 from repro.cmp.system import System, SystemConfig, SystemResult
 from repro.eval.profiles import ExperimentScale, get_scale
+from repro.eval.runspec import DEFAULT_SEED, RunSpec
 from repro.isa.classify import MissClass
 from repro.timing.params import TimingParams, DEFAULT_TIMING
 from repro.trace.stream import Trace
 from repro.api import make_traces
 
-#: default experiment seed (any fixed value works; results are deterministic
-#: in it).
-DEFAULT_SEED = 1337
+__all__ = [
+    "DEFAULT_SEED",
+    "get_traces",
+    "clear_trace_cache",
+    "run_system",
+    "run_system_cached",
+    "clear_result_cache",
+]
 
 _TRACE_CACHE: Dict[Tuple[str, int, int, int], List[Trace]] = {}
-
-_RESULT_CACHE: Dict[Tuple, SystemResult] = {}
 
 
 def get_traces(
@@ -103,46 +113,56 @@ def run_system_cached(
     prefetcher: str = "none",
     scale: Optional[ExperimentScale] = None,
     hierarchy: HierarchyConfig = DEFAULT_HIERARCHY,
+    timing: TimingParams = DEFAULT_TIMING,
     l2_policy: str = "normal",
     prefetcher_overrides: Optional[dict] = None,
     free_miss_classes: FrozenSet[MissClass] = frozenset(),
+    queue_filtering: bool = True,
+    queue_lifo: bool = True,
+    useless_hint_filter: bool = False,
+    l2_inclusive: bool = False,
+    l1_replacement: str = "lru",
+    l2_replacement: str = "lru",
+    offchip_gbps: Optional[float] = None,
+    software_prefetch: bool = False,
     seed: int = DEFAULT_SEED,
 ) -> SystemResult:
-    """Like :func:`run_system`, but memoized.
+    """Like :func:`run_system`, but served through the layered caches.
 
     The paper's figures share many configurations (e.g. Figures 5, 6 and 7
-    all read the same runs); caching lets each figure driver ask for what
-    it needs without coordinating with the others.
+    all read the same runs); the in-process memo lets each figure driver
+    ask for what it needs without coordinating with the others, and the
+    disk cache extends that sharing across invocations.  Accepts every
+    ``run_system`` parameter except an arbitrary ``prefetcher_factory``
+    (use ``software_prefetch=True`` for the §2.3 software prefetcher).
     """
-    scale = scale or get_scale()
-    key = (
+    spec = RunSpec.create(
         workload,
         n_cores,
         prefetcher,
-        scale.name,
-        hierarchy,
-        l2_policy,
-        tuple(sorted((prefetcher_overrides or {}).items())),
-        frozenset(free_miss_classes),
-        seed,
+        scale=scale,
+        hierarchy=hierarchy,
+        timing=timing,
+        l2_policy=l2_policy,
+        prefetcher_overrides=prefetcher_overrides,
+        free_miss_classes=free_miss_classes,
+        queue_filtering=queue_filtering,
+        queue_lifo=queue_lifo,
+        useless_hint_filter=useless_hint_filter,
+        l2_inclusive=l2_inclusive,
+        l1_replacement=l1_replacement,
+        l2_replacement=l2_replacement,
+        offchip_gbps=offchip_gbps,
+        software_prefetch=software_prefetch,
+        seed=seed,
     )
-    result = _RESULT_CACHE.get(key)
-    if result is None:
-        result = run_system(
-            workload,
-            n_cores,
-            prefetcher,
-            scale=scale,
-            hierarchy=hierarchy,
-            l2_policy=l2_policy,
-            prefetcher_overrides=prefetcher_overrides,
-            free_miss_classes=free_miss_classes,
-            seed=seed,
-        )
-        _RESULT_CACHE[key] = result
-    return result
+    from repro.eval.executor import execute_spec
+
+    return execute_spec(spec)
 
 
 def clear_result_cache() -> None:
-    """Drop memoized run results."""
-    _RESULT_CACHE.clear()
+    """Drop memoized run results (the disk cache is untouched)."""
+    from repro.eval.executor import clear_memo
+
+    clear_memo()

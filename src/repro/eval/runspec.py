@@ -1,0 +1,200 @@
+"""Declarative description of one :func:`repro.eval.runner.run_system` call.
+
+A :class:`RunSpec` is the unit of work of the sweep-execution subsystem
+(:mod:`repro.eval.executor`): a frozen, hashable, picklable record of every
+parameter that influences a simulation's result.  Because it is hashable it
+keys the in-process memo; because it is picklable it can be shipped to
+worker processes; and because :meth:`RunSpec.content_hash` is stable across
+processes and sessions it keys the persistent on-disk result cache
+(:mod:`repro.eval.diskcache`).
+
+The one ``run_system`` parameter a RunSpec cannot carry is an arbitrary
+``prefetcher_factory`` callable (not picklable, not hashable).  The single
+factory-based configuration the experiments use — the §2.3 cooperative
+software prefetcher — is instead encoded declaratively via the
+``software_prefetch`` flag and reconstructed inside the executing process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple, Union
+
+from repro.caches.config import HierarchyConfig, DEFAULT_HIERARCHY
+from repro.eval.profiles import ExperimentScale, get_scale
+from repro.isa.classify import MissClass
+from repro.timing.params import TimingParams, DEFAULT_TIMING
+
+#: default experiment seed (any fixed value works; results are deterministic
+#: in it).
+DEFAULT_SEED = 1337
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything that determines one ``run_system`` result.
+
+    Prefer :meth:`RunSpec.create`, which accepts the same ergonomic
+    argument forms as ``run_system`` (a scale name or None, an overrides
+    dict) and normalizes them into the canonical hashable representation.
+    """
+
+    workload: str
+    n_cores: int
+    scale: ExperimentScale
+    prefetcher: str = "none"
+    hierarchy: HierarchyConfig = DEFAULT_HIERARCHY
+    timing: TimingParams = DEFAULT_TIMING
+    l2_policy: str = "normal"
+    #: sorted ``(key, value)`` pairs — the hashable form of the dict.
+    prefetcher_overrides: Tuple[Tuple[str, Any], ...] = ()
+    free_miss_classes: FrozenSet[MissClass] = frozenset()
+    queue_filtering: bool = True
+    queue_lifo: bool = True
+    useless_hint_filter: bool = False
+    l2_inclusive: bool = False
+    l1_replacement: str = "lru"
+    l2_replacement: str = "lru"
+    offchip_gbps: Optional[float] = None
+    #: run the §2.3 cooperative software prefetcher (built per-core inside
+    #: the executing process; replaces the ``prefetcher`` registry name).
+    software_prefetch: bool = False
+    seed: int = DEFAULT_SEED
+
+    @classmethod
+    def create(
+        cls,
+        workload: str,
+        n_cores: int,
+        prefetcher: str = "none",
+        scale: Union[ExperimentScale, str, None] = None,
+        hierarchy: HierarchyConfig = DEFAULT_HIERARCHY,
+        timing: TimingParams = DEFAULT_TIMING,
+        l2_policy: str = "normal",
+        prefetcher_overrides: Optional[Dict[str, Any]] = None,
+        free_miss_classes: FrozenSet[MissClass] = frozenset(),
+        queue_filtering: bool = True,
+        queue_lifo: bool = True,
+        useless_hint_filter: bool = False,
+        l2_inclusive: bool = False,
+        l1_replacement: str = "lru",
+        l2_replacement: str = "lru",
+        offchip_gbps: Optional[float] = None,
+        software_prefetch: bool = False,
+        seed: int = DEFAULT_SEED,
+    ) -> "RunSpec":
+        """Build a spec, resolving the scale and normalizing the overrides."""
+        if scale is None or isinstance(scale, str):
+            scale = get_scale(scale or "")
+        overrides = tuple(sorted((prefetcher_overrides or {}).items()))
+        return cls(
+            workload=workload,
+            n_cores=n_cores,
+            scale=scale,
+            prefetcher=prefetcher,
+            hierarchy=hierarchy,
+            timing=timing,
+            l2_policy=l2_policy,
+            prefetcher_overrides=overrides,
+            free_miss_classes=frozenset(free_miss_classes),
+            queue_filtering=queue_filtering,
+            queue_lifo=queue_lifo,
+            useless_hint_filter=useless_hint_filter,
+            l2_inclusive=l2_inclusive,
+            l1_replacement=l1_replacement,
+            l2_replacement=l2_replacement,
+            offchip_gbps=offchip_gbps,
+            software_prefetch=software_prefetch,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Execution plumbing
+    # ------------------------------------------------------------------ #
+
+    @property
+    def overrides(self) -> Dict[str, Any]:
+        return dict(self.prefetcher_overrides)
+
+    def run_kwargs(self) -> Dict[str, Any]:
+        """Keyword arguments for ``run_system`` (minus the software-prefetch
+        factory, which the executor builds in-process)."""
+        return dict(
+            workload=self.workload,
+            n_cores=self.n_cores,
+            prefetcher=self.prefetcher,
+            scale=self.scale,
+            hierarchy=self.hierarchy,
+            timing=self.timing,
+            l2_policy=self.l2_policy,
+            prefetcher_overrides=self.overrides,
+            free_miss_classes=self.free_miss_classes,
+            queue_filtering=self.queue_filtering,
+            queue_lifo=self.queue_lifo,
+            useless_hint_filter=self.useless_hint_filter,
+            l2_inclusive=self.l2_inclusive,
+            l1_replacement=self.l1_replacement,
+            l2_replacement=self.l2_replacement,
+            offchip_gbps=self.offchip_gbps,
+            seed=self.seed,
+        )
+
+    def trace_key(self) -> Tuple[str, int, str, int]:
+        """Grouping key for specs that replay the same generated traces."""
+        return (self.workload, self.n_cores, self.scale.name, self.seed)
+
+    # ------------------------------------------------------------------ #
+    # Content hashing (disk-cache key)
+    # ------------------------------------------------------------------ #
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """JSON-serializable canonical form (stable across processes)."""
+        return {
+            "workload": self.workload,
+            "n_cores": self.n_cores,
+            "prefetcher": self.prefetcher,
+            "scale": dataclasses.asdict(self.scale),
+            "hierarchy": dataclasses.asdict(self.hierarchy),
+            "timing": dataclasses.asdict(self.timing),
+            "l2_policy": self.l2_policy,
+            "prefetcher_overrides": [list(item) for item in self.prefetcher_overrides],
+            "free_miss_classes": sorted(cls.name for cls in self.free_miss_classes),
+            "queue_filtering": self.queue_filtering,
+            "queue_lifo": self.queue_lifo,
+            "useless_hint_filter": self.useless_hint_filter,
+            "l2_inclusive": self.l2_inclusive,
+            "l1_replacement": self.l1_replacement,
+            "l2_replacement": self.l2_replacement,
+            "offchip_gbps": self.offchip_gbps,
+            "software_prefetch": self.software_prefetch,
+            "seed": self.seed,
+        }
+
+    def content_hash(self) -> str:
+        """SHA-256 of the canonical form — the persistent cache key."""
+        blob = json.dumps(self.canonical_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        """Short human-readable label (progress logging)."""
+        parts = [self.workload, f"{self.n_cores}c"]
+        parts.append("swpf" if self.software_prefetch else self.prefetcher)
+        if self.l2_policy != "normal":
+            parts.append(self.l2_policy)
+        if self.prefetcher_overrides:
+            parts.append(",".join(f"{k}={v}" for k, v in self.prefetcher_overrides))
+        return "/".join(parts)
+
+
+def dedupe_specs(specs) -> List[RunSpec]:
+    """Order-preserving deduplication of a spec iterable."""
+    seen = set()
+    unique: List[RunSpec] = []
+    for spec in specs:
+        if spec not in seen:
+            seen.add(spec)
+            unique.append(spec)
+    return unique

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.caches.cache import SetAssociativeCache
@@ -10,6 +12,19 @@ from repro.isa.kinds import TransitionKind
 from repro.trace.record import BlockEvent
 from repro.trace.stream import Trace
 from repro.trace.synth.params import WorkloadProfile
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the on-disk result cache at a per-test tmp dir.
+
+    Keeps the suite from writing ``.repro-cache/`` into the repo (and from
+    reading stale results out of it).  Respects an explicit operator
+    override so ``REPRO_CACHE_DIR=... pytest`` still works.
+    """
+    if "REPRO_CACHE_DIR" not in os.environ:
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+    yield
+
 
 SEQ = int(TransitionKind.SEQUENTIAL)
 CALL = int(TransitionKind.CALL)

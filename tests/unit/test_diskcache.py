@@ -1,0 +1,113 @@
+"""Unit tests for the persistent on-disk result cache."""
+
+import json
+
+import pytest
+
+from repro.eval import diskcache
+from repro.eval.profiles import ExperimentScale
+from repro.eval.runner import run_system
+from repro.eval.runspec import RunSpec
+
+TINY = ExperimentScale(
+    name="tiny",
+    warm_instructions=4_000,
+    measure_instructions=12_000,
+    cmp_measure_instructions=6_000,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_run():
+    """One real (spec, result) pair, simulated once for the whole module."""
+    spec = RunSpec.create("db", 1, "discontinuity", scale=TINY, l2_policy="bypass")
+    result = run_system(**spec.run_kwargs())
+    return spec, result
+
+
+def assert_results_identical(a, b):
+    """Exact (repr-level) equality of every metric the figures read."""
+    assert a.aggregate_ipc == b.aggregate_ipc
+    assert a.l1i_miss_rate == b.l1i_miss_rate
+    assert a.l2i_miss_rate == b.l2i_miss_rate
+    assert a.l2d_miss_rate == b.l2d_miss_rate
+    assert a.prefetch_accuracy == b.prefetch_accuracy
+    assert a.l1i_coverage == b.l1i_coverage
+    for core_a, core_b in zip(a.cores, b.cores):
+        assert core_a.cycles == core_b.cycles
+        assert core_a.instructions == core_b.instructions
+        assert core_a.l1i_breakdown.counts() == core_b.l1i_breakdown.counts()
+        assert core_a.l2i_breakdown.counts() == core_b.l2i_breakdown.counts()
+    assert a.link.stats.requests == b.link.stats.requests
+    assert a.link.stats.busy_cycles == b.link.stats.busy_cycles
+
+
+def test_store_then_load_is_bit_identical(tiny_run):
+    spec, result = tiny_run
+    assert diskcache.store(spec, result)
+    loaded = diskcache.load(spec)
+    assert loaded is not None
+    assert_results_identical(loaded, result)
+
+
+def test_payload_round_trip_without_disk(tiny_run):
+    spec, result = tiny_run
+    payload = diskcache.result_to_payload(result, spec)
+    rebuilt = diskcache.payload_to_result(json.loads(json.dumps(payload)))
+    assert_results_identical(rebuilt, result)
+    assert payload["spec_hash"] == spec.content_hash()
+
+
+def test_schema_bump_invalidates(tiny_run, monkeypatch):
+    spec, result = tiny_run
+    assert diskcache.store(spec, result)
+    assert diskcache.load(spec) is not None
+    monkeypatch.setattr(diskcache, "SCHEMA_VERSION", diskcache.SCHEMA_VERSION + 1)
+    assert diskcache.load(spec) is None
+
+
+def test_spec_change_selects_a_different_file(tiny_run):
+    spec, result = tiny_run
+    other = RunSpec.create("db", 1, "discontinuity", scale=TINY, l2_policy="bypass", seed=spec.seed + 1)
+    assert diskcache.path_for(other) != diskcache.path_for(spec)
+    diskcache.store(spec, result)
+    assert diskcache.load(other) is None
+
+
+def test_corrupt_entry_is_a_miss_not_an_error(tiny_run):
+    spec, result = tiny_run
+    assert diskcache.store(spec, result)
+    path = diskcache.path_for(spec)
+    path.write_text("{not json")
+    assert diskcache.load(spec) is None
+    path.write_text('{"schema": 1, "cores": "wrong-shape"}')
+    assert diskcache.load(spec) is None
+
+
+def test_disable_env_turns_the_cache_off(tiny_run, monkeypatch):
+    spec, result = tiny_run
+    for value in ("0", "off", "false", "no"):
+        monkeypatch.setenv(diskcache.DISABLE_ENV, value)
+        assert not diskcache.enabled()
+        assert not diskcache.store(spec, result)
+        assert diskcache.load(spec) is None
+    monkeypatch.setenv(diskcache.DISABLE_ENV, "1")
+    assert diskcache.enabled()
+
+
+def test_clear_and_entry_count(tiny_run):
+    spec, result = tiny_run
+    assert diskcache.entry_count() == 0
+    diskcache.store(spec, result)
+    assert diskcache.entry_count() == 1
+    assert diskcache.clear() == 1
+    assert diskcache.entry_count() == 0
+
+
+def test_unwritable_cache_dir_degrades_gracefully(tiny_run, tmp_path, monkeypatch):
+    spec, result = tiny_run
+    blocker = tmp_path / "blocked"
+    blocker.write_text("a file, not a directory")
+    monkeypatch.setenv(diskcache.CACHE_DIR_ENV, str(blocker / "cache"))
+    assert not diskcache.store(spec, result)
+    assert diskcache.load(spec) is None

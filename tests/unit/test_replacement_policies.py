@@ -139,3 +139,55 @@ class TestPolicyComparativeBehaviour:
                         cache.install(line, LineState())
             results[policy] = misses
         assert results["plru"] >= results["lru"] * 0.8
+
+
+class TestRandom:
+    def test_eviction_sequence_matches_reference_model(self):
+        # Regression guard for the islice-based victim selection in
+        # ``SetAssociativeCache._evict``: for a fixed rng seed the victim
+        # sequence must be exactly what the original ``list(set)[k]``
+        # formulation produced.  The shadow model below *is* that original
+        # formulation, driven by an identical SplitMix64 stream.
+        from repro.util.rng import SplitMix64
+
+        assoc, sets, seed = 4, 2, 0
+        cache = make_cache("random", assoc=assoc, sets=sets)
+        shadow_rng = SplitMix64(seed)
+        shadow_sets = [[] for _ in range(sets)]
+        driver = SplitMix64(12345)
+
+        victims = []
+        for step in range(200):
+            line = driver.randrange(64)
+            set_index = line & (sets - 1)
+            shadow = shadow_sets[set_index]
+            expected_victim = None
+            if line not in shadow and len(shadow) >= assoc:
+                k = shadow_rng.randrange(len(shadow))
+                expected_victim = shadow[k]
+                shadow.remove(expected_victim)
+            if line not in shadow:
+                shadow.append(line)
+
+            actual = cache.install(line, LineState())
+            if expected_victim is None:
+                assert actual is None, f"step {step}: unexpected eviction {actual}"
+            else:
+                assert actual is not None, f"step {step}: missing eviction"
+                assert actual[0] == expected_victim, f"step {step}"
+                victims.append(actual[0])
+
+        assert len(victims) > 50  # the run actually exercised evictions
+        assert sorted(set(len(s) for s in shadow_sets)) == [assoc]
+
+    def test_fixed_seed_is_deterministic(self):
+        def victim_sequence():
+            cache = make_cache("random", assoc=2, sets=1)
+            out = []
+            for line in range(20):
+                victim = cache.install(line, LineState())
+                if victim is not None:
+                    out.append(victim[0])
+            return out
+
+        assert victim_sequence() == victim_sequence()
