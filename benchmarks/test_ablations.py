@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.eval import ablations
-
 from benchmarks.conftest import run_figure
+from repro.eval import ablations
 
 
 def test_ablation_filtering(benchmark, scale):

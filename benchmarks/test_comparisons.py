@@ -1,8 +1,7 @@
 """Comparison benchmarks against the alternative prefetching styles of §2."""
 
-from repro.eval import comparisons
-
 from benchmarks.conftest import at_least_default, run_figure
+from repro.eval import comparisons
 
 
 def test_comparison_alternatives(benchmark, scale):

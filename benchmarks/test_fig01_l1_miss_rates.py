@@ -1,10 +1,7 @@
 """Figure 1 — L1I miss rate vs. cache geometry (paper §3.1)."""
 
-import math
-
-from repro.eval import fig01
-
 from benchmarks.conftest import run_figure
+from repro.eval import fig01
 
 
 def test_fig01_l1_miss_rates(benchmark, scale):

@@ -1,8 +1,7 @@
 """Figure 2 — L2 instruction miss rate vs. capacity, single core vs CMP."""
 
-from repro.eval import fig02
-
 from benchmarks.conftest import at_least_default, run_figure
+from repro.eval import fig02
 
 
 def test_fig02_l2_miss_rates(benchmark, scale):

@@ -1,8 +1,7 @@
 """Figure 3 — instruction-miss breakdown by transition category."""
 
-from repro.eval import fig03
-
 from benchmarks.conftest import run_figure
+from repro.eval import fig03
 
 
 def test_fig03_miss_breakdown(benchmark, scale):

@@ -1,8 +1,7 @@
 """Figure 4 — performance potential of eliminating instruction misses."""
 
-from repro.eval import fig04
-
 from benchmarks.conftest import run_figure
+from repro.eval import fig04
 
 
 def test_fig04_potential(benchmark, scale):

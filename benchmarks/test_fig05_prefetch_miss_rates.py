@@ -1,8 +1,7 @@
 """Figure 5 — residual instruction miss rates under the HW prefetchers."""
 
-from repro.eval import fig05
-
 from benchmarks.conftest import run_figure
+from repro.eval import fig05
 
 
 def test_fig05_prefetch_miss_rates(benchmark, scale):

@@ -1,8 +1,7 @@
 """Figure 6 — prefetcher speedups under the normal (polluting) L2 install."""
 
-from repro.eval import fig06
-
 from benchmarks.conftest import at_least_default, run_figure
+from repro.eval import fig06
 
 
 def test_fig06_perf_no_bypass(benchmark, scale):

@@ -1,8 +1,7 @@
 """Figure 7 — L2 data-miss pollution from instruction prefetching."""
 
-from repro.eval import fig07
-
 from benchmarks.conftest import at_least_default, run_figure
+from repro.eval import fig07
 
 
 def test_fig07_l2_data_pollution(benchmark, scale):

@@ -1,8 +1,7 @@
 """Figure 8 — prefetcher speedups with L2-bypass installation (§7)."""
 
-from repro.eval import fig06, fig08
-
 from benchmarks.conftest import at_least_default, run_figure
+from repro.eval import fig06, fig08
 
 
 def test_fig08_perf_bypass(benchmark, scale):

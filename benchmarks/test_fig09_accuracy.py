@@ -1,8 +1,7 @@
 """Figure 9 — prefetch accuracy and the next-2-line discontinuity variant."""
 
-from repro.eval import fig09
-
 from benchmarks.conftest import run_figure
+from repro.eval import fig09
 
 
 def test_fig09_accuracy(benchmark, scale):

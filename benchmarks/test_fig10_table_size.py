@@ -1,8 +1,7 @@
 """Figure 10 — miss coverage vs. discontinuity-table size."""
 
-from repro.eval import fig10
-
 from benchmarks.conftest import run_figure
+from repro.eval import fig10
 
 
 def test_fig10_table_size(benchmark, scale):

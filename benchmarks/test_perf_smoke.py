@@ -25,9 +25,7 @@ import time
 from pathlib import Path
 
 from repro.eval import executor, fig01
-from repro.eval.profiles import get_scale
 from repro.eval.runner import DEFAULT_SEED, clear_trace_cache, get_traces, run_system
-
 from scripts.profile_engine import BENCH_SCALE
 
 REPO_ROOT = Path(__file__).resolve().parents[1]

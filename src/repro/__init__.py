@@ -28,7 +28,6 @@ Quickstart::
     print(result.summary())
 """
 
-from repro.version import __version__
 from repro.api import (
     available_prefetchers,
     available_workloads,
@@ -37,6 +36,7 @@ from repro.api import (
     make_workload_trace,
     quick_run,
 )
+from repro.version import __version__
 
 __all__ = [
     "__version__",

@@ -13,8 +13,8 @@ commercial instruction footprints need impractically large predictor
 state for execution-based prefetching to work.
 """
 
-from repro.branch.gshare import GsharePredictor
 from repro.branch.btb import BranchTargetBuffer
+from repro.branch.gshare import GsharePredictor
 from repro.branch.ras import ReturnAddressStack
 
 __all__ = ["GsharePredictor", "BranchTargetBuffer", "ReturnAddressStack"]

@@ -12,9 +12,9 @@ the *arrival* cycle (partial-latency hiding for late prefetches) and the
 *bypass-pending* bit (L2 install deferred until proven useful).
 """
 
+from repro.caches.cache import CacheStats, SetAssociativeCache
+from repro.caches.config import DEFAULT_HIERARCHY, CacheConfig, HierarchyConfig
 from repro.caches.line import LineState
-from repro.caches.cache import SetAssociativeCache, CacheStats
-from repro.caches.config import CacheConfig, HierarchyConfig, DEFAULT_HIERARCHY
 from repro.caches.missclass import MissBreakdown
 from repro.caches.mshr import OutstandingRequestTracker
 

@@ -73,7 +73,7 @@ class HierarchyConfig:
     def line_size(self) -> int:
         return self.l2.line_size
 
-    def with_l1i(self, **kwargs) -> "HierarchyConfig":
+    def with_l1i(self, **kwargs: int) -> "HierarchyConfig":
         """Return a copy with the L1I geometry overridden.
 
         When the line size changes, all levels change together (the paper's
@@ -90,7 +90,7 @@ class HierarchyConfig:
             )
         return replace(self, l1i=replace(self.l1i, **kwargs))
 
-    def with_l2(self, **kwargs) -> "HierarchyConfig":
+    def with_l2(self, **kwargs: int) -> "HierarchyConfig":
         """Return a copy with the L2 geometry overridden."""
         return replace(self, l2=replace(self.l2, **kwargs))
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable
+from typing import Dict, Iterable, List, Sequence
 
 from repro.isa.classify import MissClass, classify_transition, kind_label
 from repro.isa.kinds import TransitionKind
@@ -23,12 +23,12 @@ class MissBreakdown:
     def record(self, kind: int) -> None:
         self._counts[kind] += 1
 
-    def counts(self) -> list:
+    def counts(self) -> List[int]:
         """Plain per-kind counts, indexed by the kind's integer value."""
         return list(self._counts)
 
     @classmethod
-    def from_counts(cls, counts) -> "MissBreakdown":
+    def from_counts(cls, counts: Sequence[int]) -> "MissBreakdown":
         """Rebuild a breakdown from :meth:`counts` output (serialization)."""
         if len(counts) != len(TransitionKind):
             raise ValueError(

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence
 
 from repro.caches.cache import SetAssociativeCache
-from repro.caches.config import HierarchyConfig, DEFAULT_HIERARCHY
+from repro.caches.config import DEFAULT_HIERARCHY, HierarchyConfig
 from repro.caches.missclass import MissBreakdown
 from repro.cmp.link import OffChipLink
 from repro.core.engine import CoreEngine, EngineConfig
@@ -27,7 +27,7 @@ from repro.core.metrics import CoreStats
 from repro.isa.classify import MissClass
 from repro.prefetch.queue import PrefetchQueue
 from repro.prefetch.registry import create_prefetcher
-from repro.timing.params import TimingParams, DEFAULT_TIMING
+from repro.timing.params import DEFAULT_TIMING, TimingParams
 from repro.trace.stream import Trace
 
 #: paper §5 off-chip bandwidths (GB/s) by core count.

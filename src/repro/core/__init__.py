@@ -2,9 +2,9 @@
 
 from repro.core.engine import CoreEngine, EngineConfig
 from repro.core.l2policy import (
-    L2InstallPolicy,
-    NORMAL_INSTALL,
     BYPASS_INSTALL,
+    NORMAL_INSTALL,
+    L2InstallPolicy,
     get_policy,
 )
 from repro.core.metrics import CoreStats, PrefetchStats

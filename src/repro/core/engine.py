@@ -33,11 +33,11 @@ from typing import FrozenSet
 from repro.caches.cache import SetAssociativeCache
 from repro.caches.line import LineState
 from repro.caches.mshr import OutstandingRequestTracker
-from repro.core.l2policy import L2InstallPolicy, NORMAL_INSTALL
+from repro.cmp.link import OffChipLink
+from repro.core.l2policy import NORMAL_INSTALL, L2InstallPolicy
 from repro.core.metrics import CoreStats
 from repro.isa.classify import MissClass, classify_transition, is_discontinuity
 from repro.isa.kinds import TransitionKind
-from repro.cmp.link import OffChipLink
 from repro.prefetch.base import Prefetcher
 from repro.prefetch.queue import PrefetchQueue, QueueState
 from repro.timing.params import TimingParams

@@ -23,17 +23,17 @@ processes (``REPRO_JOBS``) and persists every result in an on-disk cache
 (``REPRO_CACHE_DIR``, default ``.repro-cache/``).
 """
 
+from repro.eval.executor import execute_spec, resolve_jobs, run_specs
+from repro.eval.figures import ExperimentResult
 from repro.eval.profiles import ExperimentScale, get_scale
 from repro.eval.runner import (
+    clear_result_cache,
+    clear_trace_cache,
+    get_traces,
     run_system,
     run_system_cached,
-    get_traces,
-    clear_trace_cache,
-    clear_result_cache,
 )
 from repro.eval.runspec import RunSpec, dedupe_specs
-from repro.eval.executor import run_specs, execute_spec, resolve_jobs
-from repro.eval.figures import ExperimentResult
 
 __all__ = [
     "ExperimentScale",

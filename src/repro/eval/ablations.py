@@ -27,7 +27,7 @@ from repro.eval.runspec import RunSpec
 from repro.trace.synth.workloads import DISPLAY_NAMES, workload_names
 
 
-def _baseline_specs(scale, seed) -> List[RunSpec]:
+def _baseline_specs(scale: Optional[ExperimentScale], seed: int) -> List[RunSpec]:
     """The shared 4-way-CMP no-prefetch baselines most ablations divide by."""
     return [
         RunSpec.create(workload, 4, "none", scale=scale, seed=seed)

@@ -11,12 +11,12 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import List, Optional
 
 from repro.eval.executor import run_specs
 from repro.eval.profiles import SCALES, get_scale
 from repro.eval.registry import collect_specs, experiment_names, run_experiment
+from repro.util.clock import Stopwatch
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -90,24 +90,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     except KeyError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    started = time.time()
+    watch = Stopwatch()
     try:
         run_specs(specs, jobs=args.jobs)
     except ValueError as error:  # e.g. a non-integer $REPRO_JOBS
         print(f"error: {error}", file=sys.stderr)
         return 2
-    print(f"[{len(specs)} unique runs ready in {time.time() - started:.1f}s]")
+    print(f"[{len(specs)} unique runs ready in {watch.elapsed():.1f}s]")
     print()
 
     all_panels = []
     for name in names:
-        started = time.time()
+        watch.restart()
         try:
             panels = run_experiment(name, scale=scale, seed=args.seed)
         except KeyError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
-        elapsed = time.time() - started
+        elapsed = watch.elapsed()
         all_panels.extend(panels)
         for panel in panels:
             print(panel.format_table())

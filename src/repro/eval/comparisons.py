@@ -17,8 +17,9 @@ Three experiments:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.cmp.system import SystemResult
 from repro.eval.executor import run_specs
 from repro.eval.figures import ExperimentResult
 from repro.eval.profiles import ExperimentScale
@@ -27,7 +28,11 @@ from repro.eval.runspec import RunSpec
 from repro.trace.synth.workloads import DISPLAY_NAMES, workload_names
 
 
-def _metric_rows(results_by_label, workloads, baselines):
+def _metric_rows(
+    results_by_label: Sequence[Tuple[str, Sequence[SystemResult]]],
+    workloads: Sequence[str],
+    baselines: Dict[str, SystemResult],
+) -> Tuple[List[List[float]], List[List[float]], List[List[float]]]:
     speedups = []
     coverage = []
     accuracy = []
@@ -57,7 +62,13 @@ ALTERNATIVE_VARIANTS = [
 ]
 
 
-def _variant_spec(workload, scheme, overrides, scale, seed) -> RunSpec:
+def _variant_spec(
+    workload: str,
+    scheme: Optional[str],
+    overrides: Dict[str, Any],
+    scale: Optional[ExperimentScale],
+    seed: int,
+) -> RunSpec:
     """One head-to-head run; ``scheme=None`` means the software prefetcher."""
     return RunSpec.create(
         workload,

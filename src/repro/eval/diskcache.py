@@ -29,7 +29,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.caches.config import CacheConfig, HierarchyConfig
 from repro.caches.missclass import MissBreakdown

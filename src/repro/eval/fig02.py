@@ -52,7 +52,6 @@ def run(
 ) -> List[ExperimentResult]:
     """Run the Figure 2 sweep; returns one panel (rows = config)."""
     run_specs(specs(scale, seed))
-    single_workloads = workload_names()
     cmp_workloads = workload_names() + ["mix"]
     col_labels = [DISPLAY_NAMES[w] for w in cmp_workloads]
 

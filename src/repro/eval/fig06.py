@@ -14,11 +14,11 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.eval.executor import run_specs
+from repro.eval.fig05 import SCHEMES
+from repro.eval.fig05 import specs as _fig05_specs
 from repro.eval.figures import ExperimentResult
 from repro.eval.profiles import ExperimentScale
 from repro.eval.runner import DEFAULT_SEED, run_system_cached
-from repro.eval.fig05 import SCHEMES
-from repro.eval.fig05 import specs as _fig05_specs
 from repro.eval.runspec import RunSpec
 from repro.prefetch.registry import prefetcher_display_name
 from repro.trace.synth.workloads import DISPLAY_NAMES, workload_names

@@ -10,12 +10,11 @@ so the CLI can batch-submit one deduplicated sweep — overlapping runs
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.eval import (
     ablations,
     comparisons,
-    replication,
     fig01,
     fig02,
     fig03,
@@ -26,10 +25,11 @@ from repro.eval import (
     fig08,
     fig09,
     fig10,
+    replication,
 )
 from repro.eval.figures import ExperimentResult
 from repro.eval.profiles import ExperimentScale
-from repro.eval.runspec import DEFAULT_SEED, RunSpec, dedupe_specs
+from repro.eval.runspec import RunSpec, dedupe_specs
 
 #: experiment name → driver returning a list of result panels.
 EXPERIMENTS: Dict[str, Callable[..., List[ExperimentResult]]] = {
@@ -116,7 +116,7 @@ def collect_specs(
             raise KeyError(
                 f"unknown experiment {name!r}; available: {experiment_names()}"
             )
-        kwargs = {}
+        kwargs: Dict[str, Any] = {}
         if scale is not None:
             kwargs["scale"] = scale
         if seed is not None:
@@ -135,7 +135,7 @@ def run_experiment(
         raise KeyError(
             f"unknown experiment {name!r}; available: {experiment_names()}"
         ) from None
-    kwargs = {}
+    kwargs: Dict[str, Any] = {}
     if scale is not None:
         kwargs["scale"] = scale
     if seed is not None:

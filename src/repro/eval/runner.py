@@ -14,16 +14,16 @@ configurations (with process parallelism) goes through
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
-from repro.caches.config import HierarchyConfig, DEFAULT_HIERARCHY
+from repro.api import make_traces
+from repro.caches.config import DEFAULT_HIERARCHY, HierarchyConfig
 from repro.cmp.system import System, SystemConfig, SystemResult
 from repro.eval.profiles import ExperimentScale, get_scale
 from repro.eval.runspec import DEFAULT_SEED, RunSpec
 from repro.isa.classify import MissClass
-from repro.timing.params import TimingParams, DEFAULT_TIMING
+from repro.timing.params import DEFAULT_TIMING, TimingParams
 from repro.trace.stream import Trace
-from repro.api import make_traces
 
 __all__ = [
     "DEFAULT_SEED",
@@ -74,7 +74,7 @@ def run_system(
     l1_replacement: str = "lru",
     l2_replacement: str = "lru",
     offchip_gbps: Optional[float] = None,
-    prefetcher_factory=None,
+    prefetcher_factory: Optional[Callable[[int], object]] = None,
     seed: int = DEFAULT_SEED,
 ) -> SystemResult:
     """Run one fully specified configuration and return its results."""

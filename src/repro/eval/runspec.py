@@ -21,12 +21,12 @@ import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, List, Optional, Tuple, Union
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
 
-from repro.caches.config import HierarchyConfig, DEFAULT_HIERARCHY
+from repro.caches.config import DEFAULT_HIERARCHY, HierarchyConfig
 from repro.eval.profiles import ExperimentScale, get_scale
 from repro.isa.classify import MissClass
-from repro.timing.params import TimingParams, DEFAULT_TIMING
+from repro.timing.params import DEFAULT_TIMING, TimingParams
 
 #: default experiment seed (any fixed value works; results are deterministic
 #: in it).
@@ -189,7 +189,7 @@ class RunSpec:
         return "/".join(parts)
 
 
-def dedupe_specs(specs) -> List[RunSpec]:
+def dedupe_specs(specs: Iterable[RunSpec]) -> List[RunSpec]:
     """Order-preserving deduplication of a spec iterable."""
     seen = set()
     unique: List[RunSpec] = []

@@ -8,18 +8,18 @@ taken-backward / not-taken, unconditional branch, call, jump, return, trap)
 — plus the classification helpers used to attribute misses to categories.
 """
 
-from repro.isa.kinds import (
-    TransitionKind,
-    BRANCH_KINDS,
-    FUNCTION_CALL_KINDS,
-    SEQUENTIAL_KINDS,
-    ALL_KINDS,
-)
 from repro.isa.classify import (
     MissClass,
     classify_transition,
     is_discontinuity,
     kind_label,
+)
+from repro.isa.kinds import (
+    ALL_KINDS,
+    BRANCH_KINDS,
+    FUNCTION_CALL_KINDS,
+    SEQUENTIAL_KINDS,
+    TransitionKind,
 )
 
 __all__ = [

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from enum import Enum, unique
 
-from repro.isa.kinds import TransitionKind, BRANCH_KINDS, FUNCTION_CALL_KINDS
+from repro.isa.kinds import BRANCH_KINDS, FUNCTION_CALL_KINDS, TransitionKind
 
 
 @unique

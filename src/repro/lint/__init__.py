@@ -1,0 +1,30 @@
+"""AST-based invariant checker for determinism, cache-safety and executor
+boundaries.
+
+See ``docs/static_analysis.md`` for the rule catalogue (R1–R5), the
+behavior-manifest workflow, and how to allowlist a legitimate exception.
+"""
+
+from repro.lint.engine import LintError, Project, Rule, Violation, run_rules
+from repro.lint.rules import (
+    BehaviorManifestRule,
+    DeterminismRule,
+    ExecutorBoundaryRule,
+    RegistrySyncRule,
+    RunSpecSyncRule,
+    default_rules,
+)
+
+__all__ = [
+    "BehaviorManifestRule",
+    "DeterminismRule",
+    "ExecutorBoundaryRule",
+    "LintError",
+    "Project",
+    "RegistrySyncRule",
+    "Rule",
+    "RunSpecSyncRule",
+    "Violation",
+    "default_rules",
+    "run_rules",
+]

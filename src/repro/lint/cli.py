@@ -1,0 +1,117 @@
+"""``python -m repro.lint`` — check the tree, or refresh the manifest.
+
+Exit codes: 0 clean, 1 violations (or a rule that could not run), 2 usage
+errors.  CI runs the bare form as a gate in front of the test matrix.
+
+Usage::
+
+    python -m repro.lint                  # run every rule on the repo
+    python -m repro.lint --rules R1,R3    # subset
+    python -m repro.lint --list-rules
+    python -m repro.lint --update-manifest
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint import manifest as manifest_mod
+from repro.lint.engine import LintError, Project, run_rules
+from repro.lint.rules import default_rules
+
+
+def find_project_root(start: Optional[str] = None) -> Path:
+    """Nearest ancestor of *start* (default: cwd) containing ``src/repro``."""
+    current = Path(start or ".").resolve()
+    for candidate in [current, *current.parents]:
+        if (candidate / "src" / "repro").is_dir():
+            return candidate
+    raise LintError(
+        f"no project root (directory containing src/repro) at or above {current}"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "AST-based invariant checker for the reproduction: determinism "
+            "(R1), cache-safety (R2), RunSpec sync (R3), executor boundary "
+            "(R4) and registry sync (R5)."
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="project root (default: nearest ancestor of cwd with src/repro)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="R1,R2,...",
+        help="comma-separated subset of rules to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list available rules and exit"
+    )
+    parser.add_argument(
+        "--update-manifest",
+        action="store_true",
+        help="rewrite the behavior manifest from the current tree and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    rules = default_rules()
+
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.name}  {rule.title}")
+        return 0
+
+    try:
+        project = Project(find_project_root(args.root))
+    except LintError as error:
+        print(f"repro.lint: error: {error}", file=sys.stderr)
+        return 2
+
+    if args.update_manifest:
+        try:
+            written = manifest_mod.update_manifest(project)
+        except LintError as error:
+            print(f"repro.lint: error: {error}", file=sys.stderr)
+            return 2
+        print(
+            f"repro.lint: wrote {manifest_mod.MANIFEST_PATH} "
+            f"({len(written['files'])} modules, "
+            f"schema_version={written['schema_version']})"
+        )
+        return 0
+
+    names = None
+    if args.rules:
+        names = [name.strip() for name in args.rules.split(",") if name.strip()]
+    try:
+        violations = run_rules(project, rules, names=names)
+    except LintError as error:
+        print(f"repro.lint: error: {error}", file=sys.stderr)
+        return 1
+
+    for violation in violations:
+        print(violation.format())
+    ran = names if names is not None else [rule.name for rule in rules]
+    if violations:
+        print(f"repro.lint: {len(violations)} violation(s) [{','.join(ran)}]")
+        return 1
+    print(f"repro.lint: OK [{','.join(ran)}] (root: {project.root})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

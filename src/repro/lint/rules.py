@@ -1,0 +1,633 @@
+"""The project-specific invariant rules (R1–R5).
+
+Each rule encodes one contract the reproduction's results depend on:
+
+- **R1 determinism** — simulator code never reads ambient randomness or the
+  host clock; only :mod:`repro.util.rng` streams (and the allowlisted
+  :mod:`repro.util.clock` shim) are permitted.
+- **R2 cache-safety** — every result-affecting module is hashed into a
+  committed manifest; changing one without bumping the disk cache's
+  ``SCHEMA_VERSION`` fails lint (see :mod:`repro.lint.manifest`).
+- **R3 RunSpec sync** — ``run_system`` cannot gain a parameter that RunSpec
+  does not carry, and every RunSpec field must feed ``canonical_dict`` so
+  it keys the persistent cache.
+- **R4 executor boundary** — worker-payload builders construct JSON-safe
+  plain data only (no sets, lambdas, or ad-hoc class instances).
+- **R5 registry sync** — every driver in ``eval/registry.py`` declares its
+  specs so it participates in deduplicated batch submission.
+
+Every rule takes an optional ``allowlist`` so legitimate exceptions are
+explicit constructor data (tests exercise this; ``docs/static_analysis.md``
+documents the workflow).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.lint import manifest as manifest_mod
+from repro.lint.engine import LintError, Project, Rule, Violation, dotted_name
+
+# --------------------------------------------------------------------- #
+# R1 — determinism
+# --------------------------------------------------------------------- #
+
+#: modules that are nondeterministic by construction; importing them (or a
+#: submodule) anywhere in simulator code is a violation.
+FORBIDDEN_MODULES = ("random", "secrets", "numpy.random")
+
+#: attribute paths that read ambient state (clock, OS entropy).
+FORBIDDEN_ATTRS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+R1_HINT = (
+    "derive randomness from repro.util.rng (SplitMix64 / derive_seed) and "
+    "wall-clock readings from repro.util.clock; if this module legitimately "
+    "needs ambient state, add it to the R1 allowlist with a reason"
+)
+
+
+def _module_matches(module: str, forbidden: str) -> bool:
+    return module == forbidden or module.startswith(forbidden + ".")
+
+
+class DeterminismRule(Rule):
+    """R1: no ambient randomness or wall-clock reads in simulator code."""
+
+    name = "R1"
+    title = "determinism: no random/clock/entropy outside repro.util.rng"
+
+    DEFAULT_SCAN_DIRS = ("src/repro", "scripts")
+    DEFAULT_ALLOWLIST: Mapping[str, str] = {
+        "src/repro/util/clock.py": "the one sanctioned wall-clock gateway",
+        "scripts/profile_engine.py": "benchmark harness; timing wall-clock is its purpose",
+    }
+
+    def __init__(
+        self,
+        scan_dirs: Optional[Sequence[str]] = None,
+        allowlist: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        self.scan_dirs = tuple(scan_dirs if scan_dirs is not None else self.DEFAULT_SCAN_DIRS)
+        self.allowlist = dict(self.DEFAULT_ALLOWLIST if allowlist is None else allowlist)
+
+    def check(self, project: Project) -> List[Violation]:
+        violations: List[Violation] = []
+        for rel in self._scan_files(project):
+            if rel in self.allowlist:
+                continue
+            violations.extend(self._check_file(project, rel))
+        return violations
+
+    def _scan_files(self, project: Project) -> List[str]:
+        files: List[str] = []
+        for rel_dir in self.scan_dirs:
+            files.extend(project.iter_python(rel_dir))
+        return sorted(set(files))
+
+    def _check_file(self, project: Project, rel: str) -> List[Violation]:
+        tree = project.tree(rel)
+        violations: List[Violation] = []
+        #: name bound in this module -> the dotted path it resolves to.
+        bindings: Dict[str, str] = {}
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    bindings[bound] = alias.name if alias.asname else alias.name.split(".")[0]
+                    for forbidden in FORBIDDEN_MODULES:
+                        if _module_matches(alias.name, forbidden):
+                            violations.append(
+                                self.violation(
+                                    rel,
+                                    node.lineno,
+                                    f"import of nondeterministic module {alias.name!r}",
+                                    R1_HINT,
+                                )
+                            )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if node.level:  # relative import; nothing forbidden is local
+                    continue
+                if any(_module_matches(module, forbidden) for forbidden in FORBIDDEN_MODULES):
+                    violations.append(
+                        self.violation(
+                            rel,
+                            node.lineno,
+                            f"import from nondeterministic module {module!r}",
+                            R1_HINT,
+                        )
+                    )
+                    continue
+                for alias in node.names:
+                    resolved = f"{module}.{alias.name}" if module else alias.name
+                    bindings[alias.asname or alias.name] = resolved
+                    if resolved in FORBIDDEN_ATTRS:
+                        violations.append(
+                            self.violation(
+                                rel,
+                                node.lineno,
+                                f"import of ambient-state function {resolved!r}",
+                                R1_HINT,
+                            )
+                        )
+
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            dotted = dotted_name(node)
+            if dotted is None:
+                continue
+            root, _, rest = dotted.partition(".")
+            resolved = bindings.get(root)
+            if resolved is None:
+                continue
+            full = f"{resolved}.{rest}" if rest else resolved
+            if full in FORBIDDEN_ATTRS:
+                violations.append(
+                    self.violation(
+                        rel,
+                        node.lineno,
+                        f"use of ambient-state function {full!r}",
+                        R1_HINT,
+                    )
+                )
+            elif any(_module_matches(full, forbidden) for forbidden in FORBIDDEN_MODULES):
+                violations.append(
+                    self.violation(
+                        rel,
+                        node.lineno,
+                        f"use of nondeterministic API {full!r}",
+                        R1_HINT,
+                    )
+                )
+        return violations
+
+
+# --------------------------------------------------------------------- #
+# R2 — cache-safety (behavior manifest vs SCHEMA_VERSION)
+# --------------------------------------------------------------------- #
+
+R2_HINT = (
+    "bump SCHEMA_VERSION in src/repro/eval/diskcache.py (invalidating stale "
+    "cache entries), then run `python -m repro.lint --update-manifest`; if "
+    "the edit provably cannot change results (comments, formatting), running "
+    "--update-manifest alone is acceptable — say so in review"
+)
+
+
+class BehaviorManifestRule(Rule):
+    """R2: result-affecting modules may not change under a frozen schema.
+
+    The committed manifest records a hash per behavior module plus the
+    ``SCHEMA_VERSION`` the hashes were taken under.  While the current
+    version equals the recorded one, any hash drift is a violation.  A
+    version bump acknowledges the behavior change (every cache entry is
+    already invalidated by it) and silences the rule until the manifest is
+    refreshed.
+    """
+
+    name = "R2"
+    title = "cache-safety: behavior changes require a SCHEMA_VERSION bump"
+
+    def check(self, project: Project) -> List[Violation]:
+        recorded = manifest_mod.load_manifest(project)
+        current_version = manifest_mod.current_schema_version(project)
+        if recorded is None:
+            return [
+                self.violation(
+                    manifest_mod.MANIFEST_PATH,
+                    0,
+                    "behavior manifest is missing",
+                    "run `python -m repro.lint --update-manifest` and commit the result",
+                )
+            ]
+        if recorded.get("schema_version") != current_version:
+            # The bump already invalidated every cache entry; hashes refresh
+            # with the accompanying --update-manifest run.
+            return []
+        violations: List[Violation] = []
+        expected: Dict[str, str] = dict(recorded["files"])
+        actual = manifest_mod.compute_hashes(project)
+        for path in sorted(set(expected) | set(actual)):
+            if path not in actual:
+                violations.append(
+                    self.violation(
+                        manifest_mod.MANIFEST_PATH,
+                        0,
+                        f"manifest lists {path} but the module is gone",
+                        R2_HINT,
+                    )
+                )
+            elif path not in expected:
+                violations.append(
+                    self.violation(
+                        path,
+                        0,
+                        "new result-affecting module is not in the behavior manifest",
+                        R2_HINT,
+                    )
+                )
+            elif expected[path] != actual[path]:
+                violations.append(
+                    self.violation(
+                        path,
+                        0,
+                        "result-affecting module changed without a SCHEMA_VERSION bump "
+                        f"(schema still {current_version}); stale disk-cache entries "
+                        "would be served as current",
+                        R2_HINT,
+                    )
+                )
+        return violations
+
+
+# --------------------------------------------------------------------- #
+# R3 — RunSpec sync
+# --------------------------------------------------------------------- #
+
+R3_RUNNER = "src/repro/eval/runner.py"
+R3_RUNSPEC = "src/repro/eval/runspec.py"
+
+
+class RunSpecSyncRule(Rule):
+    """R3: every ``run_system`` parameter is carried (and hashed) by RunSpec.
+
+    Two checks: (a) each ``run_system`` parameter has a matching RunSpec
+    field, so the executor and the caches can represent every run the
+    drivers can ask for; (b) each RunSpec field appears as a key in
+    ``canonical_dict``, so it participates in the persistent cache hash.
+    The executor's one structural hole — ``prefetcher_factory`` cannot be
+    carried by a plain-data spec — stays explicit via the allowlist.
+    """
+
+    name = "R3"
+    title = "RunSpec sync: run_system parameters ⊆ RunSpec fields ⊆ cache hash"
+
+    DEFAULT_ALLOWLIST: Mapping[str, str] = {
+        "prefetcher_factory": (
+            "process-local callable; unpicklable and unhashable, carried "
+            "declaratively as RunSpec.software_prefetch instead"
+        ),
+    }
+
+    def __init__(self, allowlist: Optional[Mapping[str, str]] = None) -> None:
+        self.allowlist = dict(self.DEFAULT_ALLOWLIST if allowlist is None else allowlist)
+
+    def check(self, project: Project) -> List[Violation]:
+        run_system = _find_function(project.tree(R3_RUNNER), "run_system", R3_RUNNER)
+        runspec_cls = _find_class(project.tree(R3_RUNSPEC), "RunSpec", R3_RUNSPEC)
+        fields = _class_fields(runspec_cls)
+        canonical_keys = _canonical_dict_keys(runspec_cls)
+
+        violations: List[Violation] = []
+        for arg in _all_args(run_system):
+            if arg.arg in fields or arg.arg in self.allowlist:
+                continue
+            violations.append(
+                self.violation(
+                    R3_RUNNER,
+                    arg.lineno,
+                    f"run_system parameter {arg.arg!r} has no RunSpec field — the "
+                    "executor and result caches cannot carry it",
+                    f"add a {arg.arg!r} field to RunSpec (plus canonical_dict and "
+                    "run_kwargs entries), or allowlist it with a reason if it is "
+                    "genuinely uncarriable",
+                )
+            )
+        for field in sorted(fields):
+            if field in canonical_keys:
+                continue
+            violations.append(
+                self.violation(
+                    R3_RUNSPEC,
+                    fields[field],
+                    f"RunSpec field {field!r} is missing from canonical_dict — it "
+                    "would not key the persistent disk cache, so two different "
+                    "runs could collide on one cache entry",
+                    f"add a {field!r} entry to RunSpec.canonical_dict()",
+                )
+            )
+        return violations
+
+
+def _find_function(tree: ast.Module, name: str, rel: str) -> ast.FunctionDef:
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    raise LintError(f"{rel}: expected a top-level function {name!r}")
+
+
+def _find_class(tree: ast.Module, name: str, rel: str) -> ast.ClassDef:
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    raise LintError(f"{rel}: expected a top-level class {name!r}")
+
+
+def _all_args(func: ast.FunctionDef) -> List[ast.arg]:
+    args = func.args
+    return list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+
+
+def _class_fields(cls: ast.ClassDef) -> Dict[str, int]:
+    """Dataclass field name -> line number (annotated class-body targets)."""
+    fields: Dict[str, int] = {}
+    for node in cls.body:
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            fields[node.target.id] = node.lineno
+    return fields
+
+
+def _canonical_dict_keys(cls: ast.ClassDef) -> Set[str]:
+    for node in cls.body:
+        if isinstance(node, ast.FunctionDef) and node.name == "canonical_dict":
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.Return) and isinstance(inner.value, ast.Dict):
+                    return {
+                        key.value
+                        for key in inner.value.keys
+                        if isinstance(key, ast.Constant) and isinstance(key.value, str)
+                    }
+            raise LintError(
+                f"{R3_RUNSPEC}: canonical_dict must return a dict literal so the "
+                "cache key stays statically checkable"
+            )
+    raise LintError(f"{R3_RUNSPEC}: RunSpec has no canonical_dict method")
+
+
+# --------------------------------------------------------------------- #
+# R4 — executor boundary
+# --------------------------------------------------------------------- #
+
+#: builtins that construct values JSON cannot represent faithfully.
+NON_JSON_BUILTINS = frozenset(
+    {"set", "frozenset", "bytes", "bytearray", "complex", "memoryview", "object"}
+)
+
+R4_HINT = (
+    "worker payloads must be JSON-safe plain data (dict/list/str/int/float/"
+    "bool/None): encode sets as sorted lists and objects via their "
+    "plain-data form, exactly like diskcache.result_to_payload does"
+)
+
+
+class ExecutorBoundaryRule(Rule):
+    """R4: worker-payload builders construct JSON-safe plain data only.
+
+    The executor ships payloads across process boundaries and persists them
+    as JSON; anything that is not plain data either crashes the pool or —
+    worse — silently round-trips to a different value (sets to lists,
+    tuples losing identity).  This rule walks the designated payload
+    builders and rejects non-plain constructions.
+    """
+
+    name = "R4"
+    title = "executor boundary: payload builders emit JSON-safe plain data"
+
+    DEFAULT_TARGETS: Mapping[str, Tuple[str, ...]] = {
+        "src/repro/eval/diskcache.py": (
+            "result_to_payload",
+            "_config_to_dict",
+            "_core_to_dict",
+            "_link_to_dict",
+        ),
+        "src/repro/eval/executor.py": ("_worker",),
+    }
+
+    def __init__(
+        self,
+        targets: Optional[Mapping[str, Iterable[str]]] = None,
+        allowed_calls: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        source = self.DEFAULT_TARGETS if targets is None else targets
+        self.targets = {path: tuple(names) for path, names in source.items()}
+        self.allowed_calls = dict(allowed_calls or {})
+
+    def check(self, project: Project) -> List[Violation]:
+        violations: List[Violation] = []
+        for rel, names in sorted(self.targets.items()):
+            tree = project.tree(rel)
+            functions = {
+                node.name: node
+                for node in tree.body
+                if isinstance(node, ast.FunctionDef)
+            }
+            for name in names:
+                func = functions.get(name)
+                if func is None:
+                    violations.append(
+                        self.violation(
+                            rel,
+                            0,
+                            f"payload builder {name!r} not found — R4 no longer "
+                            "guards the executor boundary",
+                            "update ExecutorBoundaryRule.DEFAULT_TARGETS to the "
+                            "current payload-builder names",
+                        )
+                    )
+                    continue
+                violations.extend(self._check_builder(rel, func))
+        return violations
+
+    def _check_builder(self, rel: str, func: ast.FunctionDef) -> List[Violation]:
+        violations: List[Violation] = []
+        for node in ast.walk(func):
+            if isinstance(node, (ast.Set, ast.SetComp)):
+                violations.append(
+                    self.violation(
+                        rel,
+                        node.lineno,
+                        f"set constructed inside payload builder {func.name!r} "
+                        "(JSON cannot represent sets)",
+                        R4_HINT,
+                    )
+                )
+            elif isinstance(node, ast.Lambda):
+                violations.append(
+                    self.violation(
+                        rel,
+                        node.lineno,
+                        f"lambda inside payload builder {func.name!r} "
+                        "(functions cannot cross the worker boundary)",
+                        R4_HINT,
+                    )
+                )
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                called = node.func.id
+                if called in self.allowed_calls:
+                    continue
+                if called in NON_JSON_BUILTINS:
+                    violations.append(
+                        self.violation(
+                            rel,
+                            node.lineno,
+                            f"{called}() constructed inside payload builder "
+                            f"{func.name!r} is not JSON-representable",
+                            R4_HINT,
+                        )
+                    )
+                elif called[:1].isupper():
+                    violations.append(
+                        self.violation(
+                            rel,
+                            node.lineno,
+                            f"class instance {called}() constructed inside payload "
+                            f"builder {func.name!r}; payloads must stay plain data",
+                            R4_HINT + "; or allowlist the call if it provably "
+                            "returns plain data",
+                        )
+                    )
+        return violations
+
+
+# --------------------------------------------------------------------- #
+# R5 — registry sync
+# --------------------------------------------------------------------- #
+
+R5_REGISTRY = "src/repro/eval/registry.py"
+R5_EVAL_DIR = "src/repro/eval"
+
+
+class RegistrySyncRule(Rule):
+    """R5: every registered driver declares its specs for batch submission.
+
+    A driver present in ``EXPERIMENTS`` but absent from ``EXPERIMENT_SPECS``
+    silently opts out of the CLI's deduplicated parallel sweep and simulates
+    serially inside its driver — correct but quietly slow, which is exactly
+    the kind of regression nobody notices.  The rule also verifies that each
+    registry value points at a function that actually exists.
+    """
+
+    name = "R5"
+    title = "registry sync: EXPERIMENTS and EXPERIMENT_SPECS stay paired"
+
+    DEFAULT_ALLOWLIST: Mapping[str, str] = {}
+
+    def __init__(self, allowlist: Optional[Mapping[str, str]] = None) -> None:
+        self.allowlist = dict(self.DEFAULT_ALLOWLIST if allowlist is None else allowlist)
+
+    def check(self, project: Project) -> List[Violation]:
+        tree = project.tree(R5_REGISTRY)
+        experiments = _registry_dict(tree, "EXPERIMENTS")
+        spec_fns = _registry_dict(tree, "EXPERIMENT_SPECS")
+
+        violations: List[Violation] = []
+        for name, (line, _) in sorted(experiments.items()):
+            if name in spec_fns or name in self.allowlist:
+                continue
+            violations.append(
+                self.violation(
+                    R5_REGISTRY,
+                    line,
+                    f"driver {name!r} has no EXPERIMENT_SPECS entry — it will not "
+                    "participate in deduplicated batch submission",
+                    f"define a specs() declarer for {name!r} and register it in "
+                    "EXPERIMENT_SPECS (or allowlist the driver with a reason)",
+                )
+            )
+        for name, (line, _) in sorted(spec_fns.items()):
+            if name not in experiments:
+                violations.append(
+                    self.violation(
+                        R5_REGISTRY,
+                        line,
+                        f"EXPERIMENT_SPECS entry {name!r} has no EXPERIMENTS driver",
+                        "remove the stale entry or register the driver",
+                    )
+                )
+        for registry_name, entries in (("EXPERIMENTS", experiments), ("EXPERIMENT_SPECS", spec_fns)):
+            for name, (line, value) in sorted(entries.items()):
+                problem = self._check_value(project, value)
+                if problem:
+                    violations.append(
+                        self.violation(
+                            R5_REGISTRY,
+                            line,
+                            f"{registry_name}[{name!r}]: {problem}",
+                            "point the registry at an existing top-level function",
+                        )
+                    )
+        return violations
+
+    def _check_value(self, project: Project, value: ast.expr) -> Optional[str]:
+        dotted = dotted_name(value)
+        if dotted is None:
+            return "value is not a plain module.attribute reference"
+        parts = dotted.split(".")
+        if len(parts) == 1:
+            rel, func_name = R5_REGISTRY, parts[0]
+        elif len(parts) == 2:
+            rel, func_name = f"{R5_EVAL_DIR}/{parts[0]}.py", parts[1]
+        else:
+            return f"unsupported reference {dotted!r}"
+        if not project.exists(rel):
+            return f"module {rel} does not exist"
+        for node in project.tree(rel).body:
+            if isinstance(node, ast.FunctionDef) and node.name == func_name:
+                return None
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id == func_name:
+                        return None
+        return f"{rel} defines no top-level {func_name!r}"
+
+
+def _registry_dict(
+    tree: ast.Module, name: str
+) -> Dict[str, Tuple[int, ast.expr]]:
+    """Keys of a module-level dict literal -> (line, value expression)."""
+    for node in tree.body:
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            if any(isinstance(t, ast.Name) and t.id == name for t in node.targets):
+                value = node.value
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and node.target.id == name:
+                value = node.value
+        if value is None:
+            continue
+        if not isinstance(value, ast.Dict):
+            raise LintError(
+                f"{R5_REGISTRY}: {name} must be a dict literal for static checking"
+            )
+        entries: Dict[str, Tuple[int, ast.expr]] = {}
+        for key, val in zip(value.keys, value.values):
+            if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+                raise LintError(
+                    f"{R5_REGISTRY}: {name} keys must be string literals"
+                )
+            entries[key.value] = (key.lineno, val)
+        return entries
+    raise LintError(f"{R5_REGISTRY}: no module-level {name} dict found")
+
+
+def default_rules() -> List[Rule]:
+    """The full rule set, in report order."""
+    return [
+        DeterminismRule(),
+        BehaviorManifestRule(),
+        RunSpecSyncRule(),
+        ExecutorBoundaryRule(),
+        RegistrySyncRule(),
+    ]

@@ -19,24 +19,24 @@ All schemes speak the same interface (:class:`Prefetcher`), produce
 :class:`PrefetchQueue` before touching the cache tags.
 """
 
-from repro.prefetch.base import PrefetchCandidate, Prefetcher, NullPrefetcher
-from repro.prefetch.sequential import (
-    NextLineAlways,
-    NextLineOnMiss,
-    NextLineTagged,
-    NextNLineTagged,
-    LookaheadN,
-)
+from repro.prefetch.base import NullPrefetcher, PrefetchCandidate, Prefetcher
+from repro.prefetch.discontinuity import DiscontinuityPrefetcher, DiscontinuityTable
 from repro.prefetch.fdp import FetchDirectedPrefetcher
 from repro.prefetch.markov import MarkovPrefetcher, MarkovTable
-from repro.prefetch.target import TargetPrefetcher
-from repro.prefetch.discontinuity import DiscontinuityTable, DiscontinuityPrefetcher
 from repro.prefetch.queue import PrefetchQueue, QueueEntry, QueueState
 from repro.prefetch.registry import (
     PREFETCHER_NAMES,
     create_prefetcher,
     prefetcher_display_name,
 )
+from repro.prefetch.sequential import (
+    LookaheadN,
+    NextLineAlways,
+    NextLineOnMiss,
+    NextLineTagged,
+    NextNLineTagged,
+)
+from repro.prefetch.target import TargetPrefetcher
 
 __all__ = [
     "PrefetchCandidate",

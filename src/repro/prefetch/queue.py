@@ -18,7 +18,7 @@ aggressively filters before any tag probe:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import IntEnum, unique
 from typing import Dict, List, Optional
 

@@ -24,6 +24,8 @@ from typing import Callable, Dict, List
 
 from repro.prefetch.base import NullPrefetcher, Prefetcher
 from repro.prefetch.discontinuity import DiscontinuityPrefetcher
+from repro.prefetch.fdp import FetchDirectedPrefetcher
+from repro.prefetch.markov import MarkovPrefetcher
 from repro.prefetch.sequential import (
     LookaheadN,
     NextLineAlways,
@@ -31,8 +33,6 @@ from repro.prefetch.sequential import (
     NextLineTagged,
     NextNLineTagged,
 )
-from repro.prefetch.fdp import FetchDirectedPrefetcher
-from repro.prefetch.markov import MarkovPrefetcher
 from repro.prefetch.target import TargetPrefetcher
 
 _FACTORIES: Dict[str, Callable[..., Prefetcher]] = {

@@ -1,5 +1,5 @@
 """Timing model parameters (see DESIGN.md §5 for the model itself)."""
 
-from repro.timing.params import TimingParams, DEFAULT_TIMING
+from repro.timing.params import DEFAULT_TIMING, TimingParams
 
 __all__ = ["TimingParams", "DEFAULT_TIMING"]

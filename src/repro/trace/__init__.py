@@ -14,11 +14,11 @@ The synthetic commercial-workload generators live in
 :mod:`repro.trace.synth`.
 """
 
-from repro.trace.record import BlockEvent, INSTRUCTION_SIZE
-from repro.trace.stream import Trace, iter_line_visits, LineVisit
-from repro.trace.stats import TraceStats, compute_trace_stats
-from repro.trace.io import read_trace, write_trace, TraceFormatError
 from repro.trace.analysis import StreamAnalysis, analyze_stream
+from repro.trace.io import TraceFormatError, read_trace, write_trace
+from repro.trace.record import INSTRUCTION_SIZE, BlockEvent
+from repro.trace.stats import TraceStats, compute_trace_stats
+from repro.trace.stream import LineVisit, Trace, iter_line_visits
 
 __all__ = [
     "BlockEvent",

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable
 
 from repro.isa.kinds import TransitionKind
-from repro.trace.record import BlockEvent, INSTRUCTION_SIZE
+from repro.trace.record import INSTRUCTION_SIZE, BlockEvent
 
 
 @dataclass

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.isa.kinds import TransitionKind
-from repro.trace.record import BlockEvent, INSTRUCTION_SIZE
+from repro.trace.record import INSTRUCTION_SIZE, BlockEvent
 
 _SEQUENTIAL = int(TransitionKind.SEQUENTIAL)
 

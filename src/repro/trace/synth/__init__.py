@@ -22,17 +22,23 @@ package builds the closest synthetic equivalent (see DESIGN.md §2):
    profiles and the public :func:`generate_trace` entry point.
 """
 
-from repro.trace.synth.params import WorkloadProfile
-from repro.trace.synth.program import Program, Function, BasicBlock, TermKind, build_program
-from repro.trace.synth.walker import TraceWalker
 from repro.trace.synth.datagen import DataStream
+from repro.trace.synth.mix import mixed_traces
+from repro.trace.synth.params import WorkloadProfile
+from repro.trace.synth.program import (
+    BasicBlock,
+    Function,
+    Program,
+    TermKind,
+    build_program,
+)
+from repro.trace.synth.walker import TraceWalker
 from repro.trace.synth.workloads import (
     WORKLOADS,
     generate_trace,
     get_profile,
     workload_names,
 )
-from repro.trace.synth.mix import mixed_traces
 
 __all__ = [
     "WorkloadProfile",

@@ -14,6 +14,7 @@ Figure 3 miss-category mix).
 from __future__ import annotations
 
 from dataclasses import dataclass
+
 from repro.util.validation import check_positive, check_probability
 
 

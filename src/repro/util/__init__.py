@@ -1,8 +1,8 @@
 """Shared low-level helpers used across the simulator."""
 
-from repro.util.rng import SplitMix64, derive_seed
-from repro.util.units import KB, MB, GB, parse_size, format_size
 from repro.util.containers import BoundedRecentSet
+from repro.util.rng import SplitMix64, derive_seed
+from repro.util.units import GB, KB, MB, format_size, parse_size
 from repro.util.validation import check_positive, check_power_of_two, check_probability
 
 __all__ = [

@@ -1,0 +1,40 @@
+"""Wall-clock access shim — the only sanctioned gateway to the host clock.
+
+Simulation results must be bit-deterministic, so ``repro.lint`` rule R1
+forbids ``time.time``, ``datetime.now`` and friends throughout ``src/repro``
+and ``scripts/``.  Progress lines and log stamps still want real elapsed
+seconds; they get them from here, and this module alone is allowlisted.
+Nothing result-affecting may ever read the clock — keep this import out of
+``repro.core``, ``repro.caches``, ``repro.prefetch``, ``repro.branch``,
+``repro.cmp`` and ``repro.trace``.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def now() -> float:
+    """Seconds since the epoch — for log stamps, never for results."""
+    return time.time()
+
+
+class Stopwatch:
+    """Elapsed-seconds helper for progress reporting.
+
+    Uses the monotonic high-resolution counter, so reported durations never
+    jump with host clock adjustments.
+    """
+
+    __slots__ = ("_started",)
+
+    def __init__(self) -> None:
+        self._started = time.perf_counter()
+
+    def restart(self) -> None:
+        """Reset the reference point to now."""
+        self._started = time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Seconds of wall-clock since construction or the last restart."""
+        return time.perf_counter() - self._started

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import List
 
 
 class BoundedRecentSet:
@@ -45,6 +46,6 @@ class BoundedRecentSet:
     def clear(self) -> None:
         self._entries.clear()
 
-    def keys(self):
+    def keys(self) -> List[int]:
         """Return the keys from least to most recently added."""
         return list(self._entries)

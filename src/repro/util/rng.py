@@ -10,6 +10,10 @@ trivial to derive independent per-component streams from a single root seed.
 
 from __future__ import annotations
 
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
 _MASK64 = (1 << 64) - 1
 _GOLDEN = 0x9E3779B97F4A7C15
 
@@ -71,13 +75,13 @@ class SplitMix64:
             raise ValueError(f"empty range [{low}, {high}]")
         return low + self.randrange(high - low + 1)
 
-    def choice(self, seq):
+    def choice(self, seq: Sequence[T]) -> T:
         """Return a uniformly chosen element of a non-empty sequence."""
         if not seq:
             raise ValueError("cannot choose from an empty sequence")
         return seq[self.randrange(len(seq))]
 
-    def weighted_index(self, cumulative_weights) -> int:
+    def weighted_index(self, cumulative_weights: Sequence[float]) -> int:
         """Return an index sampled according to *cumulative_weights*.
 
         ``cumulative_weights`` must be a non-decreasing sequence whose last

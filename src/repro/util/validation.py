@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 
-def check_positive(name: str, value) -> None:
+def check_positive(name: str, value: float) -> None:
     """Raise ``ValueError`` unless *value* is a positive number."""
     if value <= 0:
         raise ValueError(f"{name} must be positive, got {value}")

@@ -13,7 +13,6 @@ must hold regardless of input:
 import math
 
 import pytest
-
 from hypothesis import given, settings, strategies as st
 
 from repro.caches.cache import SetAssociativeCache
@@ -22,8 +21,8 @@ from repro.cmp.link import OffChipLink
 from repro.core.engine import CoreEngine, EngineConfig
 from repro.core.l2policy import BYPASS_INSTALL, NORMAL_INSTALL
 from repro.isa.kinds import TransitionKind
-from repro.prefetch.registry import create_prefetcher
 from repro.prefetch.queue import PrefetchQueue
+from repro.prefetch.registry import create_prefetcher
 from repro.timing.params import TimingParams
 from repro.trace.record import BlockEvent
 from repro.trace.stream import Trace

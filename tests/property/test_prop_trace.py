@@ -4,7 +4,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.isa.kinds import TransitionKind
 from repro.trace.io import read_trace, write_trace
-from repro.trace.record import BlockEvent, INSTRUCTION_SIZE
+from repro.trace.record import INSTRUCTION_SIZE, BlockEvent
 from repro.trace.stream import Trace, iter_line_visits
 
 kinds = st.sampled_from([int(kind) for kind in TransitionKind])
@@ -86,8 +86,8 @@ def test_data_accesses_conserved(event_list, line_size):
 @settings(max_examples=100, deadline=None)
 def test_trace_io_roundtrip(event_list, seed, name):
     trace = Trace(name, seed, event_list)
-    import io as _io
-    import tempfile, os
+    import os
+    import tempfile
 
     with tempfile.TemporaryDirectory() as tmp:
         path = os.path.join(tmp, "t.bin")

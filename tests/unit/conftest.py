@@ -1,0 +1,123 @@
+"""Shared fixtures for the ``repro.lint`` unit tests.
+
+``lint_tree`` builds a minimal-but-structurally-complete project checkout
+under ``tmp_path`` — every module the R1–R5 rules parse, in its smallest
+valid form — and returns a :class:`repro.lint.engine.Project` rooted there.
+Tests seed violations by overriding individual files, and "apply the fix-it
+hint" by overriding them again with the repaired source.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from typing import Dict, Optional
+
+import pytest
+
+from repro.lint import manifest as manifest_mod
+from repro.lint.engine import Project
+
+#: the smallest tree on which every default rule runs and passes.
+BASE_FILES: Dict[str, str] = {
+    "src/repro/__init__.py": "",
+    "src/repro/core/engine.py": """
+        def step(state):
+            return state + 1
+        """,
+    "src/repro/eval/runner.py": """
+        def run_system(workload, n_cores, prefetcher="none", seed=0,
+                       prefetcher_factory=None):
+            return (workload, n_cores, prefetcher, seed, prefetcher_factory)
+        """,
+    "src/repro/eval/runspec.py": """
+        class RunSpec:
+            workload: str
+            n_cores: int
+            prefetcher: str = "none"
+            seed: int = 0
+
+            def canonical_dict(self):
+                return {
+                    "workload": self.workload,
+                    "n_cores": self.n_cores,
+                    "prefetcher": self.prefetcher,
+                    "seed": self.seed,
+                }
+        """,
+    "src/repro/eval/diskcache.py": """
+        SCHEMA_VERSION = 1
+
+
+        def _config_to_dict(config):
+            return {"n_cores": config.n_cores}
+
+
+        def _core_to_dict(core):
+            return {"instructions": core.instructions}
+
+
+        def _link_to_dict(link):
+            return {"requests": link.requests}
+
+
+        def result_to_payload(result, spec=None):
+            return {
+                "schema": SCHEMA_VERSION,
+                "config": _config_to_dict(result.config),
+                "cores": [_core_to_dict(core) for core in result.cores],
+                "link": _link_to_dict(result.link),
+            }
+        """,
+    "src/repro/eval/executor.py": """
+        from repro.eval import diskcache
+
+
+        def _worker(spec):
+            return diskcache.result_to_payload(spec.simulate(), spec)
+        """,
+    "src/repro/eval/registry.py": """
+        from repro.eval import fig01
+
+        EXPERIMENTS = {"fig01": fig01.run}
+
+        EXPERIMENT_SPECS = {"fig01": fig01.specs}
+        """,
+    "src/repro/eval/fig01.py": """
+        def run(scale=None, seed=None):
+            return []
+
+
+        def specs(scale=None, seed=None):
+            return []
+        """,
+}
+
+
+def write_tree_file(root, rel: str, content: str) -> Project:
+    """(Over)write one file and return a fresh Project (parses are cached)."""
+    target = root / rel
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(content), encoding="utf-8")
+    return Project(root)
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Factory: build the base fixture tree, apply overrides, seed manifest."""
+
+    def build(
+        overrides: Optional[Dict[str, str]] = None, with_manifest: bool = True
+    ) -> Project:
+        files = dict(BASE_FILES)
+        files.update(overrides or {})
+        for rel, content in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(content), encoding="utf-8")
+        project = Project(tmp_path)
+        if with_manifest:
+            manifest_mod.update_manifest(project)
+            project = Project(tmp_path)
+        return project
+
+    return build

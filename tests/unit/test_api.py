@@ -1,7 +1,5 @@
 """Unit tests for the top-level convenience API (repro.api)."""
 
-import pytest
-
 import repro
 from repro.api import make_system, make_traces, make_workload_trace, quick_run
 from repro.prefetch.base import Prefetcher

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.caches.config import CacheConfig, DEFAULT_HIERARCHY, HierarchyConfig
+from repro.caches.config import DEFAULT_HIERARCHY, CacheConfig, HierarchyConfig
 from repro.util.units import KB, MB
 
 

@@ -1,0 +1,29 @@
+"""The repro.util.clock shim — the only sanctioned wall-clock gateway."""
+
+from __future__ import annotations
+
+import time
+
+from repro.util.clock import Stopwatch, now
+
+
+def test_now_tracks_the_epoch_clock():
+    before = time.time()
+    stamp = now()
+    after = time.time()
+    assert before <= stamp <= after
+
+
+def test_stopwatch_elapsed_is_monotonic_nonnegative():
+    watch = Stopwatch()
+    first = watch.elapsed()
+    second = watch.elapsed()
+    assert 0.0 <= first <= second
+
+
+def test_stopwatch_restart_resets_reference():
+    watch = Stopwatch()
+    time.sleep(0.01)
+    before_restart = watch.elapsed()
+    watch.restart()
+    assert watch.elapsed() < before_restart

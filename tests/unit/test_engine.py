@@ -15,8 +15,8 @@ from repro.core.l2policy import BYPASS_INSTALL, NORMAL_INSTALL
 from repro.isa.classify import MissClass
 from repro.isa.kinds import TransitionKind
 from repro.prefetch.base import NullPrefetcher
-from repro.prefetch.registry import create_prefetcher
 from repro.prefetch.queue import PrefetchQueue
+from repro.prefetch.registry import create_prefetcher
 from repro.timing.params import TimingParams
 from repro.trace.record import BlockEvent
 from repro.trace.stream import Trace

@@ -1,7 +1,5 @@
 """Engine edge-case tests: throttling, overflow and policy interactions."""
 
-import pytest
-
 from repro.caches.cache import SetAssociativeCache
 from repro.caches.config import CacheConfig
 from repro.cmp.link import OffChipLink
@@ -9,8 +7,8 @@ from repro.core.engine import CoreEngine, EngineConfig
 from repro.core.l2policy import BYPASS_INSTALL, NORMAL_INSTALL
 from repro.isa.classify import MissClass
 from repro.isa.kinds import TransitionKind
-from repro.prefetch.registry import create_prefetcher
 from repro.prefetch.queue import PrefetchQueue
+from repro.prefetch.registry import create_prefetcher
 from repro.timing.params import TimingParams
 from repro.trace.record import BlockEvent
 from repro.trace.stream import Trace

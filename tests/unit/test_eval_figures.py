@@ -1,7 +1,5 @@
 """Unit tests for the ExperimentResult container and the CLI plumbing."""
 
-import math
-
 import pytest
 
 from repro.eval.cli import build_parser, main

@@ -2,14 +2,14 @@
 
 import pytest
 
-from repro.eval.profiles import SCALES, SCALE_ENV_VAR, get_scale
+from repro.eval.profiles import ExperimentScale
+from repro.eval.profiles import SCALE_ENV_VAR, SCALES, get_scale
 from repro.eval.runner import (
     clear_result_cache,
     clear_trace_cache,
     get_traces,
     run_system_cached,
 )
-from repro.eval.profiles import ExperimentScale
 
 
 class TestScales:

@@ -1,10 +1,8 @@
 """Unit tests for the inclusive-L2 back-invalidation option."""
 
-import pytest
-
+from repro.caches.config import CacheConfig, HierarchyConfig
 from repro.cmp.system import System, SystemConfig
 from repro.isa.kinds import TransitionKind
-from repro.caches.config import CacheConfig, HierarchyConfig
 from repro.trace.record import BlockEvent
 from repro.trace.stream import Trace
 from repro.util.units import KB
@@ -26,7 +24,6 @@ def seq_trace(n_lines, start=0x10000, name="t", seed=0):
 
 def thrash_trace():
     """Walk far more distinct lines than the 8KB L2 holds, twice."""
-    lines = 64  # 4KB of L1I-visible code... 64 lines > 128-line L2? 64 < 128
     events = []
     for rep in range(3):
         for i in range(300):  # 300 lines ≫ 128-line L2

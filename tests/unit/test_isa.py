@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.isa.classify import MissClass, classify_transition, is_discontinuity, kind_label
+from repro.isa.classify import (
+    MissClass,
+    classify_transition,
+    is_discontinuity,
+    kind_label,
+)
 from repro.isa.kinds import (
     ALL_KINDS,
     BRANCH_KINDS,

@@ -1,0 +1,155 @@
+"""R2 (cache-safety): the behavior manifest pins result-affecting modules
+to the disk cache's ``SCHEMA_VERSION``.
+
+Includes the schema-invalidation regression sequence from the issue: tamper
+the manifest, assert ``repro.lint`` fails, bump ``SCHEMA_VERSION``, assert
+it passes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint import manifest as manifest_mod
+from repro.lint.engine import LintError, Project
+from repro.lint.rules import BehaviorManifestRule
+from tests.unit.conftest import write_tree_file
+
+ENGINE_V2 = """
+    def step(state):
+        return state + 2
+    """
+
+DISKCACHE_SCHEMA_2 = """
+    SCHEMA_VERSION = 2
+
+
+    def _config_to_dict(config):
+        return {"n_cores": config.n_cores}
+
+
+    def _core_to_dict(core):
+        return {"instructions": core.instructions}
+
+
+    def _link_to_dict(link):
+        return {"requests": link.requests}
+
+
+    def result_to_payload(result, spec=None):
+        return {
+            "schema": SCHEMA_VERSION,
+            "config": _config_to_dict(result.config),
+            "cores": [_core_to_dict(core) for core in result.cores],
+            "link": _link_to_dict(result.link),
+        }
+    """
+
+
+def test_fresh_manifest_passes(lint_tree):
+    assert BehaviorManifestRule().check(lint_tree()) == []
+
+
+def test_missing_manifest_is_a_violation(lint_tree):
+    project = lint_tree(with_manifest=False)
+    violations = BehaviorManifestRule().check(project)
+    assert len(violations) == 1
+    assert "missing" in violations[0].message
+    assert "--update-manifest" in violations[0].hint
+
+
+def test_engine_edit_without_schema_bump_fails(lint_tree):
+    project = lint_tree()
+    project = write_tree_file(project.root, "src/repro/core/engine.py", ENGINE_V2)
+    violations = BehaviorManifestRule().check(project)
+    assert len(violations) == 1
+    assert violations[0].path == "src/repro/core/engine.py"
+    assert "SCHEMA_VERSION" in violations[0].message
+    assert "bump SCHEMA_VERSION" in violations[0].hint
+
+
+def test_engine_edit_with_schema_bump_passes(lint_tree):
+    project = lint_tree()
+    project = write_tree_file(project.root, "src/repro/core/engine.py", ENGINE_V2)
+    project = write_tree_file(
+        project.root, "src/repro/eval/diskcache.py", DISKCACHE_SCHEMA_2
+    )
+    assert BehaviorManifestRule().check(project) == []
+
+
+def test_manifest_tamper_then_schema_bump_regression(lint_tree):
+    """The issue's acceptance sequence, end to end."""
+    project = lint_tree()
+    manifest_path = project.path(manifest_mod.MANIFEST_PATH)
+
+    # Tamper: pretend engine.py was hashed under different content (exactly
+    # what an unrecorded behavior edit looks like to the rule).
+    data = json.loads(manifest_path.read_text())
+    data["files"]["src/repro/core/engine.py"] = "0" * 64
+    manifest_path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    project = Project(project.root)
+    violations = BehaviorManifestRule().check(project)
+    assert violations, "tampered manifest must fail lint"
+    assert any("SCHEMA_VERSION" in violation.message for violation in violations)
+
+    # Bump SCHEMA_VERSION: the change is now an acknowledged invalidation.
+    project = write_tree_file(
+        project.root, "src/repro/eval/diskcache.py", DISKCACHE_SCHEMA_2
+    )
+    assert BehaviorManifestRule().check(project) == []
+
+
+def test_deleted_module_is_reported(lint_tree):
+    project = lint_tree()
+    project.path("src/repro/core/engine.py").unlink()
+    project = Project(project.root)
+    violations = BehaviorManifestRule().check(project)
+    assert len(violations) == 1
+    assert "gone" in violations[0].message
+
+
+def test_new_behavior_module_is_reported(lint_tree):
+    project = lint_tree()
+    project = write_tree_file(
+        project.root, "src/repro/core/extra.py", "def noop():\n    return None\n"
+    )
+    violations = BehaviorManifestRule().check(project)
+    assert len(violations) == 1
+    assert violations[0].path == "src/repro/core/extra.py"
+    assert "not in the behavior manifest" in violations[0].message
+
+
+def test_update_manifest_repairs_drift(lint_tree):
+    project = lint_tree()
+    project = write_tree_file(project.root, "src/repro/core/engine.py", ENGINE_V2)
+    assert BehaviorManifestRule().check(project) != []
+    manifest_mod.update_manifest(project)
+    assert BehaviorManifestRule().check(Project(project.root)) == []
+
+
+def test_schema_version_must_be_a_literal_int(lint_tree):
+    project = lint_tree(
+        {"src/repro/eval/diskcache.py": "SCHEMA_VERSION = 1 + 1\n"},
+        with_manifest=False,
+    )
+    with pytest.raises(LintError, match="literal int"):
+        manifest_mod.current_schema_version(project)
+
+
+def test_schema_version_must_exist(lint_tree):
+    project = lint_tree(
+        {"src/repro/eval/diskcache.py": "OTHER = 3\n"}, with_manifest=False
+    )
+    with pytest.raises(LintError, match="SCHEMA_VERSION"):
+        manifest_mod.current_schema_version(project)
+
+
+def test_clock_shim_is_excluded_from_hashes(lint_tree):
+    project = lint_tree()
+    project = write_tree_file(
+        project.root, "src/repro/util/clock.py", "def now():\n    return 0.0\n"
+    )
+    # A clock edit is not a behavior change; no schema bump demanded.
+    assert BehaviorManifestRule().check(project) == []

@@ -1,0 +1,154 @@
+"""R5 (registry sync): every registered driver declares specs() so it joins
+the deduplicated batch sweep."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint.engine import LintError
+from repro.lint.rules import RegistrySyncRule
+from tests.unit.conftest import write_tree_file
+
+FIG02_WITHOUT_SPECS = """
+    def run(scale=None, seed=None):
+        return []
+    """
+
+REGISTRY_WITH_FIG02 = """
+    from repro.eval import fig01, fig02
+
+    EXPERIMENTS = {
+        "fig01": fig01.run,
+        "fig02": fig02.run,
+    }
+
+    EXPERIMENT_SPECS = {
+        "fig01": fig01.specs,
+    }
+    """
+
+#: the fix R5's hint asks for: a specs() declarer plus a registry entry.
+FIG02_WITH_SPECS = """
+    def run(scale=None, seed=None):
+        return []
+
+
+    def specs(scale=None, seed=None):
+        return []
+    """
+
+REGISTRY_PAIRED = """
+    from repro.eval import fig01, fig02
+
+    EXPERIMENTS = {
+        "fig01": fig01.run,
+        "fig02": fig02.run,
+    }
+
+    EXPERIMENT_SPECS = {
+        "fig01": fig01.specs,
+        "fig02": fig02.specs,
+    }
+    """
+
+
+def test_base_tree_is_clean(lint_tree):
+    assert RegistrySyncRule().check(lint_tree()) == []
+
+
+def test_driver_without_specs_entry_fails(lint_tree):
+    project = lint_tree(
+        {
+            "src/repro/eval/fig02.py": FIG02_WITHOUT_SPECS,
+            "src/repro/eval/registry.py": REGISTRY_WITH_FIG02,
+        }
+    )
+    violations = RegistrySyncRule().check(project)
+    assert len(violations) == 1
+    assert "'fig02'" in violations[0].message
+    assert "batch submission" in violations[0].message
+    assert "specs() declarer" in violations[0].hint
+
+
+def test_fix_it_hint_resolves_the_violation(lint_tree):
+    project = lint_tree(
+        {
+            "src/repro/eval/fig02.py": FIG02_WITHOUT_SPECS,
+            "src/repro/eval/registry.py": REGISTRY_WITH_FIG02,
+        }
+    )
+    assert RegistrySyncRule().check(project) != []
+    project = write_tree_file(
+        project.root, "src/repro/eval/fig02.py", FIG02_WITH_SPECS
+    )
+    project = write_tree_file(
+        project.root, "src/repro/eval/registry.py", REGISTRY_PAIRED
+    )
+    assert RegistrySyncRule().check(project) == []
+
+
+def test_allowlisted_driver_may_skip_specs(lint_tree):
+    project = lint_tree(
+        {
+            "src/repro/eval/fig02.py": FIG02_WITHOUT_SPECS,
+            "src/repro/eval/registry.py": REGISTRY_WITH_FIG02,
+        }
+    )
+    rule = RegistrySyncRule(
+        allowlist={"fig02": "third-party driver; simulates lazily by design"}
+    )
+    assert rule.check(project) == []
+
+
+def test_stale_specs_entry_fails(lint_tree):
+    project = lint_tree(
+        {
+            "src/repro/eval/registry.py": """
+            from repro.eval import fig01
+
+            EXPERIMENTS = {"fig01": fig01.run}
+
+            EXPERIMENT_SPECS = {
+                "fig01": fig01.specs,
+                "ghost": fig01.specs,
+            }
+            """
+        }
+    )
+    violations = RegistrySyncRule().check(project)
+    assert len(violations) == 1
+    assert "'ghost'" in violations[0].message
+    assert "no EXPERIMENTS driver" in violations[0].message
+
+
+def test_reference_to_missing_function_fails(lint_tree):
+    project = lint_tree(
+        {
+            "src/repro/eval/registry.py": """
+            from repro.eval import fig01
+
+            EXPERIMENTS = {"fig01": fig01.run_all}
+
+            EXPERIMENT_SPECS = {"fig01": fig01.specs}
+            """
+        }
+    )
+    violations = RegistrySyncRule().check(project)
+    assert len(violations) == 1
+    assert "no top-level 'run_all'" in violations[0].message
+
+
+def test_non_literal_registry_raises(lint_tree):
+    project = lint_tree(
+        {
+            "src/repro/eval/registry.py": """
+            from repro.eval import fig01
+
+            EXPERIMENTS = dict(fig01=fig01.run)
+
+            EXPERIMENT_SPECS = {"fig01": fig01.specs}
+            """
+        }
+    )
+    with pytest.raises(LintError, match="dict literal"):
+        RegistrySyncRule().check(project)

@@ -1,0 +1,89 @@
+"""R3 (RunSpec sync): run_system parameters must be carried by RunSpec, and
+every RunSpec field must feed the cache hash via canonical_dict."""
+
+from __future__ import annotations
+
+from repro.lint.rules import RunSpecSyncRule
+from tests.unit.conftest import write_tree_file
+
+RUNNER_WITH_NEW_PARAM = """
+    def run_system(workload, n_cores, prefetcher="none", seed=0,
+                   l2_latency=11, prefetcher_factory=None):
+        return (workload, n_cores, prefetcher, seed, l2_latency,
+                prefetcher_factory)
+    """
+
+#: the fix R3's hint asks for: a matching field plus a canonical_dict entry.
+RUNSPEC_WITH_NEW_FIELD = """
+    class RunSpec:
+        workload: str
+        n_cores: int
+        prefetcher: str = "none"
+        seed: int = 0
+        l2_latency: int = 11
+
+        def canonical_dict(self):
+            return {
+                "workload": self.workload,
+                "n_cores": self.n_cores,
+                "prefetcher": self.prefetcher,
+                "seed": self.seed,
+                "l2_latency": self.l2_latency,
+            }
+    """
+
+RUNSPEC_FIELD_NOT_HASHED = """
+    class RunSpec:
+        workload: str
+        n_cores: int
+        prefetcher: str = "none"
+        seed: int = 0
+
+        def canonical_dict(self):
+            return {
+                "workload": self.workload,
+                "n_cores": self.n_cores,
+                "prefetcher": self.prefetcher,
+            }
+    """
+
+
+def test_base_tree_is_clean(lint_tree):
+    assert RunSpecSyncRule().check(lint_tree()) == []
+
+
+def test_new_run_system_parameter_fails(lint_tree):
+    project = lint_tree({"src/repro/eval/runner.py": RUNNER_WITH_NEW_PARAM})
+    violations = RunSpecSyncRule().check(project)
+    assert len(violations) == 1
+    assert "'l2_latency'" in violations[0].message
+    assert "no RunSpec field" in violations[0].message
+    assert "add a 'l2_latency' field" in violations[0].hint
+
+
+def test_fix_it_hint_resolves_the_violation(lint_tree):
+    project = lint_tree({"src/repro/eval/runner.py": RUNNER_WITH_NEW_PARAM})
+    assert RunSpecSyncRule().check(project) != []
+    project = write_tree_file(
+        project.root, "src/repro/eval/runspec.py", RUNSPEC_WITH_NEW_FIELD
+    )
+    assert RunSpecSyncRule().check(project) == []
+
+
+def test_field_missing_from_canonical_dict_fails(lint_tree):
+    project = lint_tree({"src/repro/eval/runspec.py": RUNSPEC_FIELD_NOT_HASHED})
+    violations = RunSpecSyncRule().check(project)
+    assert len(violations) == 1
+    assert "'seed'" in violations[0].message
+    assert "canonical_dict" in violations[0].message
+    assert "collide" in violations[0].message
+
+
+def test_prefetcher_factory_hole_is_an_explicit_allowlist(lint_tree):
+    project = lint_tree()
+    # Default allowlist carries the documented hole...
+    assert RunSpecSyncRule().check(project) == []
+    # ...and removing it makes the hole visible again.
+    violations = RunSpecSyncRule(allowlist={}).check(project)
+    assert len(violations) == 1
+    assert "'prefetcher_factory'" in violations[0].message

@@ -4,7 +4,6 @@ import pytest
 
 from repro.eval.profiles import ExperimentScale
 from repro.eval.replication import (
-    Replicate,
     replicate_metric,
     replicate_speedup,
     summarize,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.trace.synth.mix import MIX_REGION_STRIDE, mixed_traces
-from repro.trace.synth.params import WorkloadProfile
 from repro.trace.synth.workloads import (
     DISPLAY_NAMES,
     WORKLOADS,

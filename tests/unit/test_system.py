@@ -4,7 +4,6 @@ import math
 
 import pytest
 
-from repro.caches.config import DEFAULT_HIERARCHY
 from repro.cmp.system import DEFAULT_BANDWIDTH_GBPS, System, SystemConfig
 from repro.isa.kinds import TransitionKind
 from repro.trace.record import BlockEvent

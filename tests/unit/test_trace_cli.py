@@ -60,6 +60,6 @@ class TestInfo:
 class TestHead:
     def test_prints_events(self, trace_file, capsys):
         assert main(["head", str(trace_file), "--count", "5"]) == 0
-        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        lines = [ln for ln in capsys.readouterr().out.splitlines() if ln.strip()]
         assert len(lines) == 5
         assert "instr" in lines[0]

@@ -4,8 +4,7 @@ import pytest
 
 from repro.isa.kinds import TransitionKind
 from repro.trace.record import BlockEvent
-from repro.trace.stream import Trace, iter_line_visits
-
+from repro.trace.stream import iter_line_visits
 from tests.conftest import make_trace
 
 SEQ = int(TransitionKind.SEQUENTIAL)

@@ -6,8 +6,8 @@ from repro.cmp.link import OffChipLink
 from repro.core.engine import CoreEngine, EngineConfig
 from repro.core.l2policy import NORMAL_INSTALL
 from repro.isa.kinds import TransitionKind
-from repro.prefetch.registry import create_prefetcher
 from repro.prefetch.queue import PrefetchQueue
+from repro.prefetch.registry import create_prefetcher
 from repro.timing.params import TimingParams
 from repro.trace.record import BlockEvent
 from repro.trace.stream import Trace
