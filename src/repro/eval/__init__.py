@@ -23,7 +23,14 @@ processes (``REPRO_JOBS``) and persists every result in an on-disk cache
 (``REPRO_CACHE_DIR``, default ``.repro-cache/``).
 """
 
-from repro.eval.executor import execute_spec, resolve_jobs, run_specs
+from repro.eval.executor import (
+    SweepError,
+    SweepReport,
+    execute_spec,
+    resolve_jobs,
+    run_specs,
+    run_specs_report,
+)
 from repro.eval.figures import ExperimentResult
 from repro.eval.profiles import ExperimentScale, get_scale
 from repro.eval.runner import (
@@ -46,6 +53,9 @@ __all__ = [
     "RunSpec",
     "dedupe_specs",
     "run_specs",
+    "run_specs_report",
+    "SweepError",
+    "SweepReport",
     "execute_spec",
     "resolve_jobs",
     "ExperimentResult",

@@ -57,7 +57,7 @@ def run_filtering(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
     """Queue filtering on vs. off (discontinuity prefetcher, 4-way CMP)."""
-    run_specs(specs_filtering(scale, seed))
+    run_specs(specs_filtering(scale, seed), label="ablation-filtering")
     workloads = workload_names()
     col_labels = [DISPLAY_NAMES[w] for w in workloads]
     speedups = []
@@ -134,7 +134,7 @@ def run_eviction_counter(
     The counter matters most when the table is contended, so this runs the
     256-entry configuration.
     """
-    run_specs(specs_eviction_counter(scale, seed))
+    run_specs(specs_eviction_counter(scale, seed), label="ablation-eviction-counter")
     workloads = workload_names()
     col_labels = [DISPLAY_NAMES[w] for w in workloads]
     values = []
@@ -190,7 +190,7 @@ def run_prefetch_ahead(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
     """Prefetch-ahead distance sweep for the discontinuity prefetcher (CMP)."""
-    run_specs(specs_prefetch_ahead(scale, seed))
+    run_specs(specs_prefetch_ahead(scale, seed), label="ablation-prefetch-ahead")
     workloads = workload_names()
     col_labels = [DISPLAY_NAMES[w] for w in workloads]
     distances = AHEAD_DISTANCES
@@ -258,7 +258,7 @@ def run_probe_ahead(
     difference shows up as *late* useful prefetches (fills still in flight
     when the demand arrives).
     """
-    run_specs(specs_probe_ahead(scale, seed))
+    run_specs(specs_probe_ahead(scale, seed), label="ablation-probe-ahead")
     workloads = workload_names()
     col_labels = [DISPLAY_NAMES[w] for w in workloads]
     speedups = []
@@ -337,7 +337,7 @@ def run_single_vs_multi_target(
     discontinuity table against a 2-target Markov predictor at *equal
     storage*: N single-target entries vs N/2 two-target entries.
     """
-    run_specs(specs_single_vs_multi_target(scale, seed))
+    run_specs(specs_single_vs_multi_target(scale, seed), label="ablation-table-design")
     workloads = workload_names()
     col_labels = [DISPLAY_NAMES[w] for w in workloads]
     variants = TABLE_DESIGN_VARIANTS
@@ -411,7 +411,7 @@ def run_useless_hint_filter(
     useless in the L1I are dropped, trading a little coverage for
     bandwidth and accuracy.
     """
-    run_specs(specs_useless_hint_filter(scale, seed))
+    run_specs(specs_useless_hint_filter(scale, seed), label="ablation-useless-hint")
     workloads = workload_names()
     col_labels = [DISPLAY_NAMES[w] for w in workloads]
     accuracy = []
@@ -492,7 +492,7 @@ def run_inclusion(
     pollution of the L2 can reach into the L1s — slightly amplifying the
     pollution effect the bypass policy removes.
     """
-    run_specs(specs_inclusion(scale, seed))
+    run_specs(specs_inclusion(scale, seed), label="ablation-inclusion")
     workloads = workload_names()
     col_labels = [DISPLAY_NAMES[w] for w in workloads]
     speedups = []
@@ -571,7 +571,7 @@ def run_replacement(
     some designs use random.  This ablation verifies the headline result
     is not an artifact of the replacement policy.
     """
-    run_specs(specs_replacement(scale, seed))
+    run_specs(specs_replacement(scale, seed), label="ablation-replacement")
     workloads = workload_names()
     col_labels = [DISPLAY_NAMES[w] for w in workloads]
     policies = REPLACEMENT_POLICIES
@@ -636,7 +636,7 @@ def run_queue_discipline(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
     """LIFO vs FIFO prefetch queue (discontinuity, 4-way CMP, bypass)."""
-    run_specs(specs_queue_discipline(scale, seed))
+    run_specs(specs_queue_discipline(scale, seed), label="ablation-queue-discipline")
     workloads = workload_names()
     col_labels = [DISPLAY_NAMES[w] for w in workloads]
     values = []

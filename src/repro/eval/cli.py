@@ -3,7 +3,7 @@
 Usage::
 
     repro-experiment --list
-    repro-experiment fig05 --scale smoke
+    repro-experiment fig05 --scale smoke --progress
     repro-experiment all --scale default --seed 7
 """
 
@@ -11,11 +11,16 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-from repro.eval.executor import run_specs
+from repro.eval.executor import SweepError, run_specs_report
 from repro.eval.profiles import SCALES, get_scale
-from repro.eval.registry import collect_specs, experiment_names, run_experiment
+from repro.eval.registry import (
+    collect_specs_by_experiment,
+    experiment_names,
+    run_experiment,
+)
+from repro.eval.runspec import RunSpec, dedupe_specs
 from repro.util.clock import Stopwatch
 
 
@@ -51,6 +56,11 @@ def build_parser() -> argparse.ArgumentParser:
         "1 runs serially in-process)",
     )
     parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="narrate sweep completion as each spec lands (memo/disk/simulated)",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         default=None,
@@ -63,6 +73,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write all result panels to PATH as Markdown tables",
     )
     return parser
+
+
+def _print_progress(
+    done: int, total: int, spec: RunSpec, source: str, seconds: float
+) -> None:
+    """``--progress`` narration: one line per spec as the sweep lands it."""
+    width = len(str(total))
+    if source in ("simulated", "retried", "failed"):
+        detail = f"{source} in {seconds:.2f}s"
+    else:
+        detail = f"{source} hit"
+    print(f"[{done:>{width}}/{total}] {spec.describe()}: {detail}", flush=True)
+
+
+def _affected_experiments(
+    by_experiment: Dict[str, List[RunSpec]], failed: List[RunSpec]
+) -> List[str]:
+    """Names of the experiments that read at least one failed spec."""
+    failed_set = set(failed)
+    return sorted(
+        name
+        for name, spec_list in by_experiment.items()
+        if failed_set.intersection(spec_list)
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -86,16 +120,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     # configurations simulate once, in parallel, before the drivers format
     # their panels from the shared caches.
     try:
-        specs = collect_specs(names, scale=scale, seed=args.seed)
+        by_experiment = collect_specs_by_experiment(names, scale=scale, seed=args.seed)
     except KeyError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    specs = dedupe_specs(
+        spec for spec_list in by_experiment.values() for spec in spec_list
+    )
+    progress = _print_progress if args.progress else None
     watch = Stopwatch()
     try:
-        run_specs(specs, jobs=args.jobs)
+        _, report = run_specs_report(
+            specs, jobs=args.jobs, progress=progress, label=",".join(names)
+        )
     except ValueError as error:  # e.g. a non-integer $REPRO_JOBS
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except SweepError as error:
+        # Completed siblings are already persisted; report what failed,
+        # which experiments it starves, and how much work was salvaged.
+        print(f"error: {error}", file=sys.stderr)
+        affected = _affected_experiments(by_experiment, list(error.failures))
+        if affected:
+            print(f"affected experiments: {', '.join(affected)}", file=sys.stderr)
+        print(error.report.summary_json())
+        return 1
+    print(report.summary_json())
     print(f"[{len(specs)} unique runs ready in {watch.elapsed():.1f}s]")
     print()
 

@@ -102,7 +102,7 @@ def run_alternatives(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
     """All prefetching styles head-to-head (4-way CMP, bypass install)."""
-    run_specs(specs_alternatives(scale, seed))
+    run_specs(specs_alternatives(scale, seed), label="comparison-alternatives")
     workloads = workload_names()
     col_labels = [DISPLAY_NAMES[w] for w in workloads]
     baselines = {
@@ -195,7 +195,7 @@ def run_execution_based(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
     """Fetch-directed prefetching vs BTB size (4-way CMP)."""
-    run_specs(specs_execution_based(scale, seed))
+    run_specs(specs_execution_based(scale, seed), label="comparison-execution-based")
     workloads = workload_names()
     col_labels = [DISPLAY_NAMES[w] for w in workloads]
     baselines = {
@@ -293,7 +293,7 @@ def run_bandwidth_sensitivity(
     4NL-discontinuity) take over the performance ordering — wasted
     prefetches stop being free.
     """
-    run_specs(specs_bandwidth_sensitivity(scale, seed))
+    run_specs(specs_bandwidth_sensitivity(scale, seed), label="comparison-bandwidth")
     schemes = BANDWIDTH_SCHEMES
     col_labels = [f"{gbps:g} GB/s" for gbps in BANDWIDTH_SWEEP_GBPS]
     rows = []
@@ -364,7 +364,7 @@ def run_core_scaling(
     instruction pressure — and therefore the discontinuity prefetcher's
     value — grows with the core count.
     """
-    run_specs(specs_core_scaling(scale, seed))
+    run_specs(specs_core_scaling(scale, seed), label="comparison-core-scaling")
     col_labels = [f"{n} core{'s' if n > 1 else ''}" for n in CORE_SCALING]
     l2i_rates = []
     l2d_rates = []
@@ -423,7 +423,7 @@ def run_software_prefetch(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
     """§2.3 cooperative software prefetching vs the hardware scheme (CMP)."""
-    run_specs(specs_software_prefetch(scale, seed))
+    run_specs(specs_software_prefetch(scale, seed), label="comparison-software-prefetch")
     workloads = workload_names()
     col_labels = [DISPLAY_NAMES[w] for w in workloads]
     baselines = {

@@ -29,7 +29,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, Optional, Set
 
 from repro.caches.config import CacheConfig, HierarchyConfig
 from repro.caches.missclass import MissBreakdown
@@ -47,6 +47,17 @@ SCHEMA_VERSION = 1
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 DISABLE_ENV = "REPRO_DISK_CACHE"
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: a ``*.tmp`` file older than this is an orphan from a crashed writer
+#: (live tmp files exist only for the instant between mkstemp and rename).
+TMP_MAX_AGE_SECONDS = 3600.0
+
+#: entries are written via ``mkstemp`` (mode 0600); chmod to this so a
+#: shared cache directory stays readable by other users.
+ENTRY_MODE = 0o644
+
+#: cache directories already swept for stale tmp files this process.
+_tmp_swept_dirs: Set[str] = set()
 
 _CORE_SCALARS = (
     "instructions",
@@ -235,10 +246,19 @@ def store(spec: RunSpec, result: SystemResult) -> bool:
     directory = cache_dir()
     try:
         directory.mkdir(parents=True, exist_ok=True)
+        key = str(directory)
+        if key not in _tmp_swept_dirs:
+            # Opportunistic orphan cleanup, bounded to once per process
+            # per directory so stores stay O(1) in the cache size.
+            _tmp_swept_dirs.add(key)
+            sweep_stale_tmp()
         fd, tmp_name = tempfile.mkstemp(dir=str(directory), suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as handle:
                 json.dump(payload, handle)
+            # mkstemp creates 0600 files; open the entry up so a shared
+            # cache directory is readable by other users.
+            os.chmod(tmp_name, ENTRY_MODE)
             os.replace(tmp_name, path_for(spec))
         except BaseException:
             try:
@@ -252,17 +272,43 @@ def store(spec: RunSpec, result: SystemResult) -> bool:
     return True
 
 
+def sweep_stale_tmp(max_age_seconds: float = TMP_MAX_AGE_SECONDS) -> int:
+    """Remove orphaned ``*.tmp`` files left behind by crashed writers.
+
+    Only files older than *max_age_seconds* are touched (a concurrent
+    writer's live tmp file must survive); pass 0 to sweep unconditionally.
+    Returns the number of files removed.
+    """
+    from repro.util import clock
+
+    directory = cache_dir()
+    removed = 0
+    if not directory.is_dir():
+        return 0
+    cutoff = clock.now() - max_age_seconds
+    for path in directory.glob("*.tmp"):
+        try:
+            if max_age_seconds <= 0 or path.stat().st_mtime <= cutoff:
+                path.unlink()
+                removed += 1
+        except OSError:
+            pass
+    return removed
+
+
 def clear() -> int:
-    """Delete all cache entries; returns the number of files removed."""
+    """Delete all cache entries (results *and* leftover ``*.tmp`` orphans);
+    returns the number of files removed."""
     directory = cache_dir()
     removed = 0
     if directory.is_dir():
-        for path in directory.glob("*.json"):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
+        for pattern in ("*.json", "*.tmp"):
+            for path in directory.glob(pattern):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
     return removed
 
 

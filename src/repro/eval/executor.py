@@ -1,4 +1,4 @@
-"""Process-parallel sweep executor with layered result caching.
+"""Process-parallel sweep executor with layered caching and fault tolerance.
 
 The experiment drivers declare their configurations as
 :class:`~repro.eval.runspec.RunSpec` lists and submit them in one batch to
@@ -21,23 +21,142 @@ Submission is ordered by :meth:`RunSpec.trace_key` so specs replaying the
 same synthetic traces tend to land on the same worker, whose
 per-process :func:`~repro.eval.runner.get_traces` memo then serves them
 without regenerating.
+
+Failure semantics (see ``docs/performance.md``): results are harvested
+with :func:`concurrent.futures.as_completed` and **checkpointed the moment
+their worker finishes** — persisted to the disk cache and the memo before
+any later failure can propagate.  A worker exception earns the spec one
+in-parent serial retry (a crash may be pool-related, not spec-related); a
+:class:`~concurrent.futures.process.BrokenProcessPool` rebuilds the pool
+once and then degrades to serial execution for the remainder;
+``KeyboardInterrupt`` cancels queued work and re-raises with everything
+already harvested safely on disk.  Specs that still fail surface in one
+terminal :class:`SweepError` carrying per-spec tracebacks, the salvaged
+results and the batch's :class:`SweepReport`.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, Iterable, Optional
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.cmp.system import SystemResult
 from repro.eval import diskcache
 from repro.eval.runspec import RunSpec, dedupe_specs
+from repro.util import clock
 
 #: environment variable bounding the worker-process count; 1 forces the
 #: in-process serial path (no pool, no pickling).
 JOBS_ENV = "REPRO_JOBS"
 
 _MEMO: Dict[RunSpec, SystemResult] = {}
+
+#: progress callback: ``(done, total, spec, source, seconds)`` where
+#: ``source`` is one of ``memo`` / ``disk`` / ``simulated`` / ``retried``
+#: / ``failed`` and ``seconds`` is the simulation time (0 for cache hits).
+ProgressFn = Callable[[int, int, RunSpec, str, float], None]
+
+
+@dataclass
+class SweepReport:
+    """Observability record for one :func:`run_specs` batch.
+
+    The counters partition the batch exactly:
+    ``memo_hits + disk_hits + simulated + retried + failed == total``.
+    """
+
+    total: int = 0
+    memo_hits: int = 0
+    disk_hits: int = 0
+    #: specs simulated successfully on the first attempt (pool or serial).
+    simulated: int = 0
+    #: specs whose worker failed but whose in-parent serial retry succeeded.
+    retried: int = 0
+    #: specs that failed even after the retry (carried by :class:`SweepError`).
+    failed: int = 0
+    #: times a broken process pool was rebuilt (at most 1 per batch).
+    pool_rebuilds: int = 0
+    #: True when the rebuilt pool also broke and the remainder ran serially.
+    degraded_to_serial: bool = False
+    wall_seconds: float = 0.0
+    #: optional caller-supplied sweep name (figure driver, CLI invocation).
+    label: Optional[str] = None
+    #: simulation seconds per spec (cache hits are not timed).
+    durations: Dict[RunSpec, float] = field(default_factory=dict)
+
+    def completed(self) -> int:
+        """Specs that produced a result through any path."""
+        return self.memo_hits + self.disk_hits + self.simulated + self.retried
+
+    def summary_json(self) -> str:
+        """The one-line JSON form (for CI logs); see :func:`report_to_summary`."""
+        return json.dumps(report_to_summary(self), sort_keys=True)
+
+
+def report_to_summary(report: SweepReport) -> Dict[str, Any]:
+    """Plain-data summary of a sweep, suitable for one-line JSON CI logs.
+
+    Registered as a lint R4 payload builder: everything here must stay
+    JSON-safe plain data.
+    """
+    summary: Dict[str, Any] = {
+        "event": "sweep",
+        "label": report.label,
+        "total": report.total,
+        "memo_hits": report.memo_hits,
+        "disk_hits": report.disk_hits,
+        "simulated": report.simulated,
+        "retried": report.retried,
+        "failed": report.failed,
+        "pool_rebuilds": report.pool_rebuilds,
+        "degraded_to_serial": report.degraded_to_serial,
+        "wall_seconds": round(report.wall_seconds, 3),
+    }
+    slowest_spec = None
+    slowest_seconds = 0.0
+    for spec, seconds in report.durations.items():
+        if slowest_spec is None or seconds > slowest_seconds:
+            slowest_spec, slowest_seconds = spec, seconds
+    if slowest_spec is not None:
+        summary["slowest_spec"] = slowest_spec.describe()
+        summary["slowest_seconds"] = round(slowest_seconds, 3)
+    return summary
+
+
+class SweepError(RuntimeError):
+    """One or more specs of a batch failed after their retry.
+
+    Every result that completed before the failure was already persisted
+    to the disk cache and the in-process memo (checkpoint on completion),
+    so re-running the batch simulates only the failed specs.
+
+    Attributes: ``failures`` maps each failed spec to its formatted
+    traceback(s); ``results`` holds everything salvaged; ``report`` is the
+    batch's :class:`SweepReport`.
+    """
+
+    def __init__(
+        self,
+        failures: Dict[RunSpec, str],
+        results: Dict[RunSpec, SystemResult],
+        report: SweepReport,
+    ) -> None:
+        self.failures = dict(failures)
+        self.results = dict(results)
+        self.report = report
+        label = f" [{report.label}]" if report.label else ""
+        lines = [
+            f"{len(self.failures)} of {report.total} specs failed{label}; "
+            f"{len(self.results)} results salvaged (persisted to the caches)"
+        ]
+        for spec, tb in self.failures.items():
+            lines.append(f"--- {spec.describe()} ---\n{tb.rstrip()}")
+        super().__init__("\n".join(lines))
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -86,9 +205,26 @@ def _worker(spec: RunSpec) -> Dict:
     such as the software-prefetch factory closure.  Trace generation inside
     the worker goes through ``get_traces``, whose module-level memo persists
     for the worker's lifetime, so same-trace specs assigned to one worker
-    share a single generation.
+    share a single generation.  The payload carries the worker's wall time
+    under ``wall_seconds``; the parent pops it before rehydrating.
     """
-    return diskcache.result_to_payload(_simulate(spec), spec)
+    started = clock.now()
+    payload = diskcache.result_to_payload(_simulate(spec), spec)
+    payload["wall_seconds"] = clock.now() - started
+    return payload
+
+
+def _simulate_and_store(spec: RunSpec) -> SystemResult:
+    """Simulate a *known* cache miss in-process and persist the result.
+
+    Skips the memo/disk probes — callers (the batch pre-scan, the retry
+    path) have already established the miss, so re-stat'ing the cache per
+    spec would be pure overhead.
+    """
+    result = _simulate(spec)
+    diskcache.store(spec, result)
+    _MEMO[spec] = result
+    return result
 
 
 def execute_spec(spec: RunSpec) -> SystemResult:
@@ -98,51 +234,224 @@ def execute_spec(spec: RunSpec) -> SystemResult:
         return result
     result = diskcache.load(spec)
     if result is None:
-        result = _simulate(spec)
-        diskcache.store(spec, result)
-    _MEMO[spec] = result
+        result = _simulate_and_store(spec)
+    else:
+        _MEMO[spec] = result
     return result
 
 
 def run_specs(
-    specs: Iterable[RunSpec], jobs: Optional[int] = None
+    specs: Iterable[RunSpec],
+    jobs: Optional[int] = None,
+    progress: Optional[ProgressFn] = None,
+    label: Optional[str] = None,
 ) -> Dict[RunSpec, SystemResult]:
     """Execute a batch of specs; returns a spec → result mapping.
 
+    Thin wrapper over :func:`run_specs_report` for callers that do not
+    need the :class:`SweepReport`.
+    """
+    results, _ = run_specs_report(specs, jobs=jobs, progress=progress, label=label)
+    return results
+
+
+def run_specs_report(
+    specs: Iterable[RunSpec],
+    jobs: Optional[int] = None,
+    progress: Optional[ProgressFn] = None,
+    label: Optional[str] = None,
+) -> Tuple[Dict[RunSpec, SystemResult], SweepReport]:
+    """Execute a batch of specs; returns ``(results, report)``.
+
     Duplicates are collapsed, cached specs (memo or disk) are served
     without simulation, and the remainder fans out across worker processes
-    (serial in-process when the effective job count is 1).
+    (serial in-process when the effective job count is 1).  Completed
+    results are persisted the moment they land, so a failure mid-batch
+    never discards a sibling's finished work; specs that fail after their
+    retry raise :class:`SweepError` (with the salvaged results attached).
     """
     unique = dedupe_specs(specs)
+    report = SweepReport(total=len(unique), label=label)
+    watch = clock.Stopwatch()
     results: Dict[RunSpec, SystemResult] = {}
-    pending = []
+    failures: Dict[RunSpec, str] = {}
+    done = 0
+
+    def emit(spec: RunSpec, source: str, seconds: float = 0.0) -> None:
+        nonlocal done
+        done += 1
+        if progress is not None:
+            progress(done, report.total, spec, source, seconds)
+
+    pending: List[RunSpec] = []
     for spec in unique:
+        source = "memo"
         cached = _MEMO.get(spec)
         if cached is None:
             cached = diskcache.load(spec)
             if cached is not None:
                 _MEMO[spec] = cached
+                source = "disk"
         if cached is not None:
             results[spec] = cached
+            if source == "memo":
+                report.memo_hits += 1
+            else:
+                report.disk_hits += 1
+            emit(spec, source)
         else:
             pending.append(spec)
-    if not pending:
-        return results
 
-    jobs = resolve_jobs(jobs)
-    if jobs <= 1 or len(pending) == 1:
-        for spec in pending:
-            results[spec] = execute_spec(spec)
-        return results
+    if pending:
+        jobs = resolve_jobs(jobs)
+        if jobs <= 1 or len(pending) == 1:
+            _run_serial(pending, results, failures, report, emit)
+        else:
+            _run_pool(pending, jobs, results, failures, report, emit)
 
-    pending.sort(key=lambda spec: spec.trace_key())
-    with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-        futures = [(spec, pool.submit(_worker, spec)) for spec in pending]
-        for spec, future in futures:
-            result = diskcache.payload_to_result(future.result())
-            # The parent is the single cache writer; workers stay read-free
-            # so a shared cache directory never sees write races.
+    report.wall_seconds = watch.elapsed()
+    if failures:
+        report.failed = len(failures)
+        raise SweepError(failures, results, report)
+    return results, report
+
+
+def _run_serial(
+    pending: List[RunSpec],
+    results: Dict[RunSpec, SystemResult],
+    failures: Dict[RunSpec, str],
+    report: SweepReport,
+    emit: Callable[..., None],
+) -> None:
+    """In-process execution of known cache misses, isolating failures.
+
+    A failing spec is recorded and skipped — its siblings still run (and
+    persist).  No retry here: re-running the same inputs in the same
+    process would fail identically.
+    """
+    for spec in pending:
+        watch = clock.Stopwatch()
+        try:
+            result = _simulate_and_store(spec)
+        except KeyboardInterrupt:
+            raise
+        except Exception:
+            failures[spec] = traceback.format_exc()
+            emit(spec, "failed", watch.elapsed())
+            continue
+        report.simulated += 1
+        report.durations[spec] = watch.elapsed()
+        results[spec] = result
+        emit(spec, "simulated", report.durations[spec])
+
+
+def _run_pool(
+    pending: List[RunSpec],
+    jobs: int,
+    results: Dict[RunSpec, SystemResult],
+    failures: Dict[RunSpec, str],
+    report: SweepReport,
+    emit: Callable[..., None],
+) -> None:
+    """Pool execution with checkpoint-on-completion harvesting.
+
+    A broken pool is rebuilt once; if the rebuild also breaks, the
+    remainder degrades to serial in-process execution.  Specs whose worker
+    raised an ordinary exception get one in-parent serial retry at the end
+    (a worker crash may be pool-related — OOM kill, pickling — rather than
+    spec-related).
+    """
+    remaining = sorted(pending, key=lambda spec: spec.trace_key())
+    worker_errors: Dict[RunSpec, str] = {}
+    for attempt in range(2):
+        if not remaining:
+            break
+        if attempt:
+            report.pool_rebuilds += 1
+        broken = _pool_attempt(remaining, jobs, results, worker_errors, report, emit)
+        if not broken:
+            break
+    if remaining:
+        # The rebuilt pool broke too; finish the batch without a pool.
+        report.degraded_to_serial = True
+        _run_serial(remaining, results, failures, report, emit)
+
+    for spec, first_error in worker_errors.items():
+        watch = clock.Stopwatch()
+        try:
+            result = _simulate_and_store(spec)
+        except KeyboardInterrupt:
+            raise
+        except Exception:
+            failures[spec] = (
+                f"{first_error.rstrip()}\n\nin-parent serial retry also failed:\n"
+                f"{traceback.format_exc()}"
+            )
+            emit(spec, "failed", watch.elapsed())
+            continue
+        report.retried += 1
+        report.durations[spec] = watch.elapsed()
+        results[spec] = result
+        emit(spec, "retried", report.durations[spec])
+
+
+def _pool_attempt(
+    remaining: List[RunSpec],
+    jobs: int,
+    results: Dict[RunSpec, SystemResult],
+    worker_errors: Dict[RunSpec, str],
+    report: SweepReport,
+    emit: Callable[..., None],
+) -> bool:
+    """One ``ProcessPoolExecutor`` pass over *remaining* (mutated in place).
+
+    Harvests futures as they complete, persisting each result immediately.
+    Returns True when the pool broke; the specs that neither completed nor
+    errored stay in *remaining* for the caller to re-dispatch.
+    """
+    harvested: Set[RunSpec] = set()
+    broken = False
+    interrupted = False
+    pool = ProcessPoolExecutor(max_workers=min(jobs, len(remaining)))
+    try:
+        future_map = {pool.submit(_worker, spec): spec for spec in remaining}
+        for future in as_completed(future_map):
+            spec = future_map[future]
+            try:
+                payload = future.result()
+            except BrokenProcessPool:
+                # The pool is gone; siblings' futures resolve too (some
+                # with results that already landed) — keep draining.
+                broken = True
+                continue
+            except Exception:
+                worker_errors[spec] = traceback.format_exc()
+                harvested.add(spec)
+                continue
+            seconds = float(payload.pop("wall_seconds", 0.0))
+            result = diskcache.payload_to_result(payload)
+            # Checkpoint on completion: persist *now*, so this result
+            # survives any later failure in the batch.  The parent is the
+            # single cache writer; workers stay read-free so a shared
+            # cache directory never sees write races.
             diskcache.store(spec, result)
             _MEMO[spec] = result
             results[spec] = result
-    return results
+            report.simulated += 1
+            report.durations[spec] = seconds
+            harvested.add(spec)
+            emit(spec, "simulated", seconds)
+    except BrokenProcessPool:
+        # Submission itself hit the broken pool.
+        broken = True
+    except KeyboardInterrupt:
+        # Hand the terminal back fast: drop queued work, don't wait for
+        # running workers.  Everything harvested so far is on disk.
+        interrupted = True
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    finally:
+        if not interrupted:
+            pool.shutdown(wait=True, cancel_futures=True)
+    remaining[:] = [spec for spec in remaining if spec not in harvested]
+    return broken

@@ -66,7 +66,7 @@ def run(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
     """Run the Figure 1 sweep; returns one panel."""
-    run_specs(specs(scale, seed))
+    run_specs(specs(scale, seed), label="fig01")
     workloads = workload_names()
     rows = []
     values = []

@@ -51,7 +51,7 @@ def run(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
     """Run the Figure 2 sweep; returns one panel (rows = config)."""
-    run_specs(specs(scale, seed))
+    run_specs(specs(scale, seed), label="fig02")
     cmp_workloads = workload_names() + ["mix"]
     col_labels = [DISPLAY_NAMES[w] for w in cmp_workloads]
 

@@ -76,7 +76,7 @@ def run(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
     """Run Figure 3; returns the three panels (i)-(iii)."""
-    run_specs(specs(scale, seed))
+    run_specs(specs(scale, seed), label="fig03")
     base = workload_names()
     return [
         _breakdown_panel(

@@ -110,7 +110,7 @@ def run(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
     """Run Figure 4; returns panels (i) single core and (ii) 4-way CMP."""
-    run_specs(specs(scale, seed))
+    run_specs(specs(scale, seed), label="fig04")
     base = workload_names()
     return [
         _panel("fig04i", "Miss-elimination potential (single core)", base, 1, scale, seed),

@@ -92,7 +92,7 @@ def run(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
     """Run Figure 5; returns panels (i)-(iii)."""
-    run_specs(specs(scale, seed))
+    run_specs(specs(scale, seed), label="fig05")
     base = workload_names()
     return [
         _panel(

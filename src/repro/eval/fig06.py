@@ -76,7 +76,7 @@ def run(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
     """Run Figure 6; returns panels (i) and (ii)."""
-    run_specs(specs(scale, seed))
+    run_specs(specs(scale, seed), label="fig06")
     base = workload_names()
     note = "normal L2 install: pollution limits the gains (paper: <= ~1.28X)"
     return [

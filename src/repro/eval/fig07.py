@@ -72,7 +72,7 @@ def run(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
     """Run Figure 7; returns panels (i) and (ii)."""
-    run_specs(specs(scale, seed))
+    run_specs(specs(scale, seed), label="fig07")
     base = workload_names()
     return [
         _panel(

@@ -47,7 +47,7 @@ def run(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
     """Run Figure 8; returns panels (i) and (ii)."""
-    run_specs(specs(scale, seed))
+    run_specs(specs(scale, seed), label="fig08")
     base = workload_names()
     note = "bypass install (§7): pollution removed; paper: 1.08-1.37X on CMP"
     return [

@@ -58,7 +58,7 @@ def run(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
     """Run Figure 9; returns panels (i) accuracy and (ii) speedup."""
-    run_specs(specs(scale, seed))
+    run_specs(specs(scale, seed), label="fig09")
     workloads = workload_names() + ["mix"]
     col_labels = [DISPLAY_NAMES[w] for w in workloads]
 

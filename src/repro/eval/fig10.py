@@ -55,7 +55,7 @@ def run(
     scale: Optional[ExperimentScale] = None, seed: int = DEFAULT_SEED
 ) -> List[ExperimentResult]:
     """Run Figure 10; returns panels (i) L1 and (ii) L2 coverage."""
-    run_specs(specs(scale, seed))
+    run_specs(specs(scale, seed), label="fig10")
     workloads = workload_names() + ["mix"]
     col_labels = [DISPLAY_NAMES[w] for w in workloads]
 

@@ -95,23 +95,26 @@ def experiment_names() -> List[str]:
     return list(EXPERIMENTS)
 
 
-def collect_specs(
+def collect_specs_by_experiment(
     names: List[str],
     scale: Optional[ExperimentScale] = None,
     seed: Optional[int] = None,
-) -> List[RunSpec]:
-    """Deduplicated union of the RunSpecs the named experiments will read.
+) -> Dict[str, List[RunSpec]]:
+    """Per-experiment RunSpec lists (each deduplicated, order preserved).
 
-    Experiments registered in :data:`EXPERIMENTS` without a matching
-    :data:`EXPERIMENT_SPECS` entry (e.g. third-party drivers added at
-    runtime) simply declare no specs up front — their driver simulates
-    lazily.  Truly unknown names raise ``KeyError``.
+    The sweep observability surface uses this to attribute a spec — a
+    progress line, a failure in a :class:`~repro.eval.executor.SweepError`
+    — back to the experiments that read it.  Experiments registered in
+    :data:`EXPERIMENTS` without a matching :data:`EXPERIMENT_SPECS` entry
+    (e.g. third-party drivers added at runtime) declare no specs up front —
+    their driver simulates lazily.  Truly unknown names raise ``KeyError``.
     """
-    specs: List[RunSpec] = []
+    by_experiment: Dict[str, List[RunSpec]] = {}
     for name in names:
         spec_fn = EXPERIMENT_SPECS.get(name)
         if spec_fn is None:
             if name in EXPERIMENTS:
+                by_experiment[name] = []
                 continue
             raise KeyError(
                 f"unknown experiment {name!r}; available: {experiment_names()}"
@@ -121,7 +124,19 @@ def collect_specs(
             kwargs["scale"] = scale
         if seed is not None:
             kwargs["seed"] = seed
-        specs.extend(spec_fn(**kwargs))
+        by_experiment[name] = dedupe_specs(spec_fn(**kwargs))
+    return by_experiment
+
+
+def collect_specs(
+    names: List[str],
+    scale: Optional[ExperimentScale] = None,
+    seed: Optional[int] = None,
+) -> List[RunSpec]:
+    """Deduplicated union of the RunSpecs the named experiments will read."""
+    specs: List[RunSpec] = []
+    for spec_list in collect_specs_by_experiment(names, scale=scale, seed=seed).values():
+        specs.extend(spec_list)
     return dedupe_specs(specs)
 
 

@@ -108,7 +108,7 @@ def run_replication_check(
     (The ``seed`` argument is accepted for registry-interface uniformity;
     the replication always spans ``seeds``.)
     """
-    run_specs(specs_replication_check(scale, seed, seeds))
+    run_specs(specs_replication_check(scale, seed, seeds), label="replication-check")
     del seed
     workloads = workload_names()
     col_labels = [DISPLAY_NAMES[w] for w in workloads]

@@ -8,8 +8,11 @@ be comparable.  :func:`get_traces` memoizes generated traces by
 Result caching is layered (see :mod:`repro.eval.executor`): an in-process
 memo, then the persistent on-disk cache of :mod:`repro.eval.diskcache`.
 :func:`run_system_cached` routes through both; batch submission of many
-configurations (with process parallelism) goes through
-:func:`repro.eval.executor.run_specs`.
+configurations (with process parallelism, checkpoint-on-completion
+persistence and per-spec failure isolation — see ``docs/performance.md``,
+"Failure semantics and sweep observability") goes through
+:func:`repro.eval.executor.run_specs` /
+:func:`~repro.eval.executor.run_specs_report`.
 """
 
 from __future__ import annotations

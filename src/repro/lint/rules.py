@@ -412,7 +412,7 @@ class ExecutorBoundaryRule(Rule):
             "_core_to_dict",
             "_link_to_dict",
         ),
-        "src/repro/eval/executor.py": ("_worker",),
+        "src/repro/eval/executor.py": ("_worker", "report_to_summary"),
     }
 
     def __init__(

@@ -150,12 +150,22 @@ class PrefetchQueue:
         return True
 
     def _append_unfiltered(self, candidate: PrefetchCandidate) -> bool:
-        """Unfiltered ablation path: enqueue subject to capacity only."""
+        """Unfiltered ablation path: enqueue subject to capacity only.
+
+        Duplicates are allowed here, so ``_by_line`` tracks the *newest*
+        entry per line — kept consistent (including overflow eviction) so
+        ``state_of`` stays truthful with ``filtering=False``.
+        """
         entry = QueueEntry(candidate.line, candidate.provenance)
         if len(self._entries) >= self._config.capacity:
-            self._entries.pop(0)
+            victim = self._entries.pop(0)  # oldest first
+            # A newer duplicate may own the index slot; only the victim's
+            # own mapping is dropped.
+            if self._by_line.get(victim.line) is victim:
+                del self._by_line[victim.line]
             self.stats.overflow_drops += 1
         self._entries.append(entry)
+        self._by_line[candidate.line] = entry
         self.stats.accepted += 1
         return True
 

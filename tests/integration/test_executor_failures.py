@@ -1,0 +1,263 @@
+"""Failure semantics and observability of the parallel sweep executor.
+
+The headline property: results are **checkpointed the moment their worker
+finishes**, so one crashed spec never discards a sibling's completed work —
+the disk cache holds everything that finished, and a re-run simulates only
+what failed.  On top of that: one in-parent serial retry per worker
+failure, pool-rebuild + serial degradation on ``BrokenProcessPool``, and a
+``SweepReport`` whose counters partition the batch exactly.
+
+The fault-injection tests monkeypatch ``executor._simulate`` in the parent
+and rely on the ``fork`` start method to propagate the patch into pool
+workers, so they skip on platforms that spawn.
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.eval import diskcache, executor
+from repro.eval.executor import (
+    SweepError,
+    execute_spec,
+    run_specs,
+    run_specs_report,
+)
+from repro.eval.profiles import ExperimentScale
+from repro.eval.runspec import RunSpec
+
+TINY = ExperimentScale(
+    name="tiny",
+    warm_instructions=2_000,
+    measure_instructions=8_000,
+    cmp_measure_instructions=4_000,
+)
+
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="fault injection relies on fork inheriting the monkeypatch",
+)
+
+
+def tiny_specs():
+    return [
+        RunSpec.create("db", 1, "none", scale=TINY),
+        RunSpec.create("db", 1, "discontinuity", scale=TINY, l2_policy="bypass"),
+        RunSpec.create("web", 1, "next-2-line", scale=TINY, l2_policy="bypass"),
+    ]
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    executor.clear_memo()
+    yield
+    executor.clear_memo()
+
+
+def failing_simulate(victim, real_simulate, child_only=False, exit_code=None):
+    """A ``_simulate`` stand-in that fails (only) for *victim*.
+
+    ``child_only`` restricts the failure to pool workers (the parent pid is
+    captured here, at patch time); ``exit_code`` hard-kills the process via
+    ``os._exit`` instead of raising — the ``BrokenProcessPool`` trigger.
+    """
+    parent_pid = os.getpid()
+
+    def simulate(spec):
+        if spec == victim and not (child_only and os.getpid() == parent_pid):
+            if exit_code is not None:
+                os._exit(exit_code)
+            raise RuntimeError("injected simulation failure")
+        return real_simulate(spec)
+
+    return simulate
+
+
+@fork_only
+class TestCheckpointOnCompletion:
+    def test_sibling_results_survive_a_worker_failure(self, monkeypatch):
+        """The headline regression: one crashed spec, siblings persisted."""
+        specs = tiny_specs()
+        victim = specs[1]
+        real = executor._simulate
+        monkeypatch.setattr(executor, "_simulate", failing_simulate(victim, real))
+        with pytest.raises(SweepError) as excinfo:
+            run_specs(specs, jobs=2)
+        error = excinfo.value
+        assert set(error.failures) == {victim}
+        assert "injected simulation failure" in error.failures[victim]
+        assert set(error.results) == set(specs) - {victim}
+        assert error.report.failed == 1
+        assert error.report.retried == 0
+        assert error.report.simulated == 2
+        assert "salvaged" in str(error)
+        # Both siblings reached the disk cache before the error propagated.
+        assert diskcache.entry_count() == 2
+        for spec in error.results:
+            assert diskcache.load(spec) is not None
+
+        # A re-run simulates ONLY the failed spec: siblings replay from
+        # disk (the memo is cleared to prove it is really the disk copy).
+        # The failure patch is *overwritten*, not undo()ne — undo would
+        # also revert the cache-dir isolation fixture's setenv.
+        executor.clear_memo()
+        simulated = []
+
+        def counting(spec):
+            simulated.append(spec)
+            return real(spec)
+
+        monkeypatch.setattr(executor, "_simulate", counting)
+        results, report = run_specs_report(specs, jobs=2)
+        assert simulated == [victim]
+        assert set(results) == set(specs)
+        assert report.disk_hits == 2
+        assert report.simulated == 1
+        assert report.failed == 0
+
+    def test_serial_batch_isolates_failures_too(self, monkeypatch):
+        specs = tiny_specs()
+        victim = specs[0]  # fails first; siblings must still run
+        monkeypatch.setattr(
+            executor, "_simulate", failing_simulate(victim, executor._simulate)
+        )
+        with pytest.raises(SweepError) as excinfo:
+            run_specs(specs, jobs=1)
+        error = excinfo.value
+        assert set(error.failures) == {victim}
+        assert diskcache.entry_count() == 2
+        assert error.report.simulated == 2
+        assert error.report.failed == 1
+
+
+@fork_only
+class TestRetryAndDegradation:
+    def test_retry_succeeds_after_a_transient_worker_failure(self, monkeypatch):
+        specs = tiny_specs()
+        victim = specs[2]
+        monkeypatch.setattr(
+            executor,
+            "_simulate",
+            failing_simulate(victim, executor._simulate, child_only=True),
+        )
+        results, report = run_specs_report(specs, jobs=2)
+        assert set(results) == set(specs)
+        assert report.retried == 1
+        assert report.simulated == 2
+        assert report.failed == 0
+        assert diskcache.entry_count() == 3
+
+    def test_broken_pool_degrades_to_serial_and_completes(self, monkeypatch):
+        specs = tiny_specs()
+        victim = specs[0]
+        monkeypatch.setattr(
+            executor,
+            "_simulate",
+            failing_simulate(
+                victim, executor._simulate, child_only=True, exit_code=13
+            ),
+        )
+        results, report = run_specs_report(specs, jobs=2)
+        assert set(results) == set(specs)
+        assert report.pool_rebuilds == 1
+        assert report.degraded_to_serial
+        assert report.failed == 0
+        assert report.simulated + report.retried == 3
+        assert diskcache.entry_count() == 3
+
+    def test_keyboard_interrupt_propagates(self, monkeypatch):
+        specs = tiny_specs()
+        victim = specs[0]
+        parent_pid = os.getpid()
+        real = executor._simulate
+
+        def interrupting(spec):
+            if spec == victim and os.getpid() != parent_pid:
+                raise KeyboardInterrupt
+            return real(spec)
+
+        monkeypatch.setattr(executor, "_simulate", interrupting)
+        with pytest.raises(KeyboardInterrupt):
+            run_specs(specs, jobs=2)
+
+
+class TestSweepReport:
+    def test_counters_partition_a_mixed_batch_exactly(self):
+        specs = tiny_specs()
+        memo_spec, disk_spec, fresh_spec = specs
+        execute_spec(disk_spec)  # lands in memo + disk
+        executor.clear_memo()  # ... now disk only
+        execute_spec(memo_spec)  # memo + disk; served from memo first
+
+        results, report = run_specs_report(specs, jobs=1)
+        assert set(results) == set(specs)
+        assert report.total == 3
+        assert report.memo_hits == 1
+        assert report.disk_hits == 1
+        assert report.simulated == 1
+        assert report.retried == 0
+        assert report.failed == 0
+        assert report.completed() == 3
+        assert report.wall_seconds > 0
+        # Only the fresh spec was actually simulated (and timed).
+        assert list(report.durations) == [fresh_spec]
+
+        summary = json.loads(report.summary_json())
+        assert summary["event"] == "sweep"
+        assert summary["total"] == 3
+        assert summary["memo_hits"] == 1
+        assert summary["disk_hits"] == 1
+        assert summary["simulated"] == 1
+        assert summary["retried"] == 0
+        assert summary["failed"] == 0
+        assert summary["slowest_spec"] == fresh_spec.describe()
+        assert summary["slowest_seconds"] >= 0
+        assert "\n" not in report.summary_json()
+
+    def test_progress_callback_sees_every_spec(self):
+        specs = tiny_specs()
+        execute_spec(specs[0])  # one memo hit in the mix
+        events = []
+
+        def progress(done, total, spec, source, seconds):
+            events.append((done, total, spec, source, seconds))
+
+        results, report = run_specs_report(specs, jobs=1, progress=progress)
+        assert [event[0] for event in events] == [1, 2, 3]
+        assert all(event[1] == 3 for event in events)
+        assert {event[2] for event in events} == set(specs)
+        sources = [event[3] for event in events]
+        assert sources.count("memo") == report.memo_hits
+        assert sources.count("simulated") == report.simulated
+
+    def test_label_is_carried_into_summary_and_error(self, monkeypatch):
+        spec = tiny_specs()[0]
+
+        def broken(spec):
+            raise RuntimeError("nope")
+
+        monkeypatch.setattr(executor, "_simulate", broken)
+        with pytest.raises(SweepError) as excinfo:
+            run_specs([spec], jobs=1, label="fig99")
+        assert excinfo.value.report.label == "fig99"
+        assert "[fig99]" in str(excinfo.value)
+        summary = json.loads(excinfo.value.report.summary_json())
+        assert summary["label"] == "fig99"
+
+
+class TestSerialSingleProbe:
+    def test_each_spec_stats_the_disk_cache_once(self, monkeypatch):
+        """The pre-scan's miss is threaded through: no second load probe."""
+        specs = tiny_specs()
+        loads = []
+        real_load = diskcache.load
+
+        def counting_load(spec):
+            loads.append(spec)
+            return real_load(spec)
+
+        monkeypatch.setattr(diskcache, "load", counting_load)
+        run_specs(specs, jobs=1)
+        assert len(loads) == len(specs)  # one probe per spec, in the pre-scan

@@ -74,6 +74,10 @@ BASE_FILES: Dict[str, str] = {
 
         def _worker(spec):
             return diskcache.result_to_payload(spec.simulate(), spec)
+
+
+        def report_to_summary(report):
+            return {"event": "sweep", "total": report.total}
         """,
     "src/repro/eval/registry.py": """
         from repro.eval import fig01

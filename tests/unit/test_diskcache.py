@@ -104,6 +104,51 @@ def test_clear_and_entry_count(tiny_run):
     assert diskcache.entry_count() == 0
 
 
+def test_clear_removes_orphaned_tmp_files(tiny_run):
+    spec, result = tiny_run
+    diskcache.store(spec, result)
+    orphan = diskcache.cache_dir() / "deadbeef.tmp"
+    orphan.write_text("partial write from a crashed process")
+    assert diskcache.clear() == 2  # the entry and the orphan
+    assert not orphan.exists()
+    assert diskcache.entry_count() == 0
+
+
+def test_store_sweeps_stale_tmp_but_spares_live_writers(tiny_run):
+    import os
+
+    spec, result = tiny_run
+    directory = diskcache.cache_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    stale = directory / "stale.tmp"
+    stale.write_text("orphan")
+    ancient = 1_000_000_000  # well past TMP_MAX_AGE_SECONDS ago
+    os.utime(stale, (ancient, ancient))
+    fresh = directory / "fresh.tmp"
+    fresh.write_text("a concurrent writer's live file")
+
+    assert diskcache.store(spec, result)
+    assert not stale.exists()
+    assert fresh.exists()
+
+
+def test_sweep_stale_tmp_age_zero_removes_everything(tiny_run):
+    directory = diskcache.cache_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / "one.tmp").write_text("x")
+    (directory / "two.tmp").write_text("y")
+    assert diskcache.sweep_stale_tmp(max_age_seconds=0) == 2
+    assert diskcache.sweep_stale_tmp(max_age_seconds=0) == 0
+
+
+def test_entries_are_world_readable(tiny_run):
+    spec, result = tiny_run
+    assert diskcache.store(spec, result)
+    mode = diskcache.path_for(spec).stat().st_mode & 0o777
+    assert mode == diskcache.ENTRY_MODE  # mkstemp's 0600 would hide the
+    # entry from other users of a shared cache directory
+
+
 def test_unwritable_cache_dir_degrades_gracefully(tiny_run, tmp_path, monkeypatch):
     spec, result = tiny_run
     blocker = tmp_path / "blocked"

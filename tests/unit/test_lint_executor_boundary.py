@@ -88,6 +88,10 @@ def test_class_instance_in_payload_fails_unless_allowlisted(lint_tree):
 
         def _worker(spec):
             return Payload(diskcache.result_to_payload(spec.simulate(), spec))
+
+
+        def report_to_summary(report):
+            return {"event": "sweep", "total": report.total}
         """
     }
     project = lint_tree(overrides)
@@ -101,6 +105,29 @@ def test_class_instance_in_payload_fails_unless_allowlisted(lint_tree):
     assert allowing.check(project) == []
 
 
+def test_sweep_summary_builder_is_guarded(lint_tree):
+    """report_to_summary is an R4 target: non-plain data in it fails lint."""
+    project = lint_tree(
+        {
+            "src/repro/eval/executor.py": """
+            from repro.eval import diskcache
+
+
+            def _worker(spec):
+                return diskcache.result_to_payload(spec.simulate(), spec)
+
+
+            def report_to_summary(report):
+                return {"event": "sweep", "labels": set(report.labels)}
+            """
+        }
+    )
+    violations = ExecutorBoundaryRule().check(project)
+    assert len(violations) == 1
+    assert "'report_to_summary'" in violations[0].message
+    assert "set()" in violations[0].message
+
+
 def test_renamed_builder_is_reported(lint_tree):
     project = lint_tree(
         {
@@ -110,6 +137,10 @@ def test_renamed_builder_is_reported(lint_tree):
 
             def _worker_v2(spec):
                 return diskcache.result_to_payload(spec.simulate(), spec)
+
+
+            def report_to_summary(report):
+                return {"event": "sweep", "total": report.total}
             """
         }
     )

@@ -129,6 +129,38 @@ class TestUnfilteredMode:
             queue.offer(cand(line))
         assert len(queue) == 2
 
+    def test_state_of_sees_unfiltered_entries(self):
+        # Regression: _append_unfiltered used to skip the _by_line index,
+        # so state_of() reported None for queued lines.
+        queue = PrefetchQueue(capacity=4, filtering=False)
+        queue.offer(cand(1))
+        assert queue.state_of(1) == QueueState.WAITING
+        queue.pop_ready()
+        assert queue.state_of(1) == QueueState.ISSUED
+
+    def test_overflow_eviction_keeps_index_consistent(self):
+        queue = PrefetchQueue(capacity=2, filtering=False)
+        queue.offer(cand(1))
+        queue.offer(cand(2))
+        queue.offer(cand(3))  # evicts 1
+        assert queue.state_of(1) is None
+        assert queue.state_of(2) == QueueState.WAITING
+        assert queue.state_of(3) == QueueState.WAITING
+
+    def test_evicting_an_old_duplicate_keeps_the_newer_mapping(self):
+        queue = PrefetchQueue(capacity=2, filtering=False)
+        queue.offer(cand(1))
+        queue.offer(cand(1))  # duplicate; index tracks the newer entry
+        queue.offer(cand(2))  # evicts the *older* duplicate of line 1
+        assert queue.state_of(1) == QueueState.WAITING
+        assert queue.state_of(2) == QueueState.WAITING
+
+    def test_flush_clears_unfiltered_index(self):
+        queue = PrefetchQueue(capacity=4, filtering=False)
+        queue.offer(cand(1))
+        queue.flush()
+        assert queue.state_of(1) is None
+
 
 class TestIntrospection:
     def test_waiting_count(self):
