@@ -27,13 +27,16 @@ def _isolated_result_cache(tmp_path_factory):
     so figure benches within one run still share disk-cached results.
     Respects an explicit ``REPRO_CACHE_DIR`` override.
     """
+    placed = []
     if "REPRO_CACHE_DIR" not in os.environ:
-        cache_dir = str(tmp_path_factory.mktemp("repro-cache"))
-        os.environ["REPRO_CACHE_DIR"] = cache_dir
-        yield
-        os.environ.pop("REPRO_CACHE_DIR", None)
-    else:
-        yield
+        os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+        placed.append("REPRO_CACHE_DIR")
+    if "REPRO_TRACE_DIR" not in os.environ:
+        os.environ["REPRO_TRACE_DIR"] = str(tmp_path_factory.mktemp("repro-traces"))
+        placed.append("REPRO_TRACE_DIR")
+    yield
+    for name in placed:
+        os.environ.pop(name, None)
 
 
 @pytest.fixture(scope="session")

@@ -1,16 +1,20 @@
 """Performance smoke benchmark — records the numbers CI tracks.
 
-Two measurements, written to ``BENCH_perf.json`` at the repo root:
+Measurements, written to ``BENCH_perf.json`` at the repo root:
 
 - ``engine_visits_per_sec``: line-visits/second of one fixed-seed engine
   run (db / 1 core / discontinuity / bypass at the same instruction budget
-  ``scripts/profile_engine.py`` uses), trace generation excluded.  This is
-  the metric the hot-loop optimizations in ``repro.core.engine`` and
-  ``repro.caches.cache`` are validated against.
-- ``fig01_cold_seconds`` / ``fig01_warm_seconds``: wall-clock of the
-  Figure 1 driver at smoke scale, first from an empty result cache and
-  then again with only the on-disk cache warm (in-process memo cleared),
-  demonstrating the persistent-cache win.
+  ``scripts/profile_engine.py`` uses) on the compiled-trace fast path,
+  trace generation excluded, with ``raw_visits_per_sec`` alongside for the
+  lazy-lowering path.  This is the metric the hot-loop optimizations in
+  ``repro.core.engine`` and ``repro.caches.cache`` are validated against.
+- ``trace_compile_seconds`` and the store's cold/warm load times: how much
+  one-time work the packed format costs and how cheap reloading it is.
+- ``fig01_coldstore_seconds`` / ``fig01_warmstore_seconds`` /
+  ``fig01_warm_seconds``: wall-clock of the Figure 1 driver at smoke scale
+  from empty caches, then with only the trace store warm (fresh result
+  cache — the "new machine, shared traces" case the store exists for),
+  then with the result disk-cache warm.
 
 Run directly with::
 
@@ -20,66 +24,127 @@ Run directly with::
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from pathlib import Path
 
 from repro.eval import executor, fig01
-from repro.eval.runner import DEFAULT_SEED, clear_trace_cache, get_traces, run_system
+from repro.eval.runner import (
+    DEFAULT_SEED,
+    clear_trace_cache,
+    get_compiled_traces,
+    get_traces,
+    run_system,
+)
+from repro.trace import store
+from repro.trace.compiled import compile_traces
 from scripts.profile_engine import BENCH_SCALE
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 OUTPUT_PATH = REPO_ROOT / "BENCH_perf.json"
 
 
+def _timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
 def _measure_engine() -> dict:
     """Visits/sec of the profile_engine.py reference configuration."""
     workload, cores, prefetcher, policy = "db", 1, "discontinuity", "bypass"
-    get_traces(workload, cores, BENCH_SCALE.single_total, DEFAULT_SEED)
-    started = time.perf_counter()
-    result = run_system(
-        workload,
-        cores,
-        prefetcher,
-        scale=BENCH_SCALE,
-        l2_policy=policy,
-        seed=DEFAULT_SEED,
+    total = BENCH_SCALE.single_total
+    raw = get_traces(workload, cores, total, DEFAULT_SEED)
+
+    compiled, compile_seconds = _timed(
+        lambda: compile_traces(
+            raw, 64, workload=workload, seed=DEFAULT_SEED, n_instructions=total
+        )
     )
-    elapsed = time.perf_counter() - started
+    store.store(compiled[0])
+    key = dict(
+        workload=workload, seed=DEFAULT_SEED, core=0, n_instructions=total, line_size=64
+    )
+    _, cold_load = _timed(lambda: store.load(**key))
+    _, warm_load = _timed(lambda: store.load(**key))
+
+    def run(path_on: bool):
+        os.environ["REPRO_COMPILED_TRACES"] = "1" if path_on else "0"
+        if path_on:  # prime run_system's memo so only the engine loop is timed
+            get_compiled_traces(workload, cores, total, DEFAULT_SEED, 64)
+        return _timed(
+            lambda: run_system(
+                workload,
+                cores,
+                prefetcher,
+                scale=BENCH_SCALE,
+                l2_policy=policy,
+                seed=DEFAULT_SEED,
+            )
+        )
+
+    previous = os.environ.get("REPRO_COMPILED_TRACES")
+    try:
+        result, compiled_elapsed = run(True)
+        raw_result, raw_elapsed = run(False)
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_COMPILED_TRACES", None)
+        else:
+            os.environ["REPRO_COMPILED_TRACES"] = previous
+
+    assert raw_result.aggregate_ipc == result.aggregate_ipc
     visits = sum(core.l1i_fetches for core in result.cores)
     return {
         "config": f"{workload}/{cores}c/{prefetcher}/{policy}",
         "measure_instructions": BENCH_SCALE.measure_instructions,
         "line_visits": visits,
-        "seconds": round(elapsed, 4),
-        "engine_visits_per_sec": round(visits / elapsed, 1),
+        "seconds": round(compiled_elapsed, 4),
+        "engine_visits_per_sec": round(visits / compiled_elapsed, 1),
+        "raw_visits_per_sec": round(visits / raw_elapsed, 1),
+        "trace_compile_seconds": round(compile_seconds, 4),
+        "store_cold_load_seconds": round(cold_load, 5),
+        "store_warm_load_seconds": round(warm_load, 5),
         "aggregate_ipc": result.aggregate_ipc,
     }
 
 
-def _measure_fig01(scale) -> dict:
-    """Cold (empty caches) and warm (disk-cache only) driver wall-clock."""
+def _fig01_run(scale, cache_dir: Path) -> float:
+    """One fig01 sweep against *cache_dir* with in-process memos dropped."""
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
     executor.clear_memo()
     clear_trace_cache()
-    started = time.perf_counter()
-    fig01.run(scale=scale)
-    cold = time.perf_counter() - started
+    _, elapsed = _timed(lambda: fig01.run(scale=scale))
+    return elapsed
 
-    # Drop the in-process memo so the rerun exercises the disk cache.
-    executor.clear_memo()
-    started = time.perf_counter()
-    fig01.run(scale=scale)
-    warm = time.perf_counter() - started
+
+def _measure_fig01(scale, tmp_root: Path) -> dict:
+    """Driver wall-clock: cold, trace-store-warm, and result-cache-warm."""
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    store.clear()
+    try:
+        coldstore = _fig01_run(scale, tmp_root / "run-cold")
+        # Fresh result cache, warm trace store: workers load packed traces.
+        warmstore = _fig01_run(scale, tmp_root / "run-warmstore")
+        # Same result cache again: served straight from disk-cached results.
+        warm = _fig01_run(scale, tmp_root / "run-warmstore")
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = previous
     return {
         "scale": scale.name,
-        "fig01_cold_seconds": round(cold, 3),
+        "fig01_coldstore_seconds": round(coldstore, 3),
+        "fig01_warmstore_seconds": round(warmstore, 3),
         "fig01_warm_seconds": round(warm, 3),
     }
 
 
-def test_perf_smoke(scale):
+def test_perf_smoke(scale, tmp_path):
     engine = _measure_engine()
-    figure = _measure_fig01(scale)
+    figure = _measure_fig01(scale, tmp_path)
 
     report = {
         "python": platform.python_version(),
@@ -95,6 +160,8 @@ def test_perf_smoke(scale):
     # the asserted bounds are an order of magnitude below expectation.
     assert engine["line_visits"] > 0
     assert engine["engine_visits_per_sec"] > 1_000
-    # The warm rerun is served from the on-disk cache, so it must beat the
-    # cold run by a wide margin.
-    assert figure["fig01_warm_seconds"] < figure["fig01_cold_seconds"] / 2
+    assert engine["store_warm_load_seconds"] < engine["trace_compile_seconds"]
+    # Warm trace store must beat the cold sweep (synthesis+lowering skipped),
+    # and disk-cached results must beat everything by a wide margin.
+    assert figure["fig01_warmstore_seconds"] < figure["fig01_coldstore_seconds"]
+    assert figure["fig01_warm_seconds"] < figure["fig01_coldstore_seconds"] / 2

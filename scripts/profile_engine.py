@@ -1,11 +1,14 @@
 #!/usr/bin/env python
-"""Profile the simulator's hot loop and report visits/second.
+"""Profile the simulator's hot loop and report per-phase timings.
 
 Runs one fixed-seed configuration (db, discontinuity, bypass — the
 configuration the perf benchmarks track) and prints:
 
-- line visits per second of wall-clock (the engine throughput metric that
-  ``benchmarks/test_perf_smoke.py`` records in ``BENCH_perf.json``), and
+- a phase breakdown: synthesize (raw trace generation), lower+compile
+  (line-visit lowering into packed columns) and simulate (the engine loop);
+- line visits per second of wall-clock for the simulate phase (the engine
+  throughput metric that ``benchmarks/test_perf_smoke.py`` records in
+  ``BENCH_perf.json``), and
 - optionally a cProfile table of the hottest functions (``--profile``).
 
 Usage::
@@ -13,21 +16,25 @@ Usage::
     PYTHONPATH=src python scripts/profile_engine.py
     PYTHONPATH=src python scripts/profile_engine.py --profile --top 25
     PYTHONPATH=src python scripts/profile_engine.py --workload web --cores 4
+    PYTHONPATH=src python scripts/profile_engine.py --no-compiled   # raw A/B
 
-Trace generation is excluded from the timed region (it is measured and
-reported separately), so the visits/sec number isolates the engine loop
-the hot-path optimizations target.
+``--compiled`` (default) feeds the engine packed compiled traces — the
+production path; ``--no-compiled`` forces the raw-trace lazy lowering so
+the two engine paths can be A/B'd on identical inputs.  The on-disk trace
+store is bypassed either way (every phase is measured live).
 """
 
 from __future__ import annotations
 
 import argparse
 import cProfile
+import os
 import pstats
 import time
 
 from repro.eval.profiles import ExperimentScale
 from repro.eval.runner import DEFAULT_SEED, get_traces, run_system
+from repro.trace.compiled import compile_traces
 
 #: fixed instruction budget so visits/sec is comparable across runs.
 BENCH_SCALE = ExperimentScale(
@@ -46,17 +53,52 @@ def main() -> int:
     parser.add_argument("--l2-policy", default="bypass")
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
     parser.add_argument(
+        "--compiled",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="feed the engine packed compiled traces (--no-compiled: raw path)",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="cross-check every compiled trace against the live lowering",
+    )
+    parser.add_argument(
         "--profile", action="store_true", help="print a cProfile table of the run"
     )
     parser.add_argument("--top", type=int, default=20, help="profile rows to print")
     args = parser.parse_args()
 
+    # The script measures each phase itself; route run_system accordingly
+    # and keep the on-disk store out of the loop so timings are live.
+    os.environ["REPRO_COMPILED_TRACES"] = "1" if args.compiled else "0"
+    os.environ["REPRO_TRACE_STORE"] = "0"
+
     total = (
         BENCH_SCALE.single_total if args.cores == 1 else BENCH_SCALE.cmp_total_per_core
     )
     started = time.perf_counter()
-    get_traces(args.workload, args.cores, total, args.seed)
-    trace_seconds = time.perf_counter() - started
+    raw = get_traces(args.workload, args.cores, total, args.seed)
+    synth_seconds = time.perf_counter() - started
+
+    compile_seconds = 0.0
+    compiled_set = None
+    if args.compiled:
+        started = time.perf_counter()
+        compiled_set = compile_traces(
+            raw, 64, workload=args.workload, seed=args.seed, n_instructions=total
+        )
+        compile_seconds = time.perf_counter() - started
+
+    if args.verify and compiled_set is not None:
+        from repro.trace.compiled import visits_equal
+
+        for core, compiled in enumerate(compiled_set):
+            equal, mismatch = visits_equal(compiled, raw[core])
+            if not equal:
+                print(f"VERIFY FAILED: core {core} diverges at visit {mismatch}")
+                return 1
+        print(f"verify           : {len(compiled_set)} compiled trace(s) exact")
 
     def simulate():
         return run_system(
@@ -67,6 +109,13 @@ def main() -> int:
             l2_policy=args.l2_policy,
             seed=args.seed,
         )
+
+    # Prime run_system's compiled-trace memo outside the timed region so
+    # `simulate` times the engine loop alone on both paths.
+    if args.compiled:
+        from repro.eval.runner import get_compiled_traces
+
+        get_compiled_traces(args.workload, args.cores, total, args.seed, 64)
 
     if args.profile:
         profiler = cProfile.Profile()
@@ -79,12 +128,15 @@ def main() -> int:
         elapsed = time.perf_counter() - started
 
     visits = sum(core.l1i_fetches for core in result.cores)
+    path = "compiled (packed columns)" if args.compiled else "raw (lazy lowering)"
     print(
         f"{args.workload}/{args.cores}c/{args.prefetcher}/{args.l2_policy} "
-        f"seed={args.seed}"
+        f"seed={args.seed}  [{path}]"
     )
-    print(f"trace generation : {trace_seconds:.2f}s (excluded from timing)")
-    print(f"simulation       : {elapsed:.2f}s")
+    print(f"synthesize       : {synth_seconds:.2f}s")
+    if args.compiled:
+        print(f"lower+compile    : {compile_seconds:.2f}s")
+    print(f"simulate         : {elapsed:.2f}s")
     print(f"line visits      : {visits}")
     print(f"visits/sec       : {visits / elapsed:,.0f}")
     print(f"aggregate IPC    : {result.aggregate_ipc:.6f}")

@@ -28,7 +28,7 @@ from repro.isa.classify import MissClass
 from repro.prefetch.queue import PrefetchQueue
 from repro.prefetch.registry import create_prefetcher
 from repro.timing.params import DEFAULT_TIMING, TimingParams
-from repro.trace.stream import Trace
+from repro.trace.compiled import TraceLike
 
 #: paper §5 off-chip bandwidths (GB/s) by core count.
 DEFAULT_BANDWIDTH_GBPS = {1: 10.0, 4: 20.0}
@@ -187,7 +187,7 @@ class SystemResult:
 class System:
     """Cores + shared unified L2 + shared off-chip link."""
 
-    def __init__(self, config: SystemConfig, traces: Sequence[Trace]) -> None:
+    def __init__(self, config: SystemConfig, traces: Sequence[TraceLike]) -> None:
         if len(traces) != config.n_cores:
             raise ValueError(
                 f"expected {config.n_cores} traces (one per core), got {len(traces)}"

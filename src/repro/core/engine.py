@@ -28,7 +28,7 @@ interleave cores in global cycle order.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet
+from typing import FrozenSet, Optional
 
 from repro.caches.cache import SetAssociativeCache
 from repro.caches.line import LineState
@@ -41,7 +41,8 @@ from repro.isa.kinds import TransitionKind
 from repro.prefetch.base import Prefetcher
 from repro.prefetch.queue import PrefetchQueue, QueueState
 from repro.timing.params import TimingParams
-from repro.trace.stream import Trace, iter_line_visits
+from repro.trace.compiled import CompiledTrace, TraceLike
+from repro.trace.stream import iter_line_visits
 
 #: at most this many prefetches are issued per visit, bounding queue-drain
 #: work even across very long stalls.
@@ -68,7 +69,7 @@ class CoreEngine:
     def __init__(
         self,
         config: EngineConfig,
-        trace: Trace,
+        trace: TraceLike,
         line_size: int,
         l1i: SetAssociativeCache,
         l1d: SetAssociativeCache,
@@ -92,11 +93,34 @@ class CoreEngine:
         self.cycle: float = 0.0
         self.total_instructions: int = 0
         self._line_shift = line_size.bit_length() - 1
-        self._visits = iter_line_visits(trace.events, line_size)
+        # Fast path: a CompiledTrace is consumed by index from its packed
+        # columns (no generator frame, no LineVisit allocation per visit);
+        # a raw Trace keeps the lazy lowering.  Both paths funnel into
+        # _process_visit, so their arithmetic is identical by construction.
+        if isinstance(trace, CompiledTrace):
+            if trace.line_size != line_size:
+                raise ValueError(
+                    f"trace compiled for line_size={trace.line_size}, "
+                    f"engine configured for {line_size}"
+                )
+            self._compiled: Optional[CompiledTrace] = trace
+            self._visits = None
+            self._visit_index = 0
+            self._c_lines = trace.lines
+            self._c_kinds = trace.kinds
+            self._c_ninstr = trace.ninstr
+            self._c_data = trace.data
+            self._c_offsets = trace.offsets
+            self._c_disc = trace.disc
+            self._c_count = trace.visit_count
+        else:
+            self._compiled = None
+            self._visits = iter_line_visits(trace.events, line_size)
         self._prev_line = -1
         self._slot_credit = 0.0
         self._last_slot_cycle = 0.0
         self._warmed = config.warm_instructions == 0
+        self._warm_target = config.warm_instructions
         self._cycle_mark = 0.0
         self._mshr = OutstandingRequestTracker(timing.prefetch_mshr_capacity)
         self._exec_cpi = 1.0 / timing.issue_width + timing.base_cpi_overhead
@@ -151,17 +175,61 @@ class CoreEngine:
 
     def step(self) -> bool:
         """Process the next line visit; return False when the trace ends."""
+        if self._compiled is not None:
+            return self._step_compiled()
+        return self._step_stream()
+
+    def _step_stream(self) -> bool:
+        """Slow path: pull the next visit from the lazy lowering."""
         visit = next(self._visits, None)
         if visit is None:
             self._finished = True
             self.stats.cycles = self.cycle - self._cycle_mark
             return False
         line, kind, ninstr, data = visit
+        prev = self._prev_line
+        disc = (
+            prev >= 0
+            and line != prev
+            and is_discontinuity(self._kind_members[kind], prev, line)
+        )
+        return self._process_visit(line, kind, ninstr, data, disc)
+
+    def _step_compiled(self) -> bool:
+        """Fast path: read the packed columns by index, allocation-free."""
+        i = self._visit_index
+        if i >= self._c_count:
+            self._finished = True
+            self.stats.cycles = self.cycle - self._cycle_mark
+            return False
+        self._visit_index = i + 1
+        start = self._c_offsets[i]
+        end = self._c_offsets[i + 1]
+        return self._process_visit(
+            self._c_lines[i],
+            self._c_kinds[i],
+            self._c_ninstr[i],
+            self._c_data[start:end] if end > start else (),
+            self._c_disc[i] != 0,
+        )
+
+    def _process_visit(self, line, kind, ninstr, data, disc) -> bool:
+        """Steps (1)-(6) for one visit; shared by both trace paths."""
         now = self.cycle
         stats = self.stats
 
         # (1) prefetch issue opportunities accumulated since the last visit.
-        self._issue_prefetches(now)
+        # Inlined no-slot guard: when the accrued credit stays below one
+        # slot, store it back without the queue-drain call (the common
+        # case).  Bit-identical to calling _issue_prefetches — the same
+        # floats are computed in the same order.
+        last = self._last_slot_cycle
+        credit = self._slot_credit + (now - last) * self._slot_rate
+        if credit < 1.0:
+            self._last_slot_cycle = now
+            self._slot_credit = credit
+        else:
+            self._issue_prefetches(now)
 
         # (2) demand fetch.  The stall is *computed* here but the clock only
         # advances after prefetch generation (step 4), because the miss
@@ -197,10 +265,10 @@ class CoreEngine:
             if self._free_kind[kind]:
                 stall = 0.0
 
-        # (3) discontinuity observation.
-        prev = self._prev_line
-        if prev >= 0 and line != prev and is_discontinuity(self._kind_members[kind], prev, line):
-            self._pf_on_discontinuity(prev, line, was_miss)
+        # (3) discontinuity observation (flag precomputed at trace-compile
+        # time on the fast path; live classification on the slow path).
+        if disc:
+            self._pf_on_discontinuity(self._prev_line, line, was_miss)
         self._prev_line = line
 
         # (4) prefetch generation + filtering; newly generated prefetches
@@ -219,8 +287,14 @@ class CoreEngine:
             # exposed fraction reaches the clock.
             stall *= self._fetch_stall_exposed
             stats.fetch_stall_cycles += stall
-            self._slot_credit += stall * self._slot_rate
-            self._issue_prefetches(now)
+            # Same inlined guard as step (1): _last_slot_cycle already
+            # equals `now` here (both step-(1) branches set it), so the
+            # drain call sees zero elapsed time and only the explicit
+            # stall-granted credit matters.
+            credit = self._slot_credit + stall * self._slot_rate
+            self._slot_credit = credit
+            if credit >= 1.0:
+                self._issue_prefetches(now)
             now += stall
             # The stall window's slots were granted explicitly above; do not
             # grant them again from elapsed time at the next visit.
@@ -231,11 +305,16 @@ class CoreEngine:
             stats.exec_cycles += overhead
             now += overhead
 
-        # (5) data accesses.
+        # (5) data accesses.  The L1D-hit check is inlined: a hit costs no
+        # cycles (now + 0.0 == now exactly), so only misses take the call.
         if data:
             shift = self._line_shift
+            l1d_lookup = self._l1d_lookup
             for addr in data:
-                now += self._data_access(addr >> shift, now)
+                stats.data_accesses += 1
+                dline = addr >> shift
+                if l1d_lookup(dline) is None:
+                    now += self._data_miss(dline, now)
 
         # (6) execution.
         exec_cycles = ninstr * self._exec_cpi
@@ -245,13 +324,14 @@ class CoreEngine:
         stats.instructions += ninstr
         self.total_instructions += ninstr
 
-        if not self._warmed and self.total_instructions >= self.config.warm_instructions:
+        if not self._warmed and self.total_instructions >= self._warm_target:
             self._end_warmup()
         return True
 
     def run(self) -> CoreStats:
         """Run the whole trace; return the measurement-window stats."""
-        while self.step():
+        step = self._step_compiled if self._compiled is not None else self._step_stream
+        while step():
             pass
         return self.stats
 
@@ -401,12 +481,13 @@ class CoreEngine:
     # Data path
     # ------------------------------------------------------------------ #
 
-    def _data_access(self, line: int, now: float) -> float:
-        """Run one data access; return the exposed stall in cycles."""
+    def _data_miss(self, line: int, now: float) -> float:
+        """Run one data access that missed the L1D; return the exposed stall.
+
+        The L1D lookup (and the ``data_accesses`` count) happens at the call
+        site in :meth:`_process_visit` so hits never pay a method call.
+        """
         stats = self.stats
-        stats.data_accesses += 1
-        if self._l1d_lookup(line) is not None:
-            return 0.0
         stats.l1d_misses += 1
         stats.l2d_accesses += 1
         l2_state = self._l2_lookup(line)

@@ -4,12 +4,20 @@ Usage::
 
     repro-experiment --list
     repro-experiment fig05 --scale smoke --progress
+    repro-experiment fig05 fig06 --scale smoke
     repro-experiment all --scale default --seed 7
+    repro-experiment precompile all --scale smoke
+    repro-experiment precompile fig01 --trace-store /var/cache/traces
+
+The ``precompile`` verb populates the on-disk compiled-trace store for the
+named experiments (default: all) without simulating anything — the CI
+warm-up step, or the prelude to a sweep on a shared store directory.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Dict, List, Optional
 
@@ -33,10 +41,11 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
-        "experiment",
-        nargs="?",
-        default=None,
-        help="experiment name (see --list), or 'all'",
+        "experiments",
+        nargs="*",
+        metavar="experiment",
+        help="experiment names (see --list), 'all', or the 'precompile' verb "
+        "followed by the experiments whose traces to compile (default: all)",
     )
     parser.add_argument(
         "--list", action="store_true", help="list available experiments and exit"
@@ -72,6 +81,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write all result panels to PATH as Markdown tables",
     )
+    parser.add_argument(
+        "--trace-store",
+        metavar="DIR",
+        default=None,
+        help="directory for the compiled-trace store (default: $REPRO_TRACE_DIR "
+        "or <result cache>/traces)",
+    )
     return parser
 
 
@@ -99,22 +115,76 @@ def _affected_experiments(
     )
 
 
+def _expand_names(tokens: List[str]) -> List[str]:
+    """Resolve the positional tokens to experiment names, expanding 'all'."""
+    names: List[str] = []
+    for token in tokens:
+        expanded = experiment_names() if token == "all" else [token]
+        for name in expanded:
+            if name not in names:
+                names.append(name)
+    return names
+
+
+def _run_precompile(names: List[str], scale, seed: Optional[int]) -> int:
+    """The ``precompile`` verb: warm the trace store, simulate nothing."""
+    from repro.eval.runner import compiled_traces_enabled, precompile_for_specs
+    from repro.trace import store as trace_store
+
+    if not compiled_traces_enabled():
+        print("error: compiled traces are disabled (REPRO_COMPILED_TRACES)", file=sys.stderr)
+        return 2
+    try:
+        by_experiment = collect_specs_by_experiment(names, scale=scale, seed=seed)
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    specs = dedupe_specs(
+        spec for spec_list in by_experiment.values() for spec in spec_list
+    )
+    watch = Stopwatch()
+    outcomes = precompile_for_specs(specs)
+    counts = {source: 0 for source in ("compiled", "store", "memo")}
+    for source in outcomes.values():
+        counts[source] = counts.get(source, 0) + 1
+    print(
+        f"[{len(outcomes)} trace keys for {len(specs)} specs: "
+        f"{counts['compiled']} compiled, {counts['store']} already stored, "
+        f"{counts['memo']} memoized; {watch.elapsed():.1f}s]"
+    )
+    print(f"[trace store: {trace_store.trace_dir()} ({trace_store.entry_count()} files)]")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.trace_store:
+        from repro.trace.store import TRACE_DIR_ENV
+
+        os.environ[TRACE_DIR_ENV] = args.trace_store
 
     if args.list:
         for name in experiment_names():
             print(name)
         return 0
 
-    if args.experiment is None:
+    tokens = list(args.experiments)
+    precompile = bool(tokens) and tokens[0] == "precompile"
+    if precompile:
+        tokens = tokens[1:] or ["all"]
+
+    if not tokens:
         parser.print_usage()
         print("error: specify an experiment name or --list", file=sys.stderr)
         return 2
 
-    names = experiment_names() if args.experiment == "all" else [args.experiment]
+    names = _expand_names(tokens)
     scale = get_scale(args.scale) if args.scale else None
+
+    if precompile:
+        return _run_precompile(names, scale, args.seed)
 
     # Batch-submit every run the selected experiments will read: overlapping
     # configurations simulate once, in parallel, before the drivers format

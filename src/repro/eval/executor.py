@@ -202,11 +202,14 @@ def _worker(spec: RunSpec) -> Dict:
 
     Returning the payload (not the live ``SystemResult``) keeps the parallel
     path identical to a disk-cache hit — and sidesteps unpicklable state
-    such as the software-prefetch factory closure.  Trace generation inside
-    the worker goes through ``get_traces``, whose module-level memo persists
-    for the worker's lifetime, so same-trace specs assigned to one worker
-    share a single generation.  The payload carries the worker's wall time
-    under ``wall_seconds``; the parent pops it before rehydrating.
+    such as the software-prefetch factory closure.  Traces inside the
+    worker resolve through the compiled-trace layers: the parent's
+    pre-pool :func:`~repro.eval.runner.precompile_for_specs` pass has
+    usually populated the on-disk trace store, so workers load packed
+    files; otherwise the worker's own module-level memos persist for its
+    lifetime, so same-trace specs assigned to one worker share a single
+    generation.  The payload carries the worker's wall time under
+    ``wall_seconds``; the parent pops it before rehydrating.
     """
     started = clock.now()
     payload = diskcache.result_to_payload(_simulate(spec), spec)
@@ -307,6 +310,7 @@ def run_specs_report(
         if jobs <= 1 or len(pending) == 1:
             _run_serial(pending, results, failures, report, emit)
         else:
+            _precompile_pending(pending)
             _run_pool(pending, jobs, results, failures, report, emit)
 
     report.wall_seconds = watch.elapsed()
@@ -314,6 +318,23 @@ def run_specs_report(
         report.failed = len(failures)
         raise SweepError(failures, results, report)
     return results, report
+
+
+def _precompile_pending(pending: List[RunSpec]) -> None:
+    """Populate the on-disk trace store for *pending* before pool dispatch.
+
+    With the store warm, every worker's ``run_system`` loads packed trace
+    files instead of re-running synthesis and lowering per process.  Purely
+    an optimization: any failure here is swallowed, and the specs it would
+    have served simply compile their own traces in the workers (where a
+    real trace problem resurfaces with per-spec isolation).
+    """
+    try:
+        from repro.eval.runner import precompile_for_specs
+
+        precompile_for_specs(pending)
+    except Exception:
+        pass
 
 
 def _run_serial(

@@ -1,9 +1,18 @@
-"""Shared experiment plumbing: trace caching and system runs.
+"""Shared experiment plumbing: trace caching, compilation and system runs.
 
 Trace generation is the most expensive step of an experiment sweep, and
 every configuration of a sweep must replay the *same* trace for results to
-be comparable.  :func:`get_traces` memoizes generated traces by
-``(workload, n_cores, seed, n_instructions)``.
+be comparable.  Two layers keep that cheap:
+
+- :func:`get_traces` memoizes raw generated traces by
+  ``(workload, n_cores, seed, n_instructions)`` within the process;
+- :func:`get_compiled_traces` serves the packed
+  :class:`~repro.trace.compiled.CompiledTrace` form the engine's fast path
+  consumes, backed by its own memo **and** the persistent on-disk trace
+  store (:mod:`repro.trace.store`, ``$REPRO_TRACE_DIR``) — a store hit
+  skips synthesis *and* lowering entirely, across processes and sessions.
+  Set ``REPRO_COMPILED_TRACES=0`` to force the raw-generator path (A/B
+  profiling; results are bit-identical either way).
 
 Result caching is layered (see :mod:`repro.eval.executor`): an in-process
 memo, then the persistent on-disk cache of :mod:`repro.eval.diskcache`.
@@ -17,7 +26,9 @@ persistence and per-spec failure isolation — see ``docs/performance.md``,
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+import json
+import os
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.api import make_traces
 from repro.caches.config import DEFAULT_HIERARCHY, HierarchyConfig
@@ -26,18 +37,70 @@ from repro.eval.profiles import ExperimentScale, get_scale
 from repro.eval.runspec import DEFAULT_SEED, RunSpec
 from repro.isa.classify import MissClass
 from repro.timing.params import DEFAULT_TIMING, TimingParams
+from repro.trace import store as trace_store
+from repro.trace.compiled import CompiledTrace, TraceLike
 from repro.trace.stream import Trace
 
 __all__ = [
     "DEFAULT_SEED",
     "get_traces",
+    "get_compiled_traces",
+    "precompile_for_specs",
+    "trace_budget",
+    "compiled_traces_enabled",
     "clear_trace_cache",
     "run_system",
     "run_system_cached",
     "clear_result_cache",
 ]
 
+#: set to ``0``/``off`` to bypass compiled traces (and the trace store) and
+#: feed the engine raw traces through the lazy lowering instead.
+COMPILED_ENV = "REPRO_COMPILED_TRACES"
+
+#: when set to a path, every *actual* trace synthesis appends one JSON line
+#: ``{"pid": ..., "workload": ...}`` there — lets tests assert that pool
+#: workers served traces from the store instead of re-synthesizing.
+SYNTH_LOG_ENV = "REPRO_SYNTH_LOG"
+
 _TRACE_CACHE: Dict[Tuple[str, int, int, int], List[Trace]] = {}
+_COMPILED_CACHE: Dict[Tuple[str, int, int, int, int], List[CompiledTrace]] = {}
+
+#: number of make_traces calls this process has performed (test observability).
+_synthesis_count = 0
+
+
+def compiled_traces_enabled() -> bool:
+    """Feed the engine compiled traces?  ``REPRO_COMPILED_TRACES=0`` opts out."""
+    return os.environ.get(COMPILED_ENV, "1").strip().lower() not in (
+        "0",
+        "off",
+        "false",
+        "no",
+    )
+
+
+def synthesis_count() -> int:
+    """How many times this process has actually run trace synthesis."""
+    return _synthesis_count
+
+
+def _note_synthesis(workload: str, n_cores: int, seed: int, n_instructions: int) -> None:
+    log_path = os.environ.get(SYNTH_LOG_ENV)
+    if not log_path:
+        return
+    record = {
+        "pid": os.getpid(),
+        "workload": workload,
+        "n_cores": n_cores,
+        "seed": seed,
+        "n_instructions": n_instructions,
+    }
+    try:
+        with open(log_path, "a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    except OSError:
+        pass
 
 
 def get_traces(
@@ -47,17 +110,114 @@ def get_traces(
     seed: int = DEFAULT_SEED,
 ) -> List[Trace]:
     """Return (cached) per-core traces for a workload/core-count pair."""
+    global _synthesis_count
     key = (workload, n_cores, seed, n_instructions)
     traces = _TRACE_CACHE.get(key)
     if traces is None:
         traces = make_traces(workload, n_cores, seed, n_instructions)
+        _synthesis_count += 1
+        _note_synthesis(workload, n_cores, seed, n_instructions)
         _TRACE_CACHE[key] = traces
     return traces
 
 
+def _load_or_compile(
+    workload: str,
+    n_cores: int,
+    n_instructions: int,
+    seed: int,
+    line_size: int,
+) -> Tuple[List[CompiledTrace], str]:
+    """All cores' compiled traces for one key; source is "store"/"compiled".
+
+    Every core found in the on-disk store is served from it; missing cores
+    trigger one synthesis (through the raw memo, shared across line sizes)
+    plus compilation, and the fresh files are persisted for other
+    processes.  A corrupt/truncated/stale store file reads as a miss here
+    and is overwritten with a freshly compiled one.
+    """
+    loaded = [
+        trace_store.load(workload, seed, core, n_instructions, line_size)
+        for core in range(n_cores)
+    ]
+    if all(compiled is not None for compiled in loaded):
+        return loaded, "store"  # type: ignore[return-value]
+    raw = get_traces(workload, n_cores, n_instructions, seed)
+    compiled_list: List[CompiledTrace] = []
+    for core, compiled in enumerate(loaded):
+        if compiled is None:
+            compiled = CompiledTrace.compile(
+                raw[core],
+                line_size,
+                workload=workload,
+                seed=seed,
+                core=core,
+                n_instructions=n_instructions,
+            )
+            trace_store.store(compiled)
+        compiled_list.append(compiled)
+    return compiled_list, "compiled"
+
+
+def get_compiled_traces(
+    workload: str,
+    n_cores: int,
+    n_instructions: int,
+    seed: int = DEFAULT_SEED,
+    line_size: int = 64,
+) -> List[CompiledTrace]:
+    """Packed per-core traces: memo → trace store → synthesize + compile."""
+    key = (workload, n_cores, seed, n_instructions, line_size)
+    cached = _COMPILED_CACHE.get(key)
+    if cached is None:
+        cached, _ = _load_or_compile(workload, n_cores, n_instructions, seed, line_size)
+        _COMPILED_CACHE[key] = cached
+    return cached
+
+
+def trace_budget(scale: ExperimentScale, n_cores: int) -> Tuple[int, int]:
+    """``(total, warm)`` instruction budgets one run draws from *scale*."""
+    if n_cores == 1:
+        return scale.single_total, scale.warm_instructions
+    return scale.cmp_total_per_core, scale.cmp_warm_instructions
+
+
+def precompile_for_specs(
+    specs: Iterable[RunSpec],
+) -> Dict[Tuple[str, int, int, int, int], str]:
+    """Ensure every spec's compiled traces exist (memo + on-disk store).
+
+    Returns one outcome per unique trace key: ``"memo"`` (already in this
+    process), ``"store"`` (loaded from disk) or ``"compiled"`` (synthesized
+    and persisted).  The executor calls this in the parent before
+    dispatching a pool, so workers only ever *load* packed files; the
+    ``precompile`` CLI verb exposes it directly.  No-op when compiled
+    traces are disabled.
+    """
+    outcomes: Dict[Tuple[str, int, int, int, int], str] = {}
+    if not compiled_traces_enabled():
+        return outcomes
+    for spec in specs:
+        total, _ = trace_budget(spec.scale, spec.n_cores)
+        key = (spec.workload, spec.n_cores, spec.seed, total, spec.hierarchy.line_size)
+        if key in outcomes:
+            continue
+        if key in _COMPILED_CACHE:
+            outcomes[key] = "memo"
+            continue
+        traces, source = _load_or_compile(
+            spec.workload, spec.n_cores, total, spec.seed, spec.hierarchy.line_size
+        )
+        _COMPILED_CACHE[key] = traces
+        outcomes[key] = source
+    return outcomes
+
+
 def clear_trace_cache() -> None:
-    """Drop all cached traces (frees memory between experiment suites)."""
+    """Drop all cached traces, raw and compiled (frees memory between
+    experiment suites; the on-disk trace store is untouched)."""
     _TRACE_CACHE.clear()
+    _COMPILED_CACHE.clear()
 
 
 def run_system(
@@ -82,13 +242,12 @@ def run_system(
 ) -> SystemResult:
     """Run one fully specified configuration and return its results."""
     scale = scale or get_scale()
-    if n_cores == 1:
-        total = scale.single_total
-        warm = scale.warm_instructions
+    total, warm = trace_budget(scale, n_cores)
+    traces: Sequence[TraceLike]
+    if compiled_traces_enabled():
+        traces = get_compiled_traces(workload, n_cores, total, seed, hierarchy.line_size)
     else:
-        total = scale.cmp_total_per_core
-        warm = scale.cmp_warm_instructions
-    traces = get_traces(workload, n_cores, total, seed)
+        traces = get_traces(workload, n_cores, total, seed)
     config = SystemConfig(
         n_cores=n_cores,
         hierarchy=hierarchy,

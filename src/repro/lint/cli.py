@@ -87,11 +87,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         except LintError as error:
             print(f"repro.lint: error: {error}", file=sys.stderr)
             return 2
-        print(
-            f"repro.lint: wrote {manifest_mod.MANIFEST_PATH} "
-            f"({len(written['files'])} modules, "
-            f"schema_version={written['schema_version']})"
+        detail = ", ".join(
+            f"{artifact.noun}: {len(written[artifact.files_key])} modules @ "
+            f"{artifact.version_key}={written[artifact.version_key]}"
+            for artifact in manifest_mod.active_artifacts(project)
         )
+        print(f"repro.lint: wrote {manifest_mod.MANIFEST_PATH} ({detail})")
         return 0
 
     names = None

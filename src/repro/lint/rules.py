@@ -188,31 +188,39 @@ class DeterminismRule(Rule):
 # R2 — cache-safety (behavior manifest vs SCHEMA_VERSION)
 # --------------------------------------------------------------------- #
 
-R2_HINT = (
-    "bump SCHEMA_VERSION in src/repro/eval/diskcache.py (invalidating stale "
-    "cache entries), then run `python -m repro.lint --update-manifest`; if "
-    "the edit provably cannot change results (comments, formatting), running "
-    "--update-manifest alone is acceptable — say so in review"
-)
+def _artifact_hint(artifact: "manifest_mod.Artifact") -> str:
+    return (
+        f"bump {artifact.schema_constant} in {artifact.schema_module} "
+        f"(invalidating stale cache entries), then run `python -m repro.lint "
+        "--update-manifest`; if the edit provably cannot change results "
+        "(comments, formatting), running --update-manifest alone is "
+        "acceptable — say so in review"
+    )
+
+
+R2_HINT = _artifact_hint(manifest_mod.ARTIFACTS[0])
 
 
 class BehaviorManifestRule(Rule):
     """R2: result-affecting modules may not change under a frozen schema.
 
-    The committed manifest records a hash per behavior module plus the
-    ``SCHEMA_VERSION`` the hashes were taken under.  While the current
-    version equals the recorded one, any hash drift is a violation.  A
-    version bump acknowledges the behavior change (every cache entry is
-    already invalidated by it) and silences the rule until the manifest is
-    refreshed.
+    The committed manifest records, per schema-versioned artifact (the
+    disk result cache, the compiled-trace store), a hash of each module the
+    artifact's contents depend on plus the schema version the hashes were
+    taken under.  While an artifact's current version equals its recorded
+    one, any hash drift under that artifact is a violation.  A version bump
+    acknowledges the behavior change (every entry of that artifact is
+    already invalidated by it) and silences that artifact's checks until
+    the manifest is refreshed — the *other* artifacts keep checking, so a
+    trace-affecting edit must move ``TRACE_SCHEMA_VERSION`` even when
+    ``SCHEMA_VERSION`` was already bumped.
     """
 
     name = "R2"
-    title = "cache-safety: behavior changes require a SCHEMA_VERSION bump"
+    title = "cache-safety: behavior changes require a schema-version bump"
 
     def check(self, project: Project) -> List[Violation]:
         recorded = manifest_mod.load_manifest(project)
-        current_version = manifest_mod.current_schema_version(project)
         if recorded is None:
             return [
                 self.violation(
@@ -222,43 +230,53 @@ class BehaviorManifestRule(Rule):
                     "run `python -m repro.lint --update-manifest` and commit the result",
                 )
             ]
-        if recorded.get("schema_version") != current_version:
-            # The bump already invalidated every cache entry; hashes refresh
-            # with the accompanying --update-manifest run.
-            return []
         violations: List[Violation] = []
-        expected: Dict[str, str] = dict(recorded["files"])
-        actual = manifest_mod.compute_hashes(project)
-        for path in sorted(set(expected) | set(actual)):
-            if path not in actual:
-                violations.append(
-                    self.violation(
-                        manifest_mod.MANIFEST_PATH,
-                        0,
-                        f"manifest lists {path} but the module is gone",
-                        R2_HINT,
+        reported: Set[str] = set()
+        for artifact in manifest_mod.active_artifacts(project):
+            current_version = manifest_mod.artifact_schema_version(project, artifact)
+            if recorded.get(artifact.version_key) != current_version:
+                # The bump already invalidated this artifact's entries;
+                # hashes refresh with the accompanying --update-manifest run.
+                continue
+            hint = _artifact_hint(artifact)
+            expected: Dict[str, str] = dict(recorded.get(artifact.files_key, {}))
+            actual = manifest_mod.artifact_hashes(project, artifact)
+            for path in sorted(set(expected) | set(actual)):
+                if path in reported:
+                    continue
+                if path not in actual:
+                    violations.append(
+                        self.violation(
+                            manifest_mod.MANIFEST_PATH,
+                            0,
+                            f"manifest lists {path} but the module is gone",
+                            hint,
+                        )
                     )
-                )
-            elif path not in expected:
-                violations.append(
-                    self.violation(
-                        path,
-                        0,
-                        "new result-affecting module is not in the behavior manifest",
-                        R2_HINT,
+                    reported.add(path)
+                elif path not in expected:
+                    violations.append(
+                        self.violation(
+                            path,
+                            0,
+                            "new result-affecting module is not in the behavior manifest",
+                            hint,
+                        )
                     )
-                )
-            elif expected[path] != actual[path]:
-                violations.append(
-                    self.violation(
-                        path,
-                        0,
-                        "result-affecting module changed without a SCHEMA_VERSION bump "
-                        f"(schema still {current_version}); stale disk-cache entries "
-                        "would be served as current",
-                        R2_HINT,
+                    reported.add(path)
+                elif expected[path] != actual[path]:
+                    violations.append(
+                        self.violation(
+                            path,
+                            0,
+                            "result-affecting module changed without a "
+                            f"{artifact.schema_constant} bump (schema still "
+                            f"{current_version}); stale {artifact.noun} entries "
+                            "would be served as current",
+                            hint,
+                        )
                     )
-                )
+                    reported.add(path)
         return violations
 
 

@@ -11,10 +11,19 @@ line-size sweep of the paper's Figure 1.  :func:`iter_line_visits` lowers a
 block-event stream to cache-line visits for a concrete line size.
 
 The synthetic commercial-workload generators live in
-:mod:`repro.trace.synth`.
+:mod:`repro.trace.synth`.  :mod:`repro.trace.compiled` packs a lowered
+visit stream into flat columns (the engine's allocation-free fast path and
+the unit the on-disk trace store of :mod:`repro.trace.store` persists).
 """
 
 from repro.trace.analysis import StreamAnalysis, analyze_stream
+from repro.trace.compiled import (
+    TRACE_SCHEMA_VERSION,
+    CompiledTrace,
+    CompiledTraceError,
+    TraceLike,
+    compile_traces,
+)
 from repro.trace.io import TraceFormatError, read_trace, write_trace
 from repro.trace.record import INSTRUCTION_SIZE, BlockEvent
 from repro.trace.stats import TraceStats, compute_trace_stats
@@ -26,6 +35,11 @@ __all__ = [
     "Trace",
     "LineVisit",
     "iter_line_visits",
+    "CompiledTrace",
+    "CompiledTraceError",
+    "TraceLike",
+    "compile_traces",
+    "TRACE_SCHEMA_VERSION",
     "TraceStats",
     "compute_trace_stats",
     "read_trace",

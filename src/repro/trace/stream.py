@@ -129,7 +129,12 @@ def iter_line_visits(
     current_line = -1
     current_kind = _SEQUENTIAL
     current_ninstr = 0
-    current_data: Tuple[int, ...] = ()
+    # The open visit's data stays the original event tuple until a second
+    # event merges into it; only then is it promoted to a list accumulator
+    # (appending per merge, not re-copying the whole tuple per event, which
+    # was quadratic for data-heavy same-line runs) and tuple-ized on yield.
+    current_data: Sequence[int] = ()
+    merging = False
 
     for addr, ninstr, kind, data in events:
         line = addr >> shift
@@ -139,23 +144,47 @@ def iter_line_visits(
             # Same line: merge into the open visit.
             current_ninstr += take
             if data:
-                current_data = current_data + data if current_data else data
+                if not current_data:
+                    current_data = data
+                elif merging:
+                    current_data.extend(data)
+                else:
+                    current_data = list(current_data)
+                    current_data.extend(data)
+                    merging = True
         else:
             if current_line >= 0:
-                yield LineVisit(current_line, current_kind, current_ninstr, current_data)
+                yield LineVisit(
+                    current_line,
+                    current_kind,
+                    current_ninstr,
+                    tuple(current_data) if merging else current_data,
+                )
             current_line = line
             current_kind = kind
             current_ninstr = take
             current_data = data
+            merging = False
         # Spill continuation lines for blocks crossing line boundaries.
         remaining = ninstr - take
         while remaining > 0:
-            yield LineVisit(current_line, current_kind, current_ninstr, current_data)
+            yield LineVisit(
+                current_line,
+                current_kind,
+                current_ninstr,
+                tuple(current_data) if merging else current_data,
+            )
             current_line += 1
             current_kind = _SEQUENTIAL
             current_ninstr = min(remaining, instr_per_line)
             current_data = ()
+            merging = False
             remaining -= current_ninstr
 
     if current_line >= 0:
-        yield LineVisit(current_line, current_kind, current_ninstr, current_data)
+        yield LineVisit(
+            current_line,
+            current_kind,
+            current_ninstr,
+            tuple(current_data) if merging else current_data,
+        )

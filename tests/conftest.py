@@ -15,14 +15,19 @@ from repro.trace.synth.params import WorkloadProfile
 
 @pytest.fixture(autouse=True)
 def _isolated_result_cache(tmp_path, monkeypatch):
-    """Point the on-disk result cache at a per-test tmp dir.
+    """Point the on-disk result cache and trace store at per-test tmp dirs.
 
     Keeps the suite from writing ``.repro-cache/`` into the repo (and from
-    reading stale results out of it).  Respects an explicit operator
-    override so ``REPRO_CACHE_DIR=... pytest`` still works.
+    reading stale results out of it).  The compiled-trace store defaults to
+    a subdirectory of the result cache, but is pinned explicitly so it
+    stays per-test even when an operator overrides ``REPRO_CACHE_DIR``.
+    Respects explicit operator overrides so ``REPRO_CACHE_DIR=... pytest``
+    still works.
     """
     if "REPRO_CACHE_DIR" not in os.environ:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+    if "REPRO_TRACE_DIR" not in os.environ:
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "repro-traces"))
     yield
 
 

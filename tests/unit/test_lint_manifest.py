@@ -153,3 +153,109 @@ def test_clock_shim_is_excluded_from_hashes(lint_tree):
     )
     # A clock edit is not a behavior change; no schema bump demanded.
     assert BehaviorManifestRule().check(project) == []
+
+# --------------------------------------------------------------------- #
+# Trace-store artifact (TRACE_SCHEMA_VERSION)
+# --------------------------------------------------------------------- #
+
+TRACE_COMPILED_V1 = """
+    TRACE_SCHEMA_VERSION = 1
+
+
+    def compile_trace(events):
+        return list(events)
+    """
+
+TRACE_COMPILED_V2 = TRACE_COMPILED_V1.replace(
+    "TRACE_SCHEMA_VERSION = 1", "TRACE_SCHEMA_VERSION = 2"
+)
+
+TRACE_STREAM = """
+    def iter_line_visits(events, line_size):
+        for event in events:
+            yield event
+    """
+
+TRACE_STREAM_V2 = TRACE_STREAM.replace("yield event", "yield (event,)")
+
+TRACE_OVERRIDES = {
+    "src/repro/trace/compiled.py": TRACE_COMPILED_V1,
+    "src/repro/trace/stream.py": TRACE_STREAM,
+}
+
+
+def test_trace_artifact_is_inactive_without_its_schema_module(lint_tree):
+    project = lint_tree()
+    assert manifest_mod.active_artifacts(project) == [manifest_mod.ARTIFACTS[0]]
+    recorded = manifest_mod.load_manifest(project)
+    assert "trace_schema_version" not in recorded
+
+
+def test_trace_artifact_records_in_manifest_when_present(lint_tree):
+    project = lint_tree(TRACE_OVERRIDES)
+    assert len(manifest_mod.active_artifacts(project)) == 2
+    recorded = manifest_mod.load_manifest(project)
+    assert recorded["trace_schema_version"] == 1
+    assert "src/repro/trace/stream.py" in recorded["trace_files"]
+    # Trace coverage is a subset of the full behavior surface.
+    assert set(recorded["trace_files"]) <= set(recorded["files"])
+    assert BehaviorManifestRule().check(project) == []
+
+
+def test_trace_edit_reports_once_under_the_result_cache_first(lint_tree):
+    project = lint_tree(TRACE_OVERRIDES)
+    project = write_tree_file(
+        project.root, "src/repro/trace/stream.py", TRACE_STREAM_V2
+    )
+    violations = BehaviorManifestRule().check(project)
+    assert len(violations) == 1  # one violation per drifted path, not per artifact
+    assert violations[0].path == "src/repro/trace/stream.py"
+    assert "SCHEMA_VERSION" in violations[0].message
+
+
+def test_disk_schema_bump_alone_does_not_silence_trace_drift(lint_tree):
+    project = lint_tree(TRACE_OVERRIDES)
+    project = write_tree_file(
+        project.root, "src/repro/trace/stream.py", TRACE_STREAM_V2
+    )
+    project = write_tree_file(
+        project.root, "src/repro/eval/diskcache.py", DISKCACHE_SCHEMA_2
+    )
+    violations = BehaviorManifestRule().check(project)
+    assert len(violations) == 1
+    assert violations[0].path == "src/repro/trace/stream.py"
+    assert "TRACE_SCHEMA_VERSION" in violations[0].message
+    assert "trace-store" in violations[0].message
+    assert "bump TRACE_SCHEMA_VERSION" in violations[0].hint
+
+
+def test_both_bumps_silence_trace_drift(lint_tree):
+    project = lint_tree(TRACE_OVERRIDES)
+    project = write_tree_file(
+        project.root, "src/repro/trace/stream.py", TRACE_STREAM_V2
+    )
+    project = write_tree_file(
+        project.root, "src/repro/eval/diskcache.py", DISKCACHE_SCHEMA_2
+    )
+    project = write_tree_file(
+        project.root, "src/repro/trace/compiled.py", TRACE_COMPILED_V2
+    )
+    assert BehaviorManifestRule().check(project) == []
+
+
+def test_trace_schema_bump_alone_still_reports_disk_cache_drift(lint_tree):
+    project = lint_tree(TRACE_OVERRIDES)
+    project = write_tree_file(
+        project.root, "src/repro/trace/stream.py", TRACE_STREAM_V2
+    )
+    project = write_tree_file(
+        project.root, "src/repro/trace/compiled.py", TRACE_COMPILED_V2
+    )
+    violations = BehaviorManifestRule().check(project)
+    # compiled.py itself changed too (the bump) — both files drift under
+    # the still-frozen disk-cache artifact.
+    assert {violation.path for violation in violations} == {
+        "src/repro/trace/stream.py",
+        "src/repro/trace/compiled.py",
+    }
+    assert all("SCHEMA_VERSION" in v.message for v in violations)
