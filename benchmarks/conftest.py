@@ -1,9 +1,13 @@
 """Benchmark-suite configuration.
 
-Each benchmark regenerates one of the paper's figures and prints the same
-rows/series the figure plots.  Scale is ``smoke`` by default so the whole
-suite completes in minutes; set ``REPRO_PROFILE=default`` (or ``full``) to
-reproduce the EXPERIMENTS.md numbers.
+Each benchmark regenerates one of the paper's figures and asserts the
+expectation bands its catalog declaration carries — the qualitative claims
+live next to the experiment definition in ``repro.eval.catalog``, not in
+the bench bodies.  Scale is ``smoke`` by default so the whole suite
+completes in minutes; set ``REPRO_PROFILE=default`` (or ``full``) to
+reproduce the EXPERIMENTS.md numbers.  Experiments declared with
+``bench_scale="default"`` (capacity-regime shapes) are promoted
+automatically.
 
 Run with::
 
@@ -17,6 +21,7 @@ import os
 import pytest
 
 from repro.eval.profiles import get_scale
+from repro.eval.registry import get_experiment, run_experiment_outcome
 
 
 @pytest.fixture(autouse=True, scope="session")
@@ -52,17 +57,38 @@ def at_least_default(scale):
     Capacity-regime experiments (Figure 2's L2-size sweep, the pollution
     deltas) are compulsory-miss-dominated at ``smoke`` scale: the measured
     window is too short for a 1-4MB L2 to fill, so capacity has no visible
-    effect.  Benches asserting capacity shapes run at ``default`` minimum.
+    effect.  Experiments declaring ``bench_scale="default"`` run at
+    ``default`` minimum.
     """
     if scale.measure_instructions < get_scale("default").measure_instructions:
         return get_scale("default")
     return scale
 
 
-def run_figure(benchmark, driver, scale):
-    """Time one figure driver (single round) and print its panels."""
-    panels = benchmark.pedantic(lambda: driver(scale=scale), rounds=1, iterations=1)
-    for panel in panels:
+def run_catalog(benchmark, name, scale):
+    """Time one catalog experiment and assert its declared expectations.
+
+    Promotes the scale to the experiment's declared ``bench_scale`` when
+    needed, prints every panel plus the verdict lines, and fails the bench
+    if any expectation verdict fails — the bands themselves live on the
+    declaration in ``repro.eval.catalog``.
+    """
+    experiment = get_experiment(name)
+    if experiment.bench_scale == "default":
+        scale = at_least_default(scale)
+    outcome = benchmark.pedantic(
+        lambda: run_experiment_outcome(name, scale=scale), rounds=1, iterations=1
+    )
+    for panel in outcome.panels:
         print()
         print(panel.format_table())
-    return panels
+    print()
+    for verdict in outcome.verdicts:
+        print(verdict.format())
+    evaluated = [v for v in outcome.verdicts if v.status != "skip"]
+    assert evaluated, f"{name}: every expectation was skipped at scale {scale.name!r}"
+    assert outcome.passed, (
+        f"{name}: {len(outcome.failed_verdicts)} expectation verdict(s) failed:\n"
+        + "\n".join(verdict.format() for verdict in outcome.failed_verdicts)
+    )
+    return outcome

@@ -1,136 +1,53 @@
-"""Ablation benchmarks for the design choices the paper calls out."""
+"""Ablation benchmarks for the design choices the paper calls out.
 
-import pytest
+Each bench runs one catalog declaration; the qualitative claims it used
+to assert inline now live as ``Expectation`` objects on the declaration
+in ``repro.eval.catalog.ablations``.
+"""
 
-from benchmarks.conftest import run_figure
-from repro.eval import ablations
+from benchmarks.conftest import run_catalog
 
 
 def test_ablation_filtering(benchmark, scale):
     """§4.1: the queue filters cut wasted tag probes at negligible cost."""
-    speedup_panel, probe_panel = run_figure(benchmark, ablations.run_filtering, scale)
-    for workload in speedup_panel.col_labels:
-        filtered = speedup_panel.value("Filtering on", workload)
-        unfiltered = speedup_panel.value("Filtering off", workload)
-        # Paper: "performance implications of the filtering mechanism were
-        # observed to be extremely minor" — but never harmful.
-        assert filtered > unfiltered - 0.05
-        # Filtering reduces the fraction of probes finding the line
-        # already resident (wasted tag bandwidth).
-        assert probe_panel.value("Filtering on", workload) <= probe_panel.value(
-            "Filtering off", workload
-        ) + 2.0
+    run_catalog(benchmark, "ablation-filtering", scale)
 
 
 def test_ablation_eviction_counter(benchmark, scale):
     """§4: the 2-bit counter protects small tables from thrash."""
-    (panel,) = run_figure(benchmark, ablations.run_eviction_counter, scale)
-    better = 0
-    for workload in panel.col_labels:
-        if panel.value("2-bit counter", workload) >= panel.value(
-            "always replace", workload
-        ) - 1.0:
-            better += 1
-    # The counter helps (or at least never materially hurts) everywhere.
-    assert better == len(panel.col_labels)
+    run_catalog(benchmark, "ablation-eviction-counter", scale)
 
 
 def test_ablation_prefetch_ahead(benchmark, scale):
     """§4: 4 lines balances timeliness against accuracy."""
-    speedup_panel, accuracy_panel = run_figure(
-        benchmark, ablations.run_prefetch_ahead, scale
-    )
-    for workload in speedup_panel.col_labels:
-        # Accuracy falls monotonically-ish with distance.
-        assert accuracy_panel.value("ahead=1", workload) > accuracy_panel.value(
-            "ahead=8", workload
-        )
-        # Timeliness: ahead=4 beats ahead=1 on performance.
-        assert speedup_panel.value("ahead=4", workload) > speedup_panel.value(
-            "ahead=1", workload
-        )
+    run_catalog(benchmark, "ablation-prefetch-ahead", scale)
 
 
 def test_ablation_probe_ahead(benchmark, scale):
     """§4: probe-ahead launches discontinuity prefetches early enough."""
-    speedup_panel, late_panel = run_figure(benchmark, ablations.run_probe_ahead, scale)
-    for workload in late_panel.col_labels:
-        # Probing only the current line makes more useful prefetches late.
-        assert late_panel.value("Probe current line", workload) >= late_panel.value(
-            "Probe-ahead (paper)", workload
-        ) - 1.0
-        # And never performs better.
-        assert speedup_panel.value("Probe-ahead (paper)", workload) >= speedup_panel.value(
-            "Probe current line", workload
-        ) - 0.03
+    run_catalog(benchmark, "ablation-probe-ahead", scale)
 
 
 def test_ablation_queue_discipline(benchmark, scale):
     """§4.1: LIFO de-emphasizes stale prefetches."""
-    (panel,) = run_figure(benchmark, ablations.run_queue_discipline, scale)
-    for workload in panel.col_labels:
-        lifo = panel.value("LIFO (paper)", workload)
-        fifo = panel.value("FIFO", workload)
-        assert lifo > fifo - 0.05  # LIFO is never materially worse
+    run_catalog(benchmark, "ablation-queue-discipline", scale)
 
 
 def test_ablation_table_design(benchmark, scale):
     """§4: the single-target table matches multi-target at half the storage."""
-    coverage_panel, speedup_panel = run_figure(
-        benchmark, ablations.run_single_vs_multi_target, scale
-    )
-    for workload in coverage_panel.col_labels:
-        single = coverage_panel.value("Discontinuity 4096x1", workload)
-        markov_equal = coverage_panel.value("Markov 2048x2", workload)
-        markov_double = coverage_panel.value("Markov 4096x2 (2x storage)", workload)
-        # At equal storage, the single-target design is at least as good.
-        assert single > markov_equal - 3.0
-        # Even doubling the Markov storage buys little over single-target.
-        assert markov_double < single + 6.0
+    run_catalog(benchmark, "ablation-table-design", scale)
 
 
 def test_ablation_useless_hint(benchmark, scale):
     """§2.4: the used-bit filter trades a little coverage for accuracy."""
-    accuracy_panel, speedup_panel = run_figure(
-        benchmark, ablations.run_useless_hint_filter, scale
-    )
-    for workload in accuracy_panel.col_labels:
-        with_filter = accuracy_panel.value("Used-bit filter (§2.4)", workload)
-        without = accuracy_panel.value("No re-prefetch filter", workload)
-        # Dropping known-useless re-prefetches never hurts accuracy.
-        assert with_filter >= without - 1.0
-        # And performance stays competitive.
-        assert speedup_panel.value("Used-bit filter (§2.4)", workload) > speedup_panel.value(
-            "No re-prefetch filter", workload
-        ) - 0.05
+    run_catalog(benchmark, "ablation-useless-hint", scale)
 
 
 def test_ablation_inclusion(benchmark, scale):
     """Substrate sensitivity: the headline result survives L2 inclusion."""
-    speedup_panel, l1i_panel = run_figure(benchmark, ablations.run_inclusion, scale)
-    for workload in speedup_panel.col_labels:
-        non_inclusive = speedup_panel.value("Non-inclusive (default)", workload)
-        inclusive = speedup_panel.value("Inclusive", workload)
-        # The discontinuity prefetcher pays off under either policy...
-        assert non_inclusive > 1.05 and inclusive > 1.05
-        # ...and the policy choice moves the result only modestly.
-        assert abs(inclusive - non_inclusive) < 0.15
-        # Back-invalidation can only add baseline L1I misses.
-        assert l1i_panel.value("Inclusive", workload) >= l1i_panel.value(
-            "Non-inclusive (default)", workload
-        ) - 0.01
+    run_catalog(benchmark, "ablation-inclusion", scale)
 
 
 def test_ablation_replacement(benchmark, scale):
     """Substrate sensitivity: the headline result is replacement-agnostic."""
-    l1i_panel, speedup_panel = run_figure(benchmark, ablations.run_replacement, scale)
-    for workload in speedup_panel.col_labels:
-        values = [speedup_panel.value(p, workload) for p in ("LRU", "PLRU", "FIFO", "RANDOM")]
-        # The discontinuity prefetcher pays off under every policy...
-        assert all(value > 1.05 for value in values)
-        # ...with only modest spread between policies.
-        assert max(values) - min(values) < 0.2
-        # PLRU tracks LRU closely on baseline miss rate.
-        assert l1i_panel.value("PLRU", workload) == pytest.approx(
-            l1i_panel.value("LRU", workload), rel=0.15
-        )
+    run_catalog(benchmark, "ablation-replacement", scale)

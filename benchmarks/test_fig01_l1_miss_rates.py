@@ -1,25 +1,7 @@
 """Figure 1 — L1I miss rate vs. cache geometry (paper §3.1)."""
 
-from benchmarks.conftest import run_figure
-from repro.eval import fig01
+from benchmarks.conftest import run_catalog
 
 
 def test_fig01_l1_miss_rates(benchmark, scale):
-    (panel,) = run_figure(benchmark, fig01.run, scale)
-
-    default_row = panel.row("Default")
-    # Paper band (loose at reduced scale): ~1-4% per instruction.
-    assert all(0.3 < rate < 5.0 for rate in default_row), default_row
-    # jApp is the highest of the four (paper §3.1).
-    assert panel.value("Default", "jApp") == max(default_row)
-
-    for workload in panel.col_labels:
-        default = panel.value("Default", workload)
-        # Line size is highly effective (paper: "highly effective").
-        assert panel.value("256B line size", workload) < default
-        assert panel.value("32B line size", workload) > default
-        # Capacity helps.
-        assert panel.value("128KB", workload) < default
-        assert panel.value("16KB", workload) > default
-        # Associativity: direct-mapped is worst.
-        assert panel.value("Direct-mapped", workload) > default
+    run_catalog(benchmark, "fig01", scale)

@@ -1,27 +1,9 @@
 """Figure 2 — L2 instruction miss rate vs. capacity, single core vs CMP."""
 
-from benchmarks.conftest import at_least_default, run_figure
-from repro.eval import fig02
+from benchmarks.conftest import run_catalog
 
 
 def test_fig02_l2_miss_rates(benchmark, scale):
-    # Capacity effects need the longer windows (see conftest).
-    (panel,) = run_figure(benchmark, fig02.run, at_least_default(scale))
-
-    for workload in ("DB", "TPC-W", "jApp"):
-        # CMP rates exceed single core at the default 2MB (paper §3.1).
-        assert panel.value("2MB 4-way CMP", workload) > panel.value(
-            "2MB single core", workload
-        )
-        # Capacity has a large effect: 1MB worse than 2MB worse than 4MB.
-        assert panel.value("1MB 4-way CMP", workload) > panel.value(
-            "2MB 4-way CMP", workload
-        )
-        assert panel.value("2MB 4-way CMP", workload) > panel.value(
-            "4MB 4-way CMP", workload
-        )
-
-    # The multiprogrammed mix is among the highest CMP rates.
-    mix = panel.value("2MB 4-way CMP", "Mixed")
-    others = [panel.value("2MB 4-way CMP", w) for w in ("DB", "TPC-W", "Web")]
-    assert mix > max(others)
+    # Capacity effects need the longer windows; the declaration carries
+    # bench_scale="default" so run_catalog promotes the scale.
+    run_catalog(benchmark, "fig02", scale)

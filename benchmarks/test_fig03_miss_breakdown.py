@@ -1,27 +1,7 @@
 """Figure 3 — instruction-miss breakdown by transition category."""
 
-from benchmarks.conftest import run_figure
-from repro.eval import fig03
+from benchmarks.conftest import run_catalog
 
 
 def test_fig03_miss_breakdown(benchmark, scale):
-    panel_i, panel_ii, panel_iii = run_figure(benchmark, fig03.run, scale)
-
-    for workload in panel_i.col_labels:
-        sequential = panel_i.value("Sequential", workload)
-        # Paper §3.2: sequential misses only 40-60% (loose band: 30-70).
-        assert 30 < sequential < 70, f"{workload}: {sequential:.1f}%"
-        # Traps negligible.
-        assert panel_i.value("Trap", workload) < 2.0
-        # Taken-forward conditionals are the dominant branch category.
-        tf = panel_i.value("Cond branch (tf)", workload)
-        assert tf >= panel_i.value("Cond branch (tb)", workload)
-        # Calls dominate the function-call categories.
-        call = panel_i.value("Call", workload)
-        assert call >= panel_i.value("Jump", workload)
-
-    # L2 panels mirror the L1 shape (paper: "similar to the behavior of
-    # the instruction cache misses").
-    for panel in (panel_ii, panel_iii):
-        for workload in panel.col_labels:
-            assert 25 < panel.value("Sequential", workload) < 75
+    run_catalog(benchmark, "fig03", scale)

@@ -1,30 +1,7 @@
 """Figure 4 — performance potential of eliminating instruction misses."""
 
-from benchmarks.conftest import run_figure
-from repro.eval import fig04
+from benchmarks.conftest import run_catalog
 
 
 def test_fig04_potential(benchmark, scale):
-    panel_single, panel_cmp = run_figure(benchmark, fig04.run, scale)
-
-    for panel in (panel_single, panel_cmp):
-        for workload in panel.col_labels:
-            seq = panel.value("Sequential only", workload)
-            branch = panel.value("Branch only", workload)
-            function = panel.value("Function only", workload)
-            all_three = panel.value("Seq + Branch + Function", workload)
-            # Paper §3.3: sequential-only beats branch-only and
-            # function-only; eliminating everything beats any single class.
-            assert seq >= branch - 0.02
-            assert seq >= function - 0.02
-            assert all_three >= seq
-            assert all_three >= panel.value("Sequential + Branch", workload) - 1e-9
-            # Every elimination is a (weak) improvement.
-            assert branch >= 0.99
-            assert function >= 0.99
-
-    # Vast improvements are available (paper: up to ~1.6X).
-    best = max(
-        panel_cmp.value("Seq + Branch + Function", w) for w in panel_cmp.col_labels
-    )
-    assert best > 1.25
+    run_catalog(benchmark, "fig04", scale)

@@ -1,24 +1,7 @@
 """Figure 5 — residual instruction miss rates under the HW prefetchers."""
 
-from benchmarks.conftest import run_figure
-from repro.eval import fig05
+from benchmarks.conftest import run_catalog
 
 
 def test_fig05_prefetch_miss_rates(benchmark, scale):
-    panel_l1, panel_l2_single, panel_l2_cmp = run_figure(benchmark, fig05.run, scale)
-
-    for panel in (panel_l1, panel_l2_single, panel_l2_cmp):
-        for workload in panel.col_labels:
-            on_miss = panel.value("Next-line (on miss)", workload)
-            tagged = panel.value("Next-line (tagged)", workload)
-            next4 = panel.value("Next-4-lines (tagged)", workload)
-            disc = panel.value("Discontinuity", workload)
-            # Aggressiveness ordering (lower residual = better).
-            assert on_miss > tagged > next4 >= disc * 0.85
-            # Everything removes misses.
-            assert on_miss < 0.9
-
-    # The discontinuity prefetcher eliminates the vast majority of L1I
-    # misses (paper: residual 10-16%; loose band at reduced scale).
-    for workload in panel_l1.col_labels:
-        assert panel_l1.value("Discontinuity", workload) < 0.30
+    run_catalog(benchmark, "fig05", scale)

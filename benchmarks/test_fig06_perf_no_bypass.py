@@ -1,23 +1,7 @@
 """Figure 6 — prefetcher speedups under the normal (polluting) L2 install."""
 
-from benchmarks.conftest import at_least_default, run_figure
-from repro.eval import fig06
+from benchmarks.conftest import run_catalog
 
 
 def test_fig06_perf_no_bypass(benchmark, scale):
-    panel_single, panel_cmp = run_figure(benchmark, fig06.run, at_least_default(scale))
-
-    for panel in (panel_single, panel_cmp):
-        for workload in panel.col_labels:
-            # All schemes improve on no-prefetch...
-            for scheme in panel.row_labels:
-                assert panel.value(scheme, workload) > 0.97
-            # ...and aggressiveness ordering holds for the main pair.
-            assert panel.value("Discontinuity", workload) >= panel.value(
-                "Next-line (on miss)", workload
-            )
-
-    # Gains are real but (per the paper) noticeably below the Figure 4
-    # potential, because of the L2 pollution Figure 7 shows.
-    best = max(panel_cmp.value("Discontinuity", w) for w in panel_cmp.col_labels)
-    assert 1.05 < best < 1.8
+    run_catalog(benchmark, "fig06", scale)

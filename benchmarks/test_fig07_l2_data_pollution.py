@@ -1,23 +1,7 @@
 """Figure 7 — L2 data-miss pollution from instruction prefetching."""
 
-from benchmarks.conftest import at_least_default, run_figure
-from repro.eval import fig07
+from benchmarks.conftest import run_catalog
 
 
 def test_fig07_l2_data_pollution(benchmark, scale):
-    panel_single, panel_cmp = run_figure(benchmark, fig07.run, at_least_default(scale))
-
-    # The aggressive schemes inflate the L2 data miss rate (paper: up to
-    # ~1.35X on the CMP); the gentle next-line schemes inflate it less.
-    for workload in panel_cmp.col_labels:
-        next4 = panel_cmp.value("Next-4-lines (tagged)", workload)
-        disc = panel_cmp.value("Discontinuity", workload)
-        on_miss = panel_cmp.value("Next-line (on miss)", workload)
-        assert disc > 1.01, f"{workload}: no pollution visible ({disc:.3f})"
-        assert next4 > 1.01
-        assert disc >= on_miss - 0.05
-
-    # Single core shows the effect too, if less strongly.
-    assert any(
-        panel_single.value("Discontinuity", w) > 1.005 for w in panel_single.col_labels
-    )
+    run_catalog(benchmark, "fig07", scale)

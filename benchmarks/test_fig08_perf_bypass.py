@@ -1,28 +1,19 @@
 """Figure 8 — prefetcher speedups with L2-bypass installation (§7)."""
 
-from benchmarks.conftest import at_least_default, run_figure
-from repro.eval import fig06, fig08
+from benchmarks.conftest import at_least_default, run_catalog
+from repro.eval.registry import run_experiment_outcome
 
 
 def test_fig08_perf_bypass(benchmark, scale):
-    panel_single, panel_cmp = run_figure(benchmark, fig08.run, at_least_default(scale))
-
-    for panel in (panel_single, panel_cmp):
-        for workload in panel.col_labels:
-            for scheme in panel.row_labels:
-                assert panel.value(scheme, workload) > 0.97
-
-    # Paper headline: the discontinuity prefetcher with bypass reaches
-    # 1.08-1.37X on the CMP (loose band at reduced scale).
-    cmp_gains = [panel_cmp.value("Discontinuity", w) for w in panel_cmp.col_labels]
-    assert max(cmp_gains) > 1.15
-    assert min(cmp_gains) > 1.02
+    outcome = run_catalog(benchmark, "fig08", scale)
+    panel_cmp = outcome.panel("fig08ii")
 
     # Bypass recovers performance the normal install loses to pollution
     # for the aggressive schemes (compare against Figure 6's runs, which
-    # are already cached).
-    fig06_panels = fig06.run(scale=at_least_default(scale))
-    normal_cmp = fig06_panels[1]
+    # are already cached) — a cross-experiment check the per-experiment
+    # declarations cannot express.
+    fig06 = run_experiment_outcome("fig06", scale=at_least_default(scale))
+    normal_cmp = fig06.panel("fig06ii")
     recovered = 0
     for workload in panel_cmp.col_labels:
         if panel_cmp.value("Discontinuity", workload) >= normal_cmp.value(

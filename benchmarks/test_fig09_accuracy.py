@@ -1,28 +1,7 @@
 """Figure 9 — prefetch accuracy and the next-2-line discontinuity variant."""
 
-from benchmarks.conftest import run_figure
-from repro.eval import fig09
+from benchmarks.conftest import run_catalog
 
 
 def test_fig09_accuracy(benchmark, scale):
-    panel_accuracy, panel_perf = run_figure(benchmark, fig09.run, scale)
-
-    for workload in panel_accuracy.col_labels:
-        on_miss = panel_accuracy.value("Next-line (on miss)", workload)
-        tagged = panel_accuracy.value("Next-line (tagged)", workload)
-        next4 = panel_accuracy.value("Next-4-lines (tagged)", workload)
-        disc = panel_accuracy.value("Discontinuity", workload)
-        disc2 = panel_accuracy.value("Discont (2NL)", workload)
-        # Paper: accuracy is noticeably lower for the aggressive schemes.
-        assert on_miss > next4 > disc
-        assert tagged > next4
-        # Paper: the 2NL variant achieves ~50% higher accuracy than the
-        # 4NL discontinuity prefetcher (loose: >= 25% higher).
-        assert disc2 > disc * 1.25
-
-    # The 2NL discontinuity stays competitive on performance despite the
-    # shorter reach (paper: it outperforms next-4-lines).
-    for workload in panel_perf.col_labels:
-        disc2 = panel_perf.value("Discont (2NL)", workload)
-        next4 = panel_perf.value("Next-4-lines (tagged)", workload)
-        assert disc2 > next4 * 0.9
+    run_catalog(benchmark, "fig09", scale)

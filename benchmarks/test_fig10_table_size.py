@@ -1,21 +1,7 @@
 """Figure 10 — miss coverage vs. discontinuity-table size."""
 
-from benchmarks.conftest import run_figure
-from repro.eval import fig10
+from benchmarks.conftest import run_catalog
 
 
 def test_fig10_table_size(benchmark, scale):
-    panel_l1, panel_l2 = run_figure(benchmark, fig10.run, scale)
-
-    for panel in (panel_l1, panel_l2):
-        for workload in panel.col_labels:
-            full = panel.value("8192-entries", workload)
-            quarter = panel.value("2048-entries", workload)
-            small = panel.value("256-entries", workload)
-            seq = panel.value("Next-4lines (tagged)", workload)
-            # Paper: a 4x smaller table loses minimal coverage.
-            assert quarter > full - 8.0, f"{workload}: {full:.1f} -> {quarter:.1f}"
-            # Larger tables never cover (much) less.
-            assert full >= small - 3.0
-            # Every table size beats the next-4-line sequential prefetcher.
-            assert small > seq, f"{workload}: 256 entries {small:.1f} <= seq {seq:.1f}"
+    run_catalog(benchmark, "fig10", scale)

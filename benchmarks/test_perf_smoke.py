@@ -29,7 +29,9 @@ import platform
 import time
 from pathlib import Path
 
-from repro.eval import executor, fig01
+from repro.eval import executor
+from repro.eval.experiment import run_experiment
+from repro.eval.registry import get_experiment
 from repro.eval.runner import (
     DEFAULT_SEED,
     clear_trace_cache,
@@ -115,7 +117,8 @@ def _fig01_run(scale, cache_dir: Path) -> float:
     os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
     executor.clear_memo()
     clear_trace_cache()
-    _, elapsed = _timed(lambda: fig01.run(scale=scale))
+    experiment = get_experiment("fig01")
+    _, elapsed = _timed(lambda: run_experiment(experiment, scale=scale))
     return elapsed
 
 

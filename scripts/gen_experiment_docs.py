@@ -1,0 +1,109 @@
+"""Regenerate ``docs/experiments.md`` from the experiment catalog.
+
+The table is derived straight from the ``Experiment`` declarations in
+``repro.eval.catalog`` — run this after adding or editing one::
+
+    PYTHONPATH=src python scripts/gen_experiment_docs.py
+
+``--check`` exits non-zero if the committed file is stale instead of
+rewriting it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.eval.catalog import CATALOG
+from repro.eval.profiles import get_scale
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+OUTPUT_PATH = REPO_ROOT / "docs" / "experiments.md"
+
+HEADER = """\
+# Experiment catalog
+
+One row per declared `Experiment` in `repro.eval.catalog` — every figure,
+ablation and comparison the reproduction runs.  Run any of them with::
+
+    PYTHONPATH=src python -m repro.eval.cli <name> --scale smoke
+
+`repro-experiment list` prints the same names; `describe <name>` shows the
+full declaration and `check <name>` a dry-run cost estimate.  Spec counts
+are the deduplicated run set at smoke scale (shared grids — Figures 5/6/7
+— overlap, and the union simulates once).  "Bench scale" is the smallest
+scale at which the declared paper expectations are asserted; below it the
+benchmark suite and CLI report `skip`, not `fail`.
+
+This file is generated — edit the declarations, then run
+`PYTHONPATH=src python scripts/gen_experiment_docs.py`.
+"""
+
+
+def render() -> str:
+    scale = get_scale("smoke")
+    lines = [HEADER]
+    lines.append(
+        "| Experiment | Paper | Title | Runs (smoke) | Panels | "
+        "Expectations | Bench scale |"
+    )
+    lines.append("|---|---|---|---|---|---|---|")
+    for name, experiment in CATALOG.items():
+        lines.append(
+            f"| `{name}` | {experiment.paper} | {experiment.title} "
+            f"| {len(experiment.specs(scale=scale))} "
+            f"| {len(experiment.panels)} "
+            f"| {len(experiment.expectations)} "
+            f"| {experiment.bench_scale} |"
+        )
+    lines.append("")
+    lines.append("## Declared expectations")
+    lines.append("")
+    lines.append(
+        "The paper-derived checks each run is verdicted against "
+        "(`pass`/`fail`/`skip`); `--strict` or `REPRO_STRICT_EXPECTATIONS=1` "
+        "turns failures into a non-zero exit (see "
+        "[performance.md](performance.md))."
+    )
+    for name, experiment in CATALOG.items():
+        lines.append("")
+        lines.append(f"### `{name}` — {experiment.title}")
+        lines.append("")
+        for expectation in experiment.expectations:
+            min_scale = expectation.min_scale or experiment.bench_scale
+            lines.append(
+                f"- **{expectation.kind}** on `{expectation.panel}`: "
+                f"{expectation.describe()} *(from scale `{min_scale}`)*"
+            )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if docs/experiments.md is stale (write nothing)",
+    )
+    args = parser.parse_args(argv)
+    document = render()
+    if args.check:
+        current = OUTPUT_PATH.read_text() if OUTPUT_PATH.is_file() else ""
+        if current != document:
+            print(
+                f"{OUTPUT_PATH.relative_to(REPO_ROOT)} is stale; regenerate with "
+                "PYTHONPATH=src python scripts/gen_experiment_docs.py",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{OUTPUT_PATH.relative_to(REPO_ROOT)} is current")
+        return 0
+    OUTPUT_PATH.write_text(document)
+    print(f"wrote {OUTPUT_PATH.relative_to(REPO_ROOT)} ({len(CATALOG)} experiments)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,15 @@
-"""Experiment harness: one driver per paper figure.
+"""Experiment harness: a declarative catalog plus one generic runner.
 
-Each ``figNN`` module exposes a ``run(scale=...)`` function returning a
-structured result object with a ``format_table()`` method that prints the
-same rows/series the paper's figure shows.  Beyond the figures there are
-ablations (:mod:`repro.eval.ablations`), comparisons against the §2 survey
-of alternative prefetching styles (:mod:`repro.eval.comparisons`) and
-multi-seed replication (:mod:`repro.eval.replication`).
+Every experiment — the ten paper figures, the design ablations, the §2
+style comparisons and the multi-seed replication check — is *declared*
+once as an :class:`~repro.eval.experiment.Experiment` in a
+:mod:`repro.eval.catalog` module: an axis grid expanding to
+:class:`~repro.eval.runspec.RunSpec` runs, panel definitions extracting
+metrics from the completed runs, and the paper-expectation bands the
+result must land in.  The single generic
+:func:`~repro.eval.experiment.run_experiment` pathway batch-submits the
+grid, builds the panels and evaluates the expectations into verdicts;
+:mod:`repro.eval.registry` is the name → declaration lookup.
 ``repro-experiment`` (see :mod:`repro.eval.cli`) is the command-line front
 end; :mod:`repro.eval.report` exports results as JSON/Markdown.
 

@@ -1,0 +1,55 @@
+"""The declarative experiment catalog.
+
+Every experiment in this repo is declared once, as an
+:class:`repro.eval.experiment.Experiment`, in one of the modules listed
+in :data:`CATALOG_MODULES`.  Each module exposes its declarations as a
+module-level ``EXPERIMENTS`` tuple; this package assembles them into
+:data:`CATALOG`, the single name → experiment mapping the registry, CLI,
+benchmarks and docs all introspect.
+
+Lint rule R5 statically cross-checks the declarations against this
+module list; underscore-prefixed modules (``_util``) are plumbing and
+carry no declarations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.eval.catalog import ablations, comparisons, figures, replication
+from repro.eval.experiment import Experiment
+
+#: the catalog modules, in registry order (kept a literal for static lint).
+CATALOG_MODULES: Tuple[str, ...] = (
+    "figures",
+    "ablations",
+    "comparisons",
+    "replication",
+)
+
+_MODULES = {
+    "figures": figures,
+    "ablations": ablations,
+    "comparisons": comparisons,
+    "replication": replication,
+}
+
+
+def _build_catalog() -> Dict[str, Experiment]:
+    catalog: Dict[str, Experiment] = {}
+    for module_name in CATALOG_MODULES:
+        module = _MODULES[module_name]
+        for experiment in module.EXPERIMENTS:
+            if experiment.name in catalog:
+                raise ValueError(
+                    f"duplicate experiment name {experiment.name!r} "
+                    f"(redeclared in catalog module {module_name!r})"
+                )
+            catalog[experiment.name] = experiment
+    return catalog
+
+
+#: every declared experiment, name → definition, in registry order.
+CATALOG: Dict[str, Experiment] = _build_catalog()
+
+__all__ = ["CATALOG", "CATALOG_MODULES"]

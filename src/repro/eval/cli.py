@@ -2,16 +2,29 @@
 
 Usage::
 
-    repro-experiment --list
+    repro-experiment list
+    repro-experiment describe fig05 replication-check
+    repro-experiment check all --scale smoke
     repro-experiment fig05 --scale smoke --progress
     repro-experiment fig05 fig06 --scale smoke
-    repro-experiment all --scale default --seed 7
+    repro-experiment all --scale default --seed 7 --strict
     repro-experiment precompile all --scale smoke
     repro-experiment precompile fig01 --trace-store /var/cache/traces
 
-The ``precompile`` verb populates the on-disk compiled-trace store for the
-named experiments (default: all) without simulating anything — the CI
-warm-up step, or the prelude to a sweep on a shared store directory.
+Verbs (the first positional token):
+
+- ``list`` — one line per catalog entry: name, paper reference, title.
+- ``describe`` — full declaration: grid size, panels, expectation bands.
+- ``check`` — dry-run cost estimate: spec counts plus a disk-cache hit
+  probe; nothing is simulated.
+- ``precompile`` — populate the on-disk compiled-trace store for the
+  named experiments (default: all) without simulating anything — the CI
+  warm-up step, or the prelude to a sweep on a shared store directory.
+
+Anything else is an experiment name (see ``list``) or ``all``.  After a
+run, each experiment's declared paper expectations are evaluated and the
+verdicts printed; ``--strict`` (or ``REPRO_STRICT_EXPECTATIONS=1``) makes
+failing verdicts exit non-zero.
 """
 
 from __future__ import annotations
@@ -22,14 +35,22 @@ import sys
 from typing import Dict, List, Optional
 
 from repro.eval.executor import SweepError, run_specs_report
+from repro.eval.experiment import ExperimentOutcome, estimate_experiment
 from repro.eval.profiles import SCALES, get_scale
 from repro.eval.registry import (
     collect_specs_by_experiment,
     experiment_names,
-    run_experiment,
+    get_experiment,
+    run_experiment_outcome,
 )
 from repro.eval.runspec import RunSpec, dedupe_specs
 from repro.util.clock import Stopwatch
+
+#: env var: treat failing expectation verdicts as a non-zero exit.
+STRICT_ENV = "REPRO_STRICT_EXPECTATIONS"
+
+#: the reserved first positional tokens that are verbs, not experiments.
+VERBS = ("list", "describe", "check", "precompile")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,11 +65,11 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments",
         nargs="*",
         metavar="experiment",
-        help="experiment names (see --list), 'all', or the 'precompile' verb "
-        "followed by the experiments whose traces to compile (default: all)",
+        help="experiment names (see 'list'), 'all', or a verb — "
+        f"one of {', '.join(VERBS)}",
     )
     parser.add_argument(
-        "--list", action="store_true", help="list available experiments and exit"
+        "--list", action="store_true", help="list available experiment names and exit"
     )
     parser.add_argument(
         "--scale",
@@ -70,16 +91,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="narrate sweep completion as each spec lands (memo/disk/simulated)",
     )
     parser.add_argument(
+        "--strict",
+        action="store_true",
+        default=None,
+        help="exit non-zero if any expectation verdict fails "
+        f"(default: ${STRICT_ENV})",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         default=None,
-        help="also write all result panels to PATH as JSON",
+        help="also write all results (panels + verdicts) to PATH as JSON",
     )
     parser.add_argument(
         "--markdown",
         metavar="PATH",
         default=None,
-        help="also write all result panels to PATH as Markdown tables",
+        help="also write all results (panels + verdicts) to PATH as Markdown",
     )
     parser.add_argument(
         "--trace-store",
@@ -124,6 +152,86 @@ def _expand_names(tokens: List[str]) -> List[str]:
             if name not in names:
                 names.append(name)
     return names
+
+
+def _strict_enabled(flag: Optional[bool]) -> bool:
+    if flag is not None:
+        return flag
+    return os.environ.get(STRICT_ENV, "").strip().lower() in ("1", "true", "yes", "on")
+
+
+def _run_list() -> int:
+    """The ``list`` verb: one line per catalog entry."""
+    width = max(len(name) for name in experiment_names())
+    for name in experiment_names():
+        experiment = get_experiment(name)
+        print(f"{name:<{width}}  {experiment.paper:<40}  {experiment.title}")
+    return 0
+
+
+def _run_describe(names: List[str], scale, seed: Optional[int]) -> int:
+    """The ``describe`` verb: print each experiment's full declaration."""
+    for name in names:
+        try:
+            experiment = get_experiment(name)
+        except KeyError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        specs = experiment.specs(scale=scale, seed=seed)
+        print(f"{experiment.name}: {experiment.title}")
+        print(f"  paper:       {experiment.paper}")
+        print(f"  tags:        {', '.join(experiment.tags)}")
+        print(f"  bench scale: {experiment.bench_scale}")
+        if experiment.seeds:
+            print(f"  seeds:       {', '.join(str(s) for s in experiment.seeds)}")
+        print(f"  grid:        {len(specs)} unique runs "
+              f"over axes ({', '.join(axis for axis, _ in experiment.grid.axes)})")
+        print(f"  panels:      {len(experiment.panels)}")
+        for panel in experiment.panels:
+            print(f"    {panel.id}: {panel.title}")
+        print(f"  expectations: {len(experiment.expectations)}")
+        for expectation in experiment.expectations:
+            min_scale = expectation.min_scale or experiment.bench_scale
+            print(
+                f"    [{expectation.kind}] {expectation.panel}: "
+                f"{expectation.describe()} (from scale {min_scale!r})"
+            )
+        print()
+    return 0
+
+
+def _run_check(names: List[str], scale, seed: Optional[int]) -> int:
+    """The ``check`` verb: dry-run cost estimate, nothing simulated."""
+    union: List[RunSpec] = []
+    estimates = []
+    for name in names:
+        try:
+            experiment = get_experiment(name)
+        except KeyError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        estimates.append(estimate_experiment(experiment, scale=scale, seed=seed))
+        union.extend(experiment.specs(scale=scale, seed=seed))
+    width = max(len(estimate["experiment"]) for estimate in estimates)
+    for estimate in estimates:
+        print(
+            f"{estimate['experiment']:<{width}}  "
+            f"{estimate['specs']:>3} specs, {estimate['cached']:>3} cached, "
+            f"{estimate['to_simulate']:>3} to simulate; "
+            f"{estimate['panels']} panels, "
+            f"{estimate['expectations']} expectations"
+        )
+    deduped = dedupe_specs(union)
+    from repro.eval import diskcache
+
+    cached = 0
+    if diskcache.enabled():
+        cached = sum(1 for spec in deduped if diskcache.path_for(spec).is_file())
+    print(
+        f"[union: {len(deduped)} unique specs, {cached} cached, "
+        f"{len(deduped) - cached} to simulate]"
+    )
+    return 0
 
 
 def _run_precompile(names: List[str], scale, seed: Optional[int]) -> int:
@@ -171,24 +279,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     tokens = list(args.experiments)
-    precompile = bool(tokens) and tokens[0] == "precompile"
-    if precompile:
-        tokens = tokens[1:] or ["all"]
+    verb = tokens[0] if tokens and tokens[0] in VERBS else None
+    if verb is not None:
+        tokens = tokens[1:]
+
+    scale = get_scale(args.scale) if args.scale else None
+
+    if verb == "list":
+        return _run_list()
+
+    if verb in ("describe", "check", "precompile") and not tokens:
+        tokens = ["all"]
 
     if not tokens:
         parser.print_usage()
-        print("error: specify an experiment name or --list", file=sys.stderr)
+        print("error: specify an experiment name, a verb, or --list", file=sys.stderr)
         return 2
 
     names = _expand_names(tokens)
-    scale = get_scale(args.scale) if args.scale else None
 
-    if precompile:
+    if verb == "describe":
+        return _run_describe(names, scale, args.seed)
+    if verb == "check":
+        return _run_check(names, scale, args.seed)
+    if verb == "precompile":
         return _run_precompile(names, scale, args.seed)
 
     # Batch-submit every run the selected experiments will read: overlapping
-    # configurations simulate once, in parallel, before the drivers format
-    # their panels from the shared caches.
+    # configurations simulate once, in parallel, before the panels are built
+    # from the shared caches.
     try:
         by_experiment = collect_specs_by_experiment(names, scale=scale, seed=args.seed)
     except KeyError as error:
@@ -219,36 +338,60 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"[{len(specs)} unique runs ready in {watch.elapsed():.1f}s]")
     print()
 
-    all_panels = []
+    outcomes: List[ExperimentOutcome] = []
     for name in names:
         watch.restart()
-        try:
-            panels = run_experiment(name, scale=scale, seed=args.seed)
-        except KeyError as error:
-            print(f"error: {error}", file=sys.stderr)
-            return 2
+        outcome = run_experiment_outcome(name, scale=scale, seed=args.seed)
         elapsed = watch.elapsed()
-        all_panels.extend(panels)
-        for panel in panels:
+        outcomes.append(outcome)
+        for panel in outcome.panels:
             print(panel.format_table())
             print()
+        for verdict in outcome.verdicts:
+            print(verdict.format())
+        if outcome.verdicts:
+            print(f"[{name} {outcome.verdict_summary()}]")
         print(f"[{name} completed in {elapsed:.1f}s]")
         print()
 
     if args.json:
-        from repro.eval.report import panels_to_json
+        from repro.eval.report import outcomes_to_json
 
         with open(args.json, "w") as handle:
-            handle.write(panels_to_json(all_panels))
+            handle.write(outcomes_to_json(outcomes))
         print(f"[wrote {args.json}]")
     if args.markdown:
-        from repro.eval.report import panels_to_markdown
+        from repro.eval.report import outcomes_to_markdown
 
         with open(args.markdown, "w") as handle:
-            handle.write(panels_to_markdown(all_panels))
+            handle.write(outcomes_to_markdown(outcomes))
         print(f"[wrote {args.markdown}]")
+
+    failed = [v for outcome in outcomes for v in outcome.failed_verdicts]
+    if failed and _strict_enabled(args.strict):
+        print(
+            f"error: {len(failed)} expectation verdict(s) failed "
+            f"(strict mode)", file=sys.stderr,
+        )
+        return 1
     return 0
 
 
+def console_entry() -> int:
+    """Entry point for ``repro-experiment`` and ``python -m repro.eval.cli``.
+
+    Swallows the ``BrokenPipeError`` raised when stdout is a closed pipe
+    (``repro-experiment list | head``) so truncating the output with
+    standard shell tools does not print a traceback.
+    """
+    try:
+        return main()
+    except BrokenPipeError:
+        # Reopen stdout on devnull so the interpreter's shutdown flush
+        # does not raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(console_entry())

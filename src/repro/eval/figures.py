@@ -48,17 +48,33 @@ class ExperimentResult:
                     f"for {len(self.col_labels)} columns"
                 )
 
+    def _row_index(self, row_label: str) -> int:
+        try:
+            return self.row_labels.index(row_label)
+        except ValueError:
+            raise KeyError(
+                f"{self.experiment}: no row {row_label!r}; "
+                f"available rows: {self.row_labels}"
+            ) from None
+
+    def _col_index(self, col_label: str) -> int:
+        try:
+            return self.col_labels.index(col_label)
+        except ValueError:
+            raise KeyError(
+                f"{self.experiment}: no column {col_label!r}; "
+                f"available columns: {self.col_labels}"
+            ) from None
+
     def value(self, row_label: str, col_label: str) -> float:
-        """Look up one cell by labels."""
-        row = self.row_labels.index(row_label)
-        col = self.col_labels.index(col_label)
-        return self.values[row][col]
+        """Look up one cell by labels (``KeyError`` on an unknown label)."""
+        return self.values[self._row_index(row_label)][self._col_index(col_label)]
 
     def row(self, row_label: str) -> List[float]:
-        return list(self.values[self.row_labels.index(row_label)])
+        return list(self.values[self._row_index(row_label)])
 
     def column(self, col_label: str) -> List[float]:
-        col = self.col_labels.index(col_label)
+        col = self._col_index(col_label)
         return [row[col] for row in self.values]
 
     def format_table(self) -> str:

@@ -1,98 +1,43 @@
-"""Registry of all experiment drivers (figures + ablations).
+"""Catalog-backed experiment registry.
 
-Each experiment is registered twice: ``EXPERIMENTS`` maps the name to its
-driver (produces the result panels), and ``EXPERIMENT_SPECS`` maps it to a
-function declaring every :class:`~repro.eval.runspec.RunSpec` the driver
-will read.  :func:`collect_specs` unions the spec lists of many experiments
-so the CLI can batch-submit one deduplicated sweep — overlapping runs
-(e.g. Figures 5, 6 and 7 share all of theirs) are simulated once.
+Every experiment is declared exactly once, as an
+:class:`~repro.eval.experiment.Experiment` in a
+:mod:`repro.eval.catalog` module; this registry is a thin introspection
+layer over :data:`repro.eval.catalog.CATALOG`.  The historical dual
+``EXPERIMENTS``/``EXPERIMENT_SPECS`` dicts are gone — the grid a driver
+*runs* and the specs it *declares* are the same object by construction,
+so they can no longer drift apart.
+
+:func:`collect_specs` unions the spec sets of many experiments so the
+CLI can batch-submit one deduplicated sweep — overlapping runs (e.g.
+Figures 5, 6 and 7 share all of theirs) are simulated once.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
-from repro.eval import (
-    ablations,
-    comparisons,
-    fig01,
-    fig02,
-    fig03,
-    fig04,
-    fig05,
-    fig06,
-    fig07,
-    fig08,
-    fig09,
-    fig10,
-    replication,
-)
+from repro.eval.catalog import CATALOG
+from repro.eval.experiment import Experiment, ExperimentOutcome
+from repro.eval.experiment import run_experiment as _run_experiment
 from repro.eval.figures import ExperimentResult
 from repro.eval.profiles import ExperimentScale
 from repro.eval.runspec import RunSpec, dedupe_specs
 
-#: experiment name → driver returning a list of result panels.
-EXPERIMENTS: Dict[str, Callable[..., List[ExperimentResult]]] = {
-    "fig01": fig01.run,
-    "fig02": fig02.run,
-    "fig03": fig03.run,
-    "fig04": fig04.run,
-    "fig05": fig05.run,
-    "fig06": fig06.run,
-    "fig07": fig07.run,
-    "fig08": fig08.run,
-    "fig09": fig09.run,
-    "fig10": fig10.run,
-    "ablation-filtering": ablations.run_filtering,
-    "ablation-eviction-counter": ablations.run_eviction_counter,
-    "ablation-prefetch-ahead": ablations.run_prefetch_ahead,
-    "ablation-probe-ahead": ablations.run_probe_ahead,
-    "ablation-queue-discipline": ablations.run_queue_discipline,
-    "ablation-table-design": ablations.run_single_vs_multi_target,
-    "ablation-useless-hint": ablations.run_useless_hint_filter,
-    "ablation-inclusion": ablations.run_inclusion,
-    "ablation-replacement": ablations.run_replacement,
-    "comparison-alternatives": comparisons.run_alternatives,
-    "comparison-bandwidth": comparisons.run_bandwidth_sensitivity,
-    "comparison-core-scaling": comparisons.run_core_scaling,
-    "comparison-execution-based": comparisons.run_execution_based,
-    "comparison-software-prefetch": comparisons.run_software_prefetch,
-    "replication-check": replication.run_replication_check,
-}
-
-
-#: experiment name → function declaring every RunSpec the driver reads.
-EXPERIMENT_SPECS: Dict[str, Callable[..., List[RunSpec]]] = {
-    "fig01": fig01.specs,
-    "fig02": fig02.specs,
-    "fig03": fig03.specs,
-    "fig04": fig04.specs,
-    "fig05": fig05.specs,
-    "fig06": fig06.specs,
-    "fig07": fig07.specs,
-    "fig08": fig08.specs,
-    "fig09": fig09.specs,
-    "fig10": fig10.specs,
-    "ablation-filtering": ablations.specs_filtering,
-    "ablation-eviction-counter": ablations.specs_eviction_counter,
-    "ablation-prefetch-ahead": ablations.specs_prefetch_ahead,
-    "ablation-probe-ahead": ablations.specs_probe_ahead,
-    "ablation-queue-discipline": ablations.specs_queue_discipline,
-    "ablation-table-design": ablations.specs_single_vs_multi_target,
-    "ablation-useless-hint": ablations.specs_useless_hint_filter,
-    "ablation-inclusion": ablations.specs_inclusion,
-    "ablation-replacement": ablations.specs_replacement,
-    "comparison-alternatives": comparisons.specs_alternatives,
-    "comparison-bandwidth": comparisons.specs_bandwidth_sensitivity,
-    "comparison-core-scaling": comparisons.specs_core_scaling,
-    "comparison-execution-based": comparisons.specs_execution_based,
-    "comparison-software-prefetch": comparisons.specs_software_prefetch,
-    "replication-check": replication.specs_replication_check,
-}
-
 
 def experiment_names() -> List[str]:
-    return list(EXPERIMENTS)
+    """Every declared experiment name, in catalog (registry) order."""
+    return list(CATALOG)
+
+
+def get_experiment(name: str) -> Experiment:
+    """Look up one declaration by name."""
+    try:
+        return CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {experiment_names()}"
+        ) from None
 
 
 def collect_specs_by_experiment(
@@ -104,28 +49,12 @@ def collect_specs_by_experiment(
 
     The sweep observability surface uses this to attribute a spec — a
     progress line, a failure in a :class:`~repro.eval.executor.SweepError`
-    — back to the experiments that read it.  Experiments registered in
-    :data:`EXPERIMENTS` without a matching :data:`EXPERIMENT_SPECS` entry
-    (e.g. third-party drivers added at runtime) declare no specs up front —
-    their driver simulates lazily.  Truly unknown names raise ``KeyError``.
+    — back to the experiments that read it.  Unknown names raise
+    ``KeyError``.
     """
-    by_experiment: Dict[str, List[RunSpec]] = {}
-    for name in names:
-        spec_fn = EXPERIMENT_SPECS.get(name)
-        if spec_fn is None:
-            if name in EXPERIMENTS:
-                by_experiment[name] = []
-                continue
-            raise KeyError(
-                f"unknown experiment {name!r}; available: {experiment_names()}"
-            )
-        kwargs: Dict[str, Any] = {}
-        if scale is not None:
-            kwargs["scale"] = scale
-        if seed is not None:
-            kwargs["seed"] = seed
-        by_experiment[name] = dedupe_specs(spec_fn(**kwargs))
-    return by_experiment
+    return {
+        name: get_experiment(name).specs(scale=scale, seed=seed) for name in names
+    }
 
 
 def collect_specs(
@@ -140,19 +69,26 @@ def collect_specs(
     return dedupe_specs(specs)
 
 
+def run_experiment_outcome(
+    name: str,
+    scale: Optional[ExperimentScale] = None,
+    seed: Optional[int] = None,
+    jobs: Optional[int] = None,
+    progress: Optional[Callable[..., None]] = None,
+) -> ExperimentOutcome:
+    """Run one declared experiment through the generic pathway."""
+    return _run_experiment(
+        get_experiment(name), scale=scale, seed=seed, jobs=jobs, progress=progress
+    )
+
+
 def run_experiment(
     name: str, scale: Optional[ExperimentScale] = None, seed: Optional[int] = None
 ) -> List[ExperimentResult]:
-    """Run one registered experiment by name."""
-    try:
-        driver = EXPERIMENTS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown experiment {name!r}; available: {experiment_names()}"
-        ) from None
-    kwargs: Dict[str, Any] = {}
-    if scale is not None:
-        kwargs["scale"] = scale
-    if seed is not None:
-        kwargs["seed"] = seed
-    return driver(**kwargs)
+    """Run one experiment by name and return its panels.
+
+    Compatibility shim over :func:`run_experiment_outcome` for callers
+    that only want the tables (the outcome additionally carries the
+    expectation verdicts and the sweep report).
+    """
+    return run_experiment_outcome(name, scale=scale, seed=seed).panels

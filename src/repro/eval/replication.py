@@ -1,23 +1,22 @@
-"""Multi-seed replication: are the headline results seed-robust?
+"""Multi-seed replication statistics: are the headline results seed-robust?
 
-Every experiment in this repo is deterministic in its seed; this module
-reruns a configuration across several seeds and reports mean ± sample
+Every experiment in this repo is deterministic in its seed; these helpers
+rerun a configuration across several seeds and report mean ± sample
 standard deviation, so claims like "discontinuity gives 1.46× on DB" can
 be qualified with their sensitivity to the synthetic-trace randomness.
+The ``replication-check`` catalog entry
+(:mod:`repro.eval.catalog.replication`) builds its panels on top of
+:func:`summarize`.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Optional, Sequence
 
-from repro.eval.executor import run_specs
-from repro.eval.figures import ExperimentResult
 from repro.eval.profiles import ExperimentScale
 from repro.eval.runner import run_system_cached
-from repro.eval.runspec import RunSpec
-from repro.trace.synth.workloads import DISPLAY_NAMES, workload_names
 
 #: default replication seeds (arbitrary, fixed for reproducibility).
 DEFAULT_SEEDS = (1337, 2024, 31415, 27182, 16180)
@@ -76,70 +75,3 @@ def replicate_speedup(
         return result.aggregate_ipc / base.aggregate_ipc
 
     return replicate_metric(one, seeds)
-
-
-def specs_replication_check(
-    scale: Optional[ExperimentScale] = None,
-    seed: int = DEFAULT_SEEDS[0],
-    seeds: Sequence[int] = DEFAULT_SEEDS[:3],
-) -> List[RunSpec]:
-    """Every run the replication check reads (all seeds, all schemes)."""
-    del seed
-    out = []
-    for one_seed in seeds:
-        for workload in workload_names():
-            out.append(RunSpec.create(workload, 4, "none", scale=scale, seed=one_seed))
-            for scheme in REPLICATION_SCHEMES:
-                out.append(
-                    RunSpec.create(
-                        workload, 4, scheme, scale=scale, l2_policy="bypass", seed=one_seed
-                    )
-                )
-    return out
-
-
-def run_replication_check(
-    scale: Optional[ExperimentScale] = None,
-    seed: int = DEFAULT_SEEDS[0],
-    seeds: Sequence[int] = DEFAULT_SEEDS[:3],
-) -> List[ExperimentResult]:
-    """Registry driver: the headline CMP speedups with seed error bars.
-
-    (The ``seed`` argument is accepted for registry-interface uniformity;
-    the replication always spans ``seeds``.)
-    """
-    run_specs(specs_replication_check(scale, seed, seeds), label="replication-check")
-    del seed
-    workloads = workload_names()
-    col_labels = [DISPLAY_NAMES[w] for w in workloads]
-    means = []
-    stds = []
-    for scheme in REPLICATION_SCHEMES:
-        mean_row = []
-        std_row = []
-        for workload in workloads:
-            replicate = replicate_speedup(
-                workload, 4, scheme, scale=scale, seeds=seeds
-            )
-            mean_row.append(replicate.mean)
-            std_row.append(replicate.std)
-        means.append(mean_row)
-        stds.append(std_row)
-    return [
-        ExperimentResult(
-            experiment="replication-mean",
-            title=f"CMP speedup, mean over {len(seeds)} seeds (bypass)",
-            row_labels=["Next-4-lines (tagged)", "Discontinuity"],
-            col_labels=col_labels,
-            values=means,
-            unit="speedup, X",
-        ),
-        ExperimentResult(
-            experiment="replication-std",
-            title=f"CMP speedup, sample std over {len(seeds)} seeds",
-            row_labels=["Next-4-lines (tagged)", "Discontinuity"],
-            col_labels=col_labels,
-            values=stds,
-            unit="speedup, X",
-        ),
-    ]

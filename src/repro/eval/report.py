@@ -1,7 +1,10 @@
-"""Result export: JSON and Markdown rendering of experiment panels.
+"""Result export: JSON and Markdown rendering of experiment results.
 
 Used by the CLI's ``--json``/``--markdown`` flags and by the maintainers
-to regenerate the tables in EXPERIMENTS.md.
+to regenerate the tables in EXPERIMENTS.md.  The ``panels_*`` functions
+render bare panel tables; the ``outcomes_*`` functions render full
+:class:`~repro.eval.experiment.ExperimentOutcome` objects — panels plus
+the declared paper-expectation verdicts.
 """
 
 from __future__ import annotations
@@ -10,6 +13,7 @@ import json
 import math
 from typing import Dict, Iterable, List
 
+from repro.eval.experiment import ExperimentOutcome, Verdict
 from repro.eval.figures import ExperimentResult
 
 
@@ -59,3 +63,58 @@ def panel_to_markdown(panel: ExperimentResult) -> str:
 def panels_to_markdown(panels: Iterable[ExperimentResult]) -> str:
     """Render a sequence of panels as one Markdown document."""
     return "\n\n".join(panel_to_markdown(panel) for panel in panels)
+
+
+def outcomes_to_json(outcomes: Iterable[ExperimentOutcome]) -> str:
+    """Serialise outcomes (panels + verdicts) to a JSON document."""
+    return json.dumps(
+        [outcome.to_dict() for outcome in outcomes],
+        indent=2,
+        sort_keys=True,
+        allow_nan=True,
+    )
+
+
+def outcomes_from_json(text: str) -> List[Dict]:
+    """Parse a document produced by :func:`outcomes_to_json` (plain dicts)."""
+    data = json.loads(text)
+    if not isinstance(data, list):
+        raise ValueError("expected a JSON list of experiment outcomes")
+    for outcome in data:
+        for key in ("experiment", "scale", "panels", "verdicts"):
+            if key not in outcome:
+                raise ValueError(f"outcome missing key {key!r}")
+    return data
+
+
+_VERDICT_MARKS = {"pass": "✅", "fail": "❌", "skip": "⏭"}
+
+
+def _verdict_to_markdown(verdict: Verdict) -> str:
+    mark = _VERDICT_MARKS.get(verdict.status, verdict.status)
+    line = f"- {mark} `{verdict.panel}` [{verdict.kind}]: {verdict.description}"
+    if verdict.detail:
+        line += f" — {verdict.detail}"
+    return line
+
+
+def outcome_to_markdown(outcome: ExperimentOutcome) -> str:
+    """Render one outcome: its panels, then its expectation verdicts."""
+    experiment = outcome.experiment
+    lines = [
+        f"## {experiment.name} — {experiment.title}",
+        "",
+        f"*{experiment.paper}; scale `{outcome.ctx.scale.name}`, "
+        f"seed {outcome.ctx.seed}*",
+        "",
+        panels_to_markdown(outcome.panels),
+    ]
+    if outcome.verdicts:
+        lines += ["", f"**{outcome.verdict_summary()}**", ""]
+        lines += [_verdict_to_markdown(verdict) for verdict in outcome.verdicts]
+    return "\n".join(lines)
+
+
+def outcomes_to_markdown(outcomes: Iterable[ExperimentOutcome]) -> str:
+    """Render a sequence of outcomes as one Markdown document."""
+    return "\n\n".join(outcome_to_markdown(outcome) for outcome in outcomes)

@@ -8,20 +8,20 @@ behavior-manifest workflow, and how to allowlist a legitimate exception.
 from repro.lint.engine import LintError, Project, Rule, Violation, run_rules
 from repro.lint.rules import (
     BehaviorManifestRule,
+    CatalogSyncRule,
     DeterminismRule,
     ExecutorBoundaryRule,
-    RegistrySyncRule,
     RunSpecSyncRule,
     default_rules,
 )
 
 __all__ = [
     "BehaviorManifestRule",
+    "CatalogSyncRule",
     "DeterminismRule",
     "ExecutorBoundaryRule",
     "LintError",
     "Project",
-    "RegistrySyncRule",
     "Rule",
     "RunSpecSyncRule",
     "Violation",

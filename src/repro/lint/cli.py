@@ -40,7 +40,7 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "AST-based invariant checker for the reproduction: determinism "
             "(R1), cache-safety (R2), RunSpec sync (R3), executor boundary "
-            "(R4) and registry sync (R5)."
+            "(R4) and catalog sync (R5)."
         ),
     )
     parser.add_argument(

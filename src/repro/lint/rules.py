@@ -13,8 +13,8 @@ Each rule encodes one contract the reproduction's results depend on:
   it keys the persistent cache.
 - **R4 executor boundary** — worker-payload builders construct JSON-safe
   plain data only (no sets, lambdas, or ad-hoc class instances).
-- **R5 registry sync** — every driver in ``eval/registry.py`` declares its
-  specs so it participates in deduplicated batch submission.
+- **R5 catalog sync** — every catalog ``Experiment`` declaration carries a
+  grid, panels and expectations, and is registered exactly once.
 
 Every rule takes an optional ``allowlist`` so legitimate exceptions are
 explicit constructor data (tests exercise this; ``docs/static_analysis.md``
@@ -520,25 +520,50 @@ class ExecutorBoundaryRule(Rule):
 
 
 # --------------------------------------------------------------------- #
-# R5 — registry sync
+# R5 — catalog sync
 # --------------------------------------------------------------------- #
 
-R5_REGISTRY = "src/repro/eval/registry.py"
-R5_EVAL_DIR = "src/repro/eval"
+R5_CATALOG_INIT = "src/repro/eval/catalog/__init__.py"
+R5_CATALOG_DIR = "src/repro/eval/catalog"
+
+#: every Experiment declaration must pass these keywords explicitly.
+R5_REQUIRED_KWARGS = (
+    "name",
+    "title",
+    "paper",
+    "tags",
+    "grid",
+    "panels",
+    "expectations",
+)
+
+R5_HINT = (
+    "declare every Experiment with explicit name/title/paper/tags/grid/"
+    "panels/expectations keywords and list it exactly once in the module's "
+    "EXPERIMENTS tuple"
+)
 
 
-class RegistrySyncRule(Rule):
-    """R5: every registered driver declares its specs for batch submission.
+class CatalogSyncRule(Rule):
+    """R5: every catalog ``Experiment`` declaration is complete and registered.
 
-    A driver present in ``EXPERIMENTS`` but absent from ``EXPERIMENT_SPECS``
-    silently opts out of the CLI's deduplicated parallel sweep and simulates
-    serially inside its driver — correct but quietly slow, which is exactly
-    the kind of regression nobody notices.  The rule also verifies that each
-    registry value points at a function that actually exists.
+    The declarative catalog replaced the old dual ``EXPERIMENTS``/
+    ``EXPERIMENT_SPECS`` registry dicts, so the old drift mode (a driver
+    missing its specs declarer) is gone by construction.  The remaining
+    drift modes are: a catalog module not listed in ``CATALOG_MODULES``
+    (its experiments silently vanish from the catalog), a declared
+    ``Experiment`` missing from its module's ``EXPERIMENTS`` tuple (same
+    silent vanishing), a declaration registered twice, a duplicate
+    experiment name across modules, a declaration missing one of the
+    required keywords, or a literal-empty ``panels``/``expectations``
+    tuple.  Underscore-prefixed modules are plumbing and carry no
+    declarations.  Sharing one grid object between several experiments
+    (Figures 5/6/7) is explicitly fine — the rule checks the keyword is
+    present, not that the value is private.
     """
 
     name = "R5"
-    title = "registry sync: EXPERIMENTS and EXPERIMENT_SPECS stay paired"
+    title = "catalog sync: Experiment declarations complete and registered once"
 
     DEFAULT_ALLOWLIST: Mapping[str, str] = {}
 
@@ -546,98 +571,234 @@ class RegistrySyncRule(Rule):
         self.allowlist = dict(self.DEFAULT_ALLOWLIST if allowlist is None else allowlist)
 
     def check(self, project: Project) -> List[Violation]:
-        tree = project.tree(R5_REGISTRY)
-        experiments = _registry_dict(tree, "EXPERIMENTS")
-        spec_fns = _registry_dict(tree, "EXPERIMENT_SPECS")
-
+        listed = _catalog_modules(project.tree(R5_CATALOG_INIT))
         violations: List[Violation] = []
-        for name, (line, _) in sorted(experiments.items()):
-            if name in spec_fns or name in self.allowlist:
+        for rel in project.iter_python(R5_CATALOG_DIR):
+            stem = rel.rsplit("/", 1)[-1][:-3]
+            if stem == "__init__" or stem.startswith("_"):
                 continue
-            violations.append(
-                self.violation(
-                    R5_REGISTRY,
-                    line,
-                    f"driver {name!r} has no EXPERIMENT_SPECS entry — it will not "
-                    "participate in deduplicated batch submission",
-                    f"define a specs() declarer for {name!r} and register it in "
-                    "EXPERIMENT_SPECS (or allowlist the driver with a reason)",
-                )
-            )
-        for name, (line, _) in sorted(spec_fns.items()):
-            if name not in experiments:
+            if stem not in listed:
                 violations.append(
                     self.violation(
-                        R5_REGISTRY,
-                        line,
-                        f"EXPERIMENT_SPECS entry {name!r} has no EXPERIMENTS driver",
-                        "remove the stale entry or register the driver",
+                        R5_CATALOG_INIT,
+                        0,
+                        f"catalog module {stem!r} ({rel}) is not listed in "
+                        "CATALOG_MODULES — its experiments are invisible to the catalog",
+                        "add the module to CATALOG_MODULES (underscore-prefix it "
+                        "if it is plumbing, not declarations)",
                     )
                 )
-        for registry_name, entries in (("EXPERIMENTS", experiments), ("EXPERIMENT_SPECS", spec_fns)):
-            for name, (line, value) in sorted(entries.items()):
-                problem = self._check_value(project, value)
-                if problem:
-                    violations.append(
-                        self.violation(
-                            R5_REGISTRY,
-                            line,
-                            f"{registry_name}[{name!r}]: {problem}",
-                            "point the registry at an existing top-level function",
-                        )
+        seen_names: Dict[str, str] = {}
+        for module_name, line in listed.items():
+            rel = f"{R5_CATALOG_DIR}/{module_name}.py"
+            if not project.exists(rel):
+                violations.append(
+                    self.violation(
+                        R5_CATALOG_INIT,
+                        line,
+                        f"CATALOG_MODULES lists {module_name!r} but {rel} does not exist",
+                        "remove the stale entry or add the module",
                     )
+                )
+                continue
+            violations.extend(self._check_module(project, rel, seen_names))
         return violations
 
-    def _check_value(self, project: Project, value: ast.expr) -> Optional[str]:
-        dotted = dotted_name(value)
-        if dotted is None:
-            return "value is not a plain module.attribute reference"
-        parts = dotted.split(".")
-        if len(parts) == 1:
-            rel, func_name = R5_REGISTRY, parts[0]
-        elif len(parts) == 2:
-            rel, func_name = f"{R5_EVAL_DIR}/{parts[0]}.py", parts[1]
-        else:
-            return f"unsupported reference {dotted!r}"
-        if not project.exists(rel):
-            return f"module {rel} does not exist"
-        for node in project.tree(rel).body:
-            if isinstance(node, ast.FunctionDef) and node.name == func_name:
-                return None
-            if isinstance(node, ast.Assign):
-                for target in node.targets:
-                    if isinstance(target, ast.Name) and target.id == func_name:
-                        return None
-        return f"{rel} defines no top-level {func_name!r}"
+    def _check_module(
+        self, project: Project, rel: str, seen_names: Dict[str, str]
+    ) -> List[Violation]:
+        tree = project.tree(rel)
+        declared: Dict[str, Tuple[int, ast.Call]] = {}
+        for node in tree.body:
+            if not (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+            ):
+                continue
+            callee = dotted_name(node.value.func)
+            if callee is not None and callee.split(".")[-1] == "Experiment":
+                declared[node.targets[0].id] = (node.lineno, node.value)
+
+        registered = _experiments_tuple(tree, rel)
+        counts: Dict[str, int] = {}
+        for entry_name, _ in registered:
+            counts[entry_name] = counts.get(entry_name, 0) + 1
+
+        violations: List[Violation] = []
+        for var, (line, call) in sorted(declared.items()):
+            experiment_name = _literal_str_kwarg(call, "name")
+            if experiment_name is not None and experiment_name in self.allowlist:
+                continue
+            registrations = counts.get(var, 0)
+            if registrations == 0:
+                violations.append(
+                    self.violation(
+                        rel,
+                        line,
+                        f"Experiment {var!r} is declared but missing from the "
+                        "module's EXPERIMENTS tuple — it is invisible to the catalog",
+                        R5_HINT + " (or allowlist the experiment name with a reason)",
+                    )
+                )
+            elif registrations > 1:
+                violations.append(
+                    self.violation(
+                        rel,
+                        line,
+                        f"Experiment {var!r} is registered {registrations} times "
+                        "in EXPERIMENTS",
+                        "list each declaration exactly once",
+                    )
+                )
+            violations.extend(self._check_call(rel, var, line, call, seen_names))
+        for entry_name, line in registered:
+            if entry_name not in declared:
+                violations.append(
+                    self.violation(
+                        rel,
+                        line,
+                        f"EXPERIMENTS lists {entry_name!r} but the module declares "
+                        "no top-level Experiment by that name",
+                        "remove the stale entry or declare the experiment",
+                    )
+                )
+        return violations
+
+    def _check_call(
+        self,
+        rel: str,
+        var: str,
+        line: int,
+        call: ast.Call,
+        seen_names: Dict[str, str],
+    ) -> List[Violation]:
+        violations: List[Violation] = []
+        kwargs = {kw.arg: kw.value for kw in call.keywords if kw.arg}
+        for required in R5_REQUIRED_KWARGS:
+            if required not in kwargs:
+                violations.append(
+                    self.violation(
+                        rel,
+                        line,
+                        f"Experiment {var!r} is missing the {required!r} keyword",
+                        R5_HINT,
+                    )
+                )
+        name_node = kwargs.get("name")
+        if name_node is not None:
+            if not (isinstance(name_node, ast.Constant) and isinstance(name_node.value, str)):
+                violations.append(
+                    self.violation(
+                        rel,
+                        line,
+                        f"Experiment {var!r}: name must be a string literal "
+                        "for static checking",
+                        "use a literal experiment name",
+                    )
+                )
+            else:
+                experiment_name = name_node.value
+                previous = seen_names.get(experiment_name)
+                if previous is not None:
+                    violations.append(
+                        self.violation(
+                            rel,
+                            line,
+                            f"experiment name {experiment_name!r} is already "
+                            f"declared at {previous}",
+                            "experiment names must be unique across the catalog",
+                        )
+                    )
+                else:
+                    seen_names[experiment_name] = f"{rel}:{line}"
+        for field in ("panels", "expectations"):
+            node = kwargs.get(field)
+            if isinstance(node, (ast.Tuple, ast.List)) and not node.elts:
+                violations.append(
+                    self.violation(
+                        rel,
+                        line,
+                        f"Experiment {var!r}: literal {field} tuple is empty",
+                        f"declare at least one {field[:-1]} (an experiment without "
+                        f"{field} asserts nothing)",
+                    )
+                )
+        return violations
 
 
-def _registry_dict(
-    tree: ast.Module, name: str
-) -> Dict[str, Tuple[int, ast.expr]]:
-    """Keys of a module-level dict literal -> (line, value expression)."""
+def _literal_str_kwarg(call: ast.Call, name: str) -> Optional[str]:
+    for keyword in call.keywords:
+        if keyword.arg == name:
+            if isinstance(keyword.value, ast.Constant) and isinstance(
+                keyword.value.value, str
+            ):
+                return keyword.value.value
+            return None
+    return None
+
+
+def _catalog_modules(tree: ast.Module) -> Dict[str, int]:
+    """``CATALOG_MODULES`` entries -> line number (literal tuple required)."""
     for node in tree.body:
         value: Optional[ast.expr] = None
         if isinstance(node, ast.Assign):
-            if any(isinstance(t, ast.Name) and t.id == name for t in node.targets):
+            if any(
+                isinstance(t, ast.Name) and t.id == "CATALOG_MODULES"
+                for t in node.targets
+            ):
                 value = node.value
         elif isinstance(node, ast.AnnAssign):
-            if isinstance(node.target, ast.Name) and node.target.id == name:
+            if isinstance(node.target, ast.Name) and node.target.id == "CATALOG_MODULES":
                 value = node.value
         if value is None:
             continue
-        if not isinstance(value, ast.Dict):
+        if not isinstance(value, (ast.Tuple, ast.List)):
             raise LintError(
-                f"{R5_REGISTRY}: {name} must be a dict literal for static checking"
+                f"{R5_CATALOG_INIT}: CATALOG_MODULES must be a tuple literal "
+                "for static checking"
             )
-        entries: Dict[str, Tuple[int, ast.expr]] = {}
-        for key, val in zip(value.keys, value.values):
-            if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+        entries: Dict[str, int] = {}
+        for element in value.elts:
+            if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
                 raise LintError(
-                    f"{R5_REGISTRY}: {name} keys must be string literals"
+                    f"{R5_CATALOG_INIT}: CATALOG_MODULES entries must be "
+                    "string literals"
                 )
-            entries[key.value] = (key.lineno, val)
+            entries[element.value] = element.lineno
         return entries
-    raise LintError(f"{R5_REGISTRY}: no module-level {name} dict found")
+    raise LintError(f"{R5_CATALOG_INIT}: no module-level CATALOG_MODULES tuple found")
+
+
+def _experiments_tuple(tree: ast.Module, rel: str) -> List[Tuple[str, int]]:
+    """``EXPERIMENTS`` entries -> (referenced name, line); literal required."""
+    for node in tree.body:
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            if any(
+                isinstance(t, ast.Name) and t.id == "EXPERIMENTS" for t in node.targets
+            ):
+                value = node.value
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and node.target.id == "EXPERIMENTS":
+                value = node.value
+        if value is None:
+            continue
+        if not isinstance(value, (ast.Tuple, ast.List)):
+            raise LintError(
+                f"{rel}: EXPERIMENTS must be a tuple literal for static checking"
+            )
+        entries: List[Tuple[str, int]] = []
+        for element in value.elts:
+            if not isinstance(element, ast.Name):
+                raise LintError(
+                    f"{rel}: EXPERIMENTS entries must be plain names of "
+                    "module-level Experiment declarations"
+                )
+            entries.append((element.id, element.lineno))
+        return entries
+    raise LintError(f"{rel}: no module-level EXPERIMENTS tuple found")
 
 
 def default_rules() -> List[Rule]:
@@ -647,5 +808,5 @@ def default_rules() -> List[Rule]:
         BehaviorManifestRule(),
         RunSpecSyncRule(),
         ExecutorBoundaryRule(),
-        RegistrySyncRule(),
+        CatalogSyncRule(),
     ]

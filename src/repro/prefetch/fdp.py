@@ -20,9 +20,9 @@ This implementation works at fetch-line granularity on the
 
 With paper-sized tables (1K-entry tagless BTB) the predicted path decays
 quickly on multi-MB footprints; growing the BTB toward impractical sizes
-recovers coverage — the comparison
-(:func:`repro.eval.comparisons.run_execution_based`) quantifies the
-paper's qualitative claim.
+recovers coverage — the ``comparison-execution-based``
+experiment (``repro.eval.catalog.comparisons``) quantifies the paper's
+qualitative claim.
 """
 
 from __future__ import annotations

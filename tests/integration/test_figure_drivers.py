@@ -1,7 +1,8 @@
-"""Structural tests of every experiment driver.
+"""Structural tests of every catalog experiment.
 
-Run at an ultra-tiny scale: these verify that each driver produces
-well-formed panels (labels, shapes, finite values) — the *qualitative*
+Run at an ultra-tiny scale: these verify that each declaration produces
+well-formed panels (labels, shapes, finite values) and that verdicts are
+skipped (not failed) below the declared scales — the *qualitative*
 assertions live in the benchmark suite at representative scale.
 """
 
@@ -9,8 +10,9 @@ import math
 
 import pytest
 
+from repro.eval.catalog import CATALOG
 from repro.eval.profiles import ExperimentScale
-from repro.eval.registry import EXPERIMENTS, run_experiment
+from repro.eval.registry import run_experiment, run_experiment_outcome
 
 TINY = ExperimentScale(
     name="tiny",
@@ -19,7 +21,7 @@ TINY = ExperimentScale(
     cmp_measure_instructions=12_000,
 )
 
-#: drivers and their expected panel counts.
+#: experiments and their expected panel counts.
 EXPECTED_PANELS = {
     "fig01": 1,
     "fig02": 1,
@@ -49,12 +51,17 @@ EXPECTED_PANELS = {
 }
 
 
-def test_every_registered_experiment_is_covered():
-    assert set(EXPECTED_PANELS) == set(EXPERIMENTS)
+def test_every_catalog_experiment_is_covered():
+    assert set(EXPECTED_PANELS) == set(CATALOG)
+
+
+def test_panel_counts_match_declarations():
+    for name, experiment in CATALOG.items():
+        assert len(experiment.panels) == EXPECTED_PANELS[name], name
 
 
 @pytest.mark.parametrize("name", sorted(EXPECTED_PANELS))
-def test_driver_produces_well_formed_panels(name):
+def test_experiment_produces_well_formed_panels(name):
     panels = run_experiment(name, scale=TINY)
     assert len(panels) == EXPECTED_PANELS[name]
     for panel in panels:
@@ -69,9 +76,20 @@ def test_driver_produces_well_formed_panels(name):
         assert panel.experiment in table
 
 
-def test_drivers_reuse_cached_runs():
-    """Figures 5 and 6 read the same configurations; after fig05 has run,
-    fig06 should complete from cache almost instantly."""
+def test_outcome_skips_expectations_below_declared_scale():
+    """At an unregistered ad-hoc scale every verdict is a skip, never a
+    spurious fail — paper bands are only meaningful at real scales."""
+    outcome = run_experiment_outcome("fig01", scale=TINY)
+    assert outcome.name == "fig01"
+    assert len(outcome.verdicts) == len(CATALOG["fig01"].expectations)
+    assert outcome.verdicts, "fig01 must declare expectations"
+    assert all(verdict.status == "skip" for verdict in outcome.verdicts)
+    assert outcome.passed
+
+
+def test_experiments_reuse_cached_runs():
+    """Figures 5 and 6 share one grid; after fig05 has run, fig06 should
+    complete from cache almost instantly."""
     import time
 
     run_experiment("fig05", scale=TINY)

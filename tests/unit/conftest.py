@@ -79,20 +79,29 @@ BASE_FILES: Dict[str, str] = {
         def report_to_summary(report):
             return {"event": "sweep", "total": report.total}
         """,
-    "src/repro/eval/registry.py": """
-        from repro.eval import fig01
-
-        EXPERIMENTS = {"fig01": fig01.run}
-
-        EXPERIMENT_SPECS = {"fig01": fig01.specs}
+    "src/repro/eval/catalog/__init__.py": """
+        CATALOG_MODULES = ("figures",)
         """,
-    "src/repro/eval/fig01.py": """
-        def run(scale=None, seed=None):
-            return []
+    "src/repro/eval/catalog/_util.py": """
+        def workload_axis(ids):
+            return tuple((w.upper(), w) for w in ids)
+        """,
+    "src/repro/eval/catalog/figures.py": """
+        from repro.eval.experiment import Band, Experiment, Grid, PanelDef
 
+        FIG01_GRID = Grid(axes=(("workload", ("db",)),), build=None)
 
-        def specs(scale=None, seed=None):
-            return []
+        FIG01 = Experiment(
+            name="fig01",
+            title="demo figure",
+            paper="Figure 1",
+            tags=("figure",),
+            grid=FIG01_GRID,
+            panels=(PanelDef(id="fig01", title="demo", rows=(), cols=(), cell=None),),
+            expectations=(Band(panel="fig01", lo=0.0, hi=1.0),),
+        )
+
+        EXPERIMENTS = (FIG01,)
         """,
 }
 

@@ -58,6 +58,22 @@ class TestAffectedExperiments:
         assert cli._affected_experiments(by_experiment, []) == []
 
 
+class FakeOutcome:
+    """The slice of ExperimentOutcome the CLI's run flow reads."""
+
+    def __init__(self, name, verdicts=()):
+        self.name = name
+        self.panels = []
+        self.verdicts = list(verdicts)
+
+    @property
+    def failed_verdicts(self):
+        return [v for v in self.verdicts if v.status == "fail"]
+
+    def verdict_summary(self):
+        return "expectations: faked"
+
+
 @pytest.fixture
 def fake_experiment(monkeypatch):
     """Wire one fake experiment through the CLI's registry seams."""
@@ -67,7 +83,9 @@ def fake_experiment(monkeypatch):
         return {name: [spec] for name in names}
 
     monkeypatch.setattr(cli, "collect_specs_by_experiment", fake_collect)
-    monkeypatch.setattr(cli, "run_experiment", lambda name, **kwargs: [])
+    monkeypatch.setattr(
+        cli, "run_experiment_outcome", lambda name, **kwargs: FakeOutcome(name)
+    )
     monkeypatch.setattr(
         cli, "experiment_names", lambda: ["fake-experiment"], raising=False
     )
@@ -119,3 +137,62 @@ class TestMainSweepSummary:
             [line for line in captured.out.splitlines() if line.startswith("{")][0]
         )
         assert summary["failed"] == 1
+
+
+class TestStrictMode:
+    """``--strict`` / $REPRO_STRICT_EXPECTATIONS turn failed verdicts into
+    a non-zero exit; by default they are advisory."""
+
+    @pytest.fixture
+    def failing_run(self, fake_experiment, monkeypatch):
+        from repro.eval.experiment import Verdict
+
+        spec = fake_experiment
+        report = SweepReport(total=1, simulated=1, label="fake-experiment")
+
+        def fake_run(specs, jobs=None, progress=None, label=None):
+            return {spec: object()}, report
+
+        verdict = Verdict(
+            experiment="fake-experiment",
+            panel="p",
+            kind="band",
+            description="d",
+            status="fail",
+            detail="out of band",
+        )
+        monkeypatch.setattr(cli, "run_specs_report", fake_run)
+        monkeypatch.setattr(
+            cli,
+            "run_experiment_outcome",
+            lambda name, **kwargs: FakeOutcome(name, verdicts=[verdict]),
+        )
+
+    def test_failed_verdicts_are_advisory_by_default(
+        self, failing_run, monkeypatch, capsys
+    ):
+        monkeypatch.delenv(cli.STRICT_ENV, raising=False)
+        assert cli.main(["fake-experiment"]) == 0
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+
+    def test_strict_flag_exits_nonzero(self, failing_run, capsys):
+        assert cli.main(["fake-experiment", "--strict"]) == 1
+        assert "strict mode" in capsys.readouterr().err
+
+    def test_strict_env_exits_nonzero(self, failing_run, monkeypatch, capsys):
+        monkeypatch.setenv(cli.STRICT_ENV, "1")
+        assert cli.main(["fake-experiment"]) == 1
+        assert "strict mode" in capsys.readouterr().err
+
+    def test_passing_verdicts_are_fine_in_strict_mode(
+        self, fake_experiment, monkeypatch, capsys
+    ):
+        spec = fake_experiment
+        report = SweepReport(total=1, simulated=1, label="fake-experiment")
+
+        def fake_run(specs, jobs=None, progress=None, label=None):
+            return {spec: object()}, report
+
+        monkeypatch.setattr(cli, "run_specs_report", fake_run)
+        assert cli.main(["fake-experiment", "--strict"]) == 0

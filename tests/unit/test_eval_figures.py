@@ -2,9 +2,11 @@
 
 import pytest
 
+from repro.eval.catalog import CATALOG
 from repro.eval.cli import build_parser, main
+from repro.eval.experiment import Experiment
 from repro.eval.figures import ExperimentResult, grid_from
-from repro.eval.registry import EXPERIMENTS, experiment_names, run_experiment
+from repro.eval.registry import experiment_names, get_experiment
 
 
 def sample_result():
@@ -34,6 +36,31 @@ class TestExperimentResult:
             ExperimentResult("e", "t", ["a"], ["x"], [[1.0], [2.0]])
         with pytest.raises(ValueError, match="columns"):
             ExperimentResult("e", "t", ["a"], ["x", "y"], [[1.0]])
+
+    def test_unknown_row_names_experiment_and_alternatives(self):
+        result = sample_result()
+        with pytest.raises(KeyError) as excinfo:
+            result.value("bogus", "y")
+        message = str(excinfo.value)
+        assert "figXX" in message
+        assert "'bogus'" in message
+        assert "available rows" in message
+        assert "'a'" in message and "'b'" in message
+
+    def test_unknown_column_names_experiment_and_alternatives(self):
+        result = sample_result()
+        with pytest.raises(KeyError) as excinfo:
+            result.column("w")
+        message = str(excinfo.value)
+        assert "figXX" in message
+        assert "'w'" in message
+        assert "available columns" in message
+        assert "'x'" in message and "'z'" in message
+
+    def test_row_lookup_error_matches_value_lookup_error(self):
+        result = sample_result()
+        with pytest.raises(KeyError, match="available rows"):
+            result.row("nope")
 
     def test_format_table_contains_labels_and_notes(self):
         text = sample_result().format_table()
@@ -73,10 +100,18 @@ class TestRegistry:
 
     def test_unknown_experiment(self):
         with pytest.raises(KeyError, match="unknown experiment"):
-            run_experiment("fig99")
+            get_experiment("fig99")
 
-    def test_drivers_are_callables(self):
-        assert all(callable(driver) for driver in EXPERIMENTS.values())
+    def test_unknown_experiment_lists_alternatives(self):
+        with pytest.raises(KeyError, match="fig01"):
+            get_experiment("fig99")
+
+    def test_catalog_holds_experiment_declarations(self):
+        assert set(experiment_names()) == set(CATALOG)
+        assert all(
+            isinstance(experiment, Experiment) for experiment in CATALOG.values()
+        )
+        assert all(name == CATALOG[name].name for name in CATALOG)
 
 
 class TestCli:
@@ -85,6 +120,23 @@ class TestCli:
         out = capsys.readouterr().out
         assert "fig01" in out
         assert "fig10" in out
+
+    def test_list_verb_shows_paper_reference(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig01" in out
+        assert "Figure 1" in out
+        assert "replication-check" in out
+
+    def test_describe_verb(self, capsys):
+        assert main(["describe", "fig01"]) == 0
+        out = capsys.readouterr().out
+        assert "fig01" in out
+        assert "panels" in out
+        assert "expectations" in out
+
+    def test_describe_unknown_experiment(self, capsys):
+        assert main(["describe", "fig99"]) == 2
 
     def test_requires_experiment(self, capsys):
         assert main([]) == 2
@@ -98,3 +150,8 @@ class TestCli:
         assert args.scale == "smoke"
         with pytest.raises(SystemExit):
             parser.parse_args(["fig01", "--scale", "huge"])
+
+    def test_parser_strict_flag_defaults_to_none(self):
+        parser = build_parser()
+        assert parser.parse_args(["fig01"]).strict is None
+        assert parser.parse_args(["fig01", "--strict"]).strict is True

@@ -1,0 +1,397 @@
+"""Unit tests for the declarative experiment model (repro.eval.experiment).
+
+Everything here runs on synthetic panels and tiny grids — no simulation.
+The catalog's concrete declarations are covered by the spec-parity golden
+test and the integration suite.
+"""
+
+import math
+
+import pytest
+
+from repro.eval.experiment import (
+    Band,
+    Compare,
+    Experiment,
+    ExperimentContext,
+    ExperimentOutcome,
+    Extremum,
+    Grid,
+    PanelDef,
+    Runs,
+    Spread,
+    Verdict,
+    scale_rank,
+)
+from repro.eval.figures import ExperimentResult
+from repro.eval.profiles import ExperimentScale, get_scale
+from repro.eval.runspec import DEFAULT_SEED
+
+SMOKE = get_scale("smoke")
+
+TINY = ExperimentScale(
+    name="tiny",
+    warm_instructions=2_000,
+    measure_instructions=8_000,
+    cmp_measure_instructions=4_000,
+)
+
+
+def panel(values, rows=("a", "b"), cols=("x", "y"), experiment="p1"):
+    return ExperimentResult(
+        experiment=experiment,
+        title="synthetic",
+        row_labels=list(rows),
+        col_labels=list(cols),
+        values=[[float(v) for v in row] for row in values],
+    )
+
+
+class TestScaleRank:
+    def test_known_scales_are_ordered(self):
+        assert scale_rank("smoke") < scale_rank("default") < scale_rank("full")
+
+    def test_unknown_scale_ranks_below_everything(self):
+        assert scale_rank("tiny") < scale_rank("smoke")
+
+
+class TestExperimentContext:
+    def test_spec_inherits_scale_and_seed(self):
+        ctx = ExperimentContext(scale=SMOKE, seed=7)
+        spec = ctx.spec("db", 4)
+        assert spec.seed == 7
+        assert spec.scale.name == SMOKE.name
+
+    def test_explicit_kwargs_beat_context_defaults(self):
+        ctx = ExperimentContext(scale=SMOKE, seed=7)
+        assert ctx.spec("db", 4, seed=9).seed == 9
+
+
+class TestGrid:
+    def test_expands_cartesian_product(self):
+        grid = Grid(
+            axes=(("workload", ("db", "web")), ("n", (1, 2))),
+            build=lambda ctx, workload, n: ctx.spec(workload, n),
+        )
+        specs = grid.specs(ExperimentContext(scale=SMOKE))
+        assert len(specs) == 4
+        assert {(s.workload, s.n_cores) for s in specs} == {
+            ("db", 1), ("db", 2), ("web", 1), ("web", 2)
+        }
+
+    def test_callable_axis_reads_context(self):
+        def seeds_axis(ctx):
+            return ctx.seeds
+
+        grid = Grid(
+            axes=(("seed", seeds_axis),),
+            build=lambda ctx, seed: ctx.spec("db", 1, seed=seed),
+        )
+        ctx = ExperimentContext(scale=SMOKE, seeds=(1, 2, 3))
+        assert sorted(s.seed for s in grid.specs(ctx)) == [1, 2, 3]
+
+    def test_build_may_return_a_sequence_or_none(self):
+        def build(ctx, workload):
+            if workload == "web":
+                return None  # skipped grid point
+            return [ctx.spec(workload, 1), ctx.spec(workload, 2)]
+
+        grid = Grid(axes=(("workload", ("db", "web")),), build=build)
+        specs = grid.specs(ExperimentContext(scale=SMOKE))
+        assert len(specs) == 2
+        assert all(s.workload == "db" for s in specs)
+
+    def test_duplicate_points_are_deduplicated(self):
+        grid = Grid(
+            axes=(("n", (1, 2)),),
+            build=lambda ctx, n: ctx.spec("db", 1),  # same spec twice
+        )
+        assert len(grid.specs(ExperimentContext(scale=SMOKE))) == 1
+
+
+class FakeResult:
+    def __init__(self, ipc):
+        self.aggregate_ipc = ipc
+
+
+class TestRuns:
+    def make_runs(self):
+        ctx = ExperimentContext(scale=SMOKE)
+        results = {
+            ctx.spec("db", 4): FakeResult(1.0),
+            ctx.spec("db", 4, "discontinuity"): FakeResult(1.5),
+        }
+        return Runs(ctx, results)
+
+    def test_result_lookup(self):
+        runs = self.make_runs()
+        assert runs.result("db", 4).aggregate_ipc == 1.0
+        assert len(runs) == 2
+
+    def test_missing_spec_names_the_run(self):
+        runs = self.make_runs()
+        with pytest.raises(KeyError, match="not part of this experiment's grid"):
+            runs.result("web", 4)
+
+    def test_speedup_over_matching_baseline(self):
+        runs = self.make_runs()
+        assert runs.speedup("db", 4, "discontinuity") == 1.5
+
+    def test_speedup_base_kwargs_select_the_baseline(self):
+        ctx = ExperimentContext(scale=SMOKE)
+        results = {
+            ctx.spec("db", 4, l2_inclusive=True): FakeResult(2.0),
+            ctx.spec(
+                "db", 4, "discontinuity", l2_inclusive=True
+            ): FakeResult(3.0),
+        }
+        runs = Runs(ctx, results)
+        speedup = runs.speedup(
+            "db", 4, "discontinuity",
+            base={"l2_inclusive": True}, l2_inclusive=True,
+        )
+        assert speedup == 1.5
+
+    def test_speedup_propagates_seed_to_baseline(self):
+        ctx = ExperimentContext(scale=SMOKE)
+        results = {
+            ctx.spec("db", 4, seed=9): FakeResult(1.0),
+            ctx.spec("db", 4, "discontinuity", seed=9): FakeResult(1.2),
+        }
+        runs = Runs(ctx, results)
+        assert runs.speedup("db", 4, "discontinuity", seed=9) == 1.2
+
+
+class TestPanelDef:
+    def test_build_evaluates_every_cell(self):
+        definition = PanelDef(
+            id="p1",
+            title="t",
+            rows=(("A", 1), ("B", 2)),
+            cols=(("X", 10), ("Y", 20)),
+            cell=lambda runs, row, col: row * col,
+        )
+        result = definition.build(Runs(ExperimentContext(scale=SMOKE), {}))
+        assert result.values == [[10.0, 20.0], [20.0, 40.0]]
+        assert result.row_labels == ["A", "B"]
+        assert result.col_labels == ["X", "Y"]
+
+
+class TestBand:
+    def test_pass_and_fail(self):
+        p = panel([[1.1, 1.2], [1.3, 1.4]])
+        ok, _ = Band(panel="p1", lo=1.0, hi=1.5).check(p)
+        assert ok
+        ok, detail = Band(panel="p1", lo=1.25).check(p)
+        assert not ok
+        assert "a/x=1.1" in detail
+
+    def test_bounds_are_strict(self):
+        p = panel([[1.0, 1.2], [1.3, 1.4]])
+        ok, detail = Band(panel="p1", lo=1.0).check(p)
+        assert not ok
+        assert "<=" in detail
+
+    def test_single_row_and_column_subset(self):
+        p = panel([[1.1, 9.0], [0.0, 0.0]])
+        ok, _ = Band(panel="p1", row="a", lo=1.0, hi=2.0, cols=("x",)).check(p)
+        assert ok
+
+    def test_nan_cells_are_skipped(self):
+        p = panel([[math.nan, 1.2], [1.3, 1.4]])
+        ok, detail = Band(panel="p1", lo=1.0, hi=1.5).check(p)
+        assert ok
+        assert "3 cell(s)" in detail
+
+    def test_agg_max_checks_only_the_row_maximum(self):
+        p = panel([[0.5, 1.2], [0.4, 1.4]])
+        ok, _ = Band(panel="p1", lo=1.0, agg="max").check(p)
+        assert ok
+
+
+class TestCompare:
+    def test_row_vs_row_across_columns(self):
+        p = panel([[1.5, 1.6], [1.2, 1.3]])
+        ok, _ = Compare(panel="p1", row="a", other_row="b", op=">").check(p)
+        assert ok
+        ok, _ = Compare(panel="p1", row="b", other_row="a", op=">").check(p)
+        assert not ok
+
+    def test_factor_and_offset(self):
+        p = panel([[1.5, 1.6], [1.2, 1.3]])
+        ok, _ = Compare(
+            panel="p1", row="a", other_row="b", op=">", offset=0.5
+        ).check(p)
+        assert not ok
+        ok, _ = Compare(
+            panel="p1", row="b", other_row="a", op=">=", factor=0.5
+        ).check(p)
+        assert ok
+
+    def test_single_cell_pair_across_columns(self):
+        """other_row defaults to row: compares two cells of the same row."""
+        p = panel([[1.0, 2.0], [5.0, 1.0]])
+        ok, _ = Compare(panel="p1", row="a", op=">", col="y", other_col="x").check(p)
+        assert ok
+        ok, _ = Compare(panel="p1", row="b", op=">", col="y", other_col="x").check(p)
+        assert not ok
+
+    def test_allow_failures_tolerates_columns(self):
+        p = panel([[1.5, 1.0], [1.2, 1.3]])
+        strict = Compare(panel="p1", row="a", other_row="b", op=">")
+        lax = Compare(panel="p1", row="a", other_row="b", op=">", allow_failures=1)
+        assert not strict.check(p)[0]
+        ok, detail = lax.check(p)
+        assert ok
+        assert "tolerated" in detail
+
+    def test_nan_pairs_are_skipped(self):
+        p = panel([[1.5, math.nan], [1.2, 1.3]])
+        ok, _ = Compare(panel="p1", row="a", other_row="b", op=">").check(p)
+        assert ok
+
+
+class TestSpread:
+    def test_pass_and_fail(self):
+        p = panel([[1.0, 1.1], [1.05, 1.4]])
+        assert Spread(panel="p1", rows=("a", "b"), hi=0.5).check(p)[0]
+        ok, detail = Spread(panel="p1", rows=("a", "b"), hi=0.2).check(p)
+        assert not ok
+        assert "y" in detail
+
+
+class TestExtremum:
+    def test_max_and_min(self):
+        p = panel([[1.0, 2.0], [3.0, 1.0]])
+        assert Extremum(panel="p1", row="a", col="y", extremum="max").check(p)[0]
+        assert Extremum(panel="p1", row="a", col="x", extremum="min").check(p)[0]
+        ok, detail = Extremum(panel="p1", row="b", col="y", extremum="max").check(p)
+        assert not ok
+        assert "row max is 3" in detail
+
+
+def experiment_with(expectations, bench_scale="smoke"):
+    return Experiment(
+        name="synthetic",
+        title="synthetic experiment",
+        paper="Figure 0",
+        tags=("test",),
+        grid=Grid(axes=(), build=None),
+        panels=(),
+        expectations=tuple(expectations),
+        bench_scale=bench_scale,
+    )
+
+
+class TestEvaluate:
+    def test_missing_panel_fails_with_available_list(self):
+        experiment = experiment_with([Band(panel="ghost", lo=0.0)])
+        ctx = experiment.context(SMOKE)
+        (verdict,) = experiment.evaluate([panel([[1.0, 1.0], [1.0, 1.0]])], ctx)
+        assert verdict.failed
+        assert "'ghost' not produced" in verdict.detail
+        assert "p1" in verdict.detail
+
+    def test_lookup_error_becomes_failed_verdict(self):
+        experiment = experiment_with([Band(panel="p1", row="ghost", lo=0.0)])
+        ctx = experiment.context(SMOKE)
+        (verdict,) = experiment.evaluate([panel([[1.0, 1.0], [1.0, 1.0]])], ctx)
+        assert verdict.failed
+        assert "lookup error" in verdict.detail
+
+    def test_below_min_scale_skips(self):
+        experiment = experiment_with([Band(panel="p1", lo=0.0)])
+        ctx = experiment.context(TINY)
+        (verdict,) = experiment.evaluate([panel([[1.0, 1.0], [1.0, 1.0]])], ctx)
+        assert verdict.status == "skip"
+        assert "below 'smoke'" in verdict.detail
+
+    def test_bench_scale_default_skips_at_smoke(self):
+        experiment = experiment_with(
+            [Band(panel="p1", lo=0.0)], bench_scale="default"
+        )
+        ctx = experiment.context(SMOKE)
+        (verdict,) = experiment.evaluate([panel([[1.0, 1.0], [1.0, 1.0]])], ctx)
+        assert verdict.status == "skip"
+
+    def test_explicit_min_scale_beats_bench_scale(self):
+        experiment = experiment_with(
+            [Band(panel="p1", lo=0.0, min_scale="smoke")], bench_scale="default"
+        )
+        ctx = experiment.context(SMOKE)
+        (verdict,) = experiment.evaluate([panel([[1.0, 1.0], [1.0, 1.0]])], ctx)
+        assert verdict.passed
+
+
+class TestVerdict:
+    def test_format_includes_status_kind_and_detail(self):
+        verdict = Verdict("e", "p", "band", "desc", "fail", "out of band")
+        text = verdict.format()
+        assert "FAIL" in text
+        assert "[band]" in text
+        assert "out of band" in text
+
+    def test_to_dict_round_trip_fields(self):
+        verdict = Verdict("e", "p", "band", "desc", "pass", "ok")
+        assert verdict.to_dict() == {
+            "experiment": "e",
+            "panel": "p",
+            "kind": "band",
+            "description": "desc",
+            "status": "pass",
+            "detail": "ok",
+        }
+
+
+class TestExperimentOutcome:
+    def make_outcome(self, verdicts=()):
+        experiment = experiment_with([])
+        return ExperimentOutcome(
+            experiment=experiment,
+            ctx=experiment.context(SMOKE),
+            panels=[panel([[1.0, 1.0], [1.0, 1.0]])],
+            verdicts=list(verdicts),
+        )
+
+    def test_panel_lookup_names_available_panels(self):
+        outcome = self.make_outcome()
+        assert outcome.panel("p1").experiment == "p1"
+        with pytest.raises(KeyError, match="available"):
+            outcome.panel("nope")
+
+    def test_passed_tracks_failed_verdicts(self):
+        ok = Verdict("synthetic", "p1", "band", "d", "pass")
+        bad = Verdict("synthetic", "p1", "band", "d", "fail")
+        assert self.make_outcome([ok]).passed
+        outcome = self.make_outcome([ok, bad])
+        assert not outcome.passed
+        assert outcome.failed_verdicts == [bad]
+
+    def test_verdict_summary_counts(self):
+        verdicts = [
+            Verdict("synthetic", "p1", "band", "d", status)
+            for status in ("pass", "pass", "fail", "skip")
+        ]
+        summary = self.make_outcome(verdicts).verdict_summary()
+        assert summary == "expectations: 2 pass, 1 fail, 1 skipped"
+
+
+class TestExperimentSpecs:
+    def test_specs_resolve_scale_by_name(self):
+        experiment = Experiment(
+            name="synthetic",
+            title="t",
+            paper="Figure 0",
+            tags=("test",),
+            grid=Grid(
+                axes=(("workload", ("db",)),),
+                build=lambda ctx, workload: ctx.spec(workload, 1),
+            ),
+            panels=(),
+            expectations=(),
+        )
+        (spec,) = experiment.specs(scale="smoke")
+        assert spec.scale.name == "smoke"
+        assert spec.seed == DEFAULT_SEED
+        (spec,) = experiment.specs(scale="smoke", seed=5)
+        assert spec.seed == 5

@@ -1,0 +1,208 @@
+"""R5 (catalog sync): every catalog ``Experiment`` declaration is complete,
+registered exactly once, and visible to the catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint.engine import LintError
+from repro.lint.rules import CatalogSyncRule
+from tests.unit.conftest import write_tree_file
+
+FIGURES_WITH_UNREGISTERED = """
+    from repro.eval.experiment import Band, Experiment, Grid, PanelDef
+
+    FIG01_GRID = Grid(axes=(("workload", ("db",)),), build=None)
+
+    FIG01 = Experiment(
+        name="fig01",
+        title="demo figure",
+        paper="Figure 1",
+        tags=("figure",),
+        grid=FIG01_GRID,
+        panels=(PanelDef(id="fig01", title="demo", rows=(), cols=(), cell=None),),
+        expectations=(Band(panel="fig01", lo=0.0, hi=1.0),),
+    )
+
+    FIG02 = Experiment(
+        name="fig02",
+        title="forgotten figure",
+        paper="Figure 2",
+        tags=("figure",),
+        grid=FIG01_GRID,
+        panels=(PanelDef(id="fig02", title="demo", rows=(), cols=(), cell=None),),
+        expectations=(Band(panel="fig02", lo=0.0, hi=1.0),),
+    )
+
+    EXPERIMENTS = (FIG01,)
+    """
+
+#: the fix R5's hint asks for: list the declaration in EXPERIMENTS.
+FIGURES_REGISTERED = FIGURES_WITH_UNREGISTERED.replace(
+    "EXPERIMENTS = (FIG01,)", "EXPERIMENTS = (FIG01, FIG02)"
+)
+
+
+def test_base_tree_is_clean(lint_tree):
+    assert CatalogSyncRule().check(lint_tree()) == []
+
+
+def test_unregistered_experiment_fails(lint_tree):
+    project = lint_tree(
+        {"src/repro/eval/catalog/figures.py": FIGURES_WITH_UNREGISTERED}
+    )
+    violations = CatalogSyncRule().check(project)
+    assert len(violations) == 1
+    assert "'FIG02'" in violations[0].message
+    assert "EXPERIMENTS tuple" in violations[0].message
+    assert "allowlist" in violations[0].hint
+
+
+def test_fix_it_hint_resolves_the_violation(lint_tree):
+    project = lint_tree(
+        {"src/repro/eval/catalog/figures.py": FIGURES_WITH_UNREGISTERED}
+    )
+    assert CatalogSyncRule().check(project) != []
+    project = write_tree_file(
+        project.root, "src/repro/eval/catalog/figures.py", FIGURES_REGISTERED
+    )
+    assert CatalogSyncRule().check(project) == []
+
+
+def test_allowlisted_experiment_may_skip_registration(lint_tree):
+    project = lint_tree(
+        {"src/repro/eval/catalog/figures.py": FIGURES_WITH_UNREGISTERED}
+    )
+    rule = CatalogSyncRule(
+        allowlist={"fig02": "declared for interactive use only, by design"}
+    )
+    assert rule.check(project) == []
+
+
+def test_shared_grid_between_experiments_is_clean(lint_tree):
+    """Figures 5/6/7 share one grid object so their runs dedupe; R5 must
+    not mistake the shared reference for an incomplete declaration."""
+    assert FIGURES_REGISTERED.count("grid=FIG01_GRID") == 2  # shared reference
+    project = lint_tree(
+        {"src/repro/eval/catalog/figures.py": FIGURES_REGISTERED}
+    )
+    assert CatalogSyncRule().check(project) == []
+
+
+def test_missing_required_keyword_fails(lint_tree):
+    source = FIGURES_REGISTERED.replace('paper="Figure 2",', "")
+    project = lint_tree({"src/repro/eval/catalog/figures.py": source})
+    violations = CatalogSyncRule().check(project)
+    assert len(violations) == 1
+    assert "'FIG02'" in violations[0].message
+    assert "'paper'" in violations[0].message
+
+
+def test_literal_empty_expectations_fails(lint_tree):
+    source = FIGURES_REGISTERED.replace(
+        'expectations=(Band(panel="fig02", lo=0.0, hi=1.0),),',
+        "expectations=(),",
+    )
+    project = lint_tree({"src/repro/eval/catalog/figures.py": source})
+    violations = CatalogSyncRule().check(project)
+    assert len(violations) == 1
+    assert "literal expectations tuple is empty" in violations[0].message
+
+
+def test_non_literal_expectations_not_flagged(lint_tree):
+    """Expectations composed by helper functions are legal — only a
+    *literal* empty tuple is statically known to assert nothing."""
+    source = FIGURES_REGISTERED.replace(
+        'expectations=(Band(panel="fig02", lo=0.0, hi=1.0),),',
+        'expectations=_shared_bands("fig02"),',
+    )
+    project = lint_tree({"src/repro/eval/catalog/figures.py": source})
+    assert CatalogSyncRule().check(project) == []
+
+
+def test_duplicate_name_across_declarations_fails(lint_tree):
+    source = FIGURES_REGISTERED.replace('name="fig02"', 'name="fig01"')
+    project = lint_tree({"src/repro/eval/catalog/figures.py": source})
+    violations = CatalogSyncRule().check(project)
+    assert len(violations) == 1
+    assert "'fig01'" in violations[0].message
+    assert "already declared" in violations[0].message
+
+
+def test_double_registration_fails(lint_tree):
+    source = FIGURES_WITH_UNREGISTERED.replace(
+        "EXPERIMENTS = (FIG01,)", "EXPERIMENTS = (FIG01, FIG02, FIG02)"
+    )
+    project = lint_tree({"src/repro/eval/catalog/figures.py": source})
+    violations = CatalogSyncRule().check(project)
+    assert len(violations) == 1
+    assert "registered 2 times" in violations[0].message
+
+
+def test_unlisted_module_fails(lint_tree):
+    extras = FIGURES_REGISTERED.replace('name="fig01"', 'name="x01"').replace(
+        'name="fig02"', 'name="x02"'
+    )
+    project = lint_tree({"src/repro/eval/catalog/extras.py": extras})
+    violations = CatalogSyncRule().check(project)
+    assert len(violations) == 1
+    assert "'extras'" in violations[0].message
+    assert "CATALOG_MODULES" in violations[0].message
+
+
+def test_underscore_module_is_plumbing(lint_tree):
+    project = lint_tree(
+        {
+            "src/repro/eval/catalog/_helpers.py": """
+            def cell(runs, row, col):
+                return 0.0
+            """
+        }
+    )
+    assert CatalogSyncRule().check(project) == []
+
+
+def test_stale_catalog_modules_entry_fails(lint_tree):
+    project = lint_tree(
+        {
+            "src/repro/eval/catalog/__init__.py": """
+            CATALOG_MODULES = ("figures", "ghost")
+            """
+        }
+    )
+    violations = CatalogSyncRule().check(project)
+    assert len(violations) == 1
+    assert "'ghost'" in violations[0].message
+    assert "does not exist" in violations[0].message
+
+
+def test_stale_experiments_entry_fails(lint_tree):
+    source = FIGURES_REGISTERED.replace(
+        "EXPERIMENTS = (FIG01, FIG02)", "EXPERIMENTS = (FIG01, FIG02, GHOST)"
+    )
+    project = lint_tree({"src/repro/eval/catalog/figures.py": source})
+    violations = CatalogSyncRule().check(project)
+    assert len(violations) == 1
+    assert "'GHOST'" in violations[0].message
+    assert "no top-level Experiment" in violations[0].message
+
+
+def test_non_literal_catalog_modules_raises(lint_tree):
+    project = lint_tree(
+        {
+            "src/repro/eval/catalog/__init__.py": """
+            CATALOG_MODULES = tuple(["figures"])
+            """
+        }
+    )
+    with pytest.raises(LintError, match="tuple literal"):
+        CatalogSyncRule().check(project)
+
+
+def test_non_literal_experiments_raises(lint_tree):
+    source = FIGURES_WITH_UNREGISTERED.replace(
+        "EXPERIMENTS = (FIG01,)", "EXPERIMENTS = tuple([FIG01, FIG02])"
+    )
+    project = lint_tree({"src/repro/eval/catalog/figures.py": source})
+    with pytest.raises(LintError, match="tuple literal"):
+        CatalogSyncRule().check(project)

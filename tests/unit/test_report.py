@@ -5,9 +5,21 @@ import math
 
 import pytest
 
-from repro.eval.cli import main
+from repro.eval import cli
+from repro.eval.experiment import (
+    Experiment,
+    ExperimentContext,
+    ExperimentOutcome,
+    Grid,
+    Verdict,
+)
 from repro.eval.figures import ExperimentResult
+from repro.eval.profiles import get_scale
 from repro.eval.report import (
+    outcome_to_markdown,
+    outcomes_from_json,
+    outcomes_to_json,
+    outcomes_to_markdown,
     panel_to_markdown,
     panels_from_json,
     panels_to_json,
@@ -72,18 +84,100 @@ class TestMarkdown:
         assert "figXX" in document and "figYY" in document
 
 
+def sample_outcome(verdict_status="pass"):
+    experiment = Experiment(
+        name="fake",
+        title="fake experiment",
+        paper="Figure 0",
+        tags=("figure",),
+        grid=Grid(axes=(), build=None),
+        panels=(),
+        expectations=(),
+    )
+    verdict = Verdict(
+        experiment="fake",
+        panel="figXX",
+        kind="band",
+        description="1.0 < speedup < 2.0",
+        status=verdict_status,
+        detail="observed 1.5",
+    )
+    return ExperimentOutcome(
+        experiment=experiment,
+        ctx=ExperimentContext(scale=get_scale("smoke"), seed=1337, seeds=()),
+        panels=sample_panels(),
+        verdicts=[verdict],
+        report=None,
+    )
+
+
+class TestOutcomeJson:
+    def test_roundtrip_includes_verdicts(self):
+        parsed = outcomes_from_json(outcomes_to_json([sample_outcome()]))
+        assert len(parsed) == 1
+        outcome = parsed[0]
+        assert outcome["experiment"] == "fake"
+        assert outcome["scale"] == "smoke"
+        assert outcome["panels"][0]["experiment"] == "figXX"
+        assert outcome["verdicts"][0]["status"] == "pass"
+
+    def test_rejects_non_list(self):
+        with pytest.raises(ValueError):
+            outcomes_from_json(json.dumps({"not": "a list"}))
+
+    def test_rejects_missing_keys(self):
+        with pytest.raises(ValueError, match="missing key"):
+            outcomes_from_json(json.dumps([{"experiment": "x"}]))
+
+
+class TestOutcomeMarkdown:
+    def test_panels_and_verdicts_rendered(self):
+        markdown = outcome_to_markdown(sample_outcome())
+        assert "## fake — fake experiment" in markdown
+        assert "**figXX**" in markdown
+        assert "✅" in markdown
+        assert "1.0 < speedup < 2.0" in markdown
+
+    def test_failed_verdict_marked(self):
+        markdown = outcome_to_markdown(sample_outcome(verdict_status="fail"))
+        assert "❌" in markdown
+
+    def test_document_joins_outcomes(self):
+        document = outcomes_to_markdown([sample_outcome(), sample_outcome()])
+        assert document.count("## fake") == 2
+
+
 class TestCliExportFlags:
     def test_json_and_markdown_written(self, tmp_path, monkeypatch):
-        # Patch in a fast fake experiment so the CLI itself is what's
+        # Patch the CLI's registry seams so the CLI itself is what's
         # under test, not a simulation.
-        from repro.eval import registry
+        from repro.eval.executor import SweepReport
+        from repro.eval.runspec import RunSpec
 
-        monkeypatch.setitem(
-            registry.EXPERIMENTS, "fake", lambda **kw: sample_panels()
+        spec = RunSpec.create("db", 1, scale=get_scale("smoke"))
+        report = SweepReport(total=1, simulated=0, label="fake")
+
+        def fake_collect(names, scale=None, seed=None):
+            return {name: [spec] for name in names}
+
+        def fake_run(specs, jobs=None, progress=None, label=None):
+            return {spec: object()}, report
+
+        outcome = sample_outcome()
+        monkeypatch.setattr(cli, "collect_specs_by_experiment", fake_collect)
+        monkeypatch.setattr(cli, "run_specs_report", fake_run)
+        monkeypatch.setattr(
+            cli, "run_experiment_outcome", lambda name, **kwargs: outcome
         )
         json_path = tmp_path / "out.json"
         md_path = tmp_path / "out.md"
-        code = main(["fake", "--json", str(json_path), "--markdown", str(md_path)])
+        code = cli.main(
+            ["fake", "--json", str(json_path), "--markdown", str(md_path)]
+        )
         assert code == 0
-        assert panels_from_json(json_path.read_text())[0]["experiment"] == "figXX"
-        assert "**figXX**" in md_path.read_text()
+        exported = outcomes_from_json(json_path.read_text())
+        assert exported[0]["experiment"] == "fake"
+        assert exported[0]["panels"][0]["experiment"] == "figXX"
+        text = md_path.read_text()
+        assert "## fake — fake experiment" in text
+        assert "**figXX**" in text
