@@ -8,6 +8,11 @@ Measurements, written to ``BENCH_perf.json`` at the repo root:
   trace generation excluded, with ``raw_visits_per_sec`` alongside for the
   lazy-lowering path.  This is the metric the hot-loop optimizations in
   ``repro.core.engine`` and ``repro.caches.cache`` are validated against.
+- ``backends.reference`` / ``backends.vectorized``: best-of-3
+  ``visits_per_sec`` for each engine backend on that same configuration,
+  plus ``speedup`` (vectorized over reference).  ``engine_visits_per_sec``
+  remains the reference backend's number so the metric's history stays
+  comparable across this change.
 - ``trace_compile_seconds`` and the store's cold/warm load times: how much
   one-time work the packed format costs and how cheap reloading it is.
 - ``fig01_coldstore_seconds`` / ``fig01_warmstore_seconds`` /
@@ -71,24 +76,32 @@ def _measure_engine() -> dict:
     _, cold_load = _timed(lambda: store.load(**key))
     _, warm_load = _timed(lambda: store.load(**key))
 
-    def run(path_on: bool):
+    def run(path_on: bool, backend: str = "reference", reps: int = 1):
+        """Best-of-*reps* timing (min wall-clock rejects scheduler noise)."""
         os.environ["REPRO_COMPILED_TRACES"] = "1" if path_on else "0"
         if path_on:  # prime run_system's memo so only the engine loop is timed
             get_compiled_traces(workload, cores, total, DEFAULT_SEED, 64)
-        return _timed(
-            lambda: run_system(
-                workload,
-                cores,
-                prefetcher,
-                scale=BENCH_SCALE,
-                l2_policy=policy,
-                seed=DEFAULT_SEED,
+        best = None
+        for _ in range(reps):
+            result, elapsed = _timed(
+                lambda: run_system(
+                    workload,
+                    cores,
+                    prefetcher,
+                    scale=BENCH_SCALE,
+                    l2_policy=policy,
+                    seed=DEFAULT_SEED,
+                    engine_backend=backend,
+                )
             )
-        )
+            if best is None or elapsed < best[1]:
+                best = (result, elapsed)
+        return best
 
     previous = os.environ.get("REPRO_COMPILED_TRACES")
     try:
-        result, compiled_elapsed = run(True)
+        result, compiled_elapsed = run(True, "reference", reps=3)
+        vec_result, vec_elapsed = run(True, "vectorized", reps=3)
         raw_result, raw_elapsed = run(False)
     finally:
         if previous is None:
@@ -97,14 +110,30 @@ def _measure_engine() -> dict:
             os.environ["REPRO_COMPILED_TRACES"] = previous
 
     assert raw_result.aggregate_ipc == result.aggregate_ipc
+    # The backends must be bit-identical (the parity suite checks every
+    # stat; the bench just refuses to record numbers from diverging runs).
+    assert repr(vec_result.aggregate_ipc) == repr(result.aggregate_ipc)
     visits = sum(core.l1i_fetches for core in result.cores)
+    reference_rate = visits / compiled_elapsed
+    vectorized_rate = visits / vec_elapsed
     return {
         "config": f"{workload}/{cores}c/{prefetcher}/{policy}",
         "measure_instructions": BENCH_SCALE.measure_instructions,
         "line_visits": visits,
         "seconds": round(compiled_elapsed, 4),
-        "engine_visits_per_sec": round(visits / compiled_elapsed, 1),
+        "engine_visits_per_sec": round(reference_rate, 1),
         "raw_visits_per_sec": round(visits / raw_elapsed, 1),
+        "backends": {
+            "reference": {
+                "seconds": round(compiled_elapsed, 4),
+                "visits_per_sec": round(reference_rate, 1),
+            },
+            "vectorized": {
+                "seconds": round(vec_elapsed, 4),
+                "visits_per_sec": round(vectorized_rate, 1),
+            },
+        },
+        "speedup": round(vectorized_rate / reference_rate, 2),
         "trace_compile_seconds": round(compile_seconds, 4),
         "store_cold_load_seconds": round(cold_load, 5),
         "store_warm_load_seconds": round(warm_load, 5),
@@ -163,6 +192,11 @@ def test_perf_smoke(scale, tmp_path):
     # the asserted bounds are an order of magnitude below expectation.
     assert engine["line_visits"] > 0
     assert engine["engine_visits_per_sec"] > 1_000
+    # The vectorized backend consistently measures 2-3.4x on this config
+    # (see docs/performance.md); assert well below that so machine noise
+    # never flakes the benchmark, while still catching a regression to
+    # reference-backend speed.
+    assert engine["speedup"] > 1.5
     assert engine["store_warm_load_seconds"] < engine["trace_compile_seconds"]
     # Warm trace store must beat the cold sweep (synthesis+lowering skipped),
     # and disk-cached results must beat everything by a wide margin.

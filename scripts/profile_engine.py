@@ -16,12 +16,25 @@ Usage::
     PYTHONPATH=src python scripts/profile_engine.py
     PYTHONPATH=src python scripts/profile_engine.py --profile --top 25
     PYTHONPATH=src python scripts/profile_engine.py --workload web --cores 4
+    PYTHONPATH=src python scripts/profile_engine.py --backend all
+    PYTHONPATH=src python scripts/profile_engine.py --verify
     PYTHONPATH=src python scripts/profile_engine.py --no-compiled   # raw A/B
 
 ``--compiled`` (default) feeds the engine packed compiled traces — the
 production path; ``--no-compiled`` forces the raw-trace lazy lowering so
 the two engine paths can be A/B'd on identical inputs.  The on-disk trace
 store is bypassed either way (every phase is measured live).
+
+``--backend`` selects the engine backend to time: ``reference``,
+``vectorized``, or ``all`` to time both and print the speedup.
+
+``--verify`` proves backend equivalence the hard way: it steps a
+``reference`` and a ``vectorized`` system through the *same* trace in
+lockstep, comparing the stepping core's clock and full
+:class:`~repro.core.metrics.CoreStats` after **every visit**, and prints
+the first divergent visit index and field name if the backends ever
+disagree.  (It also cross-checks every compiled trace against the live
+lowering, as before.)  Exit status 1 on any divergence.
 """
 
 from __future__ import annotations
@@ -45,6 +58,84 @@ BENCH_SCALE = ExperimentScale(
 )
 
 
+def _diff_field(ref_engine, vec_engine):
+    """Name of the first field where the two engines disagree, or None.
+
+    Floats are compared by ``repr`` so any bit-level divergence registers
+    (``==`` would hide a signed zero).  Breakdown/prefetch sub-fields are
+    reported dotted, e.g. ``l1i_breakdown.COLD``.
+    """
+    from repro.eval.diskcache import _core_to_dict
+
+    if repr(ref_engine.cycle) != repr(vec_engine.cycle):
+        return "cycle"
+    ref_data = _core_to_dict(ref_engine.stats)
+    vec_data = _core_to_dict(vec_engine.stats)
+    for key, ref_value in ref_data.items():
+        vec_value = vec_data[key]
+        if isinstance(ref_value, dict):
+            for sub in ref_value:
+                if repr(ref_value[sub]) != repr(vec_value.get(sub)):
+                    return f"{key}.{sub}"
+        elif repr(ref_value) != repr(vec_value):
+            return key
+    return None
+
+
+def _verify_backends(args, traces) -> int:
+    """Lockstep per-visit reference-vs-vectorized cross-check.
+
+    Mirrors ``System.run``'s smallest-clock interleaving on the reference
+    system and drives the vectorized system with the *same* core choice, so
+    both process the identical global visit sequence.  Returns 0 when every
+    visit matches, 1 (after printing the first divergence) otherwise.
+    """
+    from repro.cmp.system import System, SystemConfig
+
+    def build(backend: str) -> System:
+        config = SystemConfig(
+            n_cores=args.cores,
+            prefetcher=args.prefetcher,
+            l2_policy=args.l2_policy,
+            warm_instructions=BENCH_SCALE.warm_instructions
+            if args.cores == 1
+            else BENCH_SCALE.cmp_warm_instructions,
+            engine_backend=backend,
+        )
+        return System(config, traces)
+
+    ref_sys, vec_sys = build("reference"), build("vectorized")
+    active_ref = list(ref_sys.engines)
+    active_vec = list(vec_sys.engines)
+    visit = 0
+    while active_ref:
+        index = 0
+        for candidate in range(1, len(active_ref)):
+            if active_ref[candidate].cycle < active_ref[index].cycle:
+                index = candidate
+        ref_engine, vec_engine = active_ref[index], active_vec[index]
+        ref_alive, vec_alive = ref_engine.step(), vec_engine.step()
+        core = ref_engine.config.core_id
+        if ref_alive != vec_alive:
+            print(
+                f"VERIFY FAILED: backends diverge at visit {visit} "
+                f"(core {core}, field trace-exhaustion)"
+            )
+            return 1
+        field = _diff_field(ref_engine, vec_engine)
+        if field is not None:
+            print(
+                f"VERIFY FAILED: backends diverge at visit {visit} "
+                f"(core {core}, field {field})"
+            )
+            return 1
+        if not ref_alive:
+            del active_ref[index], active_vec[index]
+        visit += 1
+    print(f"verify           : backends bit-identical over {visit} visits")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--workload", default="db")
@@ -52,6 +143,12 @@ def main() -> int:
     parser.add_argument("--prefetcher", default="discontinuity")
     parser.add_argument("--l2-policy", default="bypass")
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--backend",
+        default="reference",
+        choices=("reference", "vectorized", "all"),
+        help="engine backend to time ('all' times both and prints the speedup)",
+    )
     parser.add_argument(
         "--compiled",
         action=argparse.BooleanOptionalAction,
@@ -61,7 +158,9 @@ def main() -> int:
     parser.add_argument(
         "--verify",
         action="store_true",
-        help="cross-check every compiled trace against the live lowering",
+        help="per-visit reference-vs-vectorized lockstep cross-check "
+        "(prints the first divergent visit index and field), plus the "
+        "compiled-trace-vs-live-lowering check",
     )
     parser.add_argument(
         "--profile", action="store_true", help="print a cProfile table of the run"
@@ -100,7 +199,14 @@ def main() -> int:
                 return 1
         print(f"verify           : {len(compiled_set)} compiled trace(s) exact")
 
-    def simulate():
+    if args.verify:
+        status = _verify_backends(
+            args, compiled_set if compiled_set is not None else raw
+        )
+        if status:
+            return status
+
+    def simulate(backend: str):
         return run_system(
             args.workload,
             args.cores,
@@ -108,6 +214,7 @@ def main() -> int:
             scale=BENCH_SCALE,
             l2_policy=args.l2_policy,
             seed=args.seed,
+            engine_backend=backend,
         )
 
     # Prime run_system's compiled-trace memo outside the timed region so
@@ -117,17 +224,7 @@ def main() -> int:
 
         get_compiled_traces(args.workload, args.cores, total, args.seed, 64)
 
-    if args.profile:
-        profiler = cProfile.Profile()
-        started = time.perf_counter()
-        result = profiler.runcall(simulate)
-        elapsed = time.perf_counter() - started
-    else:
-        started = time.perf_counter()
-        result = simulate()
-        elapsed = time.perf_counter() - started
-
-    visits = sum(core.l1i_fetches for core in result.cores)
+    backends = ("reference", "vectorized") if args.backend == "all" else (args.backend,)
     path = "compiled (packed columns)" if args.compiled else "raw (lazy lowering)"
     print(
         f"{args.workload}/{args.cores}c/{args.prefetcher}/{args.l2_policy} "
@@ -136,13 +233,32 @@ def main() -> int:
     print(f"synthesize       : {synth_seconds:.2f}s")
     if args.compiled:
         print(f"lower+compile    : {compile_seconds:.2f}s")
-    print(f"simulate         : {elapsed:.2f}s")
-    print(f"line visits      : {visits}")
-    print(f"visits/sec       : {visits / elapsed:,.0f}")
-    print(f"aggregate IPC    : {result.aggregate_ipc:.6f}")
 
-    if args.profile:
-        print()
+    rates = {}
+    profilers = {}
+    for backend in backends:
+        if args.profile:
+            profilers[backend] = cProfile.Profile()
+            started = time.perf_counter()
+            result = profilers[backend].runcall(simulate, backend)
+            elapsed = time.perf_counter() - started
+        else:
+            started = time.perf_counter()
+            result = simulate(backend)
+            elapsed = time.perf_counter() - started
+        visits = sum(core.l1i_fetches for core in result.cores)
+        rates[backend] = visits / elapsed
+        print(f"[{backend}]")
+        print(f"simulate         : {elapsed:.2f}s")
+        print(f"line visits      : {visits}")
+        print(f"visits/sec       : {rates[backend]:,.0f}")
+        print(f"aggregate IPC    : {result.aggregate_ipc:.6f}")
+
+    if len(rates) == 2:
+        print(f"speedup          : {rates['vectorized'] / rates['reference']:.2f}x")
+
+    for backend, profiler in profilers.items():
+        print(f"\n--- cProfile [{backend}] ---")
         stats = pstats.Stats(profiler)
         stats.sort_stats("cumulative").print_stats(args.top)
     return 0

@@ -21,6 +21,7 @@ from repro.caches.cache import SetAssociativeCache
 from repro.caches.config import DEFAULT_HIERARCHY, HierarchyConfig
 from repro.caches.missclass import MissBreakdown
 from repro.cmp.link import OffChipLink
+from repro.core.backends import create_engine
 from repro.core.engine import CoreEngine, EngineConfig
 from repro.core.l2policy import get_policy
 from repro.core.metrics import CoreStats
@@ -69,6 +70,10 @@ class SystemConfig:
     #: cache replacement policies ("lru", "fifo", "plru", "random").
     l1_replacement: str = "lru"
     l2_replacement: str = "lru"
+    #: engine backend ("reference", "vectorized", or "auto" to defer to the
+    #: REPRO_ENGINE_BACKEND environment variable).  Never affects results —
+    #: backends are bit-identical — so it is not part of any cache key.
+    engine_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.n_cores < 1:
@@ -228,7 +233,8 @@ class System:
                 useless_hint_filter=config.useless_hint_filter,
             )
             self.engines.append(
-                CoreEngine(
+                create_engine(
+                    config.engine_backend,
                     engine_config,
                     trace,
                     line_size,

@@ -1,5 +1,13 @@
-"""Per-core front-end engine, L2 install policies and metrics."""
+"""Per-core front-end engine, backends, L2 install policies and metrics."""
 
+from repro.core.backends import (
+    AUTO_BACKEND,
+    BACKEND_NAMES,
+    ENGINE_BACKEND_ENV,
+    EngineBackend,
+    create_engine,
+    resolve_backend,
+)
 from repro.core.engine import CoreEngine, EngineConfig
 from repro.core.l2policy import (
     BYPASS_INSTALL,
@@ -10,6 +18,12 @@ from repro.core.l2policy import (
 from repro.core.metrics import CoreStats, PrefetchStats
 
 __all__ = [
+    "AUTO_BACKEND",
+    "BACKEND_NAMES",
+    "ENGINE_BACKEND_ENV",
+    "EngineBackend",
+    "create_engine",
+    "resolve_backend",
     "CoreEngine",
     "EngineConfig",
     "L2InstallPolicy",

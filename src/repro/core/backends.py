@@ -1,0 +1,110 @@
+"""Engine backend selection.
+
+Two interchangeable engine implementations exist:
+
+``reference``
+    :class:`~repro.core.engine.CoreEngine` — the plain per-visit
+    interpreter.  Always available; its source is the readable
+    specification of the simulation semantics.
+``vectorized``
+    :class:`~repro.core.vectorized.VectorizedCoreEngine` — batch visit
+    processing over the compiled trace's packed columns (requires NumPy).
+    Bit-identical results, measured 2-3× faster on the single-core profile
+    configuration (see ``docs/performance.md`` for why not more).
+
+Selection order: an explicit backend name (``EngineConfig``/``RunSpec``/
+CLI ``--backend``) wins; ``"auto"`` defers to the ``REPRO_ENGINE_BACKEND``
+environment variable; unset means ``reference``.  Requesting
+``vectorized`` without NumPy installed falls back to ``reference`` with a
+logged warning — results are identical either way, only slower.
+
+The backend never affects simulated results, so it is deliberately *not*
+part of a run's cache key (``RunSpec.canonical_dict``) — cached results
+are shared across backends.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from typing import Optional, Protocol
+
+from repro.core.engine import CoreEngine
+from repro.core.metrics import CoreStats
+
+logger = logging.getLogger(__name__)
+
+#: environment variable consulted when the backend is ``"auto"``.
+ENGINE_BACKEND_ENV = "REPRO_ENGINE_BACKEND"
+
+#: the selectable backends, in preference-documentation order.
+BACKEND_NAMES = ("reference", "vectorized")
+
+#: sentinel meaning "defer to the environment, default to reference".
+AUTO_BACKEND = "auto"
+
+
+class EngineBackend(Protocol):
+    """The narrow surface the system/executor drive an engine through.
+
+    Both backends satisfy this structurally (``VectorizedCoreEngine``
+    subclasses ``CoreEngine``); new backends only need these members.
+    """
+
+    stats: CoreStats
+    cycle: float
+    total_instructions: int
+    l2_eviction_hook: Optional[object]
+
+    @property
+    def finished(self) -> bool: ...
+
+    def step(self) -> bool: ...
+
+    def run(self) -> CoreStats: ...
+
+
+def resolve_backend(name: Optional[str] = None) -> str:
+    """Resolve an explicit/auto backend request to a concrete name."""
+    if name is None or name == "" or name == AUTO_BACKEND:
+        name = os.environ.get(ENGINE_BACKEND_ENV, "") or "reference"
+    if name not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown engine backend {name!r}; available: "
+            f"{', '.join(BACKEND_NAMES)} (or {AUTO_BACKEND!r})"
+        )
+    return name
+
+
+_fallback_warned = False
+
+
+def _vectorized_engine_cls():
+    """Import the vectorized backend, or None when NumPy is missing."""
+    global _fallback_warned
+    try:
+        from repro.core.vectorized import VectorizedCoreEngine
+    except ImportError:
+        if not _fallback_warned:
+            logger.warning(
+                "vectorized engine backend unavailable (NumPy not importable); "
+                "falling back to the reference backend"
+            )
+            _fallback_warned = True
+        return None
+    return VectorizedCoreEngine
+
+
+def create_engine(backend, config, trace, line_size, l1i, l1d, l2, link, prefetcher, queue, timing):
+    """Construct the requested engine backend over the given components.
+
+    *backend* may be a concrete name, ``"auto"``, or None (same as auto).
+    """
+    backend = resolve_backend(backend)
+    if backend == "vectorized":
+        engine_cls = _vectorized_engine_cls()
+        if engine_cls is not None:
+            return engine_cls(
+                config, trace, line_size, l1i, l1d, l2, link, prefetcher, queue, timing
+            )
+    return CoreEngine(config, trace, line_size, l1i, l1d, l2, link, prefetcher, queue, timing)

@@ -39,7 +39,7 @@ from repro.core.metrics import CoreStats
 from repro.isa.classify import MissClass, classify_transition, is_discontinuity
 from repro.isa.kinds import TransitionKind
 from repro.prefetch.base import Prefetcher
-from repro.prefetch.queue import PrefetchQueue, QueueState
+from repro.prefetch.queue import PrefetchQueue
 from repro.timing.params import TimingParams
 from repro.trace.compiled import CompiledTrace, TraceLike
 from repro.trace.stream import iter_line_visits
@@ -430,7 +430,7 @@ class CoreEngine:
                 continue
             if not self._mshr.can_accept(now):
                 # MSHR file full: put the entry back and stop for now.
-                entry.state = QueueState.WAITING
+                self.queue.requeue(entry)
                 break
             self._issue_one(line, entry.provenance, now, policy, stats)
 

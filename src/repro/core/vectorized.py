@@ -1,0 +1,852 @@
+"""The vectorized engine backend: batch visit processing over packed columns.
+
+:class:`VectorizedCoreEngine` produces **bit-identical** results to the
+reference :class:`~repro.core.engine.CoreEngine` — same stats, same IPC,
+same eviction order, same floats — while processing compiled-trace visits
+several times faster on the profile config.  It is selected through
+``EngineConfig``/``RunSpec``/``REPRO_ENGINE_BACKEND`` via
+:mod:`repro.core.backends`; the golden spec-parity hashes pin that cached
+results are unchanged.
+
+How the speed is won
+--------------------
+
+The reference engine's cost is Python interpreter overhead, not simulation
+work: attribute loads, method calls, and per-visit allocation.  Measured on
+``db/1c/discontinuity/bypass``, L1I-hit runs between interaction points
+average only ~3-6 visits, so a pure NumPy window scan (classify a block of
+visits, replay it) loses: every interaction point invalidates the residency
+snapshot the scan depends on, and re-scanning at run granularity costs more
+than it saves.  What wins instead:
+
+1. **Span interpretation with all state in locals.**  One flat loop
+   (:meth:`_fast_span`) processes a half-open visit range with every hot
+   structure — cache sets, queue entries, stat counters, the clock — held
+   in local variables and written back once at span exit.  Each reference
+   operation is replicated inline *in the same order with the same float
+   arithmetic*, so equality is by construction, not by tolerance.
+2. **NumPy batch decode of the packed columns.**  Per 64K-visit chunk, the
+   ``RPCTRC01`` columns are bulk-converted (``lines``/``kinds``/``disc``
+   /``offsets`` → lists, data addresses ``>> shift`` → line indices,
+   ``ninstr × cpi`` → per-visit exec cycles) instead of being re-read and
+   re-computed element-wise per visit; monotone counters (fetches, cache
+   lookups, hit counts, retired instructions) are accounted in bulk per
+   chunk instead of incremented per visit.  The warm/measure boundary is
+   located up front with one ``cumsum``/``searchsorted`` rather than an
+   every-visit comparison.
+3. **O(1) queue-drain guard.**  :class:`~repro.prefetch.queue.PrefetchQueue`
+   maintains a ``waiting`` count, so the once-per-visit "any prefetches to
+   issue?" check collapses to pure credit arithmetic (the reference
+   backend's single largest waste: a full queue scan that mostly finds
+   nothing).
+4. **Hit-transparent prefetcher contract.**  Prefetchers that provably do
+   nothing on plain L1I hits (``Prefetcher.hit_transparent``) let the loop
+   skip the ``on_demand_fetch``/``on_discontinuity``/overhead hooks for
+   every non-trigger visit.  For the paper's own prefetcher
+   (:class:`~repro.prefetch.discontinuity.DiscontinuityPrefetcher`) the
+   trigger path is additionally specialized: candidates are generated and
+   offered inline, without building ``PrefetchCandidate`` lists.
+
+When the fast span is *not* safe, the engine degrades to exact reference
+behavior (never to approximate fast behavior):
+
+- raw (non-compiled) traces → reference stepping;
+- non-hit-transparent prefetchers (``next-line-always``, ``target``,
+  ``swpf``, ``fdp``) → reference stepping;
+- non-LRU replacement on any cache level → reference stepping;
+- an inclusive-L2 back-invalidation hook → reference stepping (another
+  core may invalidate lines mid-span);
+- multi-core systems drive :meth:`step`, which runs the fast span one
+  visit at a time so the CMP system's global cycle interleaving — and
+  therefore every shared L2/link access order — is untouched.
+
+Internal-contract note: the span loop reaches into ``SetAssociativeCache``
+(``_sets``/``_set_mask``/``_assoc``/``_is_lru``), ``PrefetchQueue``
+(``_entries``/``_by_line``/``_recent``/``_config``/``waiting``),
+``OffChipLink`` (``_next_free``), ``OutstandingRequestTracker``
+(``_entries``/``_capacity``) and ``DiscontinuityTable``
+(``_mask``/``_sources``/``_targets``).  The backend parity suite
+(``tests/unit/test_backend_parity.py``) sweeps every registered prefetcher
+and compares full ``CoreStats``, so any drift between these internals and
+the inlined copies fails loudly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.caches.line import LineState
+from repro.core.engine import _MAX_ISSUE_PER_VISIT, CoreEngine
+from repro.core.metrics import CoreStats
+from repro.prefetch.discontinuity import DiscontinuityPrefetcher
+from repro.prefetch.queue import QueueEntry, QueueState
+
+#: visits decoded per NumPy batch; bounds the transient list memory.
+_CHUNK = 65536
+
+#: shared provenance of sequential candidates (value-equal to the one the
+#: prefetcher modules use; only the value ever matters).
+_SEQ_PROVENANCE = ("seq",)
+
+
+class VectorizedCoreEngine(CoreEngine):
+    """Drop-in :class:`CoreEngine` with batch visit processing."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._twin_ok = None
+        # Cached list of WAITING queue entries in queue order, so the drain
+        # pops in O(1) instead of re-scanning past ISSUED filter memory.
+        # Sound because the queue is engine-private and, on the fast path,
+        # mutated only inside _fast_span (the parity suite pins this).
+        self._wlist = None
+        if self._compiled is not None:
+            self._np_lines = np.frombuffer(self._c_lines, dtype=np.int64)
+            self._np_kinds = np.frombuffer(self._c_kinds, dtype=np.int8)
+            self._np_ninstr = np.frombuffer(self._c_ninstr, dtype=np.intc)
+            self._np_data = np.frombuffer(self._c_data, dtype=np.int64)
+            self._np_offsets = np.frombuffer(self._c_offsets, dtype=np.int64)
+            self._np_disc = np.frombuffer(self._c_disc, dtype=np.int8)
+
+    # ------------------------------------------------------------------ #
+    # Fast-path eligibility
+    # ------------------------------------------------------------------ #
+
+    def _twin_ready(self) -> bool:
+        """Decide (once, lazily — the system wires ``l2_eviction_hook``
+        after construction) whether the inline span loop is exact for this
+        configuration."""
+        ok = self._twin_ok
+        if ok is None:
+            ok = (
+                self._compiled is not None
+                and bool(getattr(self.prefetcher, "hit_transparent", False))
+                and self.l2_eviction_hook is None
+                and self.l1i._is_lru
+                and self.l1d._is_lru
+                and self.l2._is_lru
+            )
+            self._twin_ok = ok
+        return ok
+
+    # ------------------------------------------------------------------ #
+    # Issue-path guard (active for every configuration)
+    # ------------------------------------------------------------------ #
+
+    def _issue_prefetches(self, now: float) -> None:
+        """O(1) empty-queue guard before the reference drain.
+
+        With zero waiting entries the reference drain computes the credit
+        bookkeeping, then scans the whole queue once to find nothing.  The
+        bookkeeping below is the same float arithmetic in the same order;
+        the scan is provably mutation-free, so skipping it is exact.
+        """
+        if self.queue.waiting == 0:
+            elapsed = now - self._last_slot_cycle
+            self._last_slot_cycle = now
+            credit = self._slot_credit + elapsed * self._slot_rate
+            slots = int(credit)
+            if slots <= 0:
+                self._slot_credit = credit
+                return
+            if slots > _MAX_ISSUE_PER_VISIT:
+                slots = _MAX_ISSUE_PER_VISIT
+                credit = float(slots)
+            self._slot_credit = credit - slots
+            return
+        super()._issue_prefetches(now)
+
+    # ------------------------------------------------------------------ #
+    # Stepping
+    # ------------------------------------------------------------------ #
+
+    def step(self) -> bool:
+        """One visit per call — exact CMP interleaving, fast span body."""
+        if not self._twin_ready():
+            return super().step()
+        i = self._visit_index
+        if i >= self._c_count:
+            self._finished = True
+            self.stats.cycles = self.cycle - self._cycle_mark
+            return False
+        self._fast_span(i, i + 1)
+        if not self._warmed and self.total_instructions >= self._warm_target:
+            self._end_warmup()
+        return True
+
+    def run(self) -> CoreStats:
+        """Run the whole trace through the span interpreter."""
+        if not self._twin_ready():
+            return super().run()
+        n = self._c_count
+        i = self._visit_index
+        if i < n and not self._warmed:
+            # Locate the warm/measure crossing up front: the first visit
+            # after which total_instructions reaches the target.
+            remaining = self._warm_target - self.total_instructions
+            cum = np.cumsum(self._np_ninstr[i:], dtype=np.int64)
+            w = i + int(np.searchsorted(cum, remaining, side="left"))
+            if w < n:
+                self._fast_span(i, w + 1)
+                self._end_warmup()
+                i = w + 1
+        if i < n:
+            self._fast_span(i, n)
+        self._finished = True
+        self.stats.cycles = self.cycle - self._cycle_mark
+        return self.stats
+
+    # ------------------------------------------------------------------ #
+    # The span interpreter
+    # ------------------------------------------------------------------ #
+
+    def _fast_span(self, i0: int, i1: int) -> None:
+        """Process visits ``[i0, i1)`` — reference semantics, local state.
+
+        Every block below mirrors a specific reference path (noted in the
+        comments); mutation order and float evaluation order are identical.
+        The caller owns warm-boundary handling: the span itself never
+        checks the warm target.
+        """
+        # --- engine scalars (CoreEngine.__init__ hoists) ---
+        stats = self.stats
+        pf = stats.prefetch
+        now = self.cycle
+        credit = self._slot_credit
+        last = self._last_slot_cycle
+        prev = self._prev_line
+        total_instr = self.total_instructions
+        rate = self._slot_rate
+        cpi = self._exec_cpi
+        shift = self._line_shift
+        fse = self._fetch_stall_exposed
+        l2lat = self._l2_latency
+        memlat = self._memory_latency
+        dl2exp = self._data_l2_exposed
+        dmemexp = self._data_memory_exposed
+        free_kind = self._free_kind
+        uhf = self._useless_hint_filter
+        pol = self._l2_policy
+        pol_promote = pol.promote_on_prefetch_hit
+        pol_fills = pol.install_prefetch_fills
+        pol_evict_install = pol.install_used_on_eviction
+        LS = LineState
+        QE = QueueEntry
+        W = QueueState.WAITING
+        ISS = QueueState.ISSUED
+        INV = QueueState.INVALID
+
+        # --- caches: sets + geometry + stat counters ---
+        isets = self.l1i._sets
+        imask = self.l1i._set_mask
+        iassoc = self.l1i._assoc
+        dsets = self.l1d._sets
+        dmask = self.l1d._set_mask
+        dassoc = self.l1d._assoc
+        lsets = self.l2._sets
+        lmask = self.l2._set_mask
+        lassoc = self.l2._assoc
+        ist = self.l1i.stats
+        dst = self.l1d.stats
+        lst = self.l2.stats
+        i_lk = ist.lookups
+        i_ht = ist.hits
+        i_ms = ist.misses
+        i_in = ist.installs
+        i_ev = ist.evictions
+        d_lk = dst.lookups
+        d_ht = dst.hits
+        d_ms = dst.misses
+        d_in = dst.installs
+        d_ev = dst.evictions
+        l_lk = lst.lookups
+        l_ht = lst.hits
+        l_ms = lst.misses
+        l_in = lst.installs
+        l_ev = lst.evictions
+
+        # --- queue ---
+        queue = self.queue
+        qstats = queue.stats
+        qentries = queue._entries
+        qby = queue._by_line
+        qcfg = queue._config
+        qcap = qcfg.capacity
+        qlifo = qcfg.lifo
+        qfilter = qcfg.filtering
+        rentries = queue._recent._entries
+        rcap = queue._recent._capacity
+        # WAITING entries in queue order; truthiness replaces the reference
+        # queue scan, the tail/head replaces pop_ready's search.
+        wlist = self._wlist
+        if wlist is None:
+            wlist = [en for en in qentries if en.state == W]
+        q_off = qstats.offered
+        q_acc = qstats.accepted
+        q_drr = qstats.dropped_recent_demand
+        q_ddi = qstats.dropped_dup_issued
+        q_ddv = qstats.dropped_dup_invalid
+        q_hoist = qstats.hoisted
+        q_inv = qstats.invalidated_by_demand
+        q_ovf = qstats.overflow_drops
+        q_pop = qstats.popped
+
+        # --- link + MSHR ---
+        link = self.link
+        lkstats = link.stats
+        occ = link.occupancy_cycles
+        link_next = link._next_free
+        link_req = lkstats.requests
+        link_busy = lkstats.busy_cycles
+        link_qd = lkstats.queue_delay_cycles
+        mshr = self._mshr._entries
+        mshr_cap = self._mshr._capacity
+        INF = float("inf")
+        # Oldest outstanding fill arrival: while it is in the future the
+        # reference MSHR prune is a provable no-op and can be skipped.
+        mshr_min = min(mshr.values()) if mshr else INF
+
+        # --- engine stats ---
+        instr = stats.instructions
+        ec = stats.exec_cycles
+        fstall = stats.fetch_stall_cycles
+        dstall = stats.data_stall_cycles
+        fetches = stats.l1i_fetches
+        imiss = stats.l1i_misses
+        l2ia = stats.l2i_demand_accesses
+        l2im = stats.l2i_demand_misses
+        dacc = stats.data_accesses
+        dmiss_e = stats.l1d_misses
+        l2da = stats.l2d_accesses
+        l2dm = stats.l2d_misses
+        pgen = pf.generated
+        pprobe = pf.probe_found_present
+        piss = pf.issued
+        pl2 = pf.issued_from_l2
+        pmem = pf.issued_from_memory
+        puseful = pf.useful
+        plate = pf.useful_late
+        pumem = pf.useful_from_memory
+        puseless = pf.useless_evicted
+        pduh = pf.dropped_useless_hint
+        pprom = pf.promoted_to_l2
+        rec_l1i = stats.l1i_breakdown.record
+        rec_l2i = stats.l2i_breakdown.record
+        pf_demand = self._pf_on_demand_fetch
+        pf_disc = self._pf_on_discontinuity
+        pf_credit = self._pf_credit
+
+        # --- prefetcher specialization: the paper's own prefetcher gets
+        # its trigger path (candidate generation + probe) inlined too ---
+        prefetcher = self.prefetcher
+        disc_fast = type(prefetcher) is DiscontinuityPrefetcher
+        if disc_fast:
+            table = prefetcher.table
+            tmask = table._mask
+            tsrc = table._sources
+            ttgt = table._targets
+            tstats = table.stats
+            t_probe_hits = tstats.probe_hits
+            ahead = prefetcher.prefetch_ahead
+            probe_window = ahead if prefetcher.probe_ahead else 0
+
+        def offer_line(cl, prov):
+            # PrefetchQueue.offer for one candidate.
+            nonlocal q_off, q_acc, q_drr, q_ddi, q_ddv, q_hoist, q_ovf
+            q_off += 1
+            if qfilter:
+                if cl in rentries:
+                    q_drr += 1
+                    return
+                dup = qby.get(cl)
+                if dup is not None:
+                    dup_state = dup.state
+                    if dup_state == W:
+                        qentries.remove(dup)
+                        qentries.append(dup)
+                        wlist.remove(dup)
+                        wlist.append(dup)
+                        q_hoist += 1
+                    elif dup_state == ISS:
+                        q_ddi += 1
+                    else:
+                        q_ddv += 1
+                    return
+            en = QE(cl, prov)
+            if len(qentries) >= qcap:
+                victim = qentries.pop(0)
+                if qby.get(victim.line) is victim:
+                    del qby[victim.line]
+                if victim.state == W:
+                    # The overall-oldest entry, if waiting, is the oldest
+                    # waiting entry.
+                    del wlist[0]
+                q_ovf += 1
+            qentries.append(en)
+            qby[cl] = en
+            q_acc += 1
+            wlist.append(en)
+
+        def install_l1i(line_, state_, now_):
+            # CoreEngine._install_l1i + SetAssociativeCache.install (LRU).
+            nonlocal i_in, i_ev, puseless, pprom, l_in, l_ev
+            i_in += 1
+            iset_ = isets[line_ & imask]
+            if line_ in iset_:
+                iset_[line_] = state_
+                iset_.move_to_end(line_)
+                return
+            if len(iset_) < iassoc:
+                iset_[line_] = state_
+                return
+            i_ev += 1
+            vline, vst = iset_.popitem(last=False)
+            iset_[line_] = state_
+            if vst.prefetched:
+                # Evicted without ever being demand-used (§7 accounting).
+                puseless += 1
+                if uhf:
+                    l2c = lsets[vline & lmask].get(vline)
+                    if l2c is not None:
+                        l2c.useless_hint = True
+                return
+            if vst.bypass_pending and vst.used and pol_evict_install:
+                # §7: proven-useful bypass line installed into the L2 now.
+                lset_ = lsets[vline & lmask]
+                if vline not in lset_:
+                    l_in += 1
+                    if len(lset_) >= lassoc:
+                        l_ev += 1
+                        lset_.popitem(last=False)
+                    lset_[vline] = LS(used=True, arrival=now_)
+                    pprom += 1
+
+        def data_miss(dline_, dset_, now_):
+            # CoreEngine._data_miss, returning the exposed stall.
+            nonlocal dmiss_e, l2da, l2dm, l_lk, l_ht, l_ms, l_in, l_ev
+            nonlocal d_in, d_ev, link_next, link_req, link_busy, link_qd, dstall
+            dmiss_e += 1
+            l2da += 1
+            l_lk += 1
+            lset_ = lsets[dline_ & lmask]
+            ls_ = lset_.get(dline_)
+            if ls_ is not None:
+                l_ht += 1
+                lset_.move_to_end(dline_)
+                ls_.used = True
+                exposed = dl2exp
+            else:
+                l_ms += 1
+                l2dm += 1
+                start = link_next if link_next > now_ else now_
+                link_next = start + occ
+                link_req += 1
+                link_busy += occ
+                link_qd += start - now_
+                raw = (start - now_) + memlat
+                exposed = raw * dmemexp
+                l_in += 1
+                if len(lset_) >= lassoc:
+                    l_ev += 1
+                    lset_.popitem(last=False)
+                lset_[dline_] = LS(used=True, arrival=now_ + raw)
+            d_in += 1
+            if len(dset_) >= dassoc:
+                d_ev += 1
+                dset_.popitem(last=False)
+            dset_[dline_] = LS(used=True)
+            dstall += exposed
+            return exposed
+
+        def drain(cr, now_):
+            # CoreEngine._issue_prefetches past the slot computation, with
+            # pop_ready/probe/MSHR/_issue_one inlined.  Caller guarantees
+            # cr >= 1.0, wlist non-empty and _last_slot_cycle == now_.
+            nonlocal mshr_min, pprobe, piss, pl2, pmem, pduh, q_pop
+            nonlocal link_next, link_req, link_busy, link_qd, l_in, l_ev
+            slots = int(cr)
+            if slots > _MAX_ISSUE_PER_VISIT:
+                slots = _MAX_ISSUE_PER_VISIT
+                cr = float(slots)
+            ncredit = cr - slots
+            while slots:
+                slots -= 1
+                if not wlist:
+                    break
+                # pop_ready: newest waiting first under LIFO.
+                entry = wlist.pop() if qlifo else wlist.pop(0)
+                entry.state = ISS
+                q_pop += 1
+                eline = entry.line
+                if isets[eline & imask].get(eline) is not None:
+                    pprobe += 1
+                    continue
+                if mshr_min <= now_:
+                    done = [m for m, arr in mshr.items() if arr <= now_]
+                    for m in done:
+                        del mshr[m]
+                    mshr_min = min(mshr.values()) if mshr else INF
+                if len(mshr) >= mshr_cap:
+                    # MSHR file full: put the entry back and stop for now.
+                    # It was the newest (LIFO) / oldest (FIFO) waiting
+                    # entry, so its order slot is the one it left.
+                    entry.state = W
+                    if qlifo:
+                        wlist.append(entry)
+                    else:
+                        wlist.insert(0, entry)
+                    break
+                lset_ = lsets[eline & lmask]
+                l2s = lset_.get(eline)
+                if l2s is not None:
+                    if uhf and l2s.useless_hint:
+                        pduh += 1
+                        continue
+                    arrival = now_ + l2lat
+                    if l2s.arrival > arrival:
+                        arrival = l2s.arrival
+                    if pol_promote:
+                        lset_.move_to_end(eline)
+                    piss += 1
+                    pl2 += 1
+                    install_l1i(
+                        eline,
+                        LS(prefetched=True, arrival=arrival, provenance=entry.provenance),
+                        now_,
+                    )
+                else:
+                    start = link_next if link_next > now_ else now_
+                    link_next = start + occ
+                    link_req += 1
+                    link_busy += occ
+                    link_qd += start - now_
+                    arrival = start + memlat
+                    mshr[eline] = arrival
+                    if arrival < mshr_min:
+                        mshr_min = arrival
+                    piss += 1
+                    pmem += 1
+                    if pol_fills:
+                        l_in += 1
+                        if len(lset_) >= lassoc:
+                            l_ev += 1
+                            lset_.popitem(last=False)
+                        lset_[eline] = LS(prefetched=True, arrival=arrival)
+                    install_l1i(
+                        eline,
+                        LS(
+                            prefetched=True,
+                            arrival=arrival,
+                            bypass_pending=not pol_fills,
+                            from_memory=True,
+                            provenance=entry.provenance,
+                        ),
+                        now_,
+                    )
+            return ncredit
+
+        npn = self._np_ninstr
+        npdata = self._np_data
+        a = i0
+        while a < i1:
+            b = a + _CHUNK
+            if b > i1:
+                b = i1
+            nv = b - a
+            # Batch-decode the chunk's packed columns.
+            lines_c = self._np_lines[a:b].tolist()
+            kinds_c = self._np_kinds[a:b].tolist()
+            disc_c = self._np_disc[a:b].tolist()
+            offs_c = self._np_offsets[a : b + 1].tolist()
+            dbase = offs_c[0]
+            ndata = offs_c[-1] - dbase
+            if ndata:
+                dlines_c = (npdata[dbase : offs_c[-1]] >> shift).tolist()
+            else:
+                dlines_c = []
+            # int32 → float64 is exact, so ninstr * cpi matches the
+            # reference's per-visit Python int * float bit-for-bit.
+            execs_c = (npn[a:b].astype(np.float64) * cpi).tolist()
+            chunk_instr = int(npn[a:b].sum(dtype=np.int64))
+            # Monotone counters are accounted in bulk below the loop; only
+            # the rare-event counts (misses) stay per-event, and the hit
+            # counts are derived from them.
+            i_ms_mark = i_ms
+            d_ms_mark = d_ms
+
+            for j, line in enumerate(lines_c):
+
+                # (1) prefetch issue opportunities (engine step 1).
+                t = credit + (now - last) * rate
+                if t < 1.0:
+                    credit = t
+                    last = now
+                else:
+                    last = now
+                    if wlist:
+                        # _issue_prefetches(now) recomputes the same credit.
+                        credit = drain(t, now)
+                    elif t < 9.0:
+                        # Empty queue: the drain reduces to its credit
+                        # arithmetic (slots = int(t) <= 8, no clamping).
+                        credit = t - int(t)
+                    else:
+                        # Clamped: credit = float(8) - 8 exactly.
+                        credit = 0.0
+
+                # (2) demand fetch (L1I lookup, LRU).
+                iset = isets[line & imask]
+                st = iset.get(line)
+                if st is not None and not st.prefetched:
+                    # Transparent hit: the prefetcher hooks are inert by
+                    # the hit_transparent contract, stall is zero, and only
+                    # the recent-demand filter needs updating.
+                    iset.move_to_end(line)
+                    st.used = True
+                    prev = line
+                    if qfilter:
+                        if line in rentries:
+                            rentries.move_to_end(line)
+                        else:
+                            rentries[line] = None
+                            if len(rentries) > rcap:
+                                rentries.popitem(last=False)
+                        if wlist:
+                            dup = qby.get(line)
+                            if dup is not None and dup.state == W:
+                                dup.state = INV
+                                q_inv += 1
+                                wlist.remove(dup)
+                    # (5) data accesses.
+                    s0 = offs_c[j]
+                    s1 = offs_c[j + 1]
+                    while s0 < s1:
+                        dline = dlines_c[s0 - dbase]
+                        s0 += 1
+                        dset = dsets[dline & dmask]
+                        ds = dset.get(dline)
+                        if ds is not None:
+                            dset.move_to_end(dline)
+                        else:
+                            d_ms += 1
+                            now += data_miss(dline, dset, now)
+                    # (6) execution.
+                    e = execs_c[j]
+                    ec += e
+                    now += e
+                    continue
+
+                # Trigger visit: miss or first use of a prefetched line.
+                kind = kinds_c[j]
+                stall = 0.0
+                if st is not None:
+                    iset.move_to_end(line)
+                    was_miss = False
+                    # First use of a prefetched line (tagged trigger).
+                    st.prefetched = False
+                    puseful += 1
+                    if st.from_memory:
+                        pumem += 1
+                    if st.provenance is not None:
+                        pf_credit(st.provenance)
+                    if st.arrival > now:
+                        # Late prefetch: stall for the residual fill latency.
+                        stall = st.arrival - now
+                        plate += 1
+                    st.used = True
+                else:
+                    i_ms += 1
+                    was_miss = True
+                    imiss += 1
+                    rec_l1i(kind)
+                    # _demand_fill inlined (LRU L2 lookup + link + installs).
+                    l2ia += 1
+                    l_lk += 1
+                    lset = lsets[line & lmask]
+                    ls = lset.get(line)
+                    if ls is not None:
+                        l_ht += 1
+                        lset.move_to_end(line)
+                        ls.used = True
+                        ls.prefetched = False
+                        ls.useless_hint = False
+                        stall = l2lat
+                        if ls.arrival > now + stall:
+                            stall = ls.arrival - now
+                    else:
+                        l_ms += 1
+                        l2im += 1
+                        rec_l2i(kind)
+                        start = link_next if link_next > now else now
+                        link_next = start + occ
+                        link_req += 1
+                        link_busy += occ
+                        link_qd += start - now
+                        stall = (start - now) + memlat
+                        l_in += 1
+                        if len(lset) >= lassoc:
+                            l_ev += 1
+                            lset.popitem(last=False)
+                        lset[line] = LS(used=True, arrival=now + stall)
+                    install_l1i(line, LS(used=True, arrival=now + stall), now)
+                    if free_kind[kind]:
+                        stall = 0.0
+
+                # (3) discontinuity observation — a no-op for transparent
+                # prefetchers unless the transition missed.
+                if was_miss and disc_c[j]:
+                    pf_disc(prev, line, True)
+                prev = line
+
+                # (4) prefetch generation + filtering.
+                if qfilter:
+                    if line in rentries:
+                        rentries.move_to_end(line)
+                    else:
+                        rentries[line] = None
+                        if len(rentries) > rcap:
+                            rentries.popitem(last=False)
+                    dup = qby.get(line)
+                    if dup is not None and dup.state == W:
+                        dup.state = INV
+                        q_inv += 1
+                        wlist.remove(dup)
+                if disc_fast:
+                    # DiscontinuityPrefetcher.on_demand_fetch inlined: the
+                    # next-N-line candidates, then the probe-ahead window,
+                    # offered in the same order without list allocation.
+                    gen_n = ahead
+                    for depth in range(1, ahead + 1):
+                        offer_line(line + depth, _SEQ_PROVENANCE)
+                    for off in range(probe_window + 1):
+                        pl = line + off
+                        ti = pl & tmask
+                        if tsrc[ti] == pl:
+                            t_probe_hits += 1
+                            tgt = ttgt[ti]
+                            prov = ("disc", ti, pl)
+                            rem = ahead - off
+                            gen_n += rem + 1
+                            for extra in range(rem + 1):
+                                cl = tgt + extra
+                                if cl != line:
+                                    offer_line(cl, prov)
+                    pgen += gen_n
+                else:
+                    candidates = pf_demand(line, was_miss, not was_miss, kind)
+                    if candidates:
+                        pgen += len(candidates)
+                        for c in candidates:
+                            cl = c.line
+                            if cl != line:
+                                offer_line(cl, c.provenance)
+                if stall > 0.0:
+                    # Only the exposed fraction reaches the clock; the
+                    # stall window grants tag slots explicitly.
+                    stall *= fse
+                    fstall += stall
+                    credit = credit + stall * rate
+                    if credit >= 1.0:
+                        # _issue_prefetches sees zero elapsed time here.
+                        if wlist:
+                            credit = drain(credit, now)
+                        elif credit < 9.0:
+                            credit = credit - int(credit)
+                        else:
+                            credit = 0.0
+                    now += stall
+                    last = now
+
+                # (5) data accesses.
+                s0 = offs_c[j]
+                s1 = offs_c[j + 1]
+                while s0 < s1:
+                    dline = dlines_c[s0 - dbase]
+                    s0 += 1
+                    dset = dsets[dline & dmask]
+                    ds = dset.get(dline)
+                    if ds is not None:
+                        dset.move_to_end(dline)
+                    else:
+                        d_ms += 1
+                        now += data_miss(dline, dset, now)
+
+                # (6) execution.
+                e = execs_c[j]
+                ec += e
+                now += e
+
+            # Bulk accounting: one L1I fetch+lookup per visit, one L1D
+            # lookup per data access, hits = accesses - misses.
+            fetches += nv
+            i_lk += nv
+            i_ht += nv - (i_ms - i_ms_mark)
+            dacc += ndata
+            d_lk += ndata
+            d_ht += ndata - (d_ms - d_ms_mark)
+            instr += chunk_instr
+            total_instr += chunk_instr
+            a = b
+
+        # --- write the locals back ---
+        self.cycle = now
+        self._slot_credit = credit
+        self._last_slot_cycle = last
+        self._prev_line = prev
+        self.total_instructions = total_instr
+        self._visit_index = i1
+        stats.instructions = instr
+        stats.exec_cycles = ec
+        stats.fetch_stall_cycles = fstall
+        stats.data_stall_cycles = dstall
+        stats.l1i_fetches = fetches
+        stats.l1i_misses = imiss
+        stats.l2i_demand_accesses = l2ia
+        stats.l2i_demand_misses = l2im
+        stats.data_accesses = dacc
+        stats.l1d_misses = dmiss_e
+        stats.l2d_accesses = l2da
+        stats.l2d_misses = l2dm
+        pf.generated = pgen
+        pf.probe_found_present = pprobe
+        pf.issued = piss
+        pf.issued_from_l2 = pl2
+        pf.issued_from_memory = pmem
+        pf.useful = puseful
+        pf.useful_late = plate
+        pf.useful_from_memory = pumem
+        pf.useless_evicted = puseless
+        pf.dropped_useless_hint = pduh
+        pf.promoted_to_l2 = pprom
+        ist.lookups = i_lk
+        ist.hits = i_ht
+        ist.misses = i_ms
+        ist.installs = i_in
+        ist.evictions = i_ev
+        dst.lookups = d_lk
+        dst.hits = d_ht
+        dst.misses = d_ms
+        dst.installs = d_in
+        dst.evictions = d_ev
+        lst.lookups = l_lk
+        lst.hits = l_ht
+        lst.misses = l_ms
+        lst.installs = l_in
+        lst.evictions = l_ev
+        queue.waiting = len(wlist)
+        self._wlist = wlist
+        qstats.offered = q_off
+        qstats.accepted = q_acc
+        qstats.dropped_recent_demand = q_drr
+        qstats.dropped_dup_issued = q_ddi
+        qstats.dropped_dup_invalid = q_ddv
+        qstats.hoisted = q_hoist
+        qstats.invalidated_by_demand = q_inv
+        qstats.overflow_drops = q_ovf
+        qstats.popped = q_pop
+        link._next_free = link_next
+        lkstats.requests = link_req
+        lkstats.busy_cycles = link_busy
+        lkstats.queue_delay_cycles = link_qd
+        if disc_fast:
+            tstats.probe_hits = t_probe_hits

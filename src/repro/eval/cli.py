@@ -34,6 +34,7 @@ import os
 import sys
 from typing import Dict, List, Optional
 
+from repro.core.backends import AUTO_BACKEND, BACKEND_NAMES, ENGINE_BACKEND_ENV
 from repro.eval.executor import SweepError, run_specs_report
 from repro.eval.experiment import ExperimentOutcome, estimate_experiment
 from repro.eval.profiles import SCALES, get_scale
@@ -84,6 +85,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for the sweep (default: $REPRO_JOBS or all cores; "
         "1 runs serially in-process)",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=(*BACKEND_NAMES, AUTO_BACKEND),
+        help="engine backend for every run (default: $REPRO_ENGINE_BACKEND, "
+        "else 'reference'); backends are bit-identical — this changes "
+        "speed, not results",
     )
     parser.add_argument(
         "--progress",
@@ -272,6 +281,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.trace.store import TRACE_DIR_ENV
 
         os.environ[TRACE_DIR_ENV] = args.trace_store
+
+    if args.backend:
+        # Specs default to "auto", which resolves through this env var in
+        # every process — sweep workers inherit it from the parent.
+        os.environ[ENGINE_BACKEND_ENV] = args.backend
 
     if args.list:
         for name in experiment_names():

@@ -149,12 +149,31 @@ def _config_from_dict(data: Dict) -> SystemConfig:
     )
 
 
+def _plain_number(value):
+    """Coerce a stray NumPy scalar to its plain Python equivalent.
+
+    Engine backends may compute stats with NumPy; ``np.int64``/``np.float64``
+    leaking into a payload would crash ``json.dump`` (or, with a permissive
+    encoder, persist as a different textual form).  Plain ints and floats
+    pass through untouched; anything exposing ``.item()`` (every NumPy
+    scalar) is unwrapped at this boundary.  Kept NumPy-import-free so the
+    cache works where NumPy is absent.
+    """
+    kind = type(value)
+    if kind is int or kind is float:
+        return value
+    item = getattr(value, "item", None)
+    if item is not None:
+        return item()
+    return value
+
+
 def _core_to_dict(core: CoreStats) -> Dict:
-    data = {name: getattr(core, name) for name in _CORE_SCALARS}
+    data = {name: _plain_number(getattr(core, name)) for name in _CORE_SCALARS}
     data["l1i_breakdown"] = core.l1i_breakdown.counts()
     data["l2i_breakdown"] = core.l2i_breakdown.counts()
     data["prefetch"] = {
-        name: getattr(core.prefetch, name)
+        name: _plain_number(getattr(core.prefetch, name))
         for name in PrefetchStats.__dataclass_fields__
     }
     return data

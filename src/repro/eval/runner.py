@@ -239,6 +239,7 @@ def run_system(
     offchip_gbps: Optional[float] = None,
     prefetcher_factory: Optional[Callable[[int], object]] = None,
     seed: int = DEFAULT_SEED,
+    engine_backend: str = "auto",
 ) -> SystemResult:
     """Run one fully specified configuration and return its results."""
     scale = scale or get_scale()
@@ -265,6 +266,7 @@ def run_system(
         prefetcher_factory=prefetcher_factory,
         warm_instructions=warm,
         free_miss_classes=free_miss_classes,
+        engine_backend=engine_backend,
     )
     return System(config, traces).run()
 
@@ -288,6 +290,7 @@ def run_system_cached(
     offchip_gbps: Optional[float] = None,
     software_prefetch: bool = False,
     seed: int = DEFAULT_SEED,
+    engine_backend: str = "auto",
 ) -> SystemResult:
     """Like :func:`run_system`, but served through the layered caches.
 
@@ -317,6 +320,7 @@ def run_system_cached(
         offchip_gbps=offchip_gbps,
         software_prefetch=software_prefetch,
         seed=seed,
+        engine_backend=engine_backend,
     )
     from repro.eval.executor import execute_spec
 

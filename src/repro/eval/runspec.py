@@ -63,6 +63,12 @@ class RunSpec:
     #: the executing process; replaces the ``prefetcher`` registry name).
     software_prefetch: bool = False
     seed: int = DEFAULT_SEED
+    #: engine backend ("reference"/"vectorized"/"auto", see
+    #: :mod:`repro.core.backends`).  Backends are bit-identical, so this is
+    #: deliberately *excluded* from :meth:`canonical_dict` — keying the
+    #: persistent cache on it would split identical results across entries
+    #: (lint R3 carries the matching non-keyed allowlist entry).
+    engine_backend: str = "auto"
 
     @classmethod
     def create(
@@ -85,6 +91,7 @@ class RunSpec:
         offchip_gbps: Optional[float] = None,
         software_prefetch: bool = False,
         seed: int = DEFAULT_SEED,
+        engine_backend: str = "auto",
     ) -> "RunSpec":
         """Build a spec, resolving the scale and normalizing the overrides."""
         if scale is None or isinstance(scale, str):
@@ -109,6 +116,7 @@ class RunSpec:
             offchip_gbps=offchip_gbps,
             software_prefetch=software_prefetch,
             seed=seed,
+            engine_backend=engine_backend,
         )
 
     # ------------------------------------------------------------------ #
@@ -140,6 +148,7 @@ class RunSpec:
             l2_replacement=self.l2_replacement,
             offchip_gbps=self.offchip_gbps,
             seed=self.seed,
+            engine_backend=self.engine_backend,
         )
 
     def trace_key(self) -> Tuple[str, int, str, int]:

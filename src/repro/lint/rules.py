@@ -296,7 +296,10 @@ class RunSpecSyncRule(Rule):
     drivers can ask for; (b) each RunSpec field appears as a key in
     ``canonical_dict``, so it participates in the persistent cache hash.
     The executor's one structural hole — ``prefetcher_factory`` cannot be
-    carried by a plain-data spec — stays explicit via the allowlist.
+    carried by a plain-data spec — stays explicit via the allowlist, and
+    fields that provably never change results (``engine_backend``) are
+    exempted from (b) via the non-keyed allowlist so identical results are
+    not duplicated across cache entries.
     """
 
     name = "R3"
@@ -309,8 +312,26 @@ class RunSpecSyncRule(Rule):
         ),
     }
 
-    def __init__(self, allowlist: Optional[Mapping[str, str]] = None) -> None:
+    #: RunSpec fields deliberately excluded from canonical_dict: parameters
+    #: that provably never change results, where keying the persistent
+    #: cache on them would split identical results across entries.
+    DEFAULT_NON_KEYED: Mapping[str, str] = {
+        "engine_backend": (
+            "execution strategy, not semantics: backends are bit-identical "
+            "(pinned by the backend parity suite and the golden spec-parity "
+            "hashes), so all backends share one cache entry"
+        ),
+    }
+
+    def __init__(
+        self,
+        allowlist: Optional[Mapping[str, str]] = None,
+        non_keyed_allowlist: Optional[Mapping[str, str]] = None,
+    ) -> None:
         self.allowlist = dict(self.DEFAULT_ALLOWLIST if allowlist is None else allowlist)
+        self.non_keyed_allowlist = dict(
+            self.DEFAULT_NON_KEYED if non_keyed_allowlist is None else non_keyed_allowlist
+        )
 
     def check(self, project: Project) -> List[Violation]:
         run_system = _find_function(project.tree(R3_RUNNER), "run_system", R3_RUNNER)
@@ -334,7 +355,7 @@ class RunSpecSyncRule(Rule):
                 )
             )
         for field in sorted(fields):
-            if field in canonical_keys:
+            if field in canonical_keys or field in self.non_keyed_allowlist:
                 continue
             violations.append(
                 self.violation(
@@ -401,6 +422,19 @@ def _canonical_dict_keys(cls: ast.ClassDef) -> Set[str]:
 #: builtins that construct values JSON cannot represent faithfully.
 NON_JSON_BUILTINS = frozenset(
     {"set", "frozenset", "bytes", "bytearray", "complex", "memoryview", "object"}
+)
+
+#: NumPy scalar constructors: ``json.dump`` rejects their instances, and a
+#: permissive encoder would persist them in a different textual form than
+#: the plain int/float the reference backend produces.  Payload builders
+#: must route such values through ``diskcache._plain_number`` instead.
+NUMPY_SCALAR_CTORS = frozenset(
+    {
+        "int8", "int16", "int32", "int64",
+        "uint8", "uint16", "uint32", "uint64",
+        "float16", "float32", "float64",
+        "bool_", "intc", "intp", "longlong", "ulonglong",
+    }
 )
 
 R4_HINT = (
@@ -491,6 +525,22 @@ class ExecutorBoundaryRule(Rule):
                         R4_HINT,
                     )
                 )
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                dotted = dotted_name(node.func)
+                if dotted is None:
+                    continue
+                root, _, attr = dotted.partition(".")
+                if root in ("np", "numpy") and attr in NUMPY_SCALAR_CTORS:
+                    violations.append(
+                        self.violation(
+                            rel,
+                            node.lineno,
+                            f"numpy scalar {dotted}() constructed inside payload "
+                            f"builder {func.name!r} is not JSON-representable",
+                            R4_HINT + "; coerce numpy scalars to plain int/float "
+                            "at the boundary (diskcache._plain_number)",
+                        )
+                    )
             elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
                 called = node.func.id
                 if called in self.allowed_calls:

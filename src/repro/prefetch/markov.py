@@ -139,6 +139,8 @@ class MarkovPrefetcher(Prefetcher):
     prefetcher so experiments isolate the table design.
     """
 
+    hit_transparent = True
+
     def __init__(
         self,
         capacity: int = 4096,

@@ -103,6 +103,11 @@ class PrefetchQueue:
         self._by_line: Dict[int, QueueEntry] = {}
         self._recent = BoundedRecentSet(recent_capacity)
         self.stats = QueueStats()
+        #: maintained count of WAITING entries, so emptiness checks are O(1)
+        #: (the engine backends poll this before every queue drain).  Every
+        #: state transition must keep it in sync; external code reverting an
+        #: issued entry goes through :meth:`requeue`.
+        self.waiting = 0
 
     # ------------------------------------------------------------------ #
     # Producer side
@@ -143,10 +148,13 @@ class PrefetchQueue:
         if len(self._entries) >= self._config.capacity:
             victim = self._entries.pop(0)  # oldest first
             del self._by_line[victim.line]
+            if victim.state == QueueState.WAITING:
+                self.waiting -= 1
             stats.overflow_drops += 1
         self._entries.append(entry)
         self._by_line[line] = entry
         stats.accepted += 1
+        self.waiting += 1
         return True
 
     def _append_unfiltered(self, candidate: PrefetchCandidate) -> bool:
@@ -163,10 +171,13 @@ class PrefetchQueue:
             # own mapping is dropped.
             if self._by_line.get(victim.line) is victim:
                 del self._by_line[victim.line]
+            if victim.state == QueueState.WAITING:
+                self.waiting -= 1
             self.stats.overflow_drops += 1
         self._entries.append(entry)
         self._by_line[candidate.line] = entry
         self.stats.accepted += 1
+        self.waiting += 1
         return True
 
     def note_demand_fetch(self, line: int) -> None:
@@ -177,6 +188,7 @@ class PrefetchQueue:
         entry = self._by_line.get(line)
         if entry is not None and entry.state == QueueState.WAITING:
             entry.state = QueueState.INVALID
+            self.waiting -= 1
             self.stats.invalidated_by_demand += 1
 
     # ------------------------------------------------------------------ #
@@ -192,13 +204,19 @@ class PrefetchQueue:
             entry = entries[index]
             if entry.state == QueueState.WAITING:
                 entry.state = QueueState.ISSUED
+                self.waiting -= 1
                 self.stats.popped += 1
                 return entry
         return None
 
+    def requeue(self, entry: QueueEntry) -> None:
+        """Revert a popped entry to WAITING (engine MSHR-full put-back)."""
+        entry.state = QueueState.WAITING
+        self.waiting += 1
+
     def has_ready(self) -> bool:
         """True if any waiting entry exists."""
-        return any(entry.state == QueueState.WAITING for entry in self._entries)
+        return self.waiting > 0
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -208,7 +226,7 @@ class PrefetchQueue:
         return len(self._entries)
 
     def waiting_count(self) -> int:
-        return sum(1 for entry in self._entries if entry.state == QueueState.WAITING)
+        return self.waiting
 
     def state_of(self, line: int) -> Optional[QueueState]:
         entry = self._by_line.get(line)
@@ -223,3 +241,4 @@ class PrefetchQueue:
         self._entries.clear()
         self._by_line.clear()
         self._recent.clear()
+        self.waiting = 0

@@ -1,0 +1,168 @@
+"""Backend equivalence: ``vectorized`` must be bit-identical to ``reference``.
+
+The vectorized engine wins its speed through batch decoding and flat-span
+interpretation, but the repo's contract is that a backend is an *execution
+strategy*, never a semantic: every stat, every cycle count, every eviction
+order must match the reference engine exactly (which is why the backend is
+excluded from the result-cache key, and why the golden spec-parity hashes
+are pinned across backends).
+
+This suite sweeps every registered prefetcher × {1, 4} cores ×
+{normal, bypass} L2 policy at smoke scale and compares the **full**
+:class:`~repro.core.metrics.CoreStats` of every core — scalars, miss-class
+breakdowns and prefetch counters — plus the off-chip link stats, using
+``repr`` equality so even a signed-zero or last-ulp float divergence
+fails.  It also covers the graceful degradations: non-LRU replacement
+(where the vectorized engine falls back to reference stepping internally)
+and a missing NumPy (where backend selection falls back to the reference
+engine with a logged warning).
+"""
+
+from __future__ import annotations
+
+import builtins
+import importlib
+import logging
+import sys
+
+import pytest
+
+from repro.caches.missclass import MissBreakdown
+from repro.cmp.system import SystemResult
+from repro.core import backends
+from repro.core.metrics import CoreStats, PrefetchStats
+from repro.eval.profiles import get_scale
+from repro.eval.runner import run_system
+from repro.prefetch.registry import PREFETCHER_NAMES
+
+SMOKE = get_scale("smoke")
+
+
+def _stats_dict(stats: CoreStats) -> dict:
+    """Every CoreStats field as plain data (breakdowns via ``counts()``)."""
+    data = {}
+    for name, value in vars(stats).items():
+        if isinstance(value, MissBreakdown):
+            data[name] = value.counts()
+        elif isinstance(value, PrefetchStats):
+            data[name] = vars(value).copy()
+        else:
+            data[name] = value
+    return data
+
+
+def _result_fingerprint(result: SystemResult) -> str:
+    """repr of everything a run produced — any bit of divergence shows."""
+    parts = [repr(_stats_dict(core)) for core in result.cores]
+    link = result.link
+    parts.append(
+        repr(
+            (
+                link.occupancy_cycles,
+                link.stats.requests,
+                link.stats.busy_cycles,
+                link.stats.queue_delay_cycles,
+            )
+        )
+    )
+    parts.append(repr(result.aggregate_ipc))
+    return "\n".join(parts)
+
+
+def _run(backend: str, **kwargs) -> SystemResult:
+    kwargs.setdefault("workload", "db")
+    kwargs.setdefault("scale", SMOKE)
+    return run_system(engine_backend=backend, **kwargs)
+
+
+def assert_backends_match(**kwargs) -> None:
+    reference = _run("reference", **kwargs)
+    vectorized = _run("vectorized", **kwargs)
+    assert _result_fingerprint(vectorized) == _result_fingerprint(reference)
+
+
+@pytest.mark.parametrize("l2_policy", ["normal", "bypass"])
+@pytest.mark.parametrize("prefetcher", PREFETCHER_NAMES)
+def test_parity_single_core(prefetcher: str, l2_policy: str) -> None:
+    assert_backends_match(n_cores=1, prefetcher=prefetcher, l2_policy=l2_policy)
+
+
+@pytest.mark.parametrize("l2_policy", ["normal", "bypass"])
+@pytest.mark.parametrize("prefetcher", PREFETCHER_NAMES)
+def test_parity_four_core(prefetcher: str, l2_policy: str) -> None:
+    assert_backends_match(n_cores=4, prefetcher=prefetcher, l2_policy=l2_policy)
+
+
+def test_parity_non_lru_replacement() -> None:
+    """Non-LRU caches disable the fast path; results must still match."""
+    assert_backends_match(
+        n_cores=1,
+        prefetcher="discontinuity",
+        l2_policy="bypass",
+        l1_replacement="fifo",
+        l2_replacement="plru",
+    )
+
+
+def test_parity_inclusive_l2() -> None:
+    """The L2 back-invalidation hook also disables the fast path."""
+    assert_backends_match(
+        n_cores=1, prefetcher="discontinuity", l2_policy="normal", l2_inclusive=True
+    )
+
+
+def test_parity_other_workload() -> None:
+    assert_backends_match(
+        workload="web", n_cores=1, prefetcher="discontinuity", l2_policy="bypass"
+    )
+
+
+def test_missing_numpy_falls_back_with_warning(monkeypatch, caplog) -> None:
+    """Without NumPy, 'vectorized' degrades to the reference engine."""
+    real_import = builtins.__import__
+
+    def no_numpy(name, *args, **kwargs):
+        if name == "numpy" or name.startswith("numpy."):
+            raise ImportError("No module named 'numpy'")
+        return real_import(name, *args, **kwargs)
+
+    # Force the lazy import in backends to re-run; ``import numpy`` inside
+    # the module always routes through ``__import__``, so intercepting it
+    # is enough — numpy itself stays importable/cached for other tests.
+    monkeypatch.delitem(sys.modules, "repro.core.vectorized", raising=False)
+    monkeypatch.setattr(builtins, "__import__", no_numpy)
+    monkeypatch.setattr(backends, "_fallback_warned", False)
+
+    with caplog.at_level(logging.WARNING, logger="repro.core.backends"):
+        engine_cls = backends._vectorized_engine_cls()
+    assert engine_cls is None
+    assert any(
+        "falling back to the reference backend" in record.message
+        for record in caplog.records
+    )
+
+    # A second request stays quiet (the warning is once per process) but
+    # still reports the backend as unavailable.
+    caplog.clear()
+    with caplog.at_level(logging.WARNING, logger="repro.core.backends"):
+        assert backends._vectorized_engine_cls() is None
+    assert not caplog.records
+
+    # Restore the real import and confirm the backend loads again.
+    monkeypatch.setattr(builtins, "__import__", real_import)
+    importlib.invalidate_caches()
+    assert backends._vectorized_engine_cls() is not None
+
+
+def test_resolve_backend_rejects_unknown() -> None:
+    with pytest.raises(ValueError, match="unknown engine backend"):
+        backends.resolve_backend("simd")
+
+
+def test_resolve_backend_env(monkeypatch) -> None:
+    monkeypatch.setenv(backends.ENGINE_BACKEND_ENV, "vectorized")
+    assert backends.resolve_backend("auto") == "vectorized"
+    assert backends.resolve_backend(None) == "vectorized"
+    assert backends.resolve_backend("reference") == "reference"
+    monkeypatch.delenv(backends.ENGINE_BACKEND_ENV)
+    assert backends.resolve_backend("auto") == "reference"

@@ -156,3 +156,46 @@ def test_unwritable_cache_dir_degrades_gracefully(tiny_run, tmp_path, monkeypatc
     monkeypatch.setenv(diskcache.CACHE_DIR_ENV, str(blocker / "cache"))
     assert not diskcache.store(spec, result)
     assert diskcache.load(spec) is None
+
+
+class _NumpyLikeScalar:
+    """Stand-in for np.int64/np.float64: not JSON-safe, exposes .item()."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def item(self):
+        return self.value
+
+
+def test_payload_coerces_numpy_like_scalars(tiny_run):
+    """A backend leaking NumPy scalars into CoreStats must still yield a
+    plain-data, json.dumps-able payload (R4's runtime half)."""
+    import copy
+
+    spec, result = tiny_run
+    tainted = copy.deepcopy(result)
+    core = tainted.cores[0]
+    core.instructions = _NumpyLikeScalar(core.instructions)
+    core.cycles = _NumpyLikeScalar(core.cycles)
+    core.prefetch.issued = _NumpyLikeScalar(core.prefetch.issued)
+
+    payload = diskcache.result_to_payload(tainted, spec)
+    encoded = json.dumps(payload)  # would raise TypeError without coercion
+    data = payload["cores"][0]
+    assert type(data["instructions"]) is int
+    assert type(data["cycles"]) is float
+    assert type(data["prefetch"]["issued"]) is int
+    rebuilt = diskcache.payload_to_result(json.loads(encoded))
+    assert rebuilt.cores[0].instructions == result.cores[0].instructions
+    assert repr(rebuilt.cores[0].cycles) == repr(result.cores[0].cycles)
+
+
+def test_plain_number_passthrough():
+    """Plain ints/floats (and non-numeric values) pass through untouched."""
+    assert diskcache._plain_number(7) == 7
+    assert type(diskcache._plain_number(7)) is int
+    value = 0.30000000000000004
+    assert repr(diskcache._plain_number(value)) == repr(value)
+    assert diskcache._plain_number(True) is True
+    assert diskcache._plain_number(_NumpyLikeScalar(11)) == 11

@@ -100,3 +100,41 @@ def test_benign_time_and_os_uses_pass(lint_tree):
         }
     )
     assert DeterminismRule().check(project) == []
+
+
+def test_numpy_random_forbidden_but_numpy_allowed(lint_tree):
+    """Vectorized engine code may use numpy freely — except numpy.random."""
+    project = lint_tree(
+        {
+            "src/repro/core/vectorized.py": """
+            import numpy as np
+
+
+            def decode(buffer):
+                return np.frombuffer(buffer, dtype=np.int64).tolist()
+            """
+        }
+    )
+    assert DeterminismRule().check(project) == []
+
+
+def test_numpy_random_import_forms_are_reported(lint_tree):
+    project = lint_tree(
+        {
+            "src/repro/core/vectorized.py": """
+            import numpy as np
+            import numpy.random
+            from numpy.random import default_rng
+
+
+            def sample():
+                return np.random.default_rng().random() + default_rng().random()
+            """
+        }
+    )
+    violations = DeterminismRule().check(project)
+    messages = [violation.message for violation in violations]
+    assert any("numpy.random" in message and "import" in message for message in messages)
+    assert any("'numpy.random.default_rng'" in message for message in messages)
+    # three import-time findings + the attribute use
+    assert len(violations) >= 3

@@ -87,3 +87,64 @@ def test_prefetcher_factory_hole_is_an_explicit_allowlist(lint_tree):
     violations = RunSpecSyncRule(allowlist={}).check(project)
     assert len(violations) == 1
     assert "'prefetcher_factory'" in violations[0].message
+
+
+RUNNER_WITH_BACKEND = """
+    def run_system(workload, n_cores, prefetcher="none", seed=0,
+                   prefetcher_factory=None, engine_backend="auto"):
+        return (workload, n_cores, prefetcher, seed, prefetcher_factory,
+                engine_backend)
+    """
+
+#: carries the field but deliberately leaves it out of canonical_dict —
+#: the real tree's shape for result-neutral execution knobs.
+RUNSPEC_WITH_NON_KEYED_BACKEND = """
+    class RunSpec:
+        workload: str
+        n_cores: int
+        prefetcher: str = "none"
+        seed: int = 0
+        engine_backend: str = "auto"
+
+        def canonical_dict(self):
+            return {
+                "workload": self.workload,
+                "n_cores": self.n_cores,
+                "prefetcher": self.prefetcher,
+                "seed": self.seed,
+            }
+    """
+
+
+def test_non_keyed_allowlist_exempts_engine_backend(lint_tree):
+    """engine_backend may skip canonical_dict — identical results must
+    share one cache entry across backends."""
+    project = lint_tree(
+        {
+            "src/repro/eval/runner.py": RUNNER_WITH_BACKEND,
+            "src/repro/eval/runspec.py": RUNSPEC_WITH_NON_KEYED_BACKEND,
+        }
+    )
+    assert RunSpecSyncRule().check(project) == []
+
+
+def test_non_keyed_exemption_is_an_explicit_allowlist(lint_tree):
+    project = lint_tree(
+        {
+            "src/repro/eval/runner.py": RUNNER_WITH_BACKEND,
+            "src/repro/eval/runspec.py": RUNSPEC_WITH_NON_KEYED_BACKEND,
+        }
+    )
+    violations = RunSpecSyncRule(non_keyed_allowlist={}).check(project)
+    assert len(violations) == 1
+    assert "'engine_backend'" in violations[0].message
+    assert "canonical_dict" in violations[0].message
+
+
+def test_non_keyed_allowlist_is_narrow(lint_tree):
+    """The exemption names engine_backend only; other unhashed fields
+    still fail."""
+    project = lint_tree({"src/repro/eval/runspec.py": RUNSPEC_FIELD_NOT_HASHED})
+    violations = RunSpecSyncRule().check(project)
+    assert len(violations) == 1
+    assert "'seed'" in violations[0].message
