@@ -20,6 +20,7 @@ import os
 
 import pytest
 
+from repro.envvars import REPRO_CACHE_DIR, REPRO_PROFILE, REPRO_TRACE_DIR
 from repro.eval.profiles import get_scale
 from repro.eval.registry import get_experiment, run_experiment_outcome
 
@@ -33,12 +34,12 @@ def _isolated_result_cache(tmp_path_factory):
     Respects an explicit ``REPRO_CACHE_DIR`` override.
     """
     placed = []
-    if "REPRO_CACHE_DIR" not in os.environ:
-        os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
-        placed.append("REPRO_CACHE_DIR")
-    if "REPRO_TRACE_DIR" not in os.environ:
-        os.environ["REPRO_TRACE_DIR"] = str(tmp_path_factory.mktemp("repro-traces"))
-        placed.append("REPRO_TRACE_DIR")
+    if REPRO_CACHE_DIR not in os.environ:
+        os.environ[REPRO_CACHE_DIR] = str(tmp_path_factory.mktemp("repro-cache"))
+        placed.append(REPRO_CACHE_DIR)
+    if REPRO_TRACE_DIR not in os.environ:
+        os.environ[REPRO_TRACE_DIR] = str(tmp_path_factory.mktemp("repro-traces"))
+        placed.append(REPRO_TRACE_DIR)
     yield
     for name in placed:
         os.environ.pop(name, None)
@@ -47,7 +48,7 @@ def _isolated_result_cache(tmp_path_factory):
 @pytest.fixture(scope="session")
 def scale():
     """Experiment scale: $REPRO_PROFILE if set, else smoke (CI speed)."""
-    name = os.environ.get("REPRO_PROFILE", "smoke")
+    name = os.environ.get(REPRO_PROFILE, "smoke")
     return get_scale(name)
 
 

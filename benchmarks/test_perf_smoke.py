@@ -34,6 +34,7 @@ import platform
 import time
 from pathlib import Path
 
+from repro.envvars import REPRO_CACHE_DIR, REPRO_COMPILED_TRACES
 from repro.eval import executor
 from repro.eval.experiment import run_experiment
 from repro.eval.registry import get_experiment
@@ -78,7 +79,7 @@ def _measure_engine() -> dict:
 
     def run(path_on: bool, backend: str = "reference", reps: int = 1):
         """Best-of-*reps* timing (min wall-clock rejects scheduler noise)."""
-        os.environ["REPRO_COMPILED_TRACES"] = "1" if path_on else "0"
+        os.environ[REPRO_COMPILED_TRACES] = "1" if path_on else "0"
         if path_on:  # prime run_system's memo so only the engine loop is timed
             get_compiled_traces(workload, cores, total, DEFAULT_SEED, 64)
         best = None
@@ -98,16 +99,16 @@ def _measure_engine() -> dict:
                 best = (result, elapsed)
         return best
 
-    previous = os.environ.get("REPRO_COMPILED_TRACES")
+    previous = os.environ.get(REPRO_COMPILED_TRACES)
     try:
         result, compiled_elapsed = run(True, "reference", reps=3)
         vec_result, vec_elapsed = run(True, "vectorized", reps=3)
         raw_result, raw_elapsed = run(False)
     finally:
         if previous is None:
-            os.environ.pop("REPRO_COMPILED_TRACES", None)
+            os.environ.pop(REPRO_COMPILED_TRACES, None)
         else:
-            os.environ["REPRO_COMPILED_TRACES"] = previous
+            os.environ[REPRO_COMPILED_TRACES] = previous
 
     assert raw_result.aggregate_ipc == result.aggregate_ipc
     # The backends must be bit-identical (the parity suite checks every
@@ -143,7 +144,7 @@ def _measure_engine() -> dict:
 
 def _fig01_run(scale, cache_dir: Path) -> float:
     """One fig01 sweep against *cache_dir* with in-process memos dropped."""
-    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    os.environ[REPRO_CACHE_DIR] = str(cache_dir)
     executor.clear_memo()
     clear_trace_cache()
     experiment = get_experiment("fig01")
@@ -153,7 +154,7 @@ def _fig01_run(scale, cache_dir: Path) -> float:
 
 def _measure_fig01(scale, tmp_root: Path) -> dict:
     """Driver wall-clock: cold, trace-store-warm, and result-cache-warm."""
-    previous = os.environ.get("REPRO_CACHE_DIR")
+    previous = os.environ.get(REPRO_CACHE_DIR)
     store.clear()
     try:
         coldstore = _fig01_run(scale, tmp_root / "run-cold")
@@ -163,9 +164,9 @@ def _measure_fig01(scale, tmp_root: Path) -> dict:
         warm = _fig01_run(scale, tmp_root / "run-warmstore")
     finally:
         if previous is None:
-            os.environ.pop("REPRO_CACHE_DIR", None)
+            os.environ.pop(REPRO_CACHE_DIR, None)
         else:
-            os.environ["REPRO_CACHE_DIR"] = previous
+            os.environ[REPRO_CACHE_DIR] = previous
     return {
         "scale": scale.name,
         "fig01_coldstore_seconds": round(coldstore, 3),

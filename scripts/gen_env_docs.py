@@ -1,0 +1,52 @@
+"""Regenerate the ``REPRO_*`` environment table in docs/performance.md.
+
+The table between the marker comments is rendered from the single source
+of truth, :data:`repro.envvars.REGISTRY`; lint rule R7 fails whenever the
+committed block differs from the rendered one, so this script is the only
+sanctioned way to edit it.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/gen_env_docs.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.envvars import render_env_table
+from repro.lint.rules import R7_DOCS_PATH, R7_TABLE_BEGIN, R7_TABLE_END
+
+
+def regenerate(root: Path) -> bool:
+    """Rewrite the marked block; returns True when the file changed."""
+    docs = root / R7_DOCS_PATH
+    text = docs.read_text(encoding="utf-8")
+    begin = text.find(R7_TABLE_BEGIN)
+    end = text.find(R7_TABLE_END)
+    if begin == -1 or end == -1 or end < begin:
+        raise SystemExit(
+            f"{docs}: marker comments not found; add\n"
+            f"  {R7_TABLE_BEGIN}\n  {R7_TABLE_END}\n"
+            "around the environment table first"
+        )
+    block = f"{R7_TABLE_BEGIN}\n{render_env_table()}\n{R7_TABLE_END}"
+    updated = text[:begin] + block + text[end + len(R7_TABLE_END) :]
+    if updated == text:
+        return False
+    docs.write_text(updated, encoding="utf-8")
+    return True
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    changed = regenerate(root)
+    print(
+        f"{R7_DOCS_PATH}: {'table regenerated' if changed else 'already in sync'}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

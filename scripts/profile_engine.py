@@ -45,6 +45,7 @@ import os
 import pstats
 import time
 
+from repro.envvars import REPRO_COMPILED_TRACES, REPRO_TRACE_STORE
 from repro.eval.profiles import ExperimentScale
 from repro.eval.runner import DEFAULT_SEED, get_traces, run_system
 from repro.trace.compiled import compile_traces
@@ -170,8 +171,8 @@ def main() -> int:
 
     # The script measures each phase itself; route run_system accordingly
     # and keep the on-disk store out of the loop so timings are live.
-    os.environ["REPRO_COMPILED_TRACES"] = "1" if args.compiled else "0"
-    os.environ["REPRO_TRACE_STORE"] = "0"
+    os.environ[REPRO_COMPILED_TRACES] = "1" if args.compiled else "0"
+    os.environ[REPRO_TRACE_STORE] = "0"
 
     total = (
         BENCH_SCALE.single_total if args.cores == 1 else BENCH_SCALE.cmp_total_per_core

@@ -245,6 +245,7 @@ class System:
                     prefetcher,
                     queue,
                     config.timing,
+                    n_cores=len(traces),
                 )
             )
 

@@ -14,9 +14,14 @@ Two interchangeable engine implementations exist:
 
 Selection order: an explicit backend name (``EngineConfig``/``RunSpec``/
 CLI ``--backend``) wins; ``"auto"`` defers to the ``REPRO_ENGINE_BACKEND``
-environment variable; unset means ``reference``.  Requesting
-``vectorized`` without NumPy installed falls back to ``reference`` with a
-logged warning — results are identical either way, only slower.
+environment variable; unset means ``reference``.  Multi-core systems
+resolve ``auto`` to ``reference`` even when the environment selects
+``vectorized``: shared-L2 lockstep forces the vectorized engine into
+span-of-1 stepping, which measures ~0.9× the reference interpreter (see
+``docs/performance.md``), so deferring to it there would be a silent
+pessimization.  Requesting ``vectorized`` without NumPy installed falls
+back to ``reference`` with a logged warning — results are identical
+either way, only slower.
 
 The backend never affects simulated results, so it is deliberately *not*
 part of a run's cache key (``RunSpec.canonical_dict``) — cached results
@@ -30,12 +35,13 @@ import os
 from typing import Optional, Protocol
 
 from repro.core.engine import CoreEngine
+from repro.envvars import REPRO_ENGINE_BACKEND
 from repro.core.metrics import CoreStats
 
 logger = logging.getLogger(__name__)
 
 #: environment variable consulted when the backend is ``"auto"``.
-ENGINE_BACKEND_ENV = "REPRO_ENGINE_BACKEND"
+ENGINE_BACKEND_ENV = REPRO_ENGINE_BACKEND
 
 #: the selectable backends, in preference-documentation order.
 BACKEND_NAMES = ("reference", "vectorized")
@@ -64,9 +70,26 @@ class EngineBackend(Protocol):
     def run(self) -> CoreStats: ...
 
 
-def resolve_backend(name: Optional[str] = None) -> str:
-    """Resolve an explicit/auto backend request to a concrete name."""
+def resolve_backend(name: Optional[str] = None, n_cores: int = 1) -> str:
+    """Resolve an explicit/auto backend request to a concrete name.
+
+    Resolution table (explicit names always win; *n_cores* only matters
+    for ``auto``/None/empty requests)::
+
+        request       n_cores  REPRO_ENGINE_BACKEND  ->  backend
+        ------------  -------  --------------------      ----------
+        reference     any      any                       reference
+        vectorized    any      any                       vectorized
+        auto/None     1        unset                     reference
+        auto/None     1        reference                 reference
+        auto/None     1        vectorized                vectorized
+        auto/None     >1       any                       reference
+    """
     if name is None or name == "" or name == AUTO_BACKEND:
+        if n_cores > 1:
+            # Shared-L2 lockstep degrades the vectorized engine to
+            # span-of-1 stepping (~0.9x reference); never auto-select it.
+            return "reference"
         name = os.environ.get(ENGINE_BACKEND_ENV, "") or "reference"
     if name not in BACKEND_NAMES:
         raise ValueError(
@@ -95,12 +118,17 @@ def _vectorized_engine_cls():
     return VectorizedCoreEngine
 
 
-def create_engine(backend, config, trace, line_size, l1i, l1d, l2, link, prefetcher, queue, timing):
+def create_engine(
+    backend, config, trace, line_size, l1i, l1d, l2, link, prefetcher, queue, timing,
+    n_cores: int = 1,
+):
     """Construct the requested engine backend over the given components.
 
-    *backend* may be a concrete name, ``"auto"``, or None (same as auto).
+    *backend* may be a concrete name, ``"auto"``, or None (same as auto);
+    *n_cores* is the size of the system this engine joins — ``auto``
+    resolves to ``reference`` when it is more than one.
     """
-    backend = resolve_backend(backend)
+    backend = resolve_backend(backend, n_cores=n_cores)
     if backend == "vectorized":
         engine_cls = _vectorized_engine_cls()
         if engine_cls is not None:

@@ -28,7 +28,7 @@ interleave cores in global cycle order.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Optional
+from typing import Callable, FrozenSet, Iterator, Optional
 
 from repro.caches.cache import SetAssociativeCache
 from repro.caches.line import LineState
@@ -42,7 +42,7 @@ from repro.prefetch.base import Prefetcher
 from repro.prefetch.queue import PrefetchQueue
 from repro.timing.params import TimingParams
 from repro.trace.compiled import CompiledTrace, TraceLike
-from repro.trace.stream import iter_line_visits
+from repro.trace.stream import LineVisit, iter_line_visits
 
 #: at most this many prefetches are issued per visit, bounding queue-drain
 #: work even across very long stalls.
@@ -104,7 +104,7 @@ class CoreEngine:
                     f"engine configured for {line_size}"
                 )
             self._compiled: Optional[CompiledTrace] = trace
-            self._visits = None
+            self._visits: Optional[Iterator[LineVisit]] = None
             self._visit_index = 0
             self._c_lines = trace.lines
             self._c_kinds = trace.kinds
@@ -158,7 +158,7 @@ class CoreEngine:
         #: optional callback invoked with the line index of every L2
         #: victim this engine causes; the CMP system uses it to implement
         #: inclusive-L2 back-invalidation of all cores' L1s.
-        self.l2_eviction_hook = None
+        self.l2_eviction_hook: Optional[Callable[[int], None]] = None
 
     @staticmethod
     def _build_free_kind_table(free_classes: FrozenSet[MissClass]):
@@ -181,7 +181,9 @@ class CoreEngine:
 
     def _step_stream(self) -> bool:
         """Slow path: pull the next visit from the lazy lowering."""
-        visit = next(self._visits, None)
+        visits = self._visits
+        assert visits is not None  # only called when no compiled trace
+        visit = next(visits, None)
         if visit is None:
             self._finished = True
             self.stats.cycles = self.cycle - self._cycle_mark

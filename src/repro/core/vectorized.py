@@ -73,6 +73,8 @@ the inlined copies fails loudly.
 
 from __future__ import annotations
 
+from typing import List, Optional, cast
+
 import numpy as np
 
 from repro.caches.line import LineState
@@ -94,12 +96,12 @@ class VectorizedCoreEngine(CoreEngine):
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
-        self._twin_ok = None
+        self._twin_ok: Optional[bool] = None
         # Cached list of WAITING queue entries in queue order, so the drain
         # pops in O(1) instead of re-scanning past ISSUED filter memory.
         # Sound because the queue is engine-private and, on the fast path,
         # mutated only inside _fast_span (the parity suite pins this).
-        self._wlist = None
+        self._wlist: Optional[List[QueueEntry]] = None
         if self._compiled is not None:
             self._np_lines = np.frombuffer(self._c_lines, dtype=np.int64)
             self._np_kinds = np.frombuffer(self._c_kinds, dtype=np.int8)
@@ -341,14 +343,15 @@ class VectorizedCoreEngine(CoreEngine):
         prefetcher = self.prefetcher
         disc_fast = type(prefetcher) is DiscontinuityPrefetcher
         if disc_fast:
-            table = prefetcher.table
+            dpf = cast(DiscontinuityPrefetcher, prefetcher)
+            table = dpf.table
             tmask = table._mask
             tsrc = table._sources
             ttgt = table._targets
             tstats = table.stats
             t_probe_hits = tstats.probe_hits
-            ahead = prefetcher.prefetch_ahead
-            probe_window = ahead if prefetcher.probe_ahead else 0
+            ahead = dpf.prefetch_ahead
+            probe_window = ahead if dpf.probe_ahead else 0
 
         def offer_line(cl, prov):
             # PrefetchQueue.offer for one candidate.

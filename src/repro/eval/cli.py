@@ -34,7 +34,12 @@ import os
 import sys
 from typing import Dict, List, Optional
 
-from repro.core.backends import AUTO_BACKEND, BACKEND_NAMES, ENGINE_BACKEND_ENV
+from repro.core.backends import AUTO_BACKEND, BACKEND_NAMES
+from repro.envvars import (
+    REPRO_ENGINE_BACKEND,
+    REPRO_STRICT_EXPECTATIONS,
+    REPRO_TRACE_DIR,
+)
 from repro.eval.executor import SweepError, run_specs_report
 from repro.eval.experiment import ExperimentOutcome, estimate_experiment
 from repro.eval.profiles import SCALES, get_scale
@@ -48,7 +53,7 @@ from repro.eval.runspec import RunSpec, dedupe_specs
 from repro.util.clock import Stopwatch
 
 #: env var: treat failing expectation verdicts as a non-zero exit.
-STRICT_ENV = "REPRO_STRICT_EXPECTATIONS"
+STRICT_ENV = REPRO_STRICT_EXPECTATIONS
 
 #: the reserved first positional tokens that are verbs, not experiments.
 VERBS = ("list", "describe", "check", "precompile")
@@ -278,14 +283,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.trace_store:
-        from repro.trace.store import TRACE_DIR_ENV
-
-        os.environ[TRACE_DIR_ENV] = args.trace_store
+        os.environ[REPRO_TRACE_DIR] = args.trace_store
 
     if args.backend:
         # Specs default to "auto", which resolves through this env var in
         # every process — sweep workers inherit it from the parent.
-        os.environ[ENGINE_BACKEND_ENV] = args.backend
+        os.environ[REPRO_ENGINE_BACKEND] = args.backend
 
     if args.list:
         for name in experiment_names():

@@ -36,6 +36,7 @@ from repro.caches.missclass import MissBreakdown
 from repro.cmp.link import OffChipLink
 from repro.cmp.system import SystemConfig, SystemResult
 from repro.core.metrics import CoreStats, PrefetchStats
+from repro.envvars import REPRO_CACHE_DIR, REPRO_DISK_CACHE
 from repro.eval.runspec import RunSpec
 from repro.isa.classify import MissClass
 from repro.timing.params import TimingParams
@@ -44,8 +45,8 @@ from repro.timing.params import TimingParams
 #: existing cache entries become invisible (and are rewritten on demand).
 SCHEMA_VERSION = 1
 
-CACHE_DIR_ENV = "REPRO_CACHE_DIR"
-DISABLE_ENV = "REPRO_DISK_CACHE"
+CACHE_DIR_ENV = REPRO_CACHE_DIR
+DISABLE_ENV = REPRO_DISK_CACHE
 DEFAULT_CACHE_DIR = ".repro-cache"
 
 #: a ``*.tmp`` file older than this is an orphan from a crashed writer

@@ -46,13 +46,14 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.cmp.system import SystemResult
+from repro.envvars import REPRO_JOBS
 from repro.eval import diskcache
 from repro.eval.runspec import RunSpec, dedupe_specs
 from repro.util import clock
 
 #: environment variable bounding the worker-process count; 1 forces the
 #: in-process serial path (no pool, no pickling).
-JOBS_ENV = "REPRO_JOBS"
+JOBS_ENV = REPRO_JOBS
 
 _MEMO: Dict[RunSpec, SystemResult] = {}
 

@@ -11,8 +11,10 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
+from repro.envvars import REPRO_PROFILE
+
 #: environment variable selecting the scale profile.
-SCALE_ENV_VAR = "REPRO_PROFILE"
+SCALE_ENV_VAR = REPRO_PROFILE
 
 
 @dataclass(frozen=True)

@@ -33,6 +33,7 @@ from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence
 from repro.api import make_traces
 from repro.caches.config import DEFAULT_HIERARCHY, HierarchyConfig
 from repro.cmp.system import System, SystemConfig, SystemResult
+from repro.envvars import REPRO_COMPILED_TRACES, REPRO_SYNTH_LOG
 from repro.eval.profiles import ExperimentScale, get_scale
 from repro.eval.runspec import DEFAULT_SEED, RunSpec
 from repro.isa.classify import MissClass
@@ -56,12 +57,12 @@ __all__ = [
 
 #: set to ``0``/``off`` to bypass compiled traces (and the trace store) and
 #: feed the engine raw traces through the lazy lowering instead.
-COMPILED_ENV = "REPRO_COMPILED_TRACES"
+COMPILED_ENV = REPRO_COMPILED_TRACES
 
 #: when set to a path, every *actual* trace synthesis appends one JSON line
 #: ``{"pid": ..., "workload": ...}`` there — lets tests assert that pool
 #: workers served traces from the store instead of re-synthesizing.
-SYNTH_LOG_ENV = "REPRO_SYNTH_LOG"
+SYNTH_LOG_ENV = REPRO_SYNTH_LOG
 
 _TRACE_CACHE: Dict[Tuple[str, int, int, int], List[Trace]] = {}
 _COMPILED_CACHE: Dict[Tuple[str, int, int, int, int], List[CompiledTrace]] = {}

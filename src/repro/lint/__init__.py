@@ -1,29 +1,47 @@
 """AST-based invariant checker for determinism, cache-safety and executor
 boundaries.
 
-See ``docs/static_analysis.md`` for the rule catalogue (R1–R5), the
-behavior-manifest workflow, and how to allowlist a legitimate exception.
+See ``docs/static_analysis.md`` for the rule catalogue (R1–R8), the
+behavior-manifest workflow (including R6's backend pair fingerprints),
+the ``repro.envvars`` registry R7 enforces, autofixes, SARIF output, and
+how to allowlist a legitimate exception.
 """
 
-from repro.lint.engine import LintError, Project, Rule, Violation, run_rules
+from repro.lint.engine import (
+    Fix,
+    LintError,
+    Project,
+    Rule,
+    TextEdit,
+    Violation,
+    run_rules,
+)
 from repro.lint.rules import (
+    BackendDriftRule,
     BehaviorManifestRule,
     CatalogSyncRule,
     DeterminismRule,
+    DeterminismTaintRule,
+    EnvRegistryRule,
     ExecutorBoundaryRule,
     RunSpecSyncRule,
     default_rules,
 )
 
 __all__ = [
+    "BackendDriftRule",
     "BehaviorManifestRule",
     "CatalogSyncRule",
     "DeterminismRule",
+    "DeterminismTaintRule",
+    "EnvRegistryRule",
     "ExecutorBoundaryRule",
+    "Fix",
     "LintError",
     "Project",
     "Rule",
     "RunSpecSyncRule",
+    "TextEdit",
     "Violation",
     "default_rules",
     "run_rules",

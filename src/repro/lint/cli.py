@@ -9,18 +9,29 @@ Usage::
     python -m repro.lint --rules R1,R3    # subset
     python -m repro.lint --list-rules
     python -m repro.lint --update-manifest
+    python -m repro.lint --format sarif --output lint.sarif
+    python -m repro.lint --fix            # apply mechanical autofixes
+    python -m repro.lint src/repro/core/engine.py   # scope the report
+
+Analysis facts are cached per file (content-hash keyed) under
+``.repro-cache/lint-facts.json``, so warm runs on an unchanged tree are
+sub-second; ``--no-cache`` forces full re-analysis.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
 
 from repro.lint import manifest as manifest_mod
+from repro.lint.cache import FactsCache
 from repro.lint.engine import LintError, Project, run_rules
+from repro.lint.fixes import apply_fixes
 from repro.lint.rules import default_rules
+from repro.lint.sarif import to_sarif
 
 
 def find_project_root(start: Optional[str] = None) -> Path:
@@ -40,8 +51,16 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "AST-based invariant checker for the reproduction: determinism "
             "(R1), cache-safety (R2), RunSpec sync (R3), executor boundary "
-            "(R4) and catalog sync (R5)."
+            "(R4), catalog sync (R5), backend drift (R6), env registry (R7) "
+            "and determinism taint (R8)."
         ),
+    )
+    parser.add_argument(
+        "files",
+        nargs="*",
+        help="optional file paths: rules still run on the whole tree, but "
+        "the report (and autofixes) are scoped to these files plus "
+        "project-level findings — what pre-commit passes",
     )
     parser.add_argument(
         "--root",
@@ -60,9 +79,57 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--update-manifest",
         action="store_true",
-        help="rewrite the behavior manifest from the current tree and exit",
+        help="rewrite the behavior manifest (module hashes + pair "
+        "fingerprints) from the current tree and exit",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "sarif"),
+        default="text",
+        help="report format (sarif: one SARIF 2.1.0 run for code scanning)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply mechanical autofixes (R1 clock/rng rewrites, R7 "
+        "registry-constant rewrites), then re-check",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the per-file analysis cache",
     )
     return parser
+
+
+def _relative_paths(project: Project, files: List[str]) -> List[str]:
+    """Normalize CLI file arguments to project-root-relative POSIX paths."""
+    out: List[str] = []
+    for entry in files:
+        path = Path(entry)
+        if not path.is_absolute():
+            path = Path.cwd() / path
+        try:
+            rel = path.resolve().relative_to(project.root).as_posix()
+        except ValueError:
+            raise LintError(f"{entry} is outside the project root {project.root}")
+        out.append(rel)
+    return out
+
+
+def _emit(text: str, output: Optional[str]) -> None:
+    if output is None:
+        print(text, end="" if text.endswith("\n") else "\n")
+    else:
+        Path(output).write_text(
+            text if text.endswith("\n") else text + "\n", encoding="utf-8"
+        )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -76,10 +143,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     try:
-        project = Project(find_project_root(args.root))
+        root = find_project_root(args.root)
     except LintError as error:
         print(f"repro.lint: error: {error}", file=sys.stderr)
         return 2
+    facts_cache = None if args.no_cache else FactsCache.for_root(root)
+    project = Project(root, facts_cache=facts_cache)
 
     if args.update_manifest:
         try:
@@ -92,6 +161,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{artifact.version_key}={written[artifact.version_key]}"
             for artifact in manifest_mod.active_artifacts(project)
         )
+        if manifest_mod.PAIRS_KEY in written:
+            detail += f", {len(written[manifest_mod.PAIRS_KEY])} backend pairs"
+        if facts_cache is not None:
+            facts_cache.save()
         print(f"repro.lint: wrote {manifest_mod.MANIFEST_PATH} ({detail})")
         return 0
 
@@ -99,18 +172,44 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.rules:
         names = [name.strip() for name in args.rules.split(",") if name.strip()]
     try:
+        scope = _relative_paths(project, args.files)
         violations = run_rules(project, rules, names=names)
+        if args.fix:
+            fixed = apply_fixes(
+                project,
+                [v for v in violations if not scope or v.path in scope],
+            )
+            for rel, count in sorted(fixed.items()):
+                print(f"repro.lint: fixed {count} violation(s) in {rel}")
+            if fixed:
+                violations = run_rules(project, rules, names=names)
     except LintError as error:
         print(f"repro.lint: error: {error}", file=sys.stderr)
         return 1
+    finally:
+        if facts_cache is not None:
+            facts_cache.save()
 
-    for violation in violations:
-        print(violation.format())
+    if scope:
+        keep = set(scope)
+        violations = [v for v in violations if not v.path or v.path in keep]
+
     ran = names if names is not None else [rule.name for rule in rules]
+    if args.format == "sarif":
+        active = [rule for rule in rules if rule.name in ran]
+        document = to_sarif(violations, active)
+        _emit(json.dumps(document, indent=2), args.output)
+        return 1 if violations else 0
+
+    report_lines: List[str] = [violation.format() for violation in violations]
     if violations:
-        print(f"repro.lint: {len(violations)} violation(s) [{','.join(ran)}]")
+        report_lines.append(
+            f"repro.lint: {len(violations)} violation(s) [{','.join(ran)}]"
+        )
+        _emit("\n".join(report_lines), args.output)
         return 1
-    print(f"repro.lint: OK [{','.join(ran)}] (root: {project.root})")
+    report_lines.append(f"repro.lint: OK [{','.join(ran)}] (root: {project.root})")
+    _emit("\n".join(report_lines), args.output)
     return 0
 
 

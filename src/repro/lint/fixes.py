@@ -1,0 +1,103 @@
+"""Application of mechanical autofixes (``python -m repro.lint --fix``).
+
+Rules attach a :class:`~repro.lint.engine.Fix` to violations whose repair
+is purely mechanical — R1 import/call rewrites to the sanctioned
+``repro.util.clock`` / ``repro.util.rng`` shims, R7 literal-env-key
+rewrites to registry constants.  This module applies them: span edits are
+grouped per file and applied bottom-up (so earlier edits never shift
+later spans), then any imports the replacements rely on are inserted
+after the file's last top-level import.  Overlapping edits are skipped
+rather than guessed at; ``--fix`` reruns the rules afterwards, so
+anything skipped simply reports again.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.engine import Project, TextEdit, Violation
+
+
+def _apply_edits(source: str, edits: Sequence[TextEdit]) -> Tuple[str, int]:
+    """Apply non-overlapping *edits* to *source*; returns (text, applied)."""
+    ordered = sorted(
+        edits, key=lambda edit: (edit.start_line, edit.start_col), reverse=True
+    )
+    lines = source.split("\n")
+    applied = 0
+    last_start: Tuple[int, int] = (len(lines) + 2, 0)
+    for edit in ordered:
+        if (edit.end_line, edit.end_col) > last_start:
+            continue  # overlaps an already-applied edit
+        head = lines[edit.start_line - 1][: edit.start_col]
+        tail = lines[edit.end_line - 1][edit.end_col :]
+        lines[edit.start_line - 1 : edit.end_line] = [head + edit.replacement + tail]
+        last_start = (edit.start_line, edit.start_col)
+        applied += 1
+    return "\n".join(lines), applied
+
+
+def _insert_imports(source: str, imports: Sequence[str]) -> str:
+    """Ensure each import statement in *imports* appears in *source*.
+
+    Missing ones are inserted after the last top-level import (or after
+    the module docstring when the file has no imports yet).
+    """
+    existing_lines = {line.strip() for line in source.split("\n")}
+    missing = [stmt for stmt in imports if stmt not in existing_lines]
+    if not missing:
+        return source
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return source  # leave the file alone rather than corrupt it
+    insert_after = 0
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            insert_after = max(insert_after, node.end_lineno or node.lineno)
+    if insert_after == 0 and tree.body:
+        first = tree.body[0]
+        if (
+            isinstance(first, ast.Expr)
+            and isinstance(first.value, ast.Constant)
+            and isinstance(first.value.value, str)
+        ):
+            insert_after = first.end_lineno or first.lineno
+    lines = source.split("\n")
+    lines[insert_after:insert_after] = missing
+    return "\n".join(lines)
+
+
+def apply_fixes(project: Project, violations: Sequence[Violation]) -> Dict[str, int]:
+    """Apply every attached fix; returns ``{path: edits applied}``.
+
+    Files are rewritten in place under the project root and the Project's
+    caches for them are invalidated, so a follow-up ``run_rules`` sees the
+    repaired tree.
+    """
+    by_path: Dict[str, List[Violation]] = {}
+    for violation in violations:
+        if violation.fix is not None and violation.path:
+            by_path.setdefault(violation.path, []).append(violation)
+
+    applied: Dict[str, int] = {}
+    for rel, fixables in sorted(by_path.items()):
+        source = project.source(rel)
+        edits: List[TextEdit] = []
+        imports: List[str] = []
+        for violation in fixables:
+            assert violation.fix is not None
+            edits.extend(violation.fix.edits)
+            for stmt in violation.fix.imports:
+                if stmt not in imports:
+                    imports.append(stmt)
+        new_source, count = _apply_edits(source, edits)
+        if count == 0:
+            continue
+        new_source = _insert_imports(new_source, imports)
+        project.path(rel).write_text(new_source, encoding="utf-8")
+        for cache in (project._sources, project._trees, project._hashes, project._facts):
+            cache.pop(rel, None)
+        applied[rel] = count
+    return applied

@@ -80,6 +80,94 @@ TRACE_PATHS = (
 #: lines), so editing them should not demand a schema bump.
 BEHAVIOR_EXCLUDE = frozenset({"src/repro/util/clock.py"})
 
+#: the vectorized engine backend: every Pair's counterpart lives here.
+VECTORIZED_MODULE = "src/repro/core/vectorized.py"
+
+
+class Pair(NamedTuple):
+    """One must-stay-in-sync reference/vectorized implementation pair.
+
+    The vectorized backend inlines most reference hot paths into one flat
+    span interpreter, so several reference functions legitimately map to
+    the same vectorized counterpart (many → one).  Rule R6 fingerprints
+    both sides; a drifted reference fingerprint with an unchanged
+    vectorized one is the "silent divergence" failure mode this exists to
+    catch before the (slow) runtime parity suite does.
+    """
+
+    ref_module: str
+    ref_qualname: str
+    vec_qualname: str  #: qualname inside VECTORIZED_MODULE
+
+
+_ENGINE = "src/repro/core/engine.py"
+_QUEUE = "src/repro/prefetch/queue.py"
+_DISC = "src/repro/prefetch/discontinuity.py"
+_SPAN = "VectorizedCoreEngine._fast_span"
+
+#: the fingerprinted hot-path pairs.  ``_fast_span`` inlines the per-visit
+#: reference pipeline (visit processing, queue drain, fills, installs,
+#: data-miss timing, and the DiscontinuityPrefetcher trigger path), so it
+#: is the counterpart of nearly everything; only ``_issue_prefetches`` has
+#: a dedicated override.
+PAIRS: Tuple[Pair, ...] = (
+    Pair(_ENGINE, "CoreEngine._process_visit", _SPAN),
+    Pair(_ENGINE, "CoreEngine._step_compiled", _SPAN),
+    Pair(_ENGINE, "CoreEngine._issue_prefetches", "VectorizedCoreEngine._issue_prefetches"),
+    Pair(_ENGINE, "CoreEngine._issue_one", _SPAN),
+    Pair(_ENGINE, "CoreEngine._demand_fill", _SPAN),
+    Pair(_ENGINE, "CoreEngine._install_l1i", _SPAN),
+    Pair(_ENGINE, "CoreEngine._install_l2", _SPAN),
+    Pair(_ENGINE, "CoreEngine._data_miss", _SPAN),
+    Pair(_QUEUE, "PrefetchQueue.offer", _SPAN),
+    Pair(_QUEUE, "PrefetchQueue.pop_ready", _SPAN),
+    Pair(_QUEUE, "PrefetchQueue.note_demand_fetch", _SPAN),
+    Pair(_DISC, "DiscontinuityTable.observe", _SPAN),
+    Pair(_DISC, "DiscontinuityTable.predict", _SPAN),
+    Pair(_DISC, "DiscontinuityTable.credit", _SPAN),
+    Pair(_DISC, "DiscontinuityPrefetcher.on_demand_fetch", _SPAN),
+)
+
+#: manifest JSON key holding the pair fingerprints.
+PAIRS_KEY = "pairs"
+
+
+def pair_id(pair: Pair) -> str:
+    return f"{pair.ref_module}::{pair.ref_qualname}"
+
+
+def _function_fingerprint(
+    project: Project, rel: str, qualname: str
+) -> Optional[str]:
+    if not project.exists(rel):
+        return None
+    entry = project.facts(rel)["functions"].get(qualname)
+    if entry is None:
+        return None
+    return entry["fingerprint"]
+
+
+def pair_fingerprints(project: Project) -> Dict[str, Dict[str, Optional[str]]]:
+    """Current fingerprints of both sides of every pair.
+
+    ``{pair_id: {"ref": fp-or-None, "vec": fp-or-None}}`` — ``None`` means
+    the function (or its module) is missing from the tree, which R6
+    reports as its own violation.
+    """
+    out: Dict[str, Dict[str, Optional[str]]] = {}
+    for pair in PAIRS:
+        out[pair_id(pair)] = {
+            "ref": _function_fingerprint(project, pair.ref_module, pair.ref_qualname),
+            "vec": _function_fingerprint(project, VECTORIZED_MODULE, pair.vec_qualname),
+        }
+    return out
+
+
+def pairs_active(project: Project) -> bool:
+    """Pair checking applies only when the vectorized backend exists (the
+    lint suite's small synthetic fixture trees have no backends)."""
+    return project.exists(VECTORIZED_MODULE)
+
 
 class Artifact(NamedTuple):
     """One schema-versioned persistent artifact guarded by rule R2."""
@@ -218,6 +306,8 @@ def update_manifest(project: Project) -> Dict[str, Any]:
     for artifact in active_artifacts(project):
         manifest[artifact.version_key] = artifact_schema_version(project, artifact)
         manifest[artifact.files_key] = artifact_hashes(project, artifact)
+    if pairs_active(project):
+        manifest[PAIRS_KEY] = pair_fingerprints(project)
     text = json.dumps(manifest, indent=2, sort_keys=True) + "\n"
     target = project.path(MANIFEST_PATH)
     target.parent.mkdir(parents=True, exist_ok=True)
@@ -226,4 +316,6 @@ def update_manifest(project: Project) -> Dict[str, Any]:
     # sees the rewrite.
     project._sources.pop(MANIFEST_PATH, None)
     project._trees.pop(MANIFEST_PATH, None)
+    project._hashes.pop(MANIFEST_PATH, None)
+    project._facts.pop(MANIFEST_PATH, None)
     return manifest

@@ -29,15 +29,16 @@ import tempfile
 from pathlib import Path
 from typing import Optional
 
+from repro.envvars import REPRO_CACHE_DIR, REPRO_TRACE_DIR, REPRO_TRACE_STORE
 from repro.trace.compiled import CompiledTrace, CompiledTraceError
 
-TRACE_DIR_ENV = "REPRO_TRACE_DIR"
-DISABLE_ENV = "REPRO_TRACE_STORE"
+TRACE_DIR_ENV = REPRO_TRACE_DIR
+DISABLE_ENV = REPRO_TRACE_STORE
 
 #: mirrors :data:`repro.eval.diskcache.CACHE_DIR_ENV` / ``DEFAULT_CACHE_DIR``
-#: without importing eval from trace (layering); the env names are public
-#: and documented together in ``docs/performance.md``.
-_RESULT_CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: without importing eval from trace (layering — both alias constants from
+#: the shared top-level :mod:`repro.envvars` registry).
+_RESULT_CACHE_DIR_ENV = REPRO_CACHE_DIR
 _DEFAULT_RESULT_CACHE_DIR = ".repro-cache"
 _SUBDIR = "traces"
 

@@ -19,6 +19,16 @@ def now() -> float:
     return time.time()
 
 
+def perf_counter() -> float:
+    """High-resolution monotonic counter — for measuring elapsed spans."""
+    return time.perf_counter()
+
+
+def monotonic() -> float:
+    """Monotonic clock — never jumps with host clock adjustments."""
+    return time.monotonic()
+
+
 class Stopwatch:
     """Elapsed-seconds helper for progress reporting.
 

@@ -166,3 +166,57 @@ def test_resolve_backend_env(monkeypatch) -> None:
     assert backends.resolve_backend("reference") == "reference"
     monkeypatch.delenv(backends.ENGINE_BACKEND_ENV)
     assert backends.resolve_backend("auto") == "reference"
+
+
+@pytest.mark.parametrize(
+    ("request_name", "n_cores", "env", "expected"),
+    [
+        # Explicit names win regardless of core count or environment.
+        ("reference", 1, None, "reference"),
+        ("reference", 4, "vectorized", "reference"),
+        ("vectorized", 1, None, "vectorized"),
+        ("vectorized", 4, "vectorized", "vectorized"),
+        # Single-core auto defers to the environment, default reference.
+        ("auto", 1, None, "reference"),
+        ("auto", 1, "reference", "reference"),
+        ("auto", 1, "vectorized", "vectorized"),
+        (None, 1, "vectorized", "vectorized"),
+        ("", 1, "vectorized", "vectorized"),
+        # Multi-core auto always resolves to reference (span-of-1
+        # stepping measures ~0.9x; see docs/performance.md).
+        ("auto", 2, None, "reference"),
+        ("auto", 4, "vectorized", "reference"),
+        (None, 4, "vectorized", "reference"),
+    ],
+)
+def test_resolve_backend_table(monkeypatch, request_name, n_cores, env, expected):
+    if env is None:
+        monkeypatch.delenv(backends.ENGINE_BACKEND_ENV, raising=False)
+    else:
+        monkeypatch.setenv(backends.ENGINE_BACKEND_ENV, env)
+    assert backends.resolve_backend(request_name, n_cores=n_cores) == expected
+
+
+def test_multicore_system_ignores_vectorized_auto(monkeypatch) -> None:
+    """A 2-core system built with auto uses reference engines even when
+    the environment asks for the vectorized backend."""
+    pytest.importorskip("numpy")
+    from repro.cmp.system import System, SystemConfig
+    from repro.core.vectorized import VectorizedCoreEngine
+    from repro.eval.runner import get_traces
+
+    monkeypatch.setenv(backends.ENGINE_BACKEND_ENV, "vectorized")
+    system = System(
+        SystemConfig(n_cores=2, engine_backend="auto"),
+        get_traces("db", 2, 2_000),
+    )
+    assert len(system.engines) == 2
+    assert not any(
+        isinstance(engine, VectorizedCoreEngine) for engine in system.engines
+    )
+
+    single = System(
+        SystemConfig(n_cores=1, engine_backend="auto"),
+        get_traces("db", 1, 2_000),
+    )
+    assert isinstance(single.engines[0], VectorizedCoreEngine)

@@ -1,0 +1,210 @@
+"""R6 (backend drift): fingerprinted reference hot paths must move in
+lockstep with their vectorized counterparts.
+
+The tests pin the rule to a single synthetic pair (monkeypatching
+``manifest.PAIRS`` so ``update_manifest`` records it) rather than the real
+fifteen, so fixture trees need only one tiny engine/vectorized module each.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import manifest as manifest_mod
+from repro.lint.engine import Project
+from repro.lint.rules import BackendDriftRule
+from tests.unit.conftest import write_tree_file
+
+PAIR = manifest_mod.Pair(
+    ref_module="src/repro/core/engine.py",
+    ref_qualname="CoreEngine._process_visit",
+    vec_qualname="VectorizedCoreEngine._fast_span",
+)
+
+ENGINE_V1 = """
+    class CoreEngine:
+        def _process_visit(self, visit):
+            return visit + 1
+    """
+
+#: structurally identical to ENGINE_V1 — docstring, comment and blank-line
+#: churn only, which the fingerprint must ignore.
+ENGINE_V1_RESTYLED = '''
+    class CoreEngine:
+
+        def _process_visit(self, visit):
+            """Process one visit (documentation never moves fingerprints)."""
+            # neither do comments or whitespace
+            return visit + 1
+    '''
+
+ENGINE_V2 = """
+    class CoreEngine:
+        def _process_visit(self, visit):
+            return visit + 2
+    """
+
+VEC_V1 = """
+    class VectorizedCoreEngine:
+        def _fast_span(self, span):
+            return span + 1
+    """
+
+VEC_V2 = """
+    class VectorizedCoreEngine:
+        def _fast_span(self, span):
+            return span + 2
+    """
+
+
+def rule() -> BackendDriftRule:
+    return BackendDriftRule(pairs=(PAIR,))
+
+
+@pytest.fixture
+def drift_tree(lint_tree, monkeypatch):
+    """Build the base tree with the synthetic pair installed."""
+
+    def build(engine=ENGINE_V1, vectorized=VEC_V1, with_manifest=True):
+        monkeypatch.setattr(manifest_mod, "PAIRS", (PAIR,))
+        overrides = {"src/repro/core/engine.py": engine}
+        if vectorized is not None:
+            overrides[manifest_mod.VECTORIZED_MODULE] = vectorized
+        return lint_tree(overrides, with_manifest=with_manifest)
+
+    return build
+
+
+def test_clean_tree_passes(drift_tree):
+    assert rule().check(drift_tree()) == []
+
+
+def test_rule_is_inactive_without_the_vectorized_module(drift_tree):
+    project = drift_tree(vectorized=None)
+    # Even a behavioural reference edit stays silent: fixture trees
+    # without backends are out of R6's scope by design.
+    project = write_tree_file(project.root, PAIR.ref_module, ENGINE_V2)
+    assert rule().check(project) == []
+
+
+def test_docstring_and_formatting_edits_do_not_drift(drift_tree):
+    project = drift_tree()
+    project = write_tree_file(project.root, PAIR.ref_module, ENGINE_V1_RESTYLED)
+    assert rule().check(project) == []
+
+
+def test_reference_only_edit_names_both_sites(drift_tree):
+    project = drift_tree()
+    project = write_tree_file(project.root, PAIR.ref_module, ENGINE_V2)
+    violations = rule().check(project)
+    assert len(violations) == 1
+    finding = violations[0]
+    assert finding.path == PAIR.ref_module
+    assert finding.line > 0
+    assert "'CoreEngine._process_visit'" in finding.message
+    assert "'VectorizedCoreEngine._fast_span'" in finding.message
+    assert "bit-identical" in finding.message
+    # the hint names the exact counterpart site and both escape hatches.
+    assert f"{manifest_mod.VECTORIZED_MODULE}::{PAIR.vec_qualname}" in finding.hint
+    assert "test_backend_parity" in finding.hint
+    assert "--update-manifest" in finding.hint
+
+
+def test_update_manifest_acks_reference_only_drift(drift_tree):
+    project = drift_tree()
+    project = write_tree_file(project.root, PAIR.ref_module, ENGINE_V2)
+    assert rule().check(project) != []
+    manifest_mod.update_manifest(project)
+    assert rule().check(Project(project.root)) == []
+
+
+def test_both_sides_edited_reports_stale_fingerprints(drift_tree):
+    project = drift_tree()
+    project = write_tree_file(project.root, PAIR.ref_module, ENGINE_V2)
+    project = write_tree_file(project.root, manifest_mod.VECTORIZED_MODULE, VEC_V2)
+    violations = rule().check(project)
+    # both moved together: no divergence warning, one stale entry per side.
+    assert len(violations) == 2
+    assert all("stale in the manifest" in v.message for v in violations)
+    assert {v.path for v in violations} == {
+        PAIR.ref_module,
+        manifest_mod.VECTORIZED_MODULE,
+    }
+    manifest_mod.update_manifest(project)
+    assert rule().check(Project(project.root)) == []
+
+
+def test_vectorized_only_edit_asks_for_a_refresh(drift_tree):
+    project = drift_tree()
+    project = write_tree_file(project.root, manifest_mod.VECTORIZED_MODULE, VEC_V2)
+    violations = rule().check(project)
+    assert len(violations) == 1
+    assert violations[0].path == manifest_mod.VECTORIZED_MODULE
+    assert "stale in the manifest" in violations[0].message
+
+
+def test_missing_manifest_is_reported(drift_tree):
+    project = drift_tree(with_manifest=False)
+    violations = rule().check(project)
+    assert len(violations) == 1
+    assert violations[0].path == manifest_mod.MANIFEST_PATH
+    assert "manifest is missing" in violations[0].message
+
+
+def test_manifest_without_pairs_section_is_reported(drift_tree):
+    # Manifest recorded while the tree had no vectorized backend; adding
+    # the backend afterwards must demand a refresh, not pass silently.
+    project = drift_tree(vectorized=None)
+    project = write_tree_file(project.root, manifest_mod.VECTORIZED_MODULE, VEC_V1)
+    violations = rule().check(project)
+    assert len(violations) == 1
+    assert "no pair-fingerprint section" in violations[0].message
+    assert "--update-manifest" in violations[0].hint
+
+
+def test_missing_reference_function_is_reported(drift_tree):
+    project = drift_tree()
+    project = write_tree_file(
+        project.root,
+        PAIR.ref_module,
+        """
+        class CoreEngine:
+            def renamed(self, visit):
+                return visit + 1
+        """,
+    )
+    violations = rule().check(project)
+    assert len(violations) == 1
+    assert violations[0].path == PAIR.ref_module
+    assert "'CoreEngine._process_visit'" in violations[0].message
+    assert "is missing" in violations[0].message
+
+
+def test_missing_vectorized_counterpart_is_reported(drift_tree):
+    project = drift_tree()
+    project = write_tree_file(
+        project.root,
+        manifest_mod.VECTORIZED_MODULE,
+        """
+        class VectorizedCoreEngine:
+            def renamed(self, span):
+                return span + 1
+        """,
+    )
+    violations = rule().check(project)
+    assert len(violations) == 1
+    assert violations[0].path == manifest_mod.VECTORIZED_MODULE
+    assert "'VectorizedCoreEngine._fast_span'" in violations[0].message
+    assert "is missing" in violations[0].message
+
+
+def test_real_pairs_all_point_at_existing_functions():
+    """Every entry of the real PAIRS table resolves in the live tree."""
+    from pathlib import Path
+
+    project = Project(Path(__file__).resolve().parents[2])
+    fingerprints = manifest_mod.pair_fingerprints(project)
+    assert len(fingerprints) == len(manifest_mod.PAIRS)
+    for pair_id, sides in fingerprints.items():
+        assert sides["ref"] is not None, f"{pair_id}: reference side missing"
+        assert sides["vec"] is not None, f"{pair_id}: vectorized side missing"

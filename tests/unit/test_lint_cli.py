@@ -1,0 +1,303 @@
+"""CLI surface of the analysis framework: SARIF output, ``--fix``,
+file scoping, ``--output``, and the incremental facts cache.
+
+Exit-code basics (clean/violation/usage, ``--rules``, ``--update-manifest``)
+live in ``test_lint_engine.py``; this file covers everything added with the
+shared-analysis framework.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint import manifest as manifest_mod
+from repro.lint.cache import CACHE_REL_PATH
+from repro.lint.cli import main
+from tests.unit.conftest import write_tree_file
+from tests.unit.test_lint_backend_drift import ENGINE_V1, PAIR, VEC_V1
+from tests.unit.test_lint_env_registry import (
+    READER_MODULE,
+    REGISTRY_MODULE,
+    REGISTRY_OK,
+)
+
+R1_VIOLATION = {"src/repro/core/walker.py": "import random\n"}
+
+FIXABLE_READER = """
+    import os
+
+
+    def jobs():
+        return os.environ.get("REPRO_JOBS", "1")
+    """
+
+#: enough of the SARIF 2.1.0 shape to catch structural regressions; the
+#: full OASIS schema needs a network fetch, so validation is best-effort
+#: (skipped when jsonschema is not installed).
+SARIF_MIN_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["ruleId", "message"],
+                            "properties": {
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                }
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def read_sarif(path):
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+# --------------------------------------------------------------------- #
+# SARIF
+# --------------------------------------------------------------------- #
+
+
+def test_sarif_reports_violations_with_locations(lint_tree, tmp_path):
+    project = lint_tree(R1_VIOLATION)
+    out = tmp_path / "lint.sarif"
+    code = main(
+        ["--root", str(project.root), "--format", "sarif", "--output", str(out)]
+    )
+    assert code == 1
+    document = read_sarif(out)
+    assert document["version"] == "2.1.0"
+    assert document["$schema"].endswith("sarif-schema-2.1.0.json")
+    (run,) = document["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro.lint"
+    assert [rule["id"] for rule in driver["rules"]] == [
+        "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8",
+    ]
+    results = run["results"]
+    assert results, "the R1 violation must appear as a result"
+    for result in results:
+        assert result["level"] == "error"
+        assert result["message"]["text"]
+        assert driver["rules"][result["ruleIndex"]]["id"] == result["ruleId"]
+    r1 = next(r for r in results if r["ruleId"] == "R1")
+    location = r1["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "src/repro/core/walker.py"
+    assert location["artifactLocation"]["uriBaseId"] == "SRCROOT"
+    assert location["region"]["startLine"] >= 1
+
+
+def test_sarif_clean_tree_exits_zero_with_empty_results(lint_tree, tmp_path):
+    project = lint_tree()
+    out = tmp_path / "lint.sarif"
+    code = main(
+        ["--root", str(project.root), "--format", "sarif", "--output", str(out)]
+    )
+    assert code == 0
+    assert read_sarif(out)["runs"][0]["results"] == []
+
+
+def test_sarif_location_shapes_for_file_and_project_findings(
+    lint_tree, tmp_path
+):
+    # A tree producing all three location shapes at once: a line-level
+    # finding (undeclared REPRO read), a file-level one (missing manifest,
+    # line 0 → no region), and a project-level one (missing registry →
+    # no locations at all).
+    project = lint_tree(
+        {
+            READER_MODULE: """
+                import os
+
+                def read():
+                    return os.environ.get("REPRO_JOBS")
+                """
+        },
+        with_manifest=False,
+    )
+    out = tmp_path / "lint.sarif"
+    assert (
+        main(
+            [
+                "--root",
+                str(project.root),
+                "--format",
+                "sarif",
+                "--output",
+                str(out),
+            ]
+        )
+        == 1
+    )
+    results = read_sarif(out)["runs"][0]["results"]
+    by_shape = {"line": 0, "file": 0, "project": 0}
+    for result in results:
+        locations = result.get("locations")
+        if locations is None:
+            by_shape["project"] += 1
+            continue
+        physical = locations[0]["physicalLocation"]
+        if "region" in physical:
+            assert physical["region"]["startLine"] >= 1
+            by_shape["line"] += 1
+        else:
+            by_shape["file"] += 1
+    assert all(count > 0 for count in by_shape.values()), by_shape
+
+
+def test_sarif_validates_against_minimal_schema(lint_tree, tmp_path):
+    jsonschema = pytest.importorskip("jsonschema")
+    project = lint_tree(R1_VIOLATION)
+    out = tmp_path / "lint.sarif"
+    main(["--root", str(project.root), "--format", "sarif", "--output", str(out)])
+    jsonschema.validate(read_sarif(out), SARIF_MIN_SCHEMA)
+
+
+# --------------------------------------------------------------------- #
+# --fix
+# --------------------------------------------------------------------- #
+
+
+def test_fix_repairs_a_literal_env_read(lint_tree, capsys):
+    project = lint_tree(
+        {REGISTRY_MODULE: REGISTRY_OK, READER_MODULE: FIXABLE_READER}
+    )
+    assert main(["--root", str(project.root)]) == 1
+    capsys.readouterr()
+    assert main(["--root", str(project.root), "--fix"]) == 0
+    out = capsys.readouterr().out
+    assert f"fixed 1 violation(s) in {READER_MODULE}" in out
+    repaired = project.path(READER_MODULE).read_text(encoding="utf-8")
+    assert "from repro.envvars import REPRO_JOBS" in repaired
+    assert '"REPRO_JOBS"' not in repaired
+    assert main(["--root", str(project.root)]) == 0
+
+
+def test_fix_is_scoped_to_the_named_files(lint_tree, capsys):
+    other = "src/repro/eval/other_report.py"
+    project = lint_tree(
+        {
+            REGISTRY_MODULE: REGISTRY_OK,
+            READER_MODULE: FIXABLE_READER,
+            other: FIXABLE_READER,
+        }
+    )
+    # pre-commit semantics: only the named file is fixed *and* reported.
+    code = main(
+        ["--root", str(project.root), "--fix", str(project.path(READER_MODULE))]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert f"fixed 1 violation(s) in {READER_MODULE}" in out
+    assert other not in out
+    assert '"REPRO_JOBS"' in project.path(other).read_text(encoding="utf-8")
+    # the unscoped run still sees the untouched file's violation.
+    assert main(["--root", str(project.root)]) == 1
+
+
+def test_report_scoping_filters_clean_files_to_exit_zero(lint_tree, capsys):
+    project = lint_tree(R1_VIOLATION)
+    clean_file = project.path("src/repro/core/engine.py")
+    assert main(["--root", str(project.root), str(clean_file)]) == 0
+    assert main(["--root", str(project.root)]) == 1
+    capsys.readouterr()
+
+
+def test_file_outside_the_root_is_an_error(lint_tree, tmp_path, capsys):
+    project = lint_tree()  # rooted at tmp_path itself
+    stray = tmp_path.parent / f"{tmp_path.name}_stray.py"
+    stray.write_text("x = 1\n", encoding="utf-8")
+    assert main(["--root", str(project.root), str(stray)]) == 1
+    assert "outside the project root" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------- #
+# incremental facts cache
+# --------------------------------------------------------------------- #
+
+
+def test_cache_is_written_and_warm_runs_stay_correct(lint_tree):
+    project = lint_tree()
+    cache_path = project.path(CACHE_REL_PATH)
+    assert main(["--root", str(project.root)]) == 0
+    assert cache_path.is_file()
+    # warm run, unchanged tree: still clean.
+    assert main(["--root", str(project.root)]) == 0
+    # an edit must invalidate its entry (content-hash keying): the new
+    # violation shows even though every other file is served from cache.
+    write_tree_file(project.root, "src/repro/core/walker.py", "import random\n")
+    assert main(["--root", str(project.root)]) == 1
+
+
+def test_no_cache_flag_skips_the_cache_file(lint_tree):
+    project = lint_tree()
+    assert main(["--root", str(project.root), "--no-cache"]) == 0
+    assert not project.path(CACHE_REL_PATH).exists()
+
+
+def test_corrupt_cache_degrades_to_reanalysis(lint_tree):
+    project = lint_tree()
+    cache_path = project.path(CACHE_REL_PATH)
+    cache_path.parent.mkdir(parents=True, exist_ok=True)
+    cache_path.write_text("{not json", encoding="utf-8")
+    assert main(["--root", str(project.root)]) == 0
+
+
+# --------------------------------------------------------------------- #
+# odds and ends
+# --------------------------------------------------------------------- #
+
+
+def test_broken_tree_reports_a_parse_error(lint_tree, capsys):
+    project = lint_tree({"src/repro/core/broken.py": "def broken(:\n"})
+    assert main(["--root", str(project.root)]) == 1
+    assert "cannot parse" in capsys.readouterr().err
+
+
+def test_text_output_goes_to_the_named_file(lint_tree, tmp_path):
+    project = lint_tree()
+    out = tmp_path / "report.txt"
+    assert main(["--root", str(project.root), "--output", str(out)]) == 0
+    assert "repro.lint: OK" in out.read_text(encoding="utf-8")
+
+
+def test_update_manifest_reports_backend_pairs(lint_tree, monkeypatch, capsys):
+    monkeypatch.setattr(manifest_mod, "PAIRS", (PAIR,))
+    project = lint_tree(
+        {
+            PAIR.ref_module: ENGINE_V1,
+            manifest_mod.VECTORIZED_MODULE: VEC_V1,
+        },
+        with_manifest=False,
+    )
+    assert main(["--root", str(project.root), "--update-manifest"]) == 0
+    assert "1 backend pairs" in capsys.readouterr().out

@@ -85,7 +85,7 @@ def test_cli_unknown_rule_fails(lint_tree, capsys):
 def test_cli_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for name in ("R1", "R2", "R3", "R4", "R5"):
+    for name in ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"):
         assert name in out
 
 

@@ -1,0 +1,432 @@
+"""R7 (env registry): every ``REPRO_*`` environment read routes through a
+declared ``repro.envvars`` constant, and the docs table matches the
+registry.  Also covers the attached autofix end to end."""
+
+from __future__ import annotations
+
+from repro.lint.engine import Project
+from repro.lint.fixes import apply_fixes
+from repro.lint.rules import (
+    R7_TABLE_BEGIN,
+    R7_TABLE_END,
+    EnvRegistryRule,
+    _render_env_table,
+)
+
+REGISTRY_MODULE = "src/repro/envvars.py"
+READER_MODULE = "src/repro/eval/report.py"
+
+REGISTRY_OK = """
+    from typing import NamedTuple, Tuple
+
+    REPRO_PROFILE = "REPRO_PROFILE"
+    REPRO_JOBS = "REPRO_JOBS"
+
+
+    class EnvVar(NamedTuple):
+        name: str
+        default: str
+        description: str
+
+
+    REGISTRY: Tuple[EnvVar, ...] = (
+        EnvVar(REPRO_PROFILE, "`default`", "Experiment scale."),
+        EnvVar(REPRO_JOBS, "CPU count", "Worker processes."),
+    )
+    """
+
+#: the rows REGISTRY_OK statically extracts to — used by the docs tests.
+REGISTRY_OK_ROWS = (
+    ("REPRO_PROFILE", "`default`", "Experiment scale."),
+    ("REPRO_JOBS", "CPU count", "Worker processes."),
+)
+
+CLEAN_READER = """
+    import os
+
+    from repro.envvars import REPRO_PROFILE
+
+
+    def scale():
+        return os.environ.get(REPRO_PROFILE, "default")
+    """
+
+
+def check(project: Project):
+    return EnvRegistryRule().check(project)
+
+
+def docs_with_table(table: str) -> str:
+    return f"# Performance\n\n{R7_TABLE_BEGIN}\n{table}\n{R7_TABLE_END}\n"
+
+
+def test_clean_registry_and_constant_routed_access(lint_tree):
+    project = lint_tree(
+        {REGISTRY_MODULE: REGISTRY_OK, READER_MODULE: CLEAN_READER}
+    )
+    assert check(project) == []
+
+
+def test_undeclared_literal_key_is_flagged_without_a_fix(lint_tree):
+    project = lint_tree(
+        {
+            REGISTRY_MODULE: REGISTRY_OK,
+            READER_MODULE: """
+                import os
+
+                def flag():
+                    return os.environ.get("REPRO_NOPE", "")
+                """,
+        }
+    )
+    violations = check(project)
+    assert len(violations) == 1
+    assert violations[0].path == READER_MODULE
+    assert "'REPRO_NOPE'" in violations[0].message
+    assert "not declared" in violations[0].message
+    assert violations[0].fix is None  # nothing mechanical to rewrite to
+
+
+def test_declared_literal_key_carries_an_autofix(lint_tree):
+    project = lint_tree(
+        {
+            REGISTRY_MODULE: REGISTRY_OK,
+            READER_MODULE: """
+                import os
+
+                def jobs():
+                    return os.environ.get("REPRO_JOBS", "1")
+                """,
+        }
+    )
+    violations = check(project)
+    assert len(violations) == 1
+    finding = violations[0]
+    assert "string literal instead of its registry constant" in finding.message
+    assert finding.fix is not None
+    assert finding.fix.imports == ("from repro.envvars import REPRO_JOBS",)
+
+    applied = apply_fixes(project, violations)
+    assert applied == {READER_MODULE: 1}
+    repaired = project.source(READER_MODULE)
+    assert "from repro.envvars import REPRO_JOBS" in repaired
+    assert 'os.environ.get(REPRO_JOBS, "1")' in repaired
+    assert '"REPRO_JOBS"' not in repaired
+    assert check(Project(project.root)) == []
+
+
+def test_environ_subscript_and_membership_are_covered(lint_tree):
+    project = lint_tree(
+        {
+            REGISTRY_MODULE: REGISTRY_OK,
+            READER_MODULE: """
+                import os
+
+                def jobs():
+                    if "REPRO_JOBS" in os.environ:
+                        return os.environ["REPRO_PROFILE"]
+                    return ""
+                """,
+        }
+    )
+    violations = check(project)
+    assert len(violations) == 2
+    assert all("string literal" in v.message for v in violations)
+    assert all(v.fix is not None for v in violations)
+    apply_fixes(project, violations)
+    assert check(Project(project.root)) == []
+
+
+def test_foreign_alias_key_is_flagged(lint_tree):
+    project = lint_tree(
+        {
+            REGISTRY_MODULE: REGISTRY_OK,
+            READER_MODULE: """
+                import os
+
+                from repro.other import KNOB
+
+
+                def read():
+                    return os.environ.get(KNOB)
+                """,
+        }
+    )
+    violations = check(project)
+    assert len(violations) == 1
+    assert "resolves to 'repro.other.KNOB'" in violations[0].message
+
+
+def test_dynamic_key_is_flagged(lint_tree):
+    project = lint_tree(
+        {
+            REGISTRY_MODULE: REGISTRY_OK,
+            READER_MODULE: """
+                import os
+
+                def read(suffix):
+                    return os.environ.get("REPRO_" + suffix)
+                """,
+        }
+    )
+    violations = check(project)
+    assert len(violations) == 1
+    assert "dynamic expression" in violations[0].message
+
+
+def test_unresolvable_name_key_is_flagged(lint_tree):
+    project = lint_tree(
+        {
+            REGISTRY_MODULE: REGISTRY_OK,
+            READER_MODULE: """
+                import os
+
+                def read(key):
+                    return os.environ.get(key)
+                """,
+        }
+    )
+    violations = check(project)
+    assert len(violations) == 1
+    assert "cannot be statically resolved" in violations[0].message
+
+
+def test_module_constant_spelling_is_flagged(lint_tree):
+    project = lint_tree(
+        {
+            REGISTRY_MODULE: REGISTRY_OK,
+            READER_MODULE: """
+                import os
+
+                PROFILE_ENV = "REPRO_PROFILE"
+
+
+                def read():
+                    return os.environ.get(PROFILE_ENV)
+                """,
+        }
+    )
+    violations = check(project)
+    assert len(violations) == 1
+    assert "'PROFILE_ENV'" in violations[0].message
+    assert "spells environment variable 'REPRO_PROFILE'" in violations[0].message
+    # the repair pattern (alias the registry constant) stays clean:
+    project = lint_tree(
+        {
+            REGISTRY_MODULE: REGISTRY_OK,
+            READER_MODULE: """
+                import os
+
+                from repro.envvars import REPRO_PROFILE
+
+                PROFILE_ENV = REPRO_PROFILE
+
+
+                def read():
+                    return os.environ.get(PROFILE_ENV)
+                """,
+        }
+    )
+    assert check(project) == []
+
+
+def test_repro_reads_without_a_registry_module_fail_project_wide(lint_tree):
+    project = lint_tree(
+        {
+            READER_MODULE: """
+                import os
+
+                def read():
+                    return os.environ.get("REPRO_JOBS")
+                """,
+        }
+    )
+    violations = check(project)
+    assert any(
+        v.path == "" and "does not exist" in v.message for v in violations
+    )
+
+
+def test_non_repro_variables_are_out_of_scope(lint_tree):
+    project = lint_tree(
+        {
+            READER_MODULE: """
+                import os
+
+                def read():
+                    return os.environ.get("HOME", "/")
+                """,
+        }
+    )
+    # no registry module, no REPRO_* reads: nothing for R7 anywhere.
+    assert check(project) == []
+
+
+# --------------------------------------------------------------------- #
+# registry-module structural checks
+# --------------------------------------------------------------------- #
+
+
+def test_constant_value_must_equal_its_name(lint_tree):
+    project = lint_tree(
+        {
+            REGISTRY_MODULE: """
+                REPRO_JOBS = "REPRO_JOB"
+
+                REGISTRY = ()
+                """
+        }
+    )
+    violations = check(project)
+    assert any(
+        "equal to its own name" in v.message and v.path == REGISTRY_MODULE
+        for v in violations
+    )
+
+
+def test_registry_tuple_must_exist(lint_tree):
+    project = lint_tree(
+        {REGISTRY_MODULE: 'REPRO_JOBS = "REPRO_JOBS"\n'}
+    )
+    violations = check(project)
+    assert any("no literal REGISTRY tuple" in v.message for v in violations)
+
+
+def test_entry_without_constant_is_flagged(lint_tree):
+    project = lint_tree(
+        {
+            REGISTRY_MODULE: """
+                REGISTRY = (
+                    EnvVar("REPRO_GONE", "unset", "orphaned entry"),
+                )
+                """
+        }
+    )
+    violations = check(project)
+    assert any(
+        "REGISTRY entry 'REPRO_GONE' has no matching module constant"
+        in v.message
+        for v in violations
+    )
+
+
+def test_constant_without_entry_is_flagged(lint_tree):
+    project = lint_tree(
+        {
+            REGISTRY_MODULE: """
+                REPRO_JOBS = "REPRO_JOBS"
+
+                REGISTRY = ()
+                """
+        }
+    )
+    violations = check(project)
+    assert any(
+        "registry constant 'REPRO_JOBS' has no REGISTRY metadata entry"
+        in v.message
+        for v in violations
+    )
+
+
+def test_duplicate_entry_is_flagged(lint_tree):
+    project = lint_tree(
+        {
+            REGISTRY_MODULE: """
+                REPRO_JOBS = "REPRO_JOBS"
+
+                REGISTRY = (
+                    EnvVar(REPRO_JOBS, "1", "first"),
+                    EnvVar(REPRO_JOBS, "1", "second"),
+                )
+                """
+        }
+    )
+    violations = check(project)
+    assert any("declares 'REPRO_JOBS' twice" in v.message for v in violations)
+
+
+def test_non_literal_metadata_is_flagged(lint_tree):
+    project = lint_tree(
+        {
+            REGISTRY_MODULE: """
+                REPRO_JOBS = "REPRO_JOBS"
+
+                DEFAULT = "1"
+
+                REGISTRY = (
+                    EnvVar(REPRO_JOBS, DEFAULT, "worker count"),
+                )
+                """
+        }
+    )
+    violations = check(project)
+    assert any(
+        "must be string literals" in v.message for v in violations
+    )
+
+
+# --------------------------------------------------------------------- #
+# docs table sync
+# --------------------------------------------------------------------- #
+
+
+def test_docs_table_in_sync_passes(lint_tree):
+    project = lint_tree(
+        {
+            REGISTRY_MODULE: REGISTRY_OK,
+            "docs/performance.md": docs_with_table(
+                _render_env_table(REGISTRY_OK_ROWS)
+            ),
+        }
+    )
+    assert check(project) == []
+
+
+def test_docs_table_out_of_sync_fails(lint_tree):
+    stale = _render_env_table(
+        (("REPRO_PROFILE", "`default`", "Experiment scale."),)
+    )
+    project = lint_tree(
+        {
+            REGISTRY_MODULE: REGISTRY_OK,
+            "docs/performance.md": docs_with_table(stale),
+        }
+    )
+    violations = check(project)
+    assert len(violations) == 1
+    assert violations[0].path == "docs/performance.md"
+    assert "out of sync" in violations[0].message
+    assert "gen_env_docs" in violations[0].hint
+
+
+def test_docs_without_markers_fail(lint_tree):
+    project = lint_tree(
+        {
+            REGISTRY_MODULE: REGISTRY_OK,
+            "docs/performance.md": "# Performance\n\nno table here\n",
+        }
+    )
+    violations = check(project)
+    assert len(violations) == 1
+    assert "markers are missing" in violations[0].message
+
+
+def test_structural_violations_gate_the_docs_check(lint_tree):
+    # A broken registry reports its own problem; the (meaningless) table
+    # comparison is suppressed rather than piling on.
+    project = lint_tree(
+        {
+            REGISTRY_MODULE: 'REPRO_JOBS = "REPRO_JOBS"\n',
+            "docs/performance.md": "# Performance\n\nno table here\n",
+        }
+    )
+    violations = check(project)
+    assert all(v.path == REGISTRY_MODULE for v in violations)
+
+
+def test_live_registry_matches_live_docs():
+    """Acceptance: the real registry, docs table and lint agree."""
+    from pathlib import Path
+
+    project = Project(Path(__file__).resolve().parents[2])
+    assert EnvRegistryRule().check(project) == []
