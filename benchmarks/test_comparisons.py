@@ -33,6 +33,11 @@ def test_comparison_core_scaling(benchmark, scale):
     run_catalog(benchmark, "comparison-core-scaling", scale)
 
 
+def test_comparison_budget_matched(benchmark, scale):
+    """All six hardware families at matched storage budgets."""
+    run_catalog(benchmark, "comparison-budget-matched", scale)
+
+
 def test_replication_check(benchmark, scale):
     """Multi-seed replication: the headline speedup is seed-stable."""
     run_catalog(benchmark, "replication-check", scale)

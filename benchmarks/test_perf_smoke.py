@@ -82,6 +82,19 @@ def _measure_engine() -> dict:
         os.environ[REPRO_COMPILED_TRACES] = "1" if path_on else "0"
         if path_on:  # prime run_system's memo so only the engine loop is timed
             get_compiled_traces(workload, cores, total, DEFAULT_SEED, 64)
+        if reps > 1:
+            # Untimed warm-up: the first run on a cold process pays page
+            # faults, allocator growth and branch-predictor warm-up that
+            # best-of-N alone cannot reject when every rep is cold.
+            run_system(
+                workload,
+                cores,
+                prefetcher,
+                scale=BENCH_SCALE,
+                l2_policy=policy,
+                seed=DEFAULT_SEED,
+                engine_backend=backend,
+            )
         best = None
         for _ in range(reps):
             result, elapsed = _timed(
@@ -190,9 +203,11 @@ def test_perf_smoke(scale, tmp_path):
     print(json.dumps(report, indent=2))
 
     # Sanity floors only — absolute throughput varies across machines, so
-    # the asserted bounds are an order of magnitude below expectation.
+    # the asserted bounds sit well below expectation (the reference
+    # backend sustains ~45-65k visits/s warm on CI-class hardware; the
+    # untimed warm-up rep above keeps cold-start noise out of the record).
     assert engine["line_visits"] > 0
-    assert engine["engine_visits_per_sec"] > 1_000
+    assert engine["engine_visits_per_sec"] > 5_000
     # The vectorized backend consistently measures 2-3.4x on this config
     # (see docs/performance.md); assert well below that so machine noise
     # never flakes the benchmark, while still catching a regression to

@@ -27,7 +27,7 @@ from repro.core.l2policy import get_policy
 from repro.core.metrics import CoreStats
 from repro.isa.classify import MissClass
 from repro.prefetch.queue import PrefetchQueue
-from repro.prefetch.registry import create_prefetcher
+from repro.prefetch.registry import PREFETCHER_NAMES, create_prefetcher
 from repro.timing.params import DEFAULT_TIMING, TimingParams
 from repro.trace.compiled import TraceLike
 
@@ -78,6 +78,11 @@ class SystemConfig:
     def __post_init__(self) -> None:
         if self.n_cores < 1:
             raise ValueError(f"n_cores must be >= 1, got {self.n_cores}")
+        if self.prefetcher_factory is None and self.prefetcher not in PREFETCHER_NAMES:
+            raise ValueError(
+                f"unknown prefetcher {self.prefetcher!r}; "
+                f"available: {PREFETCHER_NAMES}"
+            )
 
     def resolve_bandwidth(self) -> float:
         if self.offchip_gbps is not None:

@@ -417,6 +417,13 @@ class CoreEngine:
             credit = float(slots)
         self._slot_credit = credit - slots
 
+        if self.queue.waiting == 0:
+            # Nothing ready: the scan below would find nothing and mutate
+            # nothing, so skipping it is exact — and O(1) instead of a walk
+            # over stale entries.  (Slot credit above is still consumed, as
+            # the scan's issue loop would have.)
+            return
+
         pop_ready = self._queue_pop_ready
         probe = self._l1i_probe
         stats = self.stats.prefetch

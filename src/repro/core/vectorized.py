@@ -132,33 +132,6 @@ class VectorizedCoreEngine(CoreEngine):
         return ok
 
     # ------------------------------------------------------------------ #
-    # Issue-path guard (active for every configuration)
-    # ------------------------------------------------------------------ #
-
-    def _issue_prefetches(self, now: float) -> None:
-        """O(1) empty-queue guard before the reference drain.
-
-        With zero waiting entries the reference drain computes the credit
-        bookkeeping, then scans the whole queue once to find nothing.  The
-        bookkeeping below is the same float arithmetic in the same order;
-        the scan is provably mutation-free, so skipping it is exact.
-        """
-        if self.queue.waiting == 0:
-            elapsed = now - self._last_slot_cycle
-            self._last_slot_cycle = now
-            credit = self._slot_credit + elapsed * self._slot_rate
-            slots = int(credit)
-            if slots <= 0:
-                self._slot_credit = credit
-                return
-            if slots > _MAX_ISSUE_PER_VISIT:
-                slots = _MAX_ISSUE_PER_VISIT
-                credit = float(slots)
-            self._slot_credit = credit - slots
-            return
-        super()._issue_prefetches(now)
-
-    # ------------------------------------------------------------------ #
     # Stepping
     # ------------------------------------------------------------------ #
 

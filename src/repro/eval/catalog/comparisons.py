@@ -1,11 +1,12 @@
 """Beyond-the-paper comparisons against the alternative prefetching
 styles the paper's §2 surveys, plus two sensitivity extensions.
 
-Five experiments: every prefetching style head-to-head on the 4-way CMP,
+Six experiments: every prefetching style head-to-head on the 4-way CMP,
 the fetch-directed prefetcher across BTB sizes (the §2.2 predictor-state
 argument), an off-chip bandwidth sweep exposing the §7 accuracy
-crossover, a core-count scaling extension, and the §2.3 cooperative
-software split vs. the all-hardware scheme.
+crossover, a core-count scaling extension, the §2.3 cooperative software
+split vs. the all-hardware scheme, and all six prefetcher families at
+matched storage budgets (``repro.prefetch.budget``).
 """
 
 from __future__ import annotations
@@ -23,6 +24,7 @@ from repro.eval.experiment import (
     Runs,
 )
 from repro.eval.runspec import RunSpec
+from repro.prefetch.budget import matched_overrides
 from repro.prefetch.registry import prefetcher_display_name
 
 # --------------------------------------------------------------------------
@@ -500,6 +502,179 @@ COMPARISON_SOFTWARE_PREFETCH = Experiment(
     ),
 )
 
+# --------------------------------------------------------------------------
+# all six prefetcher families at matched storage budgets
+
+#: the six families of the budget-matched sweep: one representative per
+#: style (sequential is the ~stateless floor every budget admits).
+BUDGET_FAMILIES: Tuple[str, ...] = (
+    "next-4-line",
+    "discontinuity",
+    "markov",
+    "fdp",
+    "mana",
+    "shadow",
+)
+
+#: storage budgets (bytes).  16 KiB forces every table-based family well
+#: below its paper-default sizing; 96 KiB admits the discontinuity
+#: table's paper default (8192 entries = 66 KB) with headroom for the
+#: predictor-directed families' gshare arrays.
+BUDGET_POINTS: Tuple[Tuple[str, int], ...] = (
+    ("16KiB", 16 * 1024),
+    ("96KiB", 96 * 1024),
+)
+
+_BUDGET_ROWS = tuple(
+    (prefetcher_display_name(name), name) for name in BUDGET_FAMILIES
+)
+
+
+def _budget_build(ctx: ExperimentContext, workload: str) -> List[RunSpec]:
+    return [ctx.spec(workload, 4)] + [
+        ctx.spec(
+            workload,
+            4,
+            name,
+            l2_policy="bypass",
+            prefetcher_overrides=matched_overrides(name, budget_bytes),
+        )
+        for _, budget_bytes in BUDGET_POINTS
+        for name in BUDGET_FAMILIES
+    ]
+
+
+def _budget_result(runs: Runs, name: str, workload: Any, budget_bytes: int) -> Any:
+    return runs.result(
+        workload,
+        4,
+        name,
+        l2_policy="bypass",
+        prefetcher_overrides=matched_overrides(name, budget_bytes),
+    )
+
+
+def _budget_speedup(budget_bytes: int):
+    def cell(runs: Runs, name: Any, workload: Any) -> float:
+        return runs.speedup(
+            workload,
+            4,
+            name,
+            l2_policy="bypass",
+            prefetcher_overrides=matched_overrides(name, budget_bytes),
+        )
+
+    return cell
+
+
+def _budget_coverage(budget_bytes: int):
+    def cell(runs: Runs, name: Any, workload: Any) -> float:
+        return 100.0 * _budget_result(runs, name, workload, budget_bytes).l1i_coverage
+
+    return cell
+
+
+def _budget_accuracy(budget_bytes: int):
+    def cell(runs: Runs, name: Any, workload: Any) -> float:
+        return 100.0 * _budget_result(
+            runs, name, workload, budget_bytes
+        ).prefetch_accuracy
+
+    return cell
+
+
+COMPARISON_BUDGET_MATCHED = Experiment(
+    name="comparison-budget-matched",
+    title="Six prefetcher families at matched storage budgets (4-way CMP)",
+    paper="§2 + §4 (storage-matched family comparison)",
+    tags=("comparison", "budget"),
+    grid=Grid(axes=(("workload", BASE),), build=_budget_build),
+    panels=(
+        PanelDef(
+            id="comparison-budget-speedup-16k",
+            title="Family speedup at a 16 KiB storage budget (CMP, bypass)",
+            rows=_BUDGET_ROWS,
+            cols=workload_axis(BASE),
+            cell=_budget_speedup(16 * 1024),
+            unit="speedup, X",
+            notes=("largest power-of-two sizing fitting 16 KiB per family",),
+        ),
+        PanelDef(
+            id="comparison-budget-speedup-96k",
+            title="Family speedup at a 96 KiB storage budget (CMP, bypass)",
+            rows=_BUDGET_ROWS,
+            cols=workload_axis(BASE),
+            cell=_budget_speedup(96 * 1024),
+            unit="speedup, X",
+            notes=("96 KiB admits the paper-default discontinuity table",),
+        ),
+        PanelDef(
+            id="comparison-budget-coverage-96k",
+            title="Family L1 coverage at 96 KiB (CMP)",
+            rows=_BUDGET_ROWS,
+            cols=workload_axis(BASE),
+            cell=_budget_coverage(96 * 1024),
+            unit="% coverage",
+            fmt=".1f",
+        ),
+        PanelDef(
+            id="comparison-budget-accuracy-96k",
+            title="Family accuracy at 96 KiB (CMP)",
+            rows=_BUDGET_ROWS,
+            cols=workload_axis(BASE),
+            cell=_budget_accuracy(96 * 1024),
+            unit="% useful/issued",
+            fmt=".1f",
+        ),
+    ),
+    expectations=(
+        Compare(
+            panel="comparison-budget-speedup-96k",
+            row="Discontinuity",
+            other_row="MANA record/replay",
+            op=">",
+            note="region replay alone trails the discontinuity table",
+        ),
+        Compare(
+            panel="comparison-budget-speedup-96k",
+            row="Discontinuity",
+            other_row="Fetch-directed",
+            op=">=",
+            offset=-0.02,
+            note="discontinuity stays competitive with run-ahead at 96 KiB",
+        ),
+        Compare(
+            panel="comparison-budget-speedup-16k",
+            row="Discontinuity",
+            other_row="Markov (multi-target)",
+            op=">=",
+            offset=-0.02,
+            note="single-target entries win when storage is tight (§4)",
+        ),
+        Band(
+            panel="comparison-budget-speedup-96k",
+            row="Shadow-branch FTQ",
+            lo=1.05,
+            hi=2.5,
+            note="shadow predecode delivers real speedup at 96 KiB",
+        ),
+        Band(
+            panel="comparison-budget-speedup-96k",
+            row="MANA record/replay",
+            lo=0.95,
+            hi=2.0,
+            note="record/replay alone is neutral-to-positive, never harmful",
+        ),
+        Band(
+            panel="comparison-budget-coverage-96k",
+            row="Discontinuity",
+            lo=55.0,
+            hi=100.0,
+            note="paper-default discontinuity coverage stays high",
+        ),
+    ),
+)
+
 #: this module's declarations, registry order.
 EXPERIMENTS = (
     COMPARISON_ALTERNATIVES,
@@ -507,4 +682,5 @@ EXPERIMENTS = (
     COMPARISON_CORE_SCALING,
     COMPARISON_EXECUTION_BASED,
     COMPARISON_SOFTWARE_PREFETCH,
+    COMPARISON_BUDGET_MATCHED,
 )

@@ -26,6 +26,7 @@ from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
 from repro.caches.config import DEFAULT_HIERARCHY, HierarchyConfig
 from repro.eval.profiles import ExperimentScale, get_scale
 from repro.isa.classify import MissClass
+from repro.prefetch.registry import PREFETCHER_NAMES
 from repro.timing.params import DEFAULT_TIMING, TimingParams
 
 #: default experiment seed (any fixed value works; results are deterministic
@@ -93,7 +94,17 @@ class RunSpec:
         seed: int = DEFAULT_SEED,
         engine_backend: str = "auto",
     ) -> "RunSpec":
-        """Build a spec, resolving the scale and normalizing the overrides."""
+        """Build a spec, resolving the scale and normalizing the overrides.
+
+        Rejects unregistered prefetcher names up front (unless the spec
+        runs the software prefetcher, which replaces the registry name),
+        so catalog typos fail at declaration time rather than deep inside
+        a worker process.
+        """
+        if not software_prefetch and prefetcher not in PREFETCHER_NAMES:
+            raise ValueError(
+                f"unknown prefetcher {prefetcher!r}; available: {PREFETCHER_NAMES}"
+            )
         if scale is None or isinstance(scale, str):
             scale = get_scale(scale or "")
         overrides = tuple(sorted((prefetcher_overrides or {}).items()))

@@ -85,35 +85,51 @@ VECTORIZED_MODULE = "src/repro/core/vectorized.py"
 
 
 class Pair(NamedTuple):
-    """One must-stay-in-sync reference/vectorized implementation pair.
+    """One fingerprinted reference hot path, optionally twinned.
 
-    The vectorized backend inlines most reference hot paths into one flat
-    span interpreter, so several reference functions legitimately map to
-    the same vectorized counterpart (many → one).  Rule R6 fingerprints
-    both sides; a drifted reference fingerprint with an unchanged
-    vectorized one is the "silent divergence" failure mode this exists to
-    catch before the (slow) runtime parity suite does.
+    With a ``vec_qualname``, the pair is a must-stay-in-sync reference/
+    vectorized implementation pair.  The vectorized backend inlines most
+    reference hot paths into one flat span interpreter, so several
+    reference functions legitimately map to the same vectorized
+    counterpart (many → one).  Rule R6 fingerprints both sides; a drifted
+    reference fingerprint with an unchanged vectorized one is the "silent
+    divergence" failure mode this exists to catch before the (slow)
+    runtime parity suite does.
+
+    With ``vec_qualname=None`` the pair is *reference-only*: both
+    backends execute the same function (the vectorized engine falls back
+    to reference stepping for non-``hit_transparent`` prefetchers), so
+    silent divergence is impossible — the fingerprint exists so edits to
+    the hot path still demand an explicit manifest refresh, and so every
+    prefetcher family is visible to R6's completeness check.
     """
 
     ref_module: str
     ref_qualname: str
-    vec_qualname: str  #: qualname inside VECTORIZED_MODULE
+    vec_qualname: Optional[str] = None  #: qualname inside VECTORIZED_MODULE
 
 
 _ENGINE = "src/repro/core/engine.py"
 _QUEUE = "src/repro/prefetch/queue.py"
 _DISC = "src/repro/prefetch/discontinuity.py"
+_SEQ = "src/repro/prefetch/sequential.py"
+_TGT = "src/repro/prefetch/target.py"
+_MKV = "src/repro/prefetch/markov.py"
+_FDP = "src/repro/prefetch/fdp.py"
+_MANA = "src/repro/prefetch/mana.py"
+_SHADOW = "src/repro/prefetch/shadow.py"
 _SPAN = "VectorizedCoreEngine._fast_span"
 
 #: the fingerprinted hot-path pairs.  ``_fast_span`` inlines the per-visit
-#: reference pipeline (visit processing, queue drain, fills, installs,
-#: data-miss timing, and the DiscontinuityPrefetcher trigger path), so it
-#: is the counterpart of nearly everything; only ``_issue_prefetches`` has
-#: a dedicated override.
+#: reference pipeline (visit processing, queue drain + issue, fills,
+#: installs, data-miss timing, and the DiscontinuityPrefetcher trigger
+#: path), so it is the counterpart of nearly everything.  The remaining
+#: prefetcher families run through the reference stepping path on both
+#: backends, so their hot paths are fingerprinted reference-only.
 PAIRS: Tuple[Pair, ...] = (
     Pair(_ENGINE, "CoreEngine._process_visit", _SPAN),
     Pair(_ENGINE, "CoreEngine._step_compiled", _SPAN),
-    Pair(_ENGINE, "CoreEngine._issue_prefetches", "VectorizedCoreEngine._issue_prefetches"),
+    Pair(_ENGINE, "CoreEngine._issue_prefetches", _SPAN),
     Pair(_ENGINE, "CoreEngine._issue_one", _SPAN),
     Pair(_ENGINE, "CoreEngine._demand_fill", _SPAN),
     Pair(_ENGINE, "CoreEngine._install_l1i", _SPAN),
@@ -126,6 +142,17 @@ PAIRS: Tuple[Pair, ...] = (
     Pair(_DISC, "DiscontinuityTable.predict", _SPAN),
     Pair(_DISC, "DiscontinuityTable.credit", _SPAN),
     Pair(_DISC, "DiscontinuityPrefetcher.on_demand_fetch", _SPAN),
+    Pair(_SEQ, "NextLineAlways.on_demand_fetch"),
+    Pair(_SEQ, "NextLineOnMiss.on_demand_fetch"),
+    Pair(_SEQ, "NextLineTagged.on_demand_fetch"),
+    Pair(_SEQ, "NextNLineTagged.on_demand_fetch"),
+    Pair(_SEQ, "LookaheadN.on_demand_fetch"),
+    Pair(_TGT, "TargetPrefetcher.on_demand_fetch"),
+    Pair(_MKV, "MarkovPrefetcher.on_demand_fetch"),
+    Pair(_FDP, "FetchDirectedPrefetcher.on_demand_fetch"),
+    Pair(_FDP, "FetchDirectedPrefetcher._run_ahead"),
+    Pair(_MANA, "ManaPrefetcher.on_demand_fetch"),
+    Pair(_SHADOW, "ShadowBranchPrefetcher._run_ahead"),
 )
 
 #: manifest JSON key holding the pair fingerprints.
@@ -150,15 +177,21 @@ def _function_fingerprint(
 def pair_fingerprints(project: Project) -> Dict[str, Dict[str, Optional[str]]]:
     """Current fingerprints of both sides of every pair.
 
-    ``{pair_id: {"ref": fp-or-None, "vec": fp-or-None}}`` — ``None`` means
-    the function (or its module) is missing from the tree, which R6
-    reports as its own violation.
+    ``{pair_id: {"ref": fp-or-None, "vec": fp-or-None}}`` — a ``None``
+    ref fingerprint means the function (or its module) is missing from
+    the tree, which R6 reports as its own violation; a ``None`` vec
+    fingerprint is the normal state of a reference-only pair (and a
+    violation otherwise).
     """
     out: Dict[str, Dict[str, Optional[str]]] = {}
     for pair in PAIRS:
         out[pair_id(pair)] = {
             "ref": _function_fingerprint(project, pair.ref_module, pair.ref_qualname),
-            "vec": _function_fingerprint(project, VECTORIZED_MODULE, pair.vec_qualname),
+            "vec": (
+                _function_fingerprint(project, VECTORIZED_MODULE, pair.vec_qualname)
+                if pair.vec_qualname is not None
+                else None
+            ),
         }
     return out
 

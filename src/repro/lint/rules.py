@@ -629,6 +629,15 @@ R5_HINT = (
     "EXPERIMENTS tuple"
 )
 
+#: the prefetcher registry and the package it must stay in sync with.
+R5_REGISTRY_MODULE = "src/repro/prefetch/registry.py"
+R5_PREFETCH_DIR = "src/repro/prefetch"
+
+#: root of the prefetcher class hierarchy (defined in base.py, which is
+#: exempt from the must-be-imported check — the registry imports it for
+#: ``NullPrefetcher`` anyway).
+R5_PREFETCH_BASE = "src/repro/prefetch/base.py"
+
 
 class CatalogSyncRule(Rule):
     """R5: every catalog ``Experiment`` declaration is complete and registered.
@@ -646,6 +655,14 @@ class CatalogSyncRule(Rule):
     declarations.  Sharing one grid object between several experiments
     (Figures 5/6/7) is explicitly fine — the rule checks the keyword is
     present, not that the value is private.
+
+    A companion sub-check keeps the *prefetcher* registry in sync the
+    same way: every ``src/repro/prefetch`` module defining a concrete
+    :class:`Prefetcher` subclass must be imported by ``registry.py``,
+    every class the registry imports from the package must be used by
+    some ``_FACTORIES`` entry, and the ``_FACTORIES``/``_DISPLAY`` key
+    sets must match — so a newly added prefetcher family cannot silently
+    stay invisible to experiments.
     """
 
     name = "R5"
@@ -688,6 +705,79 @@ class CatalogSyncRule(Rule):
                 )
                 continue
             violations.extend(self._check_module(project, rel, seen_names))
+        violations.extend(self._check_prefetcher_registry(project))
+        return violations
+
+    # -- prefetcher-registry sync ------------------------------------- #
+
+    def _check_prefetcher_registry(self, project: Project) -> List[Violation]:
+        if not project.exists(R5_REGISTRY_MODULE):
+            return []  # synthetic fixture trees carry no prefetch package
+        tree = project.tree(R5_REGISTRY_MODULE)
+        imported_modules: Dict[str, int] = {}
+        imported_classes: Dict[str, int] = {}
+        for node in tree.body:
+            if (
+                isinstance(node, ast.ImportFrom)
+                and node.module
+                and node.module.startswith("repro.prefetch.")
+            ):
+                imported_modules[node.module.rsplit(".", 1)[-1]] = node.lineno
+                for alias in node.names:
+                    imported_classes[alias.name] = node.lineno
+
+        violations: List[Violation] = []
+        factories = _registry_dict(tree, "_FACTORIES")
+        display = _registry_dict(tree, "_DISPLAY")
+        for key, line in sorted(factories.items()):
+            if key not in display:
+                violations.append(
+                    self.violation(
+                        R5_REGISTRY_MODULE,
+                        line,
+                        f"prefetcher {key!r} has a factory but no _DISPLAY "
+                        "label",
+                        "add the display-name entry",
+                    )
+                )
+        for key, line in sorted(display.items()):
+            if key not in factories:
+                violations.append(
+                    self.violation(
+                        R5_REGISTRY_MODULE,
+                        line,
+                        f"_DISPLAY labels unknown prefetcher {key!r}",
+                        "remove the stale entry or add the factory",
+                    )
+                )
+
+        referenced = _registry_value_names(tree, "_FACTORIES")
+        concrete = _prefetcher_classes(project)
+        for cls, line in sorted(imported_classes.items()):
+            if cls in concrete and cls not in referenced:
+                violations.append(
+                    self.violation(
+                        R5_REGISTRY_MODULE,
+                        line,
+                        f"registry imports {cls!r} but no _FACTORIES entry "
+                        "uses it — the scheme is invisible to experiments",
+                        "add a factory (and display name) or drop the import",
+                    )
+                )
+
+        for rel, stem, line in _prefetcher_modules(project):
+            if stem not in imported_modules:
+                violations.append(
+                    self.violation(
+                        rel,
+                        line,
+                        f"module defines a concrete Prefetcher subclass but "
+                        f"{R5_REGISTRY_MODULE} never imports it — the family "
+                        "cannot be named by any RunSpec",
+                        "import the class in the registry and register a "
+                        "factory + display name for it",
+                    )
+                )
         return violations
 
     def _check_module(
@@ -814,6 +904,99 @@ class CatalogSyncRule(Rule):
         return violations
 
 
+def _registry_assignment(tree: ast.Module, name: str) -> ast.expr:
+    """The literal assigned to module-level *name* in the registry."""
+    for node in tree.body:
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            if any(isinstance(t, ast.Name) and t.id == name for t in node.targets):
+                value = node.value
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and node.target.id == name:
+                value = node.value
+        if value is not None:
+            return value
+    raise LintError(f"{R5_REGISTRY_MODULE}: no module-level {name} assignment found")
+
+
+def _registry_dict(tree: ast.Module, name: str) -> Dict[str, int]:
+    """String keys -> line of the registry's *name* dict literal."""
+    value = _registry_assignment(tree, name)
+    if not isinstance(value, ast.Dict):
+        raise LintError(
+            f"{R5_REGISTRY_MODULE}: {name} must be a dict literal for "
+            "static checking"
+        )
+    keys: Dict[str, int] = {}
+    for key in value.keys:
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            raise LintError(
+                f"{R5_REGISTRY_MODULE}: {name} keys must be string literals"
+            )
+        keys[key.value] = key.lineno
+    return keys
+
+
+def _registry_value_names(tree: ast.Module, name: str) -> Set[str]:
+    """Every plain name referenced inside *name*'s value expressions."""
+    value = _registry_assignment(tree, name)
+    if not isinstance(value, ast.Dict):
+        return set()
+    names: Set[str] = set()
+    for entry in value.values:
+        names.update(
+            node.id for node in ast.walk(entry) if isinstance(node, ast.Name)
+        )
+    return names
+
+
+def _prefetcher_classes(project: Project) -> Dict[str, Tuple[str, int]]:
+    """Concrete :class:`Prefetcher` subclass -> (module rel, lineno),
+    found transitively by static base names across the prefetch package.
+    """
+    class_bases: Dict[str, Tuple[str, List[str], int]] = {}
+    for rel in sorted(project.iter_python(R5_PREFETCH_DIR)):
+        if rel == R5_REGISTRY_MODULE:
+            continue
+        for node in project.tree(rel).body:
+            if isinstance(node, ast.ClassDef):
+                bases = [
+                    base.id for base in node.bases if isinstance(base, ast.Name)
+                ]
+                class_bases[node.name] = (rel, bases, node.lineno)
+
+    derived = {"Prefetcher"}
+    changed = True
+    while changed:
+        changed = False
+        for cls, (_, bases, _) in class_bases.items():
+            if cls not in derived and any(base in derived for base in bases):
+                derived.add(cls)
+                changed = True
+
+    return {
+        cls: (class_bases[cls][0], class_bases[cls][2])
+        for cls in sorted(derived - {"Prefetcher"})
+    }
+
+
+def _prefetcher_modules(project: Project) -> List[Tuple[str, str, int]]:
+    """(rel, stem, lineno) of prefetch modules defining concrete
+    :class:`Prefetcher` subclasses (transitively, by static base names).
+
+    ``base.py`` (the hierarchy root) and the registry itself are skipped.
+    """
+    out: Dict[str, Tuple[str, str, int]] = {}
+    for cls, (rel, line) in _prefetcher_classes(project).items():
+        if rel == R5_PREFETCH_BASE:
+            continue
+        entry = out.get(rel)
+        if entry is None or line < entry[2]:
+            stem = rel.rsplit("/", 1)[-1][:-3]
+            out[rel] = (rel, stem, line)
+    return sorted(out.values())
+
+
 def _literal_str_kwarg(call: ast.Call, name: str) -> Optional[str]:
     for keyword in call.keywords:
         if keyword.arg == name:
@@ -898,6 +1081,13 @@ R6_HINT_TEMPLATE = (
     "repro.lint --update-manifest`"
 )
 
+#: directory whose prefetcher modules must all be fingerprinted.
+R6_PREFETCH_DIR = "src/repro/prefetch"
+
+#: prefetch modules exempt from the completeness sub-check: the abstract
+#: interface (its default hook is a no-op, not a hot path).
+R6_UNPAIRED_OK = frozenset({"src/repro/prefetch/base.py"})
+
 
 class BackendDriftRule(Rule):
     """R6: fingerprinted reference hot paths stay in sync with vectorized.
@@ -909,7 +1099,14 @@ class BackendDriftRule(Rule):
     behavioural edits move them.  The dangerous state — a reference-side
     fingerprint drifted while its counterpart's stands still — fails lint
     with both sites named; any other drift just asks for a manifest
-    refresh, mirroring the R2 workflow.  The rule deactivates on trees
+    refresh, mirroring the R2 workflow.
+
+    Reference-only pairs (``vec_qualname=None``) cover hot paths both
+    backends share by inheritance — drift there can only ever be a stale
+    fingerprint, never silent divergence.  A completeness sub-check walks
+    ``src/repro/prefetch``: any module defining an ``on_demand_fetch``
+    hook that no pair fingerprints fails lint, so a newly added prefetcher
+    family cannot bypass drift tracking.  The rule deactivates on trees
     without the vectorized backend (the lint suite's synthetic fixtures).
     """
 
@@ -971,7 +1168,7 @@ class BackendDriftRule(Rule):
                     )
                 )
                 continue
-            if vec_entry is None:
+            if pair.vec_qualname is not None and vec_entry is None:
                 violations.append(
                     self.violation(
                         manifest_mod.VECTORIZED_MODULE,
@@ -993,6 +1190,14 @@ class BackendDriftRule(Rule):
                         "commit the result",
                     )
                 )
+                continue
+            if pair.vec_qualname is None:
+                # Reference-only: both backends share this code, so a
+                # drifted fingerprint is at worst stale — never divergent.
+                if record.get("ref") != ref_entry["fingerprint"]:
+                    stale.setdefault(
+                        (pair.ref_module, pair.ref_qualname), ref_entry["lineno"]
+                    )
                 continue
             ref_changed = record.get("ref") != ref_entry["fingerprint"]
             vec_changed = record.get("vec") != vec_entry["fingerprint"]
@@ -1032,6 +1237,36 @@ class BackendDriftRule(Rule):
                     "run `python -m repro.lint --update-manifest` and commit "
                     "the result (after the parity suite confirms the backends "
                     "still agree)",
+                )
+            )
+        violations.extend(self._check_unpaired_prefetchers(project))
+        return violations
+
+    def _check_unpaired_prefetchers(self, project: Project) -> List[Violation]:
+        """Every prefetcher module's demand hook must be fingerprinted."""
+        paired_modules = {pair.ref_module for pair in self.pairs}
+        violations: List[Violation] = []
+        for rel in sorted(project.iter_python(R6_PREFETCH_DIR)):
+            if rel in R6_UNPAIRED_OK or rel in paired_modules:
+                continue
+            functions = project.facts(rel)["functions"]
+            hooks = sorted(
+                qualname
+                for qualname in functions
+                if qualname.endswith(".on_demand_fetch")
+            )
+            if not hooks:
+                continue
+            violations.append(
+                self.violation(
+                    rel,
+                    functions[hooks[0]]["lineno"],
+                    f"prefetcher module defines {hooks[0]!r} but no "
+                    "manifest.PAIRS entry fingerprints it — hot-path edits "
+                    "here are invisible to drift checking",
+                    "add a Pair(module, qualname) entry (reference-only "
+                    "pairs omit the vectorized counterpart) and run "
+                    "`python -m repro.lint --update-manifest`",
                 )
             )
         return violations

@@ -74,6 +74,17 @@ class Prefetcher:
     def credit(self, provenance: Tuple) -> None:
         """A prefetched line with this provenance was demand-used."""
 
+    def state_bytes(self) -> int:
+        """Bytes of prediction state this configured instance models.
+
+        The hardware-storage accounting used by the budget-matched family
+        comparison (:mod:`repro.prefetch.budget`): table tags, targets and
+        counters, under the repo-wide convention of 32-bit line addresses
+        and exact counter widths.  Stateless schemes (the sequential
+        family needs only a couple of registers) report 0.
+        """
+        return 0
+
     def consume_overhead_cycles(self) -> float:
         """Return (and reset) execution-cycle overhead accrued since the
         last call.

@@ -1,0 +1,91 @@
+"""Storage-budget matching for cross-family prefetcher comparisons.
+
+The paper's comparisons (§2.2, §5) are only meaningful at *matched
+hardware cost*: a discontinuity table entry is 66 bits while a
+fetch-directed prefetcher pays for a BTB, a gshare array and a RAS.  This
+module derives, for each prefetcher family, the largest power-of-two
+sizing whose :meth:`~repro.prefetch.base.Prefetcher.state_bytes` fits a
+given byte budget — the ``comparison-budget-matched`` experiment sweeps
+every family at the same budgets.
+
+Accounting convention (shared with each family's ``state_bytes``):
+32-bit line addresses/tags/targets, counters at their declared widths,
+computed in bits and floored to bytes.  Families whose state is a couple
+of registers (the sequential family) report 0 bytes and accept any
+budget unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.prefetch.registry import create_prefetcher
+
+#: For each family: the power-of-two knob that is grown to fill the
+#: budget, the minimum sizing tried, and the fixed override template
+#: (``{}`` placeholders are filled with the knob value).  Families not
+#: listed are (near-)stateless and take no overrides.
+_BUDGET_KNOBS: Dict[str, Tuple[str, int]] = {
+    "target": ("table_entries", 64),
+    "discontinuity": ("table_entries", 64),
+    "markov": ("table_entries", 64),
+    "fdp": ("btb_entries", 64),
+    "mana": ("table_entries", 64),
+    "shadow": ("btb_entries", 64),
+}
+
+#: gshare PHT entries per BTB entry for the predictor-directed families
+#: (the 1K-BTB / 64K-PHT ratio of the fdp default configuration).
+GSHARE_PER_BTB = 64
+
+#: shadow-target-buffer entries per BTB entry for the shadow family
+#: (the 1K-BTB / 2K-STB ratio of the shadow default configuration).
+SHADOW_PER_BTB = 2
+
+_MAX_KNOB = 1 << 24  # safety bound for the doubling search
+
+
+def _overrides_for(name: str, knob_value: int) -> Dict[str, int]:
+    """Expand the single swept knob into the family's full override set."""
+    knob, _ = _BUDGET_KNOBS[name]
+    overrides = {knob: knob_value}
+    if name in ("fdp", "shadow"):
+        overrides["gshare_entries"] = knob_value * GSHARE_PER_BTB
+    if name == "shadow":
+        overrides["shadow_entries"] = knob_value * SHADOW_PER_BTB
+    return overrides
+
+
+def matched_overrides(name: str, budget_bytes: int) -> Dict[str, int]:
+    """Largest power-of-two sizing of family *name* within *budget_bytes*.
+
+    Returns the ``prefetcher_overrides`` dict to pass through
+    :class:`~repro.eval.runspec.RunSpec`; empty for families with no
+    swept storage knob.  Raises :class:`ValueError` when even the
+    minimum sizing exceeds the budget.
+    """
+    if budget_bytes < 0:
+        raise ValueError(f"budget_bytes must be >= 0, got {budget_bytes}")
+    if name not in _BUDGET_KNOBS:
+        return {}
+    _, minimum = _BUDGET_KNOBS[name]
+    best: Dict[str, int] = {}
+    knob_value = minimum
+    while knob_value <= _MAX_KNOB:
+        overrides = _overrides_for(name, knob_value)
+        if create_prefetcher(name, **overrides).state_bytes() > budget_bytes:
+            break
+        best = overrides
+        knob_value *= 2
+    if not best:
+        raise ValueError(
+            f"{name!r} does not fit a {budget_bytes}-byte budget even at "
+            f"its minimum sizing ({minimum} entries)"
+        )
+    return best
+
+
+def matched_state_bytes(name: str, budget_bytes: int) -> int:
+    """Actual state bytes of the budget-matched sizing (for reporting)."""
+    overrides = matched_overrides(name, budget_bytes)
+    return create_prefetcher(name, **overrides).state_bytes()

@@ -219,5 +219,9 @@ class DiscontinuityPrefetcher(Prefetcher):
             _, index, source_line = provenance
             self.table.credit(index, source_line)
 
+    def state_bytes(self) -> int:
+        # Per entry: source tag + target + the 2-bit eviction counter.
+        return (self.table.entries * (32 + 32 + 2)) // 8
+
     def reset(self):
         self.table.reset()

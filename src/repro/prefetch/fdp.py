@@ -109,11 +109,25 @@ class FetchDirectedPrefetcher(Prefetcher):
                     # Heuristic: a stale BTB fall-through with a pending
                     # return frame resumes at the return address.
                     target = ras_copy.pop()
+                if target == current:
+                    # Tagless-BTB aliasing can predict a line as its own
+                    # target; the walk would pin here emitting the same
+                    # line for the rest of the lookahead.  End the path.
+                    break
                 current = target
             else:
                 current = current + 1
             candidates.append(PrefetchCandidate(current, _FDP_PROVENANCE))
         return candidates
+
+    def state_bytes(self) -> int:
+        # Tagless BTB targets + 2-bit gshare counters + the RAS frames.
+        bits = (
+            self.btb.entries * 32
+            + self.gshare.entries * 2
+            + self.ras.capacity * 32
+        )
+        return bits // 8
 
     def reset(self):
         self.gshare.reset()

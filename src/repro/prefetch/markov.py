@@ -60,14 +60,20 @@ class _Entry:
         # list of [target_line, count]; kept sorted by count descending.
         self.successors: List[List[int]] = []
 
+    def _canonicalize(self) -> None:
+        # Canonical order: count descending, target ascending on ties —
+        # so ``top`` never depends on insertion history.
+        self.successors.sort(key=lambda s: (-s[1], s[0]))
+
     def observe(self, target: int, max_targets: int) -> None:
         for successor in self.successors:
             if successor[0] == target:
                 successor[1] += 1
-                self.successors.sort(key=lambda s: -s[1])
+                self._canonicalize()
                 return
         if len(self.successors) < max_targets:
             self.successors.append([target, 1])
+            self._canonicalize()
             return
         # Replace the least-frequent successor (decay-style: halve the
         # victim's count first so stale targets eventually lose).
@@ -75,6 +81,7 @@ class _Entry:
         victim[1] //= 2
         if victim[1] == 0:
             self.successors[-1] = [target, 1]
+            self._canonicalize()
 
     def top(self, fanout: int) -> List[int]:
         return [successor[0] for successor in self.successors[:fanout]]
@@ -179,6 +186,13 @@ class MarkovPrefetcher(Prefetcher):
     def on_discontinuity(self, source_line, target_line, caused_miss):
         if caused_miss:
             self.table.observe(source_line, target_line)
+
+    def state_bytes(self) -> int:
+        # Per entry: source tag plus (target + 8-bit frequency counter)
+        # for each successor slot — the multi-target storage cost the
+        # paper's single-target argument is about.
+        per_entry_bits = 32 + self.table.targets_per_entry * (32 + 8)
+        return (self.table.capacity * per_entry_bits) // 8
 
     def reset(self):
         self.table.reset()

@@ -15,6 +15,10 @@ Name                        Scheme
 ``target``                  history-based target prefetcher
 ``discontinuity``           discontinuity table + next-4-line (paper §4)
 ``discontinuity-2nl``       discontinuity table + next-2-line (Figure 9)
+``markov``                  Markov multi-target table (§2.2 alternative)
+``fdp``                     fetch-directed run-ahead (§2.2 alternative)
+``mana``                    MANA-style record/replay over spatial regions
+``shadow``                  FTQ-driven shadow-branch target predecode
 ==========================  =============================================
 """
 
@@ -25,7 +29,9 @@ from typing import Callable, Dict, List
 from repro.prefetch.base import NullPrefetcher, Prefetcher
 from repro.prefetch.discontinuity import DiscontinuityPrefetcher
 from repro.prefetch.fdp import FetchDirectedPrefetcher
+from repro.prefetch.mana import ManaPrefetcher
 from repro.prefetch.markov import MarkovPrefetcher
+from repro.prefetch.shadow import ShadowBranchPrefetcher
 from repro.prefetch.sequential import (
     LookaheadN,
     NextLineAlways,
@@ -71,6 +77,21 @@ _FACTORIES: Dict[str, Callable[..., Prefetcher]] = {
         gshare_entries=kw.get("gshare_entries", 65536),
         lookahead=kw.get("lookahead", 8),
     ),
+    "mana": lambda **kw: ManaPrefetcher(
+        table_entries=kw.get("table_entries", 4096),
+        assoc=kw.get("assoc", 4),
+        region_lines=kw.get("region_lines", 8),
+        replay_depth=kw.get("replay_depth", 3),
+    ),
+    "shadow": lambda **kw: ShadowBranchPrefetcher(
+        btb_entries=kw.get("btb_entries", 1024),
+        gshare_entries=kw.get("gshare_entries", 65536),
+        lookahead=kw.get("lookahead", 8),
+        ftq_entries=kw.get("ftq_entries", 16),
+        shadow_entries=kw.get("shadow_entries", 2048),
+        shadow_assoc=kw.get("shadow_assoc", 4),
+        shadow_degree=kw.get("shadow_degree", 2),
+    ),
 }
 
 _DISPLAY: Dict[str, str] = {
@@ -87,6 +108,8 @@ _DISPLAY: Dict[str, str] = {
     "discontinuity-noprobeahead": "Discont (no probe-ahead)",
     "markov": "Markov (multi-target)",
     "fdp": "Fetch-directed",
+    "mana": "MANA record/replay",
+    "shadow": "Shadow-branch FTQ",
 }
 
 #: all registered names, in registry order.

@@ -58,5 +58,9 @@ class TargetPrefetcher(Prefetcher):
         if len(table) > self.capacity:
             table.popitem(last=False)
 
+    def state_bytes(self) -> int:
+        # Per entry: source tag + one target line address.
+        return (self.capacity * (32 + 32)) // 8
+
     def reset(self):
         self._table.clear()

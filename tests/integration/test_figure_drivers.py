@@ -44,6 +44,7 @@ EXPECTED_PANELS = {
     "ablation-replacement": 2,
     "comparison-alternatives": 3,
     "comparison-bandwidth": 1,
+    "comparison-budget-matched": 4,
     "comparison-core-scaling": 1,
     "comparison-execution-based": 2,
     "comparison-software-prefetch": 2,

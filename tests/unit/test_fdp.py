@@ -57,6 +57,32 @@ class TestTraining:
         candidates = pf.on_demand_fetch(10, True, False, SEQ)
         assert candidates == []
 
+    def test_self_aliased_btb_target_ends_the_path(self):
+        # Tagless-BTB aliasing can predict a line as its own target; the
+        # run-ahead walk must end there instead of pinning on the line
+        # and emitting it for the rest of the lookahead window.
+        pf = FetchDirectedPrefetcher(btb_entries=64, gshare_entries=64, lookahead=8, history_bits=0)
+        pf.gshare.update(10, taken=True)
+        pf.gshare.update(10, taken=True)
+        pf.btb.update(10, 10)  # self-alias
+        candidates = pf.on_demand_fetch(10, True, False, SEQ)
+        assert candidates == []
+
+    def test_self_alias_mid_path_stops_without_repeats(self):
+        # Walk reaches line 500 whose BTB entry aliases to itself: the
+        # path ends after 500, with no duplicate candidates.
+        pf = FetchDirectedPrefetcher(btb_entries=64, gshare_entries=64, lookahead=8, history_bits=0)
+        pf.gshare.update(10, taken=True)
+        pf.gshare.update(10, taken=True)
+        pf.btb.update(10, 500)
+        pf.gshare.update(500, taken=True)
+        pf.gshare.update(500, taken=True)
+        pf.btb.update(500, 500)  # self-alias downstream
+        candidates = pf.on_demand_fetch(10, True, False, SEQ)
+        lines = [c.line for c in candidates]
+        assert lines == [500]
+        assert len(lines) == len(set(lines))
+
     def test_call_trains_ras(self):
         pf = FetchDirectedPrefetcher(btb_entries=64, gshare_entries=64, lookahead=2, history_bits=0)
         feed(pf, [(10, SEQ), (500, CALL)])

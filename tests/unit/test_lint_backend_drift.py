@@ -198,6 +198,142 @@ def test_missing_vectorized_counterpart_is_reported(drift_tree):
     assert "is missing" in violations[0].message
 
 
+REF_ONLY_PAIR = manifest_mod.Pair(
+    ref_module="src/repro/core/engine.py",
+    ref_qualname="CoreEngine._process_visit",
+)
+
+
+@pytest.fixture
+def ref_only_tree(lint_tree, monkeypatch):
+    """Tree whose synthetic pair has no vectorized counterpart."""
+
+    def build(engine=ENGINE_V1):
+        monkeypatch.setattr(manifest_mod, "PAIRS", (REF_ONLY_PAIR,))
+        return lint_tree(
+            {
+                "src/repro/core/engine.py": engine,
+                manifest_mod.VECTORIZED_MODULE: VEC_V1,
+            }
+        )
+
+    return build
+
+
+class TestReferenceOnlyPairs:
+    def rule(self):
+        return BackendDriftRule(pairs=(REF_ONLY_PAIR,))
+
+    def test_clean_tree_passes(self, ref_only_tree):
+        assert self.rule().check(ref_only_tree()) == []
+
+    def test_drift_is_stale_never_divergent(self, ref_only_tree):
+        # A reference-only pair covers code both backends share by
+        # inheritance, so an edit can only ever need a manifest refresh —
+        # the divergence ("port the change") message must not appear.
+        project = ref_only_tree()
+        project = write_tree_file(project.root, REF_ONLY_PAIR.ref_module, ENGINE_V2)
+        violations = self.rule().check(project)
+        assert len(violations) == 1
+        assert violations[0].path == REF_ONLY_PAIR.ref_module
+        assert "stale in the manifest" in violations[0].message
+        assert "--update-manifest" in violations[0].hint
+
+    def test_update_manifest_clears_the_stale_entry(self, ref_only_tree):
+        project = ref_only_tree()
+        project = write_tree_file(project.root, REF_ONLY_PAIR.ref_module, ENGINE_V2)
+        assert self.rule().check(project) != []
+        manifest_mod.update_manifest(project)
+        assert self.rule().check(Project(project.root)) == []
+
+    def test_fingerprints_record_a_null_vec_side(self, ref_only_tree):
+        project = ref_only_tree()
+        fingerprints = manifest_mod.pair_fingerprints(project)
+        (sides,) = fingerprints.values()
+        assert sides["ref"] is not None
+        assert sides["vec"] is None
+
+    def test_missing_reference_function_still_reported(self, ref_only_tree):
+        project = ref_only_tree()
+        project = write_tree_file(
+            project.root,
+            REF_ONLY_PAIR.ref_module,
+            """
+            class CoreEngine:
+                def renamed(self, visit):
+                    return visit + 1
+            """,
+        )
+        violations = self.rule().check(project)
+        assert len(violations) == 1
+        assert "is missing" in violations[0].message
+
+
+UNPAIRED_PREFETCHER = """
+    class CustomPrefetcher:
+        def on_demand_fetch(self, line, was_miss, first_use, kind):
+            return []
+    """
+
+
+class TestUnpairedPrefetcherCompleteness:
+    def test_unpaired_prefetch_module_fails(self, drift_tree):
+        project = drift_tree()
+        project = write_tree_file(
+            project.root, "src/repro/prefetch/custom.py", UNPAIRED_PREFETCHER
+        )
+        violations = rule().check(project)
+        assert len(violations) == 1
+        finding = violations[0]
+        assert finding.path == "src/repro/prefetch/custom.py"
+        assert "'CustomPrefetcher.on_demand_fetch'" in finding.message
+        assert "drift checking" in finding.message
+        assert "Pair(" in finding.hint
+        assert "--update-manifest" in finding.hint
+
+    def test_fingerprinting_the_hook_satisfies_the_check(
+        self, lint_tree, monkeypatch
+    ):
+        custom_pair = manifest_mod.Pair(
+            ref_module="src/repro/prefetch/custom.py",
+            ref_qualname="CustomPrefetcher.on_demand_fetch",
+        )
+        monkeypatch.setattr(manifest_mod, "PAIRS", (PAIR, custom_pair))
+        project = lint_tree(
+            {
+                "src/repro/core/engine.py": ENGINE_V1,
+                manifest_mod.VECTORIZED_MODULE: VEC_V1,
+                "src/repro/prefetch/custom.py": UNPAIRED_PREFETCHER,
+            }
+        )
+        assert BackendDriftRule(pairs=(PAIR, custom_pair)).check(project) == []
+
+    def test_module_without_demand_hook_is_exempt(self, drift_tree):
+        project = drift_tree()
+        project = write_tree_file(
+            project.root,
+            "src/repro/prefetch/util.py",
+            """
+            def helper(line):
+                return line + 1
+            """,
+        )
+        assert rule().check(project) == []
+
+    def test_base_module_is_allowlisted(self, drift_tree):
+        project = drift_tree()
+        project = write_tree_file(
+            project.root,
+            "src/repro/prefetch/base.py",
+            """
+            class Prefetcher:
+                def on_demand_fetch(self, line, was_miss, first_use, kind):
+                    return []
+            """,
+        )
+        assert rule().check(project) == []
+
+
 def test_real_pairs_all_point_at_existing_functions():
     """Every entry of the real PAIRS table resolves in the live tree."""
     from pathlib import Path
@@ -205,6 +341,12 @@ def test_real_pairs_all_point_at_existing_functions():
     project = Project(Path(__file__).resolve().parents[2])
     fingerprints = manifest_mod.pair_fingerprints(project)
     assert len(fingerprints) == len(manifest_mod.PAIRS)
+    by_id = {manifest_mod.pair_id(pair): pair for pair in manifest_mod.PAIRS}
     for pair_id, sides in fingerprints.items():
         assert sides["ref"] is not None, f"{pair_id}: reference side missing"
-        assert sides["vec"] is not None, f"{pair_id}: vectorized side missing"
+        if by_id[pair_id].vec_qualname is None:
+            # Reference-only pair: both backends share the code, so no
+            # vectorized fingerprint exists by construction.
+            assert sides["vec"] is None, f"{pair_id}: unexpected vec side"
+        else:
+            assert sides["vec"] is not None, f"{pair_id}: vectorized side missing"

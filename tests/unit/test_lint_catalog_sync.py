@@ -187,6 +187,153 @@ def test_stale_experiments_entry_fails(lint_tree):
     assert "no top-level Experiment" in violations[0].message
 
 
+PREFETCH_BASE = """
+    class Prefetcher:
+        def on_demand_fetch(self, line, was_miss, first_use, kind):
+            return []
+    """
+
+PREFETCH_CUSTOM = """
+    from repro.prefetch.base import Prefetcher
+
+
+    class CustomPrefetcher(Prefetcher):
+        pass
+    """
+
+REGISTRY_OK = """
+    from repro.prefetch.base import Prefetcher
+    from repro.prefetch.custom import CustomPrefetcher
+
+    _FACTORIES = {
+        "custom": lambda **kw: CustomPrefetcher(),
+    }
+
+    _DISPLAY = {
+        "custom": "Custom scheme",
+    }
+    """
+
+REGISTRY_PATH = "src/repro/prefetch/registry.py"
+
+
+@pytest.fixture
+def registry_tree(lint_tree):
+    """Base tree plus a minimal prefetch package with a synced registry."""
+
+    def build(overrides=None):
+        files = {
+            "src/repro/prefetch/base.py": PREFETCH_BASE,
+            "src/repro/prefetch/custom.py": PREFETCH_CUSTOM,
+            REGISTRY_PATH: REGISTRY_OK,
+        }
+        files.update(overrides or {})
+        return lint_tree(files)
+
+    return build
+
+
+class TestPrefetcherRegistrySync:
+    def test_synced_registry_passes(self, registry_tree):
+        assert CatalogSyncRule().check(registry_tree()) == []
+
+    def test_inactive_without_a_registry_module(self, lint_tree):
+        # Synthetic fixture trees carry no prefetch package; the
+        # sub-check must not demand one.
+        project = lint_tree({"src/repro/prefetch/base.py": PREFETCH_BASE})
+        assert CatalogSyncRule().check(project) == []
+
+    def test_unimported_prefetcher_module_fails(self, registry_tree):
+        project = registry_tree(
+            {
+                "src/repro/prefetch/extra.py": """
+                from repro.prefetch.base import Prefetcher
+
+
+                class ExtraPrefetcher(Prefetcher):
+                    pass
+                """
+            }
+        )
+        violations = CatalogSyncRule().check(project)
+        assert len(violations) == 1
+        finding = violations[0]
+        assert finding.path == "src/repro/prefetch/extra.py"
+        assert "never imports it" in finding.message
+        assert "factory + display name" in finding.hint
+
+    def test_transitive_subclass_is_detected(self, registry_tree):
+        # A scheme deriving from another *concrete* prefetcher (the
+        # shadow-over-fdp pattern) is still a concrete subclass.
+        project = registry_tree(
+            {
+                "src/repro/prefetch/derived.py": """
+                from repro.prefetch.custom import CustomPrefetcher
+
+
+                class DerivedPrefetcher(CustomPrefetcher):
+                    pass
+                """
+            }
+        )
+        violations = CatalogSyncRule().check(project)
+        assert len(violations) == 1
+        assert violations[0].path == "src/repro/prefetch/derived.py"
+
+    def test_factory_without_display_label_fails(self, registry_tree):
+        source = REGISTRY_OK.replace('"custom": "Custom scheme",', "")
+        project = registry_tree({REGISTRY_PATH: source})
+        violations = CatalogSyncRule().check(project)
+        assert len(violations) == 1
+        assert "no _DISPLAY label" in violations[0].message
+
+    def test_display_label_without_factory_fails(self, registry_tree):
+        source = REGISTRY_OK.replace(
+            '"custom": "Custom scheme",',
+            '"custom": "Custom scheme",\n        "ghost": "Ghost scheme",',
+        )
+        project = registry_tree({REGISTRY_PATH: source})
+        violations = CatalogSyncRule().check(project)
+        assert len(violations) == 1
+        assert "unknown prefetcher 'ghost'" in violations[0].message
+
+    def test_imported_but_unreferenced_concrete_class_fails(self, registry_tree):
+        project = registry_tree(
+            {
+                "src/repro/prefetch/extra.py": """
+                from repro.prefetch.base import Prefetcher
+
+
+                class ExtraPrefetcher(Prefetcher):
+                    pass
+                """,
+                REGISTRY_PATH: REGISTRY_OK.replace(
+                    "from repro.prefetch.custom import CustomPrefetcher",
+                    "from repro.prefetch.custom import CustomPrefetcher\n"
+                    "    from repro.prefetch.extra import ExtraPrefetcher",
+                ),
+            }
+        )
+        violations = CatalogSyncRule().check(project)
+        assert len(violations) == 1
+        assert "'ExtraPrefetcher'" in violations[0].message
+        assert "invisible to experiments" in violations[0].message
+
+    def test_abstract_base_import_is_not_flagged(self, registry_tree):
+        # The registry imports Prefetcher for type annotations only; the
+        # unused-import check applies to *concrete* subclasses.
+        project = registry_tree()
+        assert CatalogSyncRule().check(project) == []
+
+    def test_non_literal_factories_dict_raises(self, registry_tree):
+        source = REGISTRY_OK.replace(
+            "_FACTORIES = {", "_FACTORIES = dict(**{"
+        ).replace("    }\n\n    _DISPLAY", "    })\n\n    _DISPLAY")
+        project = registry_tree({REGISTRY_PATH: source})
+        with pytest.raises(LintError, match="dict literal"):
+            CatalogSyncRule().check(project)
+
+
 def test_non_literal_catalog_modules_raises(lint_tree):
     project = lint_tree(
         {

@@ -1,0 +1,66 @@
+"""Unit tests for storage-budget matching across prefetcher families."""
+
+import pytest
+
+from repro.prefetch.budget import (
+    GSHARE_PER_BTB,
+    SHADOW_PER_BTB,
+    matched_overrides,
+    matched_state_bytes,
+)
+from repro.prefetch.registry import create_prefetcher
+
+KIB_16 = 16 * 1024
+KIB_96 = 96 * 1024
+
+TABLE_FAMILIES = ("target", "discontinuity", "markov", "mana")
+PREDICTOR_FAMILIES = ("fdp", "shadow")
+
+
+@pytest.mark.parametrize("name", TABLE_FAMILIES + PREDICTOR_FAMILIES)
+class TestMatching:
+    def test_matched_sizing_fits_the_budget(self, name):
+        overrides = matched_overrides(name, KIB_16)
+        assert create_prefetcher(name, **overrides).state_bytes() <= KIB_16
+
+    def test_matched_sizing_is_maximal(self, name):
+        overrides = matched_overrides(name, KIB_16)
+        knob = "btb_entries" if name in PREDICTOR_FAMILIES else "table_entries"
+        doubled = dict(overrides)
+        doubled[knob] = overrides[knob] * 2
+        if name in PREDICTOR_FAMILIES:
+            doubled["gshare_entries"] = doubled[knob] * GSHARE_PER_BTB
+        if name == "shadow":
+            doubled["shadow_entries"] = doubled[knob] * SHADOW_PER_BTB
+        assert create_prefetcher(name, **doubled).state_bytes() > KIB_16
+
+    def test_bigger_budget_never_shrinks_the_sizing(self, name):
+        small = matched_overrides(name, KIB_16)
+        large = matched_overrides(name, KIB_96)
+        for knob, value in small.items():
+            assert large[knob] >= value
+
+    def test_matched_state_bytes_reports_the_actual_cost(self, name):
+        overrides = matched_overrides(name, KIB_96)
+        expected = create_prefetcher(name, **overrides).state_bytes()
+        assert matched_state_bytes(name, KIB_96) == expected
+
+
+class TestEdges:
+    def test_predictor_families_couple_their_knobs(self):
+        overrides = matched_overrides("fdp", KIB_96)
+        assert overrides["gshare_entries"] == overrides["btb_entries"] * GSHARE_PER_BTB
+        overrides = matched_overrides("shadow", KIB_96)
+        assert overrides["gshare_entries"] == overrides["btb_entries"] * GSHARE_PER_BTB
+        assert overrides["shadow_entries"] == overrides["btb_entries"] * SHADOW_PER_BTB
+
+    def test_stateless_family_takes_no_overrides(self):
+        assert matched_overrides("next-4-line", KIB_16) == {}
+
+    def test_budget_below_minimum_sizing_raises(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            matched_overrides("discontinuity", 16)
+
+    def test_negative_budget_raises(self):
+        with pytest.raises(ValueError):
+            matched_overrides("discontinuity", -1)

@@ -46,6 +46,29 @@ class TestMarkovTable:
             table.observe(10, noise)
         assert table.predict(10, fanout=1) == [100]
 
+    def test_equal_count_ties_break_by_ascending_target(self):
+        # Canonical order must not depend on insertion history: equal
+        # counts order by target ascending, so two tables trained with
+        # the same observations in different orders predict identically.
+        a = MarkovTable(capacity=8, targets_per_entry=4)
+        b = MarkovTable(capacity=8, targets_per_entry=4)
+        for target in (300, 100, 200):
+            a.observe(10, target)
+        for target in (200, 300, 100):
+            b.observe(10, target)
+        assert a.predict(10, fanout=4) == [100, 200, 300]
+        assert b.predict(10, fanout=4) == [100, 200, 300]
+
+    def test_replacement_entry_is_canonically_placed(self):
+        table = MarkovTable(capacity=8, targets_per_entry=2)
+        table.observe(10, 200)
+        table.observe(10, 200)  # 200: count 2
+        table.observe(10, 300)  # 300: count 1
+        table.observe(10, 100)  # 300 halves to 0 -> replaced by 100
+        assert table.entry_successors(10) == [(200, 2), (100, 1)]
+        table.observe(10, 100)  # 100 ties 200 at count 2 -> ascending
+        assert table.predict(10, fanout=2) == [100, 200]
+
     def test_lru_capacity(self):
         table = MarkovTable(capacity=2, targets_per_entry=2)
         table.observe(1, 100)

@@ -162,6 +162,84 @@ class TestUnfilteredMode:
         assert queue.state_of(1) is None
 
 
+class TestFilteredIndexInvariants:
+    """Regression guard for the filtered-mode ``_by_line`` index.
+
+    In filtered mode every line has at most one entry, so the index must
+    stay a bijection with the entry list and ``waiting`` must equal the
+    number of WAITING entries — including across overflow evictions,
+    demand invalidations, pops and requeues.  (The unfiltered path has
+    its own newest-wins tests above.)
+    """
+
+    @staticmethod
+    def check_invariants(queue):
+        entries = queue._entries
+        by_line = queue._by_line
+        # Bijection: one index slot per entry, mapping to that entry.
+        assert len(by_line) == len(entries)
+        for entry in entries:
+            assert by_line[entry.line] is entry
+        # Maintained waiting counter matches a full recount.
+        recount = sum(1 for e in entries if e.state == QueueState.WAITING)
+        assert queue.waiting == recount
+        # state_of is truthful for every resident line.
+        for entry in entries:
+            assert queue.state_of(entry.line) == QueueState(entry.state)
+
+    def test_overflow_evicting_waiting_entry_decrements_waiting(self):
+        queue = PrefetchQueue(capacity=2, recent_capacity=2)
+        queue.offer(cand(1))
+        queue.offer(cand(2))
+        assert queue.waiting == 2
+        queue.offer(cand(3))  # evicts waiting entry 1
+        assert queue.waiting == 2
+        self.check_invariants(queue)
+
+    def test_overflow_evicting_issued_entry_keeps_waiting(self):
+        queue = PrefetchQueue(capacity=2, recent_capacity=2, lifo=False)
+        queue.offer(cand(1))
+        queue.pop_ready()  # 1 becomes ISSUED filter memory (oldest)
+        queue.offer(cand(2))
+        queue.offer(cand(3))  # evicts the issued record, not a waiting one
+        assert queue.state_of(1) is None
+        assert queue.waiting == 2
+        self.check_invariants(queue)
+
+    def test_randomized_workload_preserves_index_bijection(self):
+        import random
+
+        rng = random.Random(0x5EED)
+        queue = PrefetchQueue(capacity=8, recent_capacity=4)
+        issued = []
+        for _ in range(2000):
+            op = rng.random()
+            line = rng.randrange(24)  # small space forces duplicates
+            if op < 0.55:
+                queue.offer(cand(line))
+            elif op < 0.75:
+                queue.note_demand_fetch(line)
+            elif op < 0.92:
+                entry = queue.pop_ready()
+                if entry is not None:
+                    issued.append(entry)
+            elif issued and op < 0.97:
+                # MSHR-full put-back of a previously issued entry, but only
+                # if it is still resident (requeue of an evicted record
+                # would resurrect a ghost — the engine never does that).
+                entry = issued.pop(rng.randrange(len(issued)))
+                if queue._by_line.get(entry.line) is entry:
+                    queue.requeue(entry)
+            else:
+                queue.flush()
+                issued.clear()
+            self.check_invariants(queue)
+        # The workload must actually have exercised the interesting paths.
+        assert queue.stats.overflow_drops > 0
+        assert queue.stats.invalidated_by_demand > 0
+        assert queue.stats.hoisted > 0
+
+
 class TestIntrospection:
     def test_waiting_count(self):
         queue = PrefetchQueue(capacity=4)

@@ -1,0 +1,137 @@
+"""Unit tests for the FTQ-driven shadow-branch prefetcher."""
+
+import pytest
+
+from repro.isa.kinds import TransitionKind
+from repro.prefetch.shadow import ShadowBranchPrefetcher, ShadowTargetBuffer
+
+SEQ = int(TransitionKind.SEQUENTIAL)
+
+
+class TestShadowTargetBuffer:
+    def test_observe_and_lookup(self):
+        stb = ShadowTargetBuffer(entries=64, assoc=4)
+        stb.observe(10, 500)
+        assert stb.lookup(10) == 500
+        assert stb.lookup(11) is None
+
+    def test_reobserve_updates_target(self):
+        stb = ShadowTargetBuffer(entries=64, assoc=4)
+        stb.observe(10, 500)
+        stb.observe(10, 700)
+        assert stb.lookup(10) == 700
+        assert stb.occupancy() == 1
+
+    def test_eviction_prefers_lowest_confidence(self):
+        # entries=4/assoc=2 -> 2 sets; even lines share set 0.
+        stb = ShadowTargetBuffer(entries=4, assoc=2)
+        stb.observe(0, 100)
+        stb.observe(2, 200)
+        stb.credit(0)  # reinforce 0 so 2 becomes the victim
+        stb.observe(4, 400)
+        assert stb.lookup(0) == 100
+        assert stb.lookup(2) is None
+        assert stb.lookup(4) == 400
+
+    def test_reset(self):
+        stb = ShadowTargetBuffer(entries=64, assoc=4)
+        stb.observe(10, 500)
+        stb.reset()
+        assert stb.lookup(10) is None
+        assert stb.occupancy() == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShadowTargetBuffer(entries=48)
+        with pytest.raises(ValueError):
+            ShadowTargetBuffer(entries=4, assoc=8)
+
+
+class TestShadowTargetDiscovery:
+    def make(self, **overrides):
+        kwargs = dict(
+            btb_entries=64,
+            gshare_entries=64,
+            lookahead=8,
+            history_bits=0,
+            shadow_entries=64,
+        )
+        kwargs.update(overrides)
+        return ShadowBranchPrefetcher(**kwargs)
+
+    def test_untrained_matches_sequential_fdp_path(self):
+        pf = self.make()
+        candidates = pf.on_demand_fetch(10, True, False, SEQ)
+        assert [c.line for c in candidates] == list(range(11, 19))
+        assert pf.shadow_discoveries == 0
+
+    def test_predecode_discovers_shadow_target_on_sequential_path(self):
+        pf = self.make(shadow_degree=2)
+        # The predecoder saw a branch in line 15 targeting 900, but the
+        # direction predictor (untrained: not-taken) never follows it.
+        pf.on_discontinuity(15, 900, caused_miss=False)
+        candidates = pf.on_demand_fetch(10, True, False, SEQ)
+        lines = [c.line for c in candidates]
+        # The predicted path is still sequential, but draining the FTQ
+        # predecodes line 15 and injects the shadow target plus its next
+        # shadow_degree-1 lines right behind it.
+        assert lines == [11, 12, 13, 14, 15, 900, 901, 16, 17, 18]
+        assert pf.shadow_discoveries == 1
+        shadow = [c for c in candidates if c.provenance[0] == "shadow"]
+        assert all(c.provenance == ("shadow", 15) for c in shadow)
+
+    def test_fall_through_target_is_not_a_discovery(self):
+        pf = self.make()
+        pf.on_discontinuity(15, 16, caused_miss=False)  # target == line + 1
+        candidates = pf.on_demand_fetch(10, True, False, SEQ)
+        assert [c.line for c in candidates] == list(range(11, 19))
+        assert pf.shadow_discoveries == 0
+
+    def test_ftq_bounds_the_walk(self):
+        pf = self.make(lookahead=8, ftq_entries=3)
+        candidates = pf.on_demand_fetch(10, True, False, SEQ)
+        assert [c.line for c in candidates] == [11, 12, 13]
+
+    def test_taken_exit_skips_predecode(self):
+        # A line the walk leaves via a predicted-taken branch is not a
+        # shadow site: the predictor already followed its branch.
+        pf = self.make(lookahead=2)
+        pf.gshare.update(11, taken=True)
+        pf.gshare.update(11, taken=True)
+        pf.btb.update(11, 500)
+        pf.on_discontinuity(11, 900, caused_miss=False)  # stale STB edge
+        candidates = pf.on_demand_fetch(10, True, False, SEQ)
+        lines = [c.line for c in candidates]
+        assert lines == [11, 500]
+        assert pf.shadow_discoveries == 0
+
+    def test_credit_reinforces_stb_entry(self):
+        pf = self.make()
+        pf.on_discontinuity(15, 900, caused_miss=False)
+        pf.credit(("shadow", 15))
+        # Reinforced entry survives an eviction contest (see STB tests);
+        # here just confirm the foreign-provenance path is a no-op too.
+        pf.credit(("fdp",))
+        assert pf.stb.lookup(15) == 900
+
+    def test_state_bytes_adds_stb_and_ftq(self):
+        pf = self.make(shadow_entries=64, ftq_entries=16)
+        base = (64 * 32 + 64 * 2 + pf.ras.capacity * 32) // 8
+        assert pf.state_bytes() == base + (64 * (32 + 32 + 2) + 16 * 32) // 8
+
+    def test_reset_clears_shadow_state(self):
+        pf = self.make()
+        pf.on_discontinuity(15, 900, caused_miss=False)
+        pf.on_demand_fetch(10, True, False, SEQ)
+        pf.reset()
+        assert pf.shadow_discoveries == 0
+        assert pf.stb.lookup(15) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(ftq_entries=0)
+        with pytest.raises(ValueError):
+            self.make(shadow_degree=0)
+
+    def test_name(self):
+        assert self.make(shadow_entries=256).name == "shadow-256stb"

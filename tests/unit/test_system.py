@@ -82,8 +82,18 @@ class TestSystem:
             System(SystemConfig(n_cores=1, l2_policy="nope"), [seq_trace(4)])
 
     def test_bad_prefetcher_name_raises(self):
-        with pytest.raises(KeyError):
-            System(SystemConfig(n_cores=1, prefetcher="nope"), [seq_trace(4)])
+        # Validated eagerly at config construction (not at registry
+        # lookup inside System), so typos fail before any sweep starts.
+        with pytest.raises(ValueError, match="unknown prefetcher"):
+            SystemConfig(n_cores=1, prefetcher="nope")
+
+    def test_prefetcher_factory_bypasses_name_validation(self):
+        from repro.prefetch.base import NullPrefetcher
+
+        config = SystemConfig(
+            n_cores=1, prefetcher="custom", prefetcher_factory=lambda: NullPrefetcher()
+        )
+        assert config.prefetcher == "custom"
 
 
 class TestSystemResult:
