@@ -26,11 +26,13 @@ the two engine paths can be A/B'd on identical inputs.  The on-disk trace
 store is bypassed either way (every phase is measured live).
 
 ``--backend`` selects the engine backend to time: ``reference``,
-``vectorized``, or ``all`` to time both and print the speedup.
+``vectorized``, ``jit``, or ``all`` to time every backend and print the
+speedups.  The jit backend's one-time kernel compile runs (and is
+reported) outside the timed region — visits/sec excludes it.
 
 ``--verify`` proves backend equivalence the hard way: it steps a
-``reference`` and a ``vectorized`` system through the *same* trace in
-lockstep, comparing the stepping core's clock and full
+``reference`` system and a system on the backend under test through the
+*same* trace in lockstep, comparing the stepping core's clock and full
 :class:`~repro.core.metrics.CoreStats` after **every visit**, and prints
 the first divergent visit index and field name if the backends ever
 disagree.  (It also cross-checks every compiled trace against the live
@@ -83,13 +85,14 @@ def _diff_field(ref_engine, vec_engine):
     return None
 
 
-def _verify_backends(args, traces) -> int:
-    """Lockstep per-visit reference-vs-vectorized cross-check.
+def _verify_backends(args, traces, other: str) -> int:
+    """Lockstep per-visit reference-vs-*other* cross-check.
 
     Mirrors ``System.run``'s smallest-clock interleaving on the reference
-    system and drives the vectorized system with the *same* core choice, so
-    both process the identical global visit sequence.  Returns 0 when every
-    visit matches, 1 (after printing the first divergence) otherwise.
+    system and drives the *other* backend's system with the *same* core
+    choice, so both process the identical global visit sequence.  Returns
+    0 when every visit matches, 1 (after printing the first divergence)
+    otherwise.
     """
     from repro.cmp.system import System, SystemConfig
 
@@ -105,7 +108,7 @@ def _verify_backends(args, traces) -> int:
         )
         return System(config, traces)
 
-    ref_sys, vec_sys = build("reference"), build("vectorized")
+    ref_sys, vec_sys = build("reference"), build(other)
     active_ref = list(ref_sys.engines)
     active_vec = list(vec_sys.engines)
     visit = 0
@@ -133,7 +136,9 @@ def _verify_backends(args, traces) -> int:
         if not ref_alive:
             del active_ref[index], active_vec[index]
         visit += 1
-    print(f"verify           : backends bit-identical over {visit} visits")
+    print(
+        f"verify           : reference/{other} bit-identical over {visit} visits"
+    )
     return 0
 
 
@@ -147,8 +152,9 @@ def main() -> int:
     parser.add_argument(
         "--backend",
         default="reference",
-        choices=("reference", "vectorized", "all"),
-        help="engine backend to time ('all' times both and prints the speedup)",
+        choices=("reference", "vectorized", "jit", "all"),
+        help="engine backend to time ('all' times every backend and prints "
+        "the speedups)",
     )
     parser.add_argument(
         "--compiled",
@@ -159,9 +165,9 @@ def main() -> int:
     parser.add_argument(
         "--verify",
         action="store_true",
-        help="per-visit reference-vs-vectorized lockstep cross-check "
-        "(prints the first divergent visit index and field), plus the "
-        "compiled-trace-vs-live-lowering check",
+        help="per-visit lockstep cross-check of the selected backend(s) "
+        "against reference (prints the first divergent visit index and "
+        "field), plus the compiled-trace-vs-live-lowering check",
     )
     parser.add_argument(
         "--profile", action="store_true", help="print a cProfile table of the run"
@@ -200,12 +206,18 @@ def main() -> int:
                 return 1
         print(f"verify           : {len(compiled_set)} compiled trace(s) exact")
 
+    verify_against = (
+        ("vectorized", "jit")
+        if args.backend == "all"
+        else (args.backend if args.backend != "reference" else "vectorized",)
+    )
     if args.verify:
-        status = _verify_backends(
-            args, compiled_set if compiled_set is not None else raw
-        )
-        if status:
-            return status
+        for other in verify_against:
+            status = _verify_backends(
+                args, compiled_set if compiled_set is not None else raw, other
+            )
+            if status:
+                return status
 
     def simulate(backend: str):
         return run_system(
@@ -225,7 +237,11 @@ def main() -> int:
 
         get_compiled_traces(args.workload, args.cores, total, args.seed, 64)
 
-    backends = ("reference", "vectorized") if args.backend == "all" else (args.backend,)
+    backends = (
+        ("reference", "vectorized", "jit")
+        if args.backend == "all"
+        else (args.backend,)
+    )
     path = "compiled (packed columns)" if args.compiled else "raw (lazy lowering)"
     print(
         f"{args.workload}/{args.cores}c/{args.prefetcher}/{args.l2_policy} "
@@ -234,6 +250,13 @@ def main() -> int:
     print(f"synthesize       : {synth_seconds:.2f}s")
     if args.compiled:
         print(f"lower+compile    : {compile_seconds:.2f}s")
+    if "jit" in backends:
+        # Build (or load from cache) the jit kernel outside the timed
+        # region: the one-time compile cost is reported separately.
+        from repro.core import jitted
+
+        if jitted.jit_available():
+            print(f"jit compile      : {jitted.kernel_compile_seconds():.2f}s")
 
     rates = {}
     profilers = {}
@@ -255,8 +278,13 @@ def main() -> int:
         print(f"visits/sec       : {rates[backend]:,.0f}")
         print(f"aggregate IPC    : {result.aggregate_ipc:.6f}")
 
-    if len(rates) == 2:
-        print(f"speedup          : {rates['vectorized'] / rates['reference']:.2f}x")
+    if len(rates) > 1 and "reference" in rates:
+        for backend in backends:
+            if backend != "reference":
+                print(
+                    f"speedup [{backend:<10}]: "
+                    f"{rates[backend] / rates['reference']:.2f}x"
+                )
 
     for backend, profiler in profilers.items():
         print(f"\n--- cProfile [{backend}] ---")

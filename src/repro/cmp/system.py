@@ -70,9 +70,10 @@ class SystemConfig:
     #: cache replacement policies ("lru", "fifo", "plru", "random").
     l1_replacement: str = "lru"
     l2_replacement: str = "lru"
-    #: engine backend ("reference", "vectorized", or "auto" to defer to the
-    #: REPRO_ENGINE_BACKEND environment variable).  Never affects results —
-    #: backends are bit-identical — so it is not part of any cache key.
+    #: engine backend ("reference", "vectorized", "jit", or "auto" to defer
+    #: to the REPRO_ENGINE_BACKEND environment variable).  Never affects
+    #: results — backends are bit-identical — so it is not part of any
+    #: cache key.
     engine_backend: str = "auto"
 
     def __post_init__(self) -> None:
@@ -271,14 +272,20 @@ class System:
         if len(engines) == 1:
             engines[0].run()
         else:
-            active = list(engines)
-            while active:
-                # Advance the core with the smallest local clock so shared
-                # structures see accesses in (approximate) global order.
-                earliest = active[0]
-                for engine in active[1:]:
-                    if engine.cycle < earliest.cycle:
-                        earliest = engine
-                if not earliest.step():
-                    active.remove(earliest)
+            # A backend may run the whole interleave loop itself (the jit
+            # backend compiles it); it returns False to decline, in which
+            # case the exact Python loop below runs instead.
+            runner = getattr(engines[0], "run_multicore", None)
+            if runner is None or not runner(engines):
+                active = list(engines)
+                while active:
+                    # Advance the core with the smallest local clock so
+                    # shared structures see accesses in (approximate)
+                    # global order.
+                    earliest = active[0]
+                    for engine in active[1:]:
+                        if engine.cycle < earliest.cycle:
+                            earliest = engine
+                    if not earliest.step():
+                        active.remove(earliest)
         return SystemResult(self.config, [engine.stats for engine in engines], self.link)

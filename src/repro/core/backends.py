@@ -1,6 +1,6 @@
 """Engine backend selection.
 
-Two interchangeable engine implementations exist:
+Three interchangeable engine implementations exist:
 
 ``reference``
     :class:`~repro.core.engine.CoreEngine` — the plain per-visit
@@ -11,17 +11,24 @@ Two interchangeable engine implementations exist:
     processing over the compiled trace's packed columns (requires NumPy).
     Bit-identical results, measured 2-3× faster on the single-core profile
     configuration (see ``docs/performance.md`` for why not more).
+``jit``
+    :class:`~repro.core.jitted.JittedCoreEngine` — the per-visit scalar
+    semantics compiled to native code (requires a C compiler on PATH;
+    the kernel is built once and cached).  Bit-identical results, and the
+    only backend whose *multi-core* interleave loop also runs compiled:
+    CMP runs get faster instead of degrading to span-of-1 stepping.
 
 Selection order: an explicit backend name (``EngineConfig``/``RunSpec``/
 CLI ``--backend``) wins; ``"auto"`` defers to the ``REPRO_ENGINE_BACKEND``
-environment variable; unset means ``reference``.  Multi-core systems
-resolve ``auto`` to ``reference`` even when the environment selects
-``vectorized``: shared-L2 lockstep forces the vectorized engine into
-span-of-1 stepping, which measures ~0.9× the reference interpreter (see
-``docs/performance.md``), so deferring to it there would be a silent
-pessimization.  Requesting ``vectorized`` without NumPy installed falls
-back to ``reference`` with a logged warning — results are identical
-either way, only slower.
+environment variable; unset means ``reference`` on single-core systems.
+Multi-core systems resolving ``auto`` prefer ``jit`` whenever its kernel
+is buildable — the environment can still pin ``reference`` or ``jit``
+explicitly, but ``vectorized`` is never auto-selected there: shared-L2
+lockstep forces it into span-of-1 stepping, which measures ~0.9× the
+reference interpreter (see ``docs/performance.md``), so deferring to it
+would be a silent pessimization.  Requesting ``vectorized`` without NumPy
+(or ``jit`` without a C compiler) falls back to ``reference`` with a
+logged warning — results are identical either way, only slower.
 
 The backend never affects simulated results, so it is deliberately *not*
 part of a run's cache key (``RunSpec.canonical_dict``) — cached results
@@ -44,7 +51,7 @@ logger = logging.getLogger(__name__)
 ENGINE_BACKEND_ENV = REPRO_ENGINE_BACKEND
 
 #: the selectable backends, in preference-documentation order.
-BACKEND_NAMES = ("reference", "vectorized")
+BACKEND_NAMES = ("reference", "vectorized", "jit")
 
 #: sentinel meaning "defer to the environment, default to reference".
 AUTO_BACKEND = "auto"
@@ -74,29 +81,54 @@ def resolve_backend(name: Optional[str] = None, n_cores: int = 1) -> str:
     """Resolve an explicit/auto backend request to a concrete name.
 
     Resolution table (explicit names always win; *n_cores* only matters
-    for ``auto``/None/empty requests)::
+    for ``auto``/None/empty requests; "jit buildable" is whether the jit
+    kernel can be compiled/loaded in this environment)::
 
         request       n_cores  REPRO_ENGINE_BACKEND  ->  backend
         ------------  -------  --------------------      ----------
         reference     any      any                       reference
         vectorized    any      any                       vectorized
+        jit           any      any                       jit
         auto/None     1        unset                     reference
         auto/None     1        reference                 reference
         auto/None     1        vectorized                vectorized
-        auto/None     >1       any                       reference
+        auto/None     1        jit                       jit
+        auto/None     >1       reference                 reference
+        auto/None     >1       jit                       jit
+        auto/None     >1       unset/vectorized          jit if buildable
+                                                         else reference
+
+    Multi-core ``auto`` prefers ``jit`` because only its interleave loop
+    runs compiled; ``vectorized`` is never auto-selected there (span-of-1
+    stepping measures ~0.9x reference — see ``docs/performance.md``).
     """
     if name is None or name == "" or name == AUTO_BACKEND:
+        env = os.environ.get(ENGINE_BACKEND_ENV, "")
         if n_cores > 1:
-            # Shared-L2 lockstep degrades the vectorized engine to
-            # span-of-1 stepping (~0.9x reference); never auto-select it.
-            return "reference"
-        name = os.environ.get(ENGINE_BACKEND_ENV, "") or "reference"
+            if env in ("reference", "jit"):
+                name = env
+            else:
+                # Unset or vectorized: prefer the jit kernel (the one
+                # backend whose multi-core stepping is compiled); without
+                # a C toolchain, reference remains the safe choice.
+                name = "jit" if _jit_available() else "reference"
+        else:
+            name = env or "reference"
     if name not in BACKEND_NAMES:
         raise ValueError(
             f"unknown engine backend {name!r}; available: "
             f"{', '.join(BACKEND_NAMES)} (or {AUTO_BACKEND!r})"
         )
     return name
+
+
+def _jit_available() -> bool:
+    """True when the jit backend's compiled kernel is usable here."""
+    try:
+        from repro.core import jitted
+    except ImportError:
+        return False
+    return jitted.jit_available()
 
 
 _fallback_warned = False
@@ -118,6 +150,29 @@ def _vectorized_engine_cls():
     return VectorizedCoreEngine
 
 
+_jit_fallback_warned = False
+
+
+def _jitted_engine_cls():
+    """Import the jit backend, or None when its kernel can't be built."""
+    global _jit_fallback_warned
+    try:
+        from repro.core.jitted import JittedCoreEngine, jit_available
+    except ImportError:
+        jit_ok = False
+    else:
+        jit_ok = jit_available()
+        if jit_ok:
+            return JittedCoreEngine
+    if not _jit_fallback_warned:
+        logger.warning(
+            "jit engine backend unavailable (no C compiler or kernel build "
+            "failed); falling back to the reference backend"
+        )
+        _jit_fallback_warned = True
+    return None
+
+
 def create_engine(
     backend, config, trace, line_size, l1i, l1d, l2, link, prefetcher, queue, timing,
     n_cores: int = 1,
@@ -125,14 +180,17 @@ def create_engine(
     """Construct the requested engine backend over the given components.
 
     *backend* may be a concrete name, ``"auto"``, or None (same as auto);
-    *n_cores* is the size of the system this engine joins — ``auto``
-    resolves to ``reference`` when it is more than one.
+    *n_cores* is the size of the system this engine joins — multi-core
+    ``auto`` prefers ``jit``, falling back to ``reference``.
     """
     backend = resolve_backend(backend, n_cores=n_cores)
+    engine_cls = None
     if backend == "vectorized":
         engine_cls = _vectorized_engine_cls()
-        if engine_cls is not None:
-            return engine_cls(
-                config, trace, line_size, l1i, l1d, l2, link, prefetcher, queue, timing
-            )
+    elif backend == "jit":
+        engine_cls = _jitted_engine_cls()
+    if engine_cls is not None:
+        return engine_cls(
+            config, trace, line_size, l1i, l1d, l2, link, prefetcher, queue, timing
+        )
     return CoreEngine(config, trace, line_size, l1i, l1d, l2, link, prefetcher, queue, timing)

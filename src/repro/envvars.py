@@ -33,6 +33,7 @@ REPRO_CACHE_DIR = "REPRO_CACHE_DIR"
 REPRO_DISK_CACHE = "REPRO_DISK_CACHE"
 REPRO_COMPILED_TRACES = "REPRO_COMPILED_TRACES"
 REPRO_ENGINE_BACKEND = "REPRO_ENGINE_BACKEND"
+REPRO_JIT_CACHE_DIR = "REPRO_JIT_CACHE_DIR"
 REPRO_TRACE_DIR = "REPRO_TRACE_DIR"
 REPRO_TRACE_STORE = "REPRO_TRACE_STORE"
 REPRO_SYNTH_LOG = "REPRO_SYNTH_LOG"
@@ -88,13 +89,20 @@ REGISTRY: Tuple[EnvVar, ...] = (
         REPRO_ENGINE_BACKEND,
         "`reference`",
         "Engine backend used when a run asks for `auto` (the default "
-        "everywhere): `reference` or `vectorized`.  Backends are "
+        "everywhere): `reference`, `vectorized` or `jit`.  Backends are "
         "bit-identical — this changes speed, not results — so it is *not* "
         "part of any cache key.  Multi-core systems resolve `auto` to "
-        "`reference` even when this selects `vectorized` (the span-of-1 "
-        "stepping measures ~0.9x there).  `repro-experiment --backend` "
-        "overrides it per invocation; see "
-        "[Engine backends](#engine-backends).",
+        "`jit` when a C compiler is available and to `reference` otherwise "
+        "(never `vectorized`: its span-of-1 stepping measures ~0.9x "
+        "there).  `repro-experiment --backend` overrides it per "
+        "invocation; see [Engine backends](#engine-backends).",
+    ),
+    EnvVar(
+        REPRO_JIT_CACHE_DIR,
+        "`$REPRO_CACHE_DIR/jit`",
+        "Directory caching the jit backend's compiled kernel (one shared "
+        "object per kernel-source hash; compile once, load ever after).  "
+        "CI caches it keyed on the kernel source hash.",
     ),
     EnvVar(
         REPRO_TRACE_DIR,

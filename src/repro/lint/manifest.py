@@ -80,25 +80,30 @@ TRACE_PATHS = (
 #: lines), so editing them should not demand a schema bump.
 BEHAVIOR_EXCLUDE = frozenset({"src/repro/util/clock.py"})
 
-#: the vectorized engine backend: every Pair's counterpart lives here.
+#: the vectorized engine backend: every vec counterpart lives here.
 VECTORIZED_MODULE = "src/repro/core/vectorized.py"
+
+#: the jit engine backend: every jit counterpart lives here.
+JITTED_MODULE = "src/repro/core/jitted.py"
 
 
 class Pair(NamedTuple):
     """One fingerprinted reference hot path, optionally twinned.
 
-    With a ``vec_qualname``, the pair is a must-stay-in-sync reference/
-    vectorized implementation pair.  The vectorized backend inlines most
-    reference hot paths into one flat span interpreter, so several
-    reference functions legitimately map to the same vectorized
-    counterpart (many → one).  Rule R6 fingerprints both sides; a drifted
-    reference fingerprint with an unchanged vectorized one is the "silent
-    divergence" failure mode this exists to catch before the (slow)
-    runtime parity suite does.
+    With a ``vec_qualname`` (and/or ``jit_qualname``), the pair is a
+    must-stay-in-sync reference/fast-backend implementation pair.  The
+    vectorized backend inlines most reference hot paths into one flat
+    span interpreter, and the jit backend compiles them all into the one
+    C kernel returned by ``kernel_source``, so several reference
+    functions legitimately map to the same counterpart (many → one).
+    Rule R6 fingerprints every side; a drifted reference fingerprint with
+    an unchanged counterpart fingerprint is the "silent divergence"
+    failure mode this exists to catch before the (slow) runtime parity
+    suite does.
 
-    With ``vec_qualname=None`` the pair is *reference-only*: both
-    backends execute the same function (the vectorized engine falls back
-    to reference stepping for non-``hit_transparent`` prefetchers), so
+    With both counterparts ``None`` the pair is *reference-only*: every
+    backend executes the same function (the fast backends fall back to
+    reference stepping for prefetchers outside their compiled set), so
     silent divergence is impossible — the fingerprint exists so edits to
     the hot path still demand an explicit manifest refresh, and so every
     prefetcher family is visible to R6's completeness check.
@@ -107,6 +112,7 @@ class Pair(NamedTuple):
     ref_module: str
     ref_qualname: str
     vec_qualname: Optional[str] = None  #: qualname inside VECTORIZED_MODULE
+    jit_qualname: Optional[str] = None  #: qualname inside JITTED_MODULE
 
 
 _ENGINE = "src/repro/core/engine.py"
@@ -119,34 +125,38 @@ _FDP = "src/repro/prefetch/fdp.py"
 _MANA = "src/repro/prefetch/mana.py"
 _SHADOW = "src/repro/prefetch/shadow.py"
 _SPAN = "VectorizedCoreEngine._fast_span"
+_KSRC = "kernel_source"
 
 #: the fingerprinted hot-path pairs.  ``_fast_span`` inlines the per-visit
 #: reference pipeline (visit processing, queue drain + issue, fills,
 #: installs, data-miss timing, and the DiscontinuityPrefetcher trigger
-#: path), so it is the counterpart of nearly everything.  The remaining
-#: prefetcher families run through the reference stepping path on both
-#: backends, so their hot paths are fingerprinted reference-only.
+#: path), so it is the vectorized counterpart of nearly everything; the
+#: jit backend compiles the same pipeline — plus the sequential prefetcher
+#: family, which the vectorized backend runs through reference stepping —
+#: into the one C kernel string returned by ``kernel_source``.  The
+#: remaining prefetcher families run through the reference stepping path
+#: on every backend, so their hot paths are fingerprinted reference-only.
 PAIRS: Tuple[Pair, ...] = (
-    Pair(_ENGINE, "CoreEngine._process_visit", _SPAN),
-    Pair(_ENGINE, "CoreEngine._step_compiled", _SPAN),
-    Pair(_ENGINE, "CoreEngine._issue_prefetches", _SPAN),
-    Pair(_ENGINE, "CoreEngine._issue_one", _SPAN),
-    Pair(_ENGINE, "CoreEngine._demand_fill", _SPAN),
-    Pair(_ENGINE, "CoreEngine._install_l1i", _SPAN),
-    Pair(_ENGINE, "CoreEngine._install_l2", _SPAN),
-    Pair(_ENGINE, "CoreEngine._data_miss", _SPAN),
-    Pair(_QUEUE, "PrefetchQueue.offer", _SPAN),
-    Pair(_QUEUE, "PrefetchQueue.pop_ready", _SPAN),
-    Pair(_QUEUE, "PrefetchQueue.note_demand_fetch", _SPAN),
-    Pair(_DISC, "DiscontinuityTable.observe", _SPAN),
-    Pair(_DISC, "DiscontinuityTable.predict", _SPAN),
-    Pair(_DISC, "DiscontinuityTable.credit", _SPAN),
-    Pair(_DISC, "DiscontinuityPrefetcher.on_demand_fetch", _SPAN),
-    Pair(_SEQ, "NextLineAlways.on_demand_fetch"),
-    Pair(_SEQ, "NextLineOnMiss.on_demand_fetch"),
-    Pair(_SEQ, "NextLineTagged.on_demand_fetch"),
-    Pair(_SEQ, "NextNLineTagged.on_demand_fetch"),
-    Pair(_SEQ, "LookaheadN.on_demand_fetch"),
+    Pair(_ENGINE, "CoreEngine._process_visit", _SPAN, _KSRC),
+    Pair(_ENGINE, "CoreEngine._step_compiled", _SPAN, _KSRC),
+    Pair(_ENGINE, "CoreEngine._issue_prefetches", _SPAN, _KSRC),
+    Pair(_ENGINE, "CoreEngine._issue_one", _SPAN, _KSRC),
+    Pair(_ENGINE, "CoreEngine._demand_fill", _SPAN, _KSRC),
+    Pair(_ENGINE, "CoreEngine._install_l1i", _SPAN, _KSRC),
+    Pair(_ENGINE, "CoreEngine._install_l2", _SPAN, _KSRC),
+    Pair(_ENGINE, "CoreEngine._data_miss", _SPAN, _KSRC),
+    Pair(_QUEUE, "PrefetchQueue.offer", _SPAN, _KSRC),
+    Pair(_QUEUE, "PrefetchQueue.pop_ready", _SPAN, _KSRC),
+    Pair(_QUEUE, "PrefetchQueue.note_demand_fetch", _SPAN, _KSRC),
+    Pair(_DISC, "DiscontinuityTable.observe", _SPAN, _KSRC),
+    Pair(_DISC, "DiscontinuityTable.predict", _SPAN, _KSRC),
+    Pair(_DISC, "DiscontinuityTable.credit", _SPAN, _KSRC),
+    Pair(_DISC, "DiscontinuityPrefetcher.on_demand_fetch", _SPAN, _KSRC),
+    Pair(_SEQ, "NextLineAlways.on_demand_fetch", None, _KSRC),
+    Pair(_SEQ, "NextLineOnMiss.on_demand_fetch", None, _KSRC),
+    Pair(_SEQ, "NextLineTagged.on_demand_fetch", None, _KSRC),
+    Pair(_SEQ, "NextNLineTagged.on_demand_fetch", None, _KSRC),
+    Pair(_SEQ, "LookaheadN.on_demand_fetch", None, _KSRC),
     Pair(_TGT, "TargetPrefetcher.on_demand_fetch"),
     Pair(_MKV, "MarkovPrefetcher.on_demand_fetch"),
     Pair(_FDP, "FetchDirectedPrefetcher.on_demand_fetch"),
@@ -175,13 +185,13 @@ def _function_fingerprint(
 
 
 def pair_fingerprints(project: Project) -> Dict[str, Dict[str, Optional[str]]]:
-    """Current fingerprints of both sides of every pair.
+    """Current fingerprints of every side of every pair.
 
-    ``{pair_id: {"ref": fp-or-None, "vec": fp-or-None}}`` — a ``None``
-    ref fingerprint means the function (or its module) is missing from
-    the tree, which R6 reports as its own violation; a ``None`` vec
-    fingerprint is the normal state of a reference-only pair (and a
-    violation otherwise).
+    ``{pair_id: {"ref": fp-or-None, "vec": fp-or-None, "jit":
+    fp-or-None}}`` — a ``None`` ref fingerprint means the function (or
+    its module) is missing from the tree, which R6 reports as its own
+    violation; a ``None`` counterpart fingerprint is the normal state of
+    a pair without that counterpart (and a violation otherwise).
     """
     out: Dict[str, Dict[str, Optional[str]]] = {}
     for pair in PAIRS:
@@ -190,6 +200,11 @@ def pair_fingerprints(project: Project) -> Dict[str, Dict[str, Optional[str]]]:
             "vec": (
                 _function_fingerprint(project, VECTORIZED_MODULE, pair.vec_qualname)
                 if pair.vec_qualname is not None
+                else None
+            ),
+            "jit": (
+                _function_fingerprint(project, JITTED_MODULE, pair.jit_qualname)
+                if pair.jit_qualname is not None
                 else None
             ),
         }

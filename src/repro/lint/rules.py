@@ -473,6 +473,19 @@ NUMPY_SCALAR_CTORS = frozenset(
     }
 )
 
+#: numba scalar-type constructors: calling ``numba.int64(...)``-style types
+#: outside compiled code boxes a NumPy scalar, so a jitted helper's result
+#: crossing the executor boundary has the exact same JSON hazard as the
+#: NumPy set above.  Mirrors numba.types' numeric names.
+NUMBA_SCALAR_CTORS = frozenset(
+    {
+        "int8", "int16", "int32", "int64",
+        "uint8", "uint16", "uint32", "uint64",
+        "float32", "float64", "boolean",
+        "intc", "intp", "uintc", "uintp",
+    }
+)
+
 R4_HINT = (
     "worker payloads must be JSON-safe plain data (dict/list/str/int/float/"
     "bool/None): encode sets as sorted lists and objects via their "
@@ -575,6 +588,17 @@ class ExecutorBoundaryRule(Rule):
                             f"builder {func.name!r} is not JSON-representable",
                             R4_HINT + "; coerce numpy scalars to plain int/float "
                             "at the boundary (diskcache._plain_number)",
+                        )
+                    )
+                elif root in ("nb", "numba") and attr in NUMBA_SCALAR_CTORS:
+                    violations.append(
+                        self.violation(
+                            rel,
+                            node.lineno,
+                            f"numba scalar {dotted}() constructed inside payload "
+                            f"builder {func.name!r} boxes a non-JSON scalar",
+                            R4_HINT + "; coerce numba/numpy scalars to plain "
+                            "int/float at the boundary (diskcache._plain_number)",
                         )
                     )
             elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
@@ -1075,10 +1099,10 @@ def _experiments_tuple(tree: ast.Module, rel: str) -> List[Tuple[str, int]]:
 # --------------------------------------------------------------------- #
 
 R6_HINT_TEMPLATE = (
-    "port the change into {vec_site} (then run the backend parity suite: "
-    "PYTHONPATH=src python -m pytest tests/unit/test_backend_parity.py), or — "
-    "if the edit provably cannot change behavior — ack it with `python -m "
-    "repro.lint --update-manifest`"
+    "port the change into {counterpart_site} (then run the backend parity "
+    "suite: PYTHONPATH=src python -m pytest tests/unit/test_backend_parity.py)"
+    ", or — if the edit provably cannot change behavior — ack it with "
+    "`python -m repro.lint --update-manifest`"
 )
 
 #: directory whose prefetcher modules must all be fingerprinted.
@@ -1090,18 +1114,20 @@ R6_UNPAIRED_OK = frozenset({"src/repro/prefetch/base.py"})
 
 
 class BackendDriftRule(Rule):
-    """R6: fingerprinted reference hot paths stay in sync with vectorized.
+    """R6: fingerprinted reference hot paths stay in sync with their twins.
 
     The paired-implementation manifest (:data:`repro.lint.manifest.PAIRS`)
     links each hot-path function in the reference engine / prefetchers to
-    its counterpart in ``src/repro/core/vectorized.py``.  Fingerprints are
-    structural (comment-, formatting- and docstring-insensitive), so only
-    behavioural edits move them.  The dangerous state — a reference-side
-    fingerprint drifted while its counterpart's stands still — fails lint
-    with both sites named; any other drift just asks for a manifest
-    refresh, mirroring the R2 workflow.
+    its counterparts in ``src/repro/core/vectorized.py`` and/or
+    ``src/repro/core/jitted.py`` (where the counterpart is the C kernel
+    string returned by ``kernel_source``).  Fingerprints are structural
+    (comment-, formatting- and docstring-insensitive), so only behavioural
+    edits move them.  The dangerous state — a reference-side fingerprint
+    drifted while a counterpart's stands still — fails lint with both
+    sites named; any other drift just asks for a manifest refresh,
+    mirroring the R2 workflow.
 
-    Reference-only pairs (``vec_qualname=None``) cover hot paths both
+    Reference-only pairs (no counterpart qualnames) cover hot paths all
     backends share by inheritance — drift there can only ever be a stale
     fingerprint, never silent divergence.  A completeness sub-check walks
     ``src/repro/prefetch``: any module defining an ``on_demand_fetch``
@@ -1111,7 +1137,7 @@ class BackendDriftRule(Rule):
     """
 
     name = "R6"
-    title = "backend drift: reference hot-path edits need the vectorized twin"
+    title = "backend drift: reference hot-path edits need the backend twins"
 
     def __init__(self, pairs: Optional[Sequence["manifest_mod.Pair"]] = None) -> None:
         self.pairs = tuple(manifest_mod.PAIRS if pairs is None else pairs)
@@ -1153,9 +1179,6 @@ class BackendDriftRule(Rule):
                 if project.exists(pair.ref_module)
                 else None
             )
-            vec_entry = project.facts(manifest_mod.VECTORIZED_MODULE)[
-                "functions"
-            ].get(pair.vec_qualname)
             if ref_entry is None:
                 violations.append(
                     self.violation(
@@ -1168,16 +1191,43 @@ class BackendDriftRule(Rule):
                     )
                 )
                 continue
-            if pair.vec_qualname is not None and vec_entry is None:
-                violations.append(
-                    self.violation(
+            # (label, record key, module, qualname) per declared counterpart.
+            counterparts = []
+            if pair.vec_qualname is not None:
+                counterparts.append(
+                    (
+                        "vectorized",
+                        "vec",
                         manifest_mod.VECTORIZED_MODULE,
-                        0,
-                        f"vectorized counterpart {pair.vec_qualname!r} of "
-                        f"{pair.ref_module}::{pair.ref_qualname} is missing",
-                        "restore the function or update manifest.PAIRS",
+                        pair.vec_qualname,
                     )
                 )
+            if pair.jit_qualname is not None:
+                counterparts.append(
+                    ("jit", "jit", manifest_mod.JITTED_MODULE, pair.jit_qualname)
+                )
+            entries = {}
+            missing = False
+            for label, key, module, qualname in counterparts:
+                entry = (
+                    project.facts(module)["functions"].get(qualname)
+                    if project.exists(module)
+                    else None
+                )
+                if entry is None:
+                    violations.append(
+                        self.violation(
+                            module,
+                            0,
+                            f"{label} counterpart {qualname!r} of "
+                            f"{pair.ref_module}::{pair.ref_qualname} is missing",
+                            "restore the function or update manifest.PAIRS",
+                        )
+                    )
+                    missing = True
+                    continue
+                entries[key] = entry
+            if missing:
                 continue
             record = recorded_pairs.get(pid)
             if not isinstance(record, dict):
@@ -1191,43 +1241,44 @@ class BackendDriftRule(Rule):
                     )
                 )
                 continue
-            if pair.vec_qualname is None:
-                # Reference-only: both backends share this code, so a
-                # drifted fingerprint is at worst stale — never divergent.
-                if record.get("ref") != ref_entry["fingerprint"]:
-                    stale.setdefault(
-                        (pair.ref_module, pair.ref_qualname), ref_entry["lineno"]
-                    )
-                continue
             ref_changed = record.get("ref") != ref_entry["fingerprint"]
-            vec_changed = record.get("vec") != vec_entry["fingerprint"]
-            if ref_changed and not vec_changed:
-                vec_site = (
-                    f"{manifest_mod.VECTORIZED_MODULE}::{pair.vec_qualname}"
-                )
-                violations.append(
-                    self.violation(
-                        pair.ref_module,
-                        ref_entry["lineno"],
-                        f"reference hot path {pair.ref_qualname!r} changed but "
-                        f"its vectorized counterpart {pair.vec_qualname!r} did "
-                        "not — the backends may no longer be bit-identical",
-                        R6_HINT_TEMPLATE.format(vec_site=vec_site),
-                    )
-                )
-            elif ref_changed or vec_changed:
-                # both sides moved (or vectorized alone): behaviourally fine,
-                # but the manifest must be refreshed so the *next* lone
-                # reference edit cannot hide behind stale fingerprints.
+            if not counterparts:
+                # Reference-only: every backend shares this code, so a
+                # drifted fingerprint is at worst stale — never divergent.
                 if ref_changed:
                     stale.setdefault(
                         (pair.ref_module, pair.ref_qualname), ref_entry["lineno"]
                     )
-                if vec_changed:
-                    stale.setdefault(
-                        (manifest_mod.VECTORIZED_MODULE, pair.vec_qualname),
-                        vec_entry["lineno"],
+                continue
+            any_counterpart_stale = False
+            for label, key, module, qualname in counterparts:
+                entry = entries[key]
+                counterpart_changed = record.get(key) != entry["fingerprint"]
+                if ref_changed and not counterpart_changed:
+                    counterpart_site = f"{module}::{qualname}"
+                    violations.append(
+                        self.violation(
+                            pair.ref_module,
+                            ref_entry["lineno"],
+                            f"reference hot path {pair.ref_qualname!r} changed "
+                            f"but its {label} counterpart {qualname!r} did "
+                            "not — the backends may no longer be bit-identical",
+                            R6_HINT_TEMPLATE.format(
+                                counterpart_site=counterpart_site
+                            ),
+                        )
                     )
+                elif counterpart_changed:
+                    # the counterpart moved (with or without the reference
+                    # side): behaviourally fine, but the manifest must be
+                    # refreshed so the *next* lone reference edit cannot
+                    # hide behind stale fingerprints.
+                    any_counterpart_stale = True
+                    stale.setdefault((module, qualname), entry["lineno"])
+            if ref_changed and any_counterpart_stale:
+                stale.setdefault(
+                    (pair.ref_module, pair.ref_qualname), ref_entry["lineno"]
+                )
         for (module, qualname), line in sorted(stale.items()):
             violations.append(
                 self.violation(

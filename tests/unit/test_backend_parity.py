@@ -1,21 +1,24 @@
-"""Backend equivalence: ``vectorized`` must be bit-identical to ``reference``.
+"""Backend equivalence: ``vectorized`` and ``jit`` must be bit-identical
+to ``reference``.
 
 The vectorized engine wins its speed through batch decoding and flat-span
-interpretation, but the repo's contract is that a backend is an *execution
-strategy*, never a semantic: every stat, every cycle count, every eviction
-order must match the reference engine exactly (which is why the backend is
-excluded from the result-cache key, and why the golden spec-parity hashes
-are pinned across backends).
+interpretation, the jit engine through compiling the per-visit scalar
+semantics to native code — but the repo's contract is that a backend is an
+*execution strategy*, never a semantic: every stat, every cycle count,
+every eviction order must match the reference engine exactly (which is why
+the backend is excluded from the result-cache key, and why the golden
+spec-parity hashes are pinned across backends).
 
 This suite sweeps every registered prefetcher × {1, 4} cores ×
-{normal, bypass} L2 policy at smoke scale and compares the **full**
-:class:`~repro.core.metrics.CoreStats` of every core — scalars, miss-class
-breakdowns and prefetch counters — plus the off-chip link stats, using
-``repr`` equality so even a signed-zero or last-ulp float divergence
-fails.  It also covers the graceful degradations: non-LRU replacement
-(where the vectorized engine falls back to reference stepping internally)
-and a missing NumPy (where backend selection falls back to the reference
-engine with a logged warning).
+{normal, bypass} L2 policy × both fast backends at smoke scale and
+compares the **full** :class:`~repro.core.metrics.CoreStats` of every
+core — scalars, miss-class breakdowns and prefetch counters — plus the
+off-chip link stats, using ``repr`` equality so even a signed-zero or
+last-ulp float divergence fails.  It also covers the graceful
+degradations: non-LRU replacement (where the fast backends fall back to
+reference stepping internally), a missing NumPy (where 'vectorized'
+selection falls back to the reference engine with a logged warning), and
+an unbuildable jit kernel (same, for 'jit').
 """
 
 from __future__ import annotations
@@ -75,26 +78,44 @@ def _run(backend: str, **kwargs) -> SystemResult:
     return run_system(engine_backend=backend, **kwargs)
 
 
-def assert_backends_match(**kwargs) -> None:
-    reference = _run("reference", **kwargs)
-    vectorized = _run("vectorized", **kwargs)
-    assert _result_fingerprint(vectorized) == _result_fingerprint(reference)
+#: both fast backends are checked against reference in every sweep.
+FAST_BACKENDS = ("vectorized", "jit")
+
+#: memoized reference fingerprints so each config's reference run happens
+#: once even though two fast backends compare against it.
+_REFERENCE_MEMO: dict = {}
 
 
+def _reference_fingerprint(**kwargs) -> str:
+    key = repr(sorted(kwargs.items(), key=lambda item: item[0]))
+    if key not in _REFERENCE_MEMO:
+        _REFERENCE_MEMO[key] = _result_fingerprint(_run("reference", **kwargs))
+    return _REFERENCE_MEMO[key]
+
+
+def assert_backends_match(backend: str = "all", **kwargs) -> None:
+    reference = _reference_fingerprint(**kwargs)
+    for candidate in FAST_BACKENDS if backend == "all" else (backend,):
+        candidate_result = _run(candidate, **kwargs)
+        assert _result_fingerprint(candidate_result) == reference, candidate
+
+
+@pytest.mark.parametrize("backend", FAST_BACKENDS)
 @pytest.mark.parametrize("l2_policy", ["normal", "bypass"])
 @pytest.mark.parametrize("prefetcher", PREFETCHER_NAMES)
-def test_parity_single_core(prefetcher: str, l2_policy: str) -> None:
-    assert_backends_match(n_cores=1, prefetcher=prefetcher, l2_policy=l2_policy)
+def test_parity_single_core(prefetcher: str, l2_policy: str, backend: str) -> None:
+    assert_backends_match(backend, n_cores=1, prefetcher=prefetcher, l2_policy=l2_policy)
 
 
+@pytest.mark.parametrize("backend", FAST_BACKENDS)
 @pytest.mark.parametrize("l2_policy", ["normal", "bypass"])
 @pytest.mark.parametrize("prefetcher", PREFETCHER_NAMES)
-def test_parity_four_core(prefetcher: str, l2_policy: str) -> None:
-    assert_backends_match(n_cores=4, prefetcher=prefetcher, l2_policy=l2_policy)
+def test_parity_four_core(prefetcher: str, l2_policy: str, backend: str) -> None:
+    assert_backends_match(backend, n_cores=4, prefetcher=prefetcher, l2_policy=l2_policy)
 
 
 def test_parity_non_lru_replacement() -> None:
-    """Non-LRU caches disable the fast path; results must still match."""
+    """Non-LRU caches disable the fast paths; results must still match."""
     assert_backends_match(
         n_cores=1,
         prefetcher="discontinuity",
@@ -105,7 +126,7 @@ def test_parity_non_lru_replacement() -> None:
 
 
 def test_parity_inclusive_l2() -> None:
-    """The L2 back-invalidation hook also disables the fast path."""
+    """The L2 back-invalidation hook also disables the fast paths."""
     assert_backends_match(
         n_cores=1, prefetcher="discontinuity", l2_policy="normal", l2_inclusive=True
     )
@@ -169,37 +190,82 @@ def test_resolve_backend_env(monkeypatch) -> None:
 
 
 @pytest.mark.parametrize(
-    ("request_name", "n_cores", "env", "expected"),
+    ("request_name", "n_cores", "env", "jit_ok", "expected"),
     [
-        # Explicit names win regardless of core count or environment.
-        ("reference", 1, None, "reference"),
-        ("reference", 4, "vectorized", "reference"),
-        ("vectorized", 1, None, "vectorized"),
-        ("vectorized", 4, "vectorized", "vectorized"),
-        # Single-core auto defers to the environment, default reference.
-        ("auto", 1, None, "reference"),
-        ("auto", 1, "reference", "reference"),
-        ("auto", 1, "vectorized", "vectorized"),
-        (None, 1, "vectorized", "vectorized"),
-        ("", 1, "vectorized", "vectorized"),
-        # Multi-core auto always resolves to reference (span-of-1
+        # Explicit names win regardless of core count, environment, or
+        # whether the jit kernel is buildable (the graceful fallback to
+        # reference happens at engine-construction time, not resolution).
+        ("reference", 1, None, True, "reference"),
+        ("reference", 4, "vectorized", True, "reference"),
+        ("vectorized", 1, None, True, "vectorized"),
+        ("vectorized", 4, "vectorized", True, "vectorized"),
+        ("jit", 1, None, True, "jit"),
+        ("jit", 1, None, False, "jit"),
+        ("jit", 4, "reference", True, "jit"),
+        ("jit", 4, "vectorized", False, "jit"),
+        # Single-core auto defers to the environment, default reference;
+        # jit availability is never probed here.
+        ("auto", 1, None, True, "reference"),
+        ("auto", 1, None, False, "reference"),
+        ("auto", 1, "reference", True, "reference"),
+        ("auto", 1, "vectorized", True, "vectorized"),
+        ("auto", 1, "vectorized", False, "vectorized"),
+        ("auto", 1, "jit", True, "jit"),
+        ("auto", 1, "jit", False, "jit"),
+        (None, 1, "vectorized", True, "vectorized"),
+        ("", 1, "vectorized", True, "vectorized"),
+        # Multi-core auto: an explicit env pin of reference or jit is
+        # honored; unset or vectorized prefers jit when its kernel is
+        # buildable and reference otherwise (never vectorized: span-of-1
         # stepping measures ~0.9x; see docs/performance.md).
-        ("auto", 2, None, "reference"),
-        ("auto", 4, "vectorized", "reference"),
-        (None, 4, "vectorized", "reference"),
+        ("auto", 2, None, True, "jit"),
+        ("auto", 2, None, False, "reference"),
+        ("auto", 4, "vectorized", True, "jit"),
+        ("auto", 4, "vectorized", False, "reference"),
+        ("auto", 4, "reference", True, "reference"),
+        ("auto", 4, "reference", False, "reference"),
+        ("auto", 4, "jit", True, "jit"),
+        ("auto", 4, "jit", False, "jit"),
+        (None, 4, "vectorized", True, "jit"),
+        (None, 4, "vectorized", False, "reference"),
     ],
 )
-def test_resolve_backend_table(monkeypatch, request_name, n_cores, env, expected):
+def test_resolve_backend_table(monkeypatch, request_name, n_cores, env, jit_ok, expected):
     if env is None:
         monkeypatch.delenv(backends.ENGINE_BACKEND_ENV, raising=False)
     else:
         monkeypatch.setenv(backends.ENGINE_BACKEND_ENV, env)
+    monkeypatch.setattr(backends, "_jit_available", lambda: jit_ok)
     assert backends.resolve_backend(request_name, n_cores=n_cores) == expected
 
 
-def test_multicore_system_ignores_vectorized_auto(monkeypatch) -> None:
-    """A 2-core system built with auto uses reference engines even when
-    the environment asks for the vectorized backend."""
+def test_jit_unavailable_falls_back_with_warning(monkeypatch, caplog) -> None:
+    """When the kernel can't be built, 'jit' degrades to the reference
+    engine with a single logged warning."""
+    from repro.core import jitted
+
+    monkeypatch.setattr(jitted, "jit_available", lambda: False)
+    monkeypatch.setattr(backends, "_jit_fallback_warned", False)
+
+    with caplog.at_level(logging.WARNING, logger="repro.core.backends"):
+        engine_cls = backends._jitted_engine_cls()
+    assert engine_cls is None
+    assert any(
+        "falling back to the reference backend" in record.message
+        for record in caplog.records
+    )
+
+    # A second request stays quiet (the warning is once per process).
+    caplog.clear()
+    with caplog.at_level(logging.WARNING, logger="repro.core.backends"):
+        assert backends._jitted_engine_cls() is None
+    assert not caplog.records
+
+
+def test_multicore_system_never_auto_selects_vectorized(monkeypatch) -> None:
+    """Multi-core auto resolves to jit (kernel buildable) or reference —
+    never to the vectorized backend, even when the environment asks for
+    it; single-core auto still honors the environment."""
     pytest.importorskip("numpy")
     from repro.cmp.system import System, SystemConfig
     from repro.core.vectorized import VectorizedCoreEngine
@@ -214,9 +280,31 @@ def test_multicore_system_ignores_vectorized_auto(monkeypatch) -> None:
     assert not any(
         isinstance(engine, VectorizedCoreEngine) for engine in system.engines
     )
+    if backends._jit_available():
+        from repro.core.jitted import JittedCoreEngine
+
+        assert all(
+            isinstance(engine, JittedCoreEngine) for engine in system.engines
+        )
 
     single = System(
         SystemConfig(n_cores=1, engine_backend="auto"),
         get_traces("db", 1, 2_000),
     )
     assert isinstance(single.engines[0], VectorizedCoreEngine)
+
+
+def test_multicore_auto_without_jit_uses_reference(monkeypatch) -> None:
+    """With the jit kernel unbuildable, multi-core auto falls back to
+    plain reference engines."""
+    from repro.cmp.system import System, SystemConfig
+    from repro.core.engine import CoreEngine
+    from repro.eval.runner import get_traces
+
+    monkeypatch.delenv(backends.ENGINE_BACKEND_ENV, raising=False)
+    monkeypatch.setattr(backends, "_jit_available", lambda: False)
+    system = System(
+        SystemConfig(n_cores=2, engine_backend="auto"),
+        get_traces("db", 2, 2_000),
+    )
+    assert all(type(engine) is CoreEngine for engine in system.engines)

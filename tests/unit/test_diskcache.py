@@ -199,3 +199,37 @@ def test_plain_number_passthrough():
     assert repr(diskcache._plain_number(value)) == repr(value)
     assert diskcache._plain_number(True) is True
     assert diskcache._plain_number(_NumpyLikeScalar(11)) == 11
+
+
+class _NumbaLikeScalar:
+    """Stand-in for a numba-boxed scalar (numba.int64(x) returns a numpy
+    scalar): rejects json.dumps, exposes .item() like every numpy scalar."""
+
+    def __init__(self, value):
+        self._value = value
+
+    def item(self):
+        return self._value
+
+
+def test_payload_coerces_numba_like_scalars(tiny_run):
+    """Stats computed by a jitted helper (numba-boxed scalars) must also
+    coerce to plain data at the executor boundary (R4's runtime half)."""
+    import copy
+
+    spec, result = tiny_run
+    tainted = copy.deepcopy(result)
+    core = tainted.cores[0]
+    core.instructions = _NumbaLikeScalar(core.instructions)
+    core.cycles = _NumbaLikeScalar(core.cycles)
+    core.prefetch.useful = _NumbaLikeScalar(core.prefetch.useful)
+
+    payload = diskcache.result_to_payload(tainted, spec)
+    encoded = json.dumps(payload)  # would raise TypeError without coercion
+    data = payload["cores"][0]
+    assert type(data["instructions"]) is int
+    assert type(data["cycles"]) is float
+    assert type(data["prefetch"]["useful"]) is int
+    rebuilt = diskcache.payload_to_result(json.loads(encoded))
+    assert rebuilt.cores[0].instructions == result.cores[0].instructions
+    assert repr(rebuilt.cores[0].cycles) == repr(result.cores[0].cycles)

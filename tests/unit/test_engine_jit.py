@@ -1,0 +1,188 @@
+"""Jit-backend specifics the parity sweep doesn't cover.
+
+The bit-identity of results is proven by ``test_backend_parity`` (full
+CoreStats repr equality across 15 prefetchers × 1/4 cores) and by
+``profile_engine.py --verify`` (per-visit lockstep).  This module covers
+the machinery around the kernel instead: the on-disk compile cache, the
+graceful degradation ladder (no compiler → reference stepping inside the
+same engine object), the multi-core batch runner's eligibility guard, and
+the step()-driven path staying usable alongside run().
+"""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.cmp.system import System, SystemConfig
+from repro.core import jitted
+from repro.core.jitted import JittedCoreEngine
+from repro.eval.profiles import get_scale
+from repro.eval.runner import get_compiled_traces
+
+SMOKE = get_scale("smoke")
+
+pytestmark = pytest.mark.skipif(
+    not jitted.jit_available(), reason="no C compiler: jit kernel unbuildable"
+)
+
+
+def _build_system(n_cores: int = 1, **overrides) -> System:
+    total = SMOKE.warm_instructions + (
+        SMOKE.measure_instructions if n_cores == 1 else SMOKE.cmp_measure_instructions
+    )
+    config = SystemConfig(
+        n_cores=n_cores,
+        prefetcher=overrides.pop("prefetcher", "discontinuity"),
+        warm_instructions=SMOKE.warm_instructions,
+        engine_backend="jit",
+        **overrides,
+    )
+    return System(config, get_compiled_traces("db", n_cores, total))
+
+
+# --------------------------------------------------------------------- #
+# Kernel build + cache
+# --------------------------------------------------------------------- #
+
+
+def test_kernel_source_hash_is_stable() -> None:
+    assert jitted.kernel_source_hash() == jitted.kernel_source_hash()
+    assert len(jitted.kernel_source_hash()) == 16
+
+
+def test_kernel_cached_on_disk(tmp_path, monkeypatch) -> None:
+    """The compiled shared object lands in the cache dir under the source
+    hash; a second build loads it without invoking the compiler."""
+    from repro.envvars import REPRO_JIT_CACHE_DIR
+
+    monkeypatch.setenv(REPRO_JIT_CACHE_DIR, str(tmp_path))
+    assert jitted._build_kernel() is not None
+    so_path = tmp_path / f"repro_jit_{jitted.kernel_source_hash()}.so"
+    assert so_path.exists()
+
+    def no_compiler(*args, **kwargs):
+        raise AssertionError("cache hit must not invoke the compiler")
+
+    monkeypatch.setattr(jitted.subprocess, "run", no_compiler)
+    assert jitted._build_kernel() is not None
+
+
+def test_compile_seconds_reported() -> None:
+    # Zero when this process loaded a cached kernel; positive when it
+    # compiled.  Either way it is a number, queryable after the probe.
+    assert jitted.kernel_compile_seconds() >= 0.0
+
+
+# --------------------------------------------------------------------- #
+# Eligibility / degradation
+# --------------------------------------------------------------------- #
+
+
+def test_c_path_engages_for_supported_config() -> None:
+    system = _build_system(n_cores=1)
+    engine = system.engines[0]
+    assert isinstance(engine, JittedCoreEngine)
+    assert engine._twin_ready()
+    system.run()
+    assert engine.finished
+
+
+def test_unsupported_prefetcher_uses_reference_stepping() -> None:
+    """Prefetchers without a compiled twin run through the inherited
+    reference implementation — same engine object, same results."""
+    system = _build_system(n_cores=1, prefetcher="markov")
+    engine = system.engines[0]
+    assert isinstance(engine, JittedCoreEngine)
+    assert not engine._twin_ready()
+    system.run()
+    assert engine.finished
+
+
+def test_non_lru_replacement_uses_reference_stepping() -> None:
+    system = _build_system(n_cores=1, l1_replacement="fifo")
+    assert not system.engines[0]._twin_ready()
+
+
+def test_l2_eviction_hook_disables_c_path() -> None:
+    system = _build_system(n_cores=2, l2_inclusive=True)
+    assert not any(engine._twin_ready() for engine in system.engines)
+
+
+# --------------------------------------------------------------------- #
+# Multi-core batch runner
+# --------------------------------------------------------------------- #
+
+
+def test_run_multicore_runs_all_cores() -> None:
+    system = _build_system(n_cores=4)
+    assert JittedCoreEngine.run_multicore(system.engines) is True
+    assert all(engine.finished for engine in system.engines)
+    assert all(engine.stats.instructions > 0 for engine in system.engines)
+
+
+def test_run_multicore_declines_mixed_eligibility() -> None:
+    """One ineligible sibling forces the whole system onto the Python
+    interleave loop — a half-compiled system would let the C side mutate
+    shared L2 state behind the reference engine's back."""
+    system = _build_system(n_cores=2)
+    system.engines[0]._twin_ok = False  # simulate an ineligible core
+    assert JittedCoreEngine.run_multicore(system.engines) is False
+    # The eligible sibling was pinned to reference stepping too.
+    assert system.engines[1]._twin_ok is False
+
+
+def test_system_run_falls_back_when_runner_declines() -> None:
+    system = _build_system(n_cores=2, prefetcher="markov")
+    result = system.run()  # run_multicore declines; Python loop finishes
+    assert all(engine.finished for engine in system.engines)
+    assert result.total_instructions > 0
+
+
+def test_step_driving_matches_run() -> None:
+    """Manually stepping jit engines (as System.run's Python loop or the
+    --verify lockstep does) must finish and produce the same stats as the
+    batch runner."""
+    batch = _build_system(n_cores=2)
+    batch.run()
+    stepped = _build_system(n_cores=2)
+    active = list(stepped.engines)
+    while active:
+        earliest = active[0]
+        for engine in active[1:]:
+            if engine.cycle < earliest.cycle:
+                earliest = engine
+        if not earliest.step():
+            active.remove(earliest)
+    from repro.eval.diskcache import _core_to_dict
+
+    for ran, walked in zip(batch.engines, stepped.engines):
+        assert repr(_core_to_dict(ran.stats)) == repr(_core_to_dict(walked.stats))
+
+
+# --------------------------------------------------------------------- #
+# Probe failure ladder
+# --------------------------------------------------------------------- #
+
+
+def test_probe_failure_warns_once_and_degrades(monkeypatch, caplog) -> None:
+    monkeypatch.setattr(jitted, "_kernel_lib", None)
+    monkeypatch.setattr(jitted, "_kernel_probed", False)
+    monkeypatch.setattr(
+        jitted, "_build_kernel", lambda: (_ for _ in ()).throw(OSError("no cc"))
+    )
+    with caplog.at_level(logging.WARNING, logger="repro.core.jitted"):
+        assert jitted._kernel() is None
+        assert jitted.jit_available() is False
+    warnings = [
+        record
+        for record in caplog.records
+        if "falling back to the reference backend" in record.message
+    ]
+    assert len(warnings) == 1
+    # Second probe is silent.
+    caplog.clear()
+    with caplog.at_level(logging.WARNING, logger="repro.core.jitted"):
+        assert jitted._kernel() is None
+    assert not caplog.records

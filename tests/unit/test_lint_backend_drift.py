@@ -334,6 +334,105 @@ class TestUnpairedPrefetcherCompleteness:
         assert rule().check(project) == []
 
 
+JIT_PAIR = manifest_mod.Pair(
+    ref_module="src/repro/core/engine.py",
+    ref_qualname="CoreEngine._process_visit",
+    vec_qualname="VectorizedCoreEngine._fast_span",
+    jit_qualname="kernel_source",
+)
+
+JIT_V1 = """
+    def kernel_source():
+        return "void repro_run(void) { }"
+    """
+
+JIT_V2 = """
+    def kernel_source():
+        return "void repro_run(void) { /* changed */ } int x;"
+    """
+
+
+class TestJitCounterpart:
+    """Pairs with a jit side must track the C kernel string too."""
+
+    def rule(self):
+        return BackendDriftRule(pairs=(JIT_PAIR,))
+
+    @pytest.fixture
+    def jit_tree(self, lint_tree, monkeypatch):
+        def build(engine=ENGINE_V1, vectorized=VEC_V1, jitted=JIT_V1):
+            monkeypatch.setattr(manifest_mod, "PAIRS", (JIT_PAIR,))
+            return lint_tree(
+                {
+                    "src/repro/core/engine.py": engine,
+                    manifest_mod.VECTORIZED_MODULE: vectorized,
+                    manifest_mod.JITTED_MODULE: jitted,
+                }
+            )
+
+        return build
+
+    def test_clean_tree_passes(self, jit_tree):
+        assert self.rule().check(jit_tree()) == []
+
+    def test_fingerprints_record_the_jit_side(self, jit_tree):
+        fingerprints = manifest_mod.pair_fingerprints(jit_tree())
+        (sides,) = fingerprints.values()
+        assert sides["ref"] is not None
+        assert sides["vec"] is not None
+        assert sides["jit"] is not None
+
+    def test_reference_edit_without_either_twin_names_both(self, jit_tree):
+        project = jit_tree()
+        project = write_tree_file(project.root, JIT_PAIR.ref_module, ENGINE_V2)
+        violations = self.rule().check(project)
+        assert len(violations) == 2
+        messages = "\n".join(v.message for v in violations)
+        assert "vectorized counterpart" in messages or "_fast_span" in messages
+        assert "'kernel_source'" in messages
+        hints = "\n".join(v.hint for v in violations)
+        assert f"{manifest_mod.JITTED_MODULE}::kernel_source" in hints
+
+    def test_vec_ported_but_jit_not_still_fails(self, jit_tree):
+        # The dangerous middle state: the reference and vectorized sides
+        # moved together but the C kernel stood still.
+        project = jit_tree()
+        project = write_tree_file(project.root, JIT_PAIR.ref_module, ENGINE_V2)
+        project = write_tree_file(
+            project.root, manifest_mod.VECTORIZED_MODULE, VEC_V2
+        )
+        violations = self.rule().check(project)
+        divergent = [v for v in violations if "bit-identical" in v.message]
+        assert len(divergent) == 1
+        assert "jit counterpart 'kernel_source'" in divergent[0].message
+
+    def test_all_three_sides_moved_is_stale_only(self, jit_tree):
+        project = jit_tree()
+        project = write_tree_file(project.root, JIT_PAIR.ref_module, ENGINE_V2)
+        project = write_tree_file(
+            project.root, manifest_mod.VECTORIZED_MODULE, VEC_V2
+        )
+        project = write_tree_file(project.root, manifest_mod.JITTED_MODULE, JIT_V2)
+        violations = self.rule().check(project)
+        assert violations and all(
+            "stale in the manifest" in v.message for v in violations
+        )
+        manifest_mod.update_manifest(project)
+        assert self.rule().check(Project(project.root)) == []
+
+    def test_missing_jit_counterpart_is_reported(self, jit_tree):
+        project = jit_tree(
+            jitted="""
+            def renamed():
+                return ""
+            """
+        )
+        violations = self.rule().check(project)
+        assert len(violations) == 1
+        assert violations[0].path == manifest_mod.JITTED_MODULE
+        assert "jit counterpart 'kernel_source'" in violations[0].message
+
+
 def test_real_pairs_all_point_at_existing_functions():
     """Every entry of the real PAIRS table resolves in the live tree."""
     from pathlib import Path
@@ -345,8 +444,12 @@ def test_real_pairs_all_point_at_existing_functions():
     for pair_id, sides in fingerprints.items():
         assert sides["ref"] is not None, f"{pair_id}: reference side missing"
         if by_id[pair_id].vec_qualname is None:
-            # Reference-only pair: both backends share the code, so no
-            # vectorized fingerprint exists by construction.
+            # No vectorized counterpart: that backend runs the reference
+            # code, so no vectorized fingerprint exists by construction.
             assert sides["vec"] is None, f"{pair_id}: unexpected vec side"
         else:
             assert sides["vec"] is not None, f"{pair_id}: vectorized side missing"
+        if by_id[pair_id].jit_qualname is None:
+            assert sides["jit"] is None, f"{pair_id}: unexpected jit side"
+        else:
+            assert sides["jit"] is not None, f"{pair_id}: jit side missing"

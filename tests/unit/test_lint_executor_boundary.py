@@ -191,6 +191,48 @@ def test_numpy_scalar_in_payload_builder_fails(lint_tree):
     assert all("_plain_number" in violation.hint for violation in violations)
 
 
+def test_numba_scalar_in_payload_builder_fails(lint_tree):
+    """numba.int64/nb.float64 box numpy scalars; also rejected statically."""
+    project = lint_tree(
+        {
+            "src/repro/eval/diskcache.py": """
+            import numba
+            import numba as nb
+
+            SCHEMA_VERSION = 1
+
+
+            def _config_to_dict(config):
+                return {"n_cores": config.n_cores}
+
+
+            def _core_to_dict(core):
+                return {"instructions": numba.int64(core.instructions),
+                        "cycles": nb.float64(core.cycles)}
+
+
+            def _link_to_dict(link):
+                return {"requests": link.requests}
+
+
+            def result_to_payload(result, spec=None):
+                return {
+                    "schema": SCHEMA_VERSION,
+                    "config": _config_to_dict(result.config),
+                    "cores": [_core_to_dict(core) for core in result.cores],
+                    "link": _link_to_dict(result.link),
+                }
+            """
+        }
+    )
+    violations = ExecutorBoundaryRule().check(project)
+    messages = [violation.message for violation in violations]
+    assert any("numba.int64" in message for message in messages)
+    assert any("nb.float64" in message for message in messages)
+    assert all("_core_to_dict" in message for message in messages)
+    assert all("_plain_number" in violation.hint for violation in violations)
+
+
 def test_benign_numpy_use_outside_builders_passes(lint_tree):
     """The numpy-scalar check is scoped to payload builders only."""
     project = lint_tree(
