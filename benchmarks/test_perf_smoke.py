@@ -21,6 +21,10 @@ Measurements, written to ``BENCH_perf.json`` at the repo root:
   claim is tracked, not asserted.
 - ``trace_compile_seconds`` and the store's cold/warm load times: how much
   one-time work the packed format costs and how cheap reloading it is.
+- ``ingest``: external-trace ingestion throughput on the checked-in
+  PC-stream fixture — ``parse_lines_per_sec`` (text → classified block
+  events) and ``compile_lines_per_sec`` (ingest + tile + pack into the
+  trace store), the costs ``repro-trace ingest --compile`` pays.
 - ``fig01_coldstore_seconds`` / ``fig01_warmstore_seconds`` /
   ``fig01_warm_seconds``: wall-clock of the Figure 1 driver at smoke scale
   from empty caches, then with only the trace store warm (fresh result
@@ -260,6 +264,50 @@ def _measure_engine_cmp() -> dict:
     return report
 
 
+def _measure_ingest(tmp_root: Path) -> dict:
+    """Ingest + compile throughput (PC lines/sec) on the CI fixture."""
+    from repro.envvars import REPRO_EXTERNAL_TRACES, REPRO_TRACE_DIR
+    from repro.trace import ingest
+
+    fixture = REPO_ROOT / "tests" / "data" / "external_fixture.txt"
+    lines = fixture.read_text().splitlines()
+    n_lines = len(lines)
+
+    (pcs, parse_seconds) = _timed(lambda: ingest.parse_text(lines))
+    (events, classify_seconds) = _timed(lambda: ingest.events_from_pcs(pcs))
+
+    overrides = {
+        REPRO_EXTERNAL_TRACES: str(tmp_root / "bench-external"),
+        REPRO_TRACE_DIR: str(tmp_root / "bench-traces"),
+    }
+    previous = {name: os.environ.get(name) for name in overrides}
+    os.environ.update(overrides)
+    try:
+        _, ingest_seconds = _timed(lambda: ingest.ingest_file(fixture, name="bench"))
+        _, compile_seconds = _timed(
+            lambda: ingest.compile_external("bench", 1, 50_000)
+        )
+    finally:
+        for name, value in previous.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+    parse_classify = parse_seconds + classify_seconds
+    total = ingest_seconds + compile_seconds
+    return {
+        "fixture_lines": n_lines,
+        "fixture_pcs": len(pcs),
+        "fixture_events": len(events),
+        "parse_seconds": round(parse_classify, 4),
+        "parse_lines_per_sec": round(n_lines / parse_classify, 1),
+        "ingest_seconds": round(ingest_seconds, 4),
+        "compile_seconds": round(compile_seconds, 4),
+        "compile_lines_per_sec": round(n_lines / total, 1),
+    }
+
+
 def _fig01_run(scale, cache_dir: Path) -> float:
     """One fig01 sweep against *cache_dir* with in-process memos dropped."""
     os.environ[REPRO_CACHE_DIR] = str(cache_dir)
@@ -296,6 +344,7 @@ def _measure_fig01(scale, tmp_root: Path) -> dict:
 def test_perf_smoke(scale, tmp_path):
     engine = _measure_engine()
     engine_4c = _measure_engine_cmp()
+    ingest = _measure_ingest(tmp_path)
     figure = _measure_fig01(scale, tmp_path)
 
     report = {
@@ -303,6 +352,7 @@ def test_perf_smoke(scale, tmp_path):
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "engine": engine,
         "engine_4c": engine_4c,
+        "ingest": ingest,
         "figure": figure,
     }
     OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
@@ -329,6 +379,10 @@ def test_perf_smoke(scale, tmp_path):
     if "jit" in engine_4c["backends"]:
         assert engine_4c["jit_speedup"] >= 2.0
     assert engine["store_warm_load_seconds"] < engine["trace_compile_seconds"]
+    # Ingestion is linear scans over small records; even slow CI machines
+    # sustain far more than this floor (typical: >100k lines/s parsing).
+    assert ingest["parse_lines_per_sec"] > 5_000
+    assert ingest["compile_lines_per_sec"] > 1_000
     # Warm trace store must beat the cold sweep (synthesis+lowering skipped),
     # and disk-cached results must beat everything by a wide margin.
     assert figure["fig01_warmstore_seconds"] < figure["fig01_coldstore_seconds"]

@@ -12,14 +12,15 @@ from typing import List
 from repro.cmp.system import System, SystemConfig, SystemResult
 from repro.prefetch.base import Prefetcher
 from repro.prefetch.registry import PREFETCHER_NAMES, create_prefetcher
+from repro.trace.source import source_names, traces_for
 from repro.trace.stream import Trace
-from repro.trace.synth.mix import mixed_traces
-from repro.trace.synth.workloads import generate_trace, workload_names
 
 
 def available_workloads() -> List[str]:
-    """Names of the built-in synthetic workloads (plus ``"mix"``)."""
-    return workload_names() + ["mix"]
+    """Names of the registered trace sources (synthetic profiles, the
+    scenario families and ``"mix"``; ingested external traces are
+    additionally addressable as ``external:<name>``)."""
+    return source_names()
 
 
 def available_prefetchers() -> List[str]:
@@ -33,8 +34,8 @@ def make_prefetcher(name: str, **overrides) -> Prefetcher:
 
 
 def make_workload_trace(workload: str, seed: int = 42, n_instructions: int = 1_000_000) -> Trace:
-    """Generate one synthetic workload trace."""
-    return generate_trace(workload, seed, n_instructions)
+    """Produce one single-core trace for any registered trace source."""
+    return traces_for(workload, 1, seed, n_instructions)[0]
 
 
 def make_traces(
@@ -43,24 +44,22 @@ def make_traces(
     seed: int,
     n_instructions: int,
 ) -> List[Trace]:
-    """Generate the per-core traces for a workload/core-count combination.
+    """Produce the per-core traces for a workload/core-count combination.
+
+    Resolution goes through the trace-source registry
+    (:mod:`repro.trace.source`):
 
     - ``workload="mix"`` produces the paper's multiprogrammed mix (one of
-      the four applications per core, disjoint address spaces).
+      the four applications per core, disjoint address spaces);
+    - ``workload="external:<name>"`` replays an ingested external trace
+      (:mod:`repro.trace.ingest`);
     - otherwise every core runs the *same* program with decorrelated
       transaction sequences (threads of one server application), so cores
       share code in the L2 — exactly the paper's homogeneous CMP setup.
+
+    Unknown names raise ``ValueError`` listing the available sources.
     """
-    if workload == "mix":
-        names = None
-        if n_cores != 4:
-            base = workload_names()
-            names = [base[i % len(base)] for i in range(n_cores)]
-        return mixed_traces(seed, n_instructions, names or ())
-    return [
-        generate_trace(workload, seed, n_instructions, core=core)
-        for core in range(n_cores)
-    ]
+    return traces_for(workload, n_cores, seed, n_instructions)
 
 
 def make_system(

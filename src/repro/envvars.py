@@ -36,6 +36,7 @@ REPRO_ENGINE_BACKEND = "REPRO_ENGINE_BACKEND"
 REPRO_JIT_CACHE_DIR = "REPRO_JIT_CACHE_DIR"
 REPRO_TRACE_DIR = "REPRO_TRACE_DIR"
 REPRO_TRACE_STORE = "REPRO_TRACE_STORE"
+REPRO_EXTERNAL_TRACES = "REPRO_EXTERNAL_TRACES"
 REPRO_SYNTH_LOG = "REPRO_SYNTH_LOG"
 REPRO_STRICT_EXPECTATIONS = "REPRO_STRICT_EXPECTATIONS"
 
@@ -115,6 +116,14 @@ REGISTRY: Tuple[EnvVar, ...] = (
         "`1`",
         "Set to `0`/`off`/`false`/`no` to skip the on-disk trace store "
         "while keeping the in-memory compiled path.",
+    ),
+    EnvVar(
+        REPRO_EXTERNAL_TRACES,
+        "`$REPRO_CACHE_DIR/external`",
+        "Directory of ingested external traces: `repro-trace ingest` "
+        "writes one RPTRACE1 file plus a JSON manifest (content-addressed "
+        "by source SHA-256) per name, and the `external:<name>` trace "
+        "source reads them back.",
     ),
     EnvVar(
         REPRO_SYNTH_LOG,

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from repro.eval.catalog import ablations, comparisons, figures, replication
+from repro.eval.catalog import ablations, comparisons, figures, replication, scenarios
 from repro.eval.experiment import Experiment
 
 #: the catalog modules, in registry order (kept a literal for static lint).
@@ -25,6 +25,7 @@ CATALOG_MODULES: Tuple[str, ...] = (
     "ablations",
     "comparisons",
     "replication",
+    "scenarios",
 )
 
 _MODULES = {
@@ -32,6 +33,7 @@ _MODULES = {
     "ablations": ablations,
     "comparisons": comparisons,
     "replication": replication,
+    "scenarios": scenarios,
 }
 
 

@@ -14,6 +14,8 @@ Usage::
 Verbs (the first positional token):
 
 - ``list`` — one line per catalog entry: name, paper reference, title.
+- ``sources`` — one line per registered trace source (synthetic
+  profiles, ``mix`` and ingested ``external:<name>`` streams).
 - ``describe`` — full declaration: grid size, panels, expectation bands.
 - ``check`` — dry-run cost estimate: spec counts plus a disk-cache hit
   probe; nothing is simulated.
@@ -56,7 +58,7 @@ from repro.util.clock import Stopwatch
 STRICT_ENV = REPRO_STRICT_EXPECTATIONS
 
 #: the reserved first positional tokens that are verbs, not experiments.
-VERBS = ("list", "describe", "check", "precompile")
+VERBS = ("list", "sources", "describe", "check", "precompile")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -183,6 +185,17 @@ def _run_list() -> int:
     return 0
 
 
+def _run_sources() -> int:
+    """The ``sources`` verb: every workload name a RunSpec can carry."""
+    from repro.trace.source import available_sources, source_display_name
+
+    names = available_sources()
+    width = max(len(name) for name in names)
+    for name in names:
+        print(f"{name:<{width}}  {source_display_name(name)}")
+    return 0
+
+
 def _run_describe(names: List[str], scale, seed: Optional[int]) -> int:
     """The ``describe`` verb: print each experiment's full declaration."""
     for name in names:
@@ -304,6 +317,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if verb == "list":
         return _run_list()
+    if verb == "sources":
+        return _run_sources()
 
     if verb in ("describe", "check", "precompile") and not tokens:
         tokens = ["all"]

@@ -325,9 +325,11 @@ def _precompile_pending(pending: List[RunSpec]) -> None:
     """Populate the on-disk trace store for *pending* before pool dispatch.
 
     With the store warm, every worker's ``run_system`` loads packed trace
-    files instead of re-running synthesis and lowering per process.  Purely
-    an optimization: any failure here is swallowed, and the specs it would
-    have served simply compile their own traces in the workers (where a
+    files instead of re-resolving its workload through the trace-source
+    registry (synthesis for the synthetic profiles, stream replay for
+    ingested ``external:<name>`` sources) per process.  Purely an
+    optimization: any failure here is swallowed, and the specs it would
+    have served simply produce their own traces in the workers (where a
     real trace problem resurfaces with per-spec isolation).
     """
     try:

@@ -30,7 +30,6 @@ import json
 import os
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
-from repro.api import make_traces
 from repro.caches.config import DEFAULT_HIERARCHY, HierarchyConfig
 from repro.cmp.system import System, SystemConfig, SystemResult
 from repro.envvars import REPRO_COMPILED_TRACES, REPRO_SYNTH_LOG
@@ -40,6 +39,7 @@ from repro.isa.classify import MissClass
 from repro.timing.params import DEFAULT_TIMING, TimingParams
 from repro.trace import store as trace_store
 from repro.trace.compiled import CompiledTrace, TraceLike
+from repro.trace.source import traces_for
 from repro.trace.stream import Trace
 
 __all__ = [
@@ -110,12 +110,17 @@ def get_traces(
     n_instructions: int,
     seed: int = DEFAULT_SEED,
 ) -> List[Trace]:
-    """Return (cached) per-core traces for a workload/core-count pair."""
+    """Return (cached) per-core traces for a workload/core-count pair.
+
+    Name resolution goes through the trace-source registry
+    (:mod:`repro.trace.source`), so synthetic profiles, the mix and
+    ingested ``external:<name>`` streams all land in the same memo.
+    """
     global _synthesis_count
     key = (workload, n_cores, seed, n_instructions)
     traces = _TRACE_CACHE.get(key)
     if traces is None:
-        traces = make_traces(workload, n_cores, seed, n_instructions)
+        traces = traces_for(workload, n_cores, seed, n_instructions)
         _synthesis_count += 1
         _note_synthesis(workload, n_cores, seed, n_instructions)
         _TRACE_CACHE[key] = traces

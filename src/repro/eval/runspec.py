@@ -28,6 +28,7 @@ from repro.eval.profiles import ExperimentScale, get_scale
 from repro.isa.classify import MissClass
 from repro.prefetch.registry import PREFETCHER_NAMES
 from repro.timing.params import DEFAULT_TIMING, TimingParams
+from repro.trace.source import validate_workload
 
 #: default experiment seed (any fixed value works; results are deterministic
 #: in it).
@@ -96,15 +97,17 @@ class RunSpec:
     ) -> "RunSpec":
         """Build a spec, resolving the scale and normalizing the overrides.
 
-        Rejects unregistered prefetcher names up front (unless the spec
-        runs the software prefetcher, which replaces the registry name),
-        so catalog typos fail at declaration time rather than deep inside
-        a worker process.
+        Rejects unregistered prefetcher names and unresolvable workload
+        names up front (the workload check routes through the trace-source
+        registry, so synthetic profiles, ``mix`` and ingested
+        ``external:<name>`` streams are all accepted), so catalog typos
+        fail at declaration time rather than deep inside a worker process.
         """
         if not software_prefetch and prefetcher not in PREFETCHER_NAMES:
             raise ValueError(
                 f"unknown prefetcher {prefetcher!r}; available: {PREFETCHER_NAMES}"
             )
+        validate_workload(workload)
         if scale is None or isinstance(scale, str):
             scale = get_scale(scale or "")
         overrides = tuple(sorted((prefetcher_overrides or {}).items()))

@@ -662,6 +662,17 @@ R5_PREFETCH_DIR = "src/repro/prefetch"
 #: ``NullPrefetcher`` anyway).
 R5_PREFETCH_BASE = "src/repro/prefetch/base.py"
 
+#: the trace-source registry and the profile tables it must mirror.
+R5_SOURCE_MODULE = "src/repro/trace/source.py"
+R5_WORKLOADS_MODULE = "src/repro/trace/synth/workloads.py"
+
+#: every synth-profile dict in the workloads module; each key must be a
+#: registered source.
+R5_PROFILE_DICTS = ("WORKLOADS", "SCENARIO_WORKLOADS")
+
+#: sources composed from other profiles (no profile entry of their own).
+R5_COMPOSITE_SOURCES = frozenset({"mix"})
+
 
 class CatalogSyncRule(Rule):
     """R5: every catalog ``Experiment`` declaration is complete and registered.
@@ -687,6 +698,15 @@ class CatalogSyncRule(Rule):
     some ``_FACTORIES`` entry, and the ``_FACTORIES``/``_DISPLAY`` key
     sets must match — so a newly added prefetcher family cannot silently
     stay invisible to experiments.
+
+    A second companion sub-check does the same for the *trace-source*
+    registry: every workload profile declared in
+    ``trace/synth/workloads.py`` (``WORKLOADS`` and
+    ``SCENARIO_WORKLOADS``) must be registered in ``trace/source.py``'s
+    ``_SOURCES`` dict, every registered source (bar the composite
+    ``mix``) must have a backing profile, and the ``DISPLAY_NAMES`` key
+    set must match the registered sources — so a newly added workload
+    family cannot silently stay un-runnable or unlabeled.
     """
 
     name = "R5"
@@ -730,6 +750,7 @@ class CatalogSyncRule(Rule):
                 continue
             violations.extend(self._check_module(project, rel, seen_names))
         violations.extend(self._check_prefetcher_registry(project))
+        violations.extend(self._check_trace_source_registry(project))
         return violations
 
     # -- prefetcher-registry sync ------------------------------------- #
@@ -800,6 +821,70 @@ class CatalogSyncRule(Rule):
                         "cannot be named by any RunSpec",
                         "import the class in the registry and register a "
                         "factory + display name for it",
+                    )
+                )
+        return violations
+
+    # -- trace-source-registry sync ----------------------------------- #
+
+    def _check_trace_source_registry(self, project: Project) -> List[Violation]:
+        if not (
+            project.exists(R5_SOURCE_MODULE) and project.exists(R5_WORKLOADS_MODULE)
+        ):
+            return []  # synthetic fixture trees carry no trace package
+        source_tree = project.tree(R5_SOURCE_MODULE)
+        workloads_tree = project.tree(R5_WORKLOADS_MODULE)
+        sources = _module_dict(source_tree, R5_SOURCE_MODULE, "_SOURCES")
+        display = _module_dict(workloads_tree, R5_WORKLOADS_MODULE, "DISPLAY_NAMES")
+        profiles: Dict[str, int] = {}
+        for dict_name in R5_PROFILE_DICTS:
+            profiles.update(
+                _module_dict(workloads_tree, R5_WORKLOADS_MODULE, dict_name)
+            )
+
+        violations: List[Violation] = []
+        for key, line in sorted(profiles.items()):
+            if key not in sources:
+                violations.append(
+                    self.violation(
+                        R5_WORKLOADS_MODULE,
+                        line,
+                        f"workload profile {key!r} is declared but "
+                        f"{R5_SOURCE_MODULE} never registers it in _SOURCES — "
+                        "no RunSpec can name it",
+                        "register a SynthSource for the profile (or delete it)",
+                    )
+                )
+        for key, line in sorted(sources.items()):
+            if key not in profiles and key not in R5_COMPOSITE_SOURCES:
+                violations.append(
+                    self.violation(
+                        R5_SOURCE_MODULE,
+                        line,
+                        f"_SOURCES registers {key!r} but no workload profile "
+                        "defines it",
+                        "add the profile to WORKLOADS/SCENARIO_WORKLOADS or "
+                        "remove the stale registration",
+                    )
+                )
+            if key not in display:
+                violations.append(
+                    self.violation(
+                        R5_SOURCE_MODULE,
+                        line,
+                        f"registered source {key!r} has no DISPLAY_NAMES label",
+                        "add the display-name entry in "
+                        f"{R5_WORKLOADS_MODULE}",
+                    )
+                )
+        for key, line in sorted(display.items()):
+            if key not in sources:
+                violations.append(
+                    self.violation(
+                        R5_WORKLOADS_MODULE,
+                        line,
+                        f"DISPLAY_NAMES labels unknown trace source {key!r}",
+                        "remove the stale entry or register the source",
                     )
                 )
         return violations
@@ -928,8 +1013,8 @@ class CatalogSyncRule(Rule):
         return violations
 
 
-def _registry_assignment(tree: ast.Module, name: str) -> ast.expr:
-    """The literal assigned to module-level *name* in the registry."""
+def _module_assignment(tree: ast.Module, rel: str, name: str) -> ast.expr:
+    """The literal assigned to module-level *name* in *rel*."""
     for node in tree.body:
         value: Optional[ast.expr] = None
         if isinstance(node, ast.Assign):
@@ -940,25 +1025,32 @@ def _registry_assignment(tree: ast.Module, name: str) -> ast.expr:
                 value = node.value
         if value is not None:
             return value
-    raise LintError(f"{R5_REGISTRY_MODULE}: no module-level {name} assignment found")
+    raise LintError(f"{rel}: no module-level {name} assignment found")
 
 
-def _registry_dict(tree: ast.Module, name: str) -> Dict[str, int]:
-    """String keys -> line of the registry's *name* dict literal."""
-    value = _registry_assignment(tree, name)
+def _module_dict(tree: ast.Module, rel: str, name: str) -> Dict[str, int]:
+    """String keys -> line of *rel*'s module-level *name* dict literal."""
+    value = _module_assignment(tree, rel, name)
     if not isinstance(value, ast.Dict):
         raise LintError(
-            f"{R5_REGISTRY_MODULE}: {name} must be a dict literal for "
-            "static checking"
+            f"{rel}: {name} must be a dict literal for static checking"
         )
     keys: Dict[str, int] = {}
     for key in value.keys:
         if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
-            raise LintError(
-                f"{R5_REGISTRY_MODULE}: {name} keys must be string literals"
-            )
+            raise LintError(f"{rel}: {name} keys must be string literals")
         keys[key.value] = key.lineno
     return keys
+
+
+def _registry_assignment(tree: ast.Module, name: str) -> ast.expr:
+    """The literal assigned to module-level *name* in the registry."""
+    return _module_assignment(tree, R5_REGISTRY_MODULE, name)
+
+
+def _registry_dict(tree: ast.Module, name: str) -> Dict[str, int]:
+    """String keys -> line of the registry's *name* dict literal."""
+    return _module_dict(tree, R5_REGISTRY_MODULE, name)
 
 
 def _registry_value_names(tree: ast.Module, name: str) -> Set[str]:

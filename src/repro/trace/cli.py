@@ -1,14 +1,19 @@
-"""``repro-trace`` — generate, inspect and convert trace files.
+"""``repro-trace`` — generate, inspect, convert and ingest trace files.
 
 Commands::
 
     repro-trace generate db out.trc --instructions 1000000 --seed 42
     repro-trace info out.trc
     repro-trace head out.trc --count 20
+    repro-trace ingest stream.txt --name mytrace
+    repro-trace ingest stream.txt --name mytrace --compile --cores 4
 
 Traces are stored in the RPTRACE1 binary format (see
 :mod:`repro.trace.io`), so expensive generations can be snapshotted and
-replayed, or traces produced by external tools can be imported.
+replayed.  ``ingest`` imports a ChampSim-like external PC stream (text or
+binary, see :mod:`repro.trace.ingest`) into the external-trace directory,
+after which experiments can name it as the ``external:<name>`` workload;
+``--compile`` additionally packs it into the compiled trace store.
 """
 
 from __future__ import annotations
@@ -19,9 +24,16 @@ from typing import List, Optional
 
 from repro.isa.classify import kind_label
 from repro.isa.kinds import TransitionKind
+from repro.trace.ingest import (
+    EXTERNAL_PREFIX,
+    IngestError,
+    compile_external,
+    ingest_file,
+    trace_path,
+)
 from repro.trace.io import TraceFormatError, read_trace, write_trace
 from repro.trace.stats import compute_trace_stats
-from repro.trace.synth.workloads import generate_trace, workload_names
+from repro.trace.synth.workloads import generate_trace, synth_workload_names
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -31,7 +43,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", help="generate a synthetic workload trace")
-    gen.add_argument("workload", choices=workload_names())
+    gen.add_argument("workload", choices=synth_workload_names())
     gen.add_argument("output", help="output file path")
     gen.add_argument("--instructions", type=int, default=1_000_000)
     gen.add_argument("--seed", type=int, default=42)
@@ -43,6 +55,42 @@ def build_parser() -> argparse.ArgumentParser:
     head = sub.add_parser("head", help="print the first events of a trace file")
     head.add_argument("input", help="trace file path")
     head.add_argument("--count", type=int, default=20)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="import an external PC stream as an 'external:<name>' source",
+    )
+    ingest.add_argument("input", help="PC-stream file (text or binary)")
+    ingest.add_argument(
+        "--name", default=None, help="source name (default: the input file stem)"
+    )
+    ingest.add_argument(
+        "--format",
+        dest="fmt",
+        default="auto",
+        choices=("auto", "text", "binary"),
+        help="input encoding (default: auto-detect)",
+    )
+    ingest.add_argument(
+        "--compile",
+        action="store_true",
+        help="also pack the per-core streams into the compiled trace store",
+    )
+    ingest.add_argument(
+        "--cores", type=int, default=1, help="core count for --compile (default 1)"
+    )
+    ingest.add_argument(
+        "--instructions",
+        type=int,
+        default=1_000_000,
+        help="per-core instruction budget for --compile",
+    )
+    ingest.add_argument(
+        "--line-size", type=int, default=64, help="cache-line size for --compile"
+    )
+    ingest.add_argument(
+        "--seed", type=int, default=1337, help="store request seed for --compile"
+    )
     return parser
 
 
@@ -85,6 +133,31 @@ def _cmd_head(args) -> int:
     return 0
 
 
+def _cmd_ingest(args) -> int:
+    manifest = ingest_file(args.input, name=args.name, fmt=args.fmt)
+    name = manifest["name"]
+    state = "unchanged" if manifest.get("unchanged") else "ingested"
+    print(
+        f"{state} {EXTERNAL_PREFIX}{name}: {manifest['n_pcs']} PCs, "
+        f"{manifest['n_events']} events, {manifest['n_instructions']} "
+        f"instructions ({manifest['format']}, sha256 "
+        f"{str(manifest['sha256'])[:12]}…) -> {trace_path(str(name))}"
+    )
+    if args.compile:
+        written = compile_external(
+            str(name),
+            args.cores,
+            args.instructions,
+            line_size=args.line_size,
+            seed=args.seed,
+        )
+        print(
+            f"compiled {args.cores} core stream(s) at {args.instructions} "
+            f"instructions each into the trace store ({written} files written)"
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -93,8 +166,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_generate(args)
         if args.command == "info":
             return _cmd_info(args)
+        if args.command == "ingest":
+            return _cmd_ingest(args)
         return _cmd_head(args)
-    except (TraceFormatError, OSError) as error:
+    except (TraceFormatError, IngestError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
 

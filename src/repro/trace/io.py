@@ -83,8 +83,21 @@ def read_trace(path: Union[str, Path]) -> Trace:
     offset = _HEADER.size
     if len(blob) < offset + name_len:
         raise TraceFormatError("truncated name field")
-    name = blob[offset : offset + name_len].decode("utf-8")
+    try:
+        name = blob[offset : offset + name_len].decode("utf-8")
+    except UnicodeDecodeError:
+        raise TraceFormatError("trace name is not valid UTF-8") from None
     offset += name_len
+
+    # Reject absurd event counts up front: every event needs at least one
+    # fixed-width record, so a header declaring more events than the file
+    # could possibly hold is corrupt (and would otherwise spin the read
+    # loop through n_events iterations before noticing).
+    if n_events * _EVENT.size > len(blob) - offset:
+        raise TraceFormatError(
+            f"header declares {n_events} events but only "
+            f"{len(blob) - offset} bytes follow the name"
+        )
 
     events: List[BlockEvent] = []
     unpack_event = _EVENT.unpack_from

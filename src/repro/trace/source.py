@@ -1,0 +1,202 @@
+"""Pluggable trace sources: the one registry owning name → trace resolution.
+
+Everything that turns a workload *name* into per-core
+:class:`~repro.trace.stream.Trace` lists goes through this module: the
+runner's raw/compiled trace caches, the executor's pre-compilation pass,
+``RunSpec`` validation and the experiment catalog all resolve here.  A
+:class:`TraceSource` produces the traces; :data:`_SOURCES` registers one
+source per name:
+
+- the synthetic profiles (the paper's four applications plus the scenario
+  families), served by :class:`SynthSource` — **bit-identical** to the
+  pre-registry resolution, which is what keeps the golden spec-parity
+  hashes (and therefore every stored compiled trace) valid without a
+  ``TRACE_SCHEMA_VERSION`` bump;
+- the multiprogrammed ``mix`` composition (:class:`MixSource`);
+- ingested external PC streams, addressable as ``external:<name>`` and
+  resolved dynamically against the :mod:`repro.trace.ingest` directory.
+
+Lint rule R5 statically cross-checks :data:`_SOURCES` against the profile
+registries and ``DISPLAY_NAMES`` (a new profile that is not registered
+here is a lint error, mirroring the prefetcher-registry sync check).
+
+This module must not import :mod:`repro.eval` (layering: eval depends on
+trace, never the reverse).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.trace.ingest import EXTERNAL_PREFIX
+from repro.trace.stream import Trace
+from repro.trace.synth.mix import mixed_traces
+from repro.trace.synth.workloads import (
+    DISPLAY_NAMES,
+    generate_trace,
+    workload_names,
+)
+
+__all__ = [
+    "EXTERNAL_PREFIX",
+    "TraceSource",
+    "SynthSource",
+    "MixSource",
+    "ExternalSource",
+    "source_names",
+    "available_sources",
+    "is_external",
+    "resolve",
+    "validate_workload",
+    "traces_for",
+    "source_display_name",
+]
+
+
+class TraceSource:
+    """One named producer of per-core traces.
+
+    Subclasses implement :meth:`traces`; ``name`` is the workload string a
+    :class:`~repro.eval.runspec.RunSpec` carries.  Sources must be
+    deterministic in ``(n_cores, seed, n_instructions)``.
+    """
+
+    name: str
+
+    def traces(self, n_cores: int, seed: int, n_instructions: int) -> List[Trace]:
+        raise NotImplementedError
+
+    def display_name(self) -> str:
+        return DISPLAY_NAMES.get(self.name, self.name)
+
+
+@dataclass(frozen=True)
+class SynthSource(TraceSource):
+    """A registered synthetic profile: every core runs the same program
+    with decorrelated transaction sequences (threads of one server
+    application), so cores share code in the L2 — the paper's homogeneous
+    CMP setup."""
+
+    name: str
+
+    def traces(self, n_cores: int, seed: int, n_instructions: int) -> List[Trace]:
+        return [
+            generate_trace(self.name, seed, n_instructions, core=core)
+            for core in range(n_cores)
+        ]
+
+
+@dataclass(frozen=True)
+class MixSource(TraceSource):
+    """The paper's multiprogrammed mix: one application per core, disjoint
+    address spaces (non-4-core systems cycle the base four)."""
+
+    name: str = "mix"
+
+    def traces(self, n_cores: int, seed: int, n_instructions: int) -> List[Trace]:
+        names = None
+        if n_cores != 4:
+            base = workload_names()
+            names = [base[i % len(base)] for i in range(n_cores)]
+        return mixed_traces(seed, n_instructions, names or ())
+
+
+@dataclass(frozen=True)
+class ExternalSource(TraceSource):
+    """An ingested external PC stream (``external:<name>``); cores replay
+    the stream cyclically from staggered offsets (see
+    :func:`repro.trace.ingest.external_traces`).  Content carries no seed,
+    so every seed serves identical traces."""
+
+    name: str
+
+    @property
+    def external_name(self) -> str:
+        return self.name[len(EXTERNAL_PREFIX):]
+
+    def traces(self, n_cores: int, seed: int, n_instructions: int) -> List[Trace]:
+        from repro.trace import ingest
+
+        return ingest.external_traces(self.external_name, n_cores, n_instructions)
+
+    def display_name(self) -> str:
+        return self.external_name
+
+
+#: the registered sources, in presentation order (kept a literal dict with
+#: one ``SynthSource`` per profile for lint R5's static sync check).
+_SOURCES: Dict[str, TraceSource] = {
+    "db": SynthSource("db"),
+    "tpcw": SynthSource("tpcw"),
+    "japp": SynthSource("japp"),
+    "web": SynthSource("web"),
+    "mix": MixSource(),
+    "microsvc": SynthSource("microsvc"),
+    "interp": SynthSource("interp"),
+    "osmix": SynthSource("osmix"),
+}
+
+
+def source_names() -> List[str]:
+    """Registered source names (synthetic profiles plus ``mix``), in order."""
+    return list(_SOURCES)
+
+
+def available_sources() -> List[str]:
+    """Every name :func:`resolve` accepts right now: the registered
+    sources plus one ``external:<name>`` entry per ingested trace."""
+    from repro.trace import ingest
+
+    return source_names() + [
+        EXTERNAL_PREFIX + name for name in ingest.available_external()
+    ]
+
+
+def is_external(workload: str) -> bool:
+    return workload.startswith(EXTERNAL_PREFIX)
+
+
+def resolve(workload: str) -> TraceSource:
+    """The source registered under *workload*; raises ``ValueError`` with
+    the available names on a miss (eager, so catalog/RunSpec typos fail at
+    declaration time rather than deep inside a worker)."""
+    source = _SOURCES.get(workload)
+    if source is not None:
+        return source
+    if is_external(workload):
+        from repro.trace import ingest
+
+        name = workload[len(EXTERNAL_PREFIX):]
+        if name and ingest.external_exists(name):
+            return ExternalSource(workload)
+        raise ValueError(
+            f"external trace {name!r} is not ingested — run "
+            f"'repro-trace ingest' first (ingested: {ingest.available_external()})"
+        )
+    raise ValueError(
+        f"unknown workload {workload!r}; available sources: {available_sources()}"
+    )
+
+
+def validate_workload(workload: str) -> None:
+    """Eagerly check *workload* names a resolvable source (see
+    :func:`resolve`)."""
+    resolve(workload)
+
+
+def traces_for(
+    workload: str, n_cores: int, seed: int, n_instructions: int
+) -> List[Trace]:
+    """Resolve and produce: the single name → traces entry point."""
+    return resolve(workload).traces(n_cores, seed, n_instructions)
+
+
+def source_display_name(workload: str) -> str:
+    """Human-readable label for any resolvable workload name."""
+    source = _SOURCES.get(workload)
+    if source is not None:
+        return source.display_name()
+    if is_external(workload):
+        return workload[len(EXTERNAL_PREFIX):]
+    return DISPLAY_NAMES.get(workload, workload)

@@ -163,6 +163,122 @@ WORKLOADS: Dict[str, WorkloadProfile] = {
     "web": WEB_PROFILE,
 }
 
+# --------------------------------------------------------------------------
+# Beyond-the-paper scenario families.
+#
+# The paper's four applications stress discontinuity prefetching in the
+# regime it was designed for.  These three families deliberately push past
+# it (ROADMAP "scenario expansion"): traversal-heavy call graphs in the
+# style of Murthy & Sohi's program-map workloads, indirect-dispatch code
+# the discontinuity table tracks poorly, and trap-dominated kernels.
+
+MICROSVC_PROFILE = WorkloadProfile(
+    name="microsvc",
+    n_functions=6400,
+    fn_median_instr=60,
+    fn_sigma=1.0,
+    block_mean_instr=5.5,
+    entry_fraction=0.10,
+    p_cond=0.30,
+    p_uncond=0.07,
+    p_call=0.21,
+    p_switch=0.015,
+    p_early_return=0.05,
+    p_backward=0.14,
+    fwd_skip_mean=2.0,
+    p_poly_call=0.16,
+    poly_targets=4,
+    callee_zipf=0.50,
+    entry_zipf=0.25,
+    text_shared_fraction=0.55,
+    max_call_depth=48,
+    max_transaction_instr=6_000,
+    data_rate=0.34,
+    p_reuse=0.86,
+    reuse_window_lines=384,
+    hot_bytes=192 * KB,
+    hot_zipf=0.90,
+    cold_bytes=28 * MB,
+    p_cold=0.09,
+    cold_zipf=0.74,
+)
+
+INTERP_PROFILE = WorkloadProfile(
+    name="interp",
+    n_functions=2800,
+    fn_median_instr=120,
+    fn_sigma=1.1,
+    block_mean_instr=5.0,
+    entry_fraction=0.08,
+    p_cond=0.28,
+    p_uncond=0.06,
+    p_call=0.09,
+    p_switch=0.12,
+    p_early_return=0.02,
+    p_backward=0.34,
+    fwd_skip_mean=2.4,
+    loop_taken_lo=0.82,
+    loop_taken_hi=0.95,
+    loop_span_max=16,
+    p_poly_call=0.28,
+    poly_targets=8,
+    switch_targets=24,
+    callee_zipf=0.72,
+    entry_zipf=0.35,
+    text_shared_fraction=0.65,
+    max_call_depth=22,
+    max_transaction_instr=12_000,
+    data_rate=0.40,
+    p_reuse=0.90,
+    reuse_window_lines=448,
+    hot_bytes=320 * KB,
+    hot_zipf=0.92,
+    cold_bytes=20 * MB,
+    p_cold=0.05,
+    cold_zipf=0.75,
+)
+
+OSMIX_PROFILE = WorkloadProfile(
+    name="osmix",
+    n_functions=4200,
+    fn_median_instr=100,
+    fn_sigma=1.0,
+    block_mean_instr=6.0,
+    entry_fraction=0.13,
+    p_cond=0.33,
+    p_uncond=0.09,
+    p_call=0.13,
+    p_switch=0.02,
+    p_early_return=0.03,
+    p_backward=0.20,
+    fwd_skip_mean=2.2,
+    far_jump_fraction=0.30,
+    p_poly_call=0.10,
+    callee_zipf=0.62,
+    entry_zipf=0.30,
+    text_shared_fraction=0.70,
+    max_call_depth=30,
+    max_transaction_instr=9_000,
+    p_trap=0.012,
+    data_rate=0.37,
+    p_reuse=0.86,
+    reuse_window_lines=384,
+    hot_bytes=256 * KB,
+    hot_zipf=0.93,
+    cold_bytes=36 * MB,
+    p_cold=0.10,
+    cold_zipf=0.72,
+)
+
+#: the scenario families, kept *separate* from :data:`WORKLOADS` so the
+#: paper-replication experiments (whose grids expand ``workload_names()``)
+#: keep their exact pre-existing RunSpec sets.
+SCENARIO_WORKLOADS: Dict[str, WorkloadProfile] = {
+    "microsvc": MICROSVC_PROFILE,
+    "interp": INTERP_PROFILE,
+    "osmix": OSMIX_PROFILE,
+}
+
 #: Paper display names, used by the figure formatters.
 DISPLAY_NAMES: Dict[str, str] = {
     "db": "DB",
@@ -170,6 +286,9 @@ DISPLAY_NAMES: Dict[str, str] = {
     "japp": "jApp",
     "web": "Web",
     "mix": "Mixed",
+    "microsvc": "MicroSvc",
+    "interp": "Interp",
+    "osmix": "OSMix",
 }
 
 
@@ -178,15 +297,23 @@ def workload_names() -> List[str]:
     return list(WORKLOADS)
 
 
+def synth_workload_names() -> List[str]:
+    """Every synthesizable profile name: the paper's four plus the
+    scenario families (``mix`` is a composition, not a profile)."""
+    return list(WORKLOADS) + list(SCENARIO_WORKLOADS)
+
+
 def get_profile(name: str) -> WorkloadProfile:
     """Return the profile registered under *name*.
 
     Raises ``KeyError`` with the available names on a miss.
     """
-    try:
-        return WORKLOADS[name]
-    except KeyError:
-        raise KeyError(f"unknown workload {name!r}; available: {sorted(WORKLOADS)}") from None
+    profile = WORKLOADS.get(name) or SCENARIO_WORKLOADS.get(name)
+    if profile is None:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {synth_workload_names()}"
+        )
+    return profile
 
 
 def generate_trace(name: str, seed: int, n_instructions: int, core: int = 0) -> Trace:

@@ -49,6 +49,9 @@ EXPECTED_PANELS = {
     "comparison-execution-based": 2,
     "comparison-software-prefetch": 2,
     "replication-check": 2,
+    "scenario-microsvc": 2,
+    "scenario-interp": 2,
+    "scenario-osmix": 2,
 }
 
 

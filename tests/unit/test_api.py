@@ -7,7 +7,16 @@ from repro.prefetch.base import Prefetcher
 
 class TestDiscovery:
     def test_available_workloads(self):
-        assert repro.available_workloads() == ["db", "tpcw", "japp", "web", "mix"]
+        assert repro.available_workloads() == [
+            "db",
+            "tpcw",
+            "japp",
+            "web",
+            "mix",
+            "microsvc",
+            "interp",
+            "osmix",
+        ]
 
     def test_available_prefetchers_include_paper_set(self):
         names = repro.available_prefetchers()

@@ -51,7 +51,7 @@ class TestProgressPrinter:
 
 class TestAffectedExperiments:
     def test_maps_failed_specs_back_to_experiments(self):
-        a, b, c = spec_for("db"), spec_for("web"), spec_for("app")
+        a, b, c = spec_for("db"), spec_for("web"), spec_for("japp")
         by_experiment = {"fig05": [a, b], "fig06": [a], "fig08": [c]}
         assert cli._affected_experiments(by_experiment, [a]) == ["fig05", "fig06"]
         assert cli._affected_experiments(by_experiment, [c]) == ["fig08"]

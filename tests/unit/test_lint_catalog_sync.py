@@ -334,6 +334,110 @@ class TestPrefetcherRegistrySync:
             CatalogSyncRule().check(project)
 
 
+WORKLOADS_OK = """
+    WORKLOADS = {
+        "db": None,
+    }
+
+    SCENARIO_WORKLOADS = {
+        "interp": None,
+    }
+
+    DISPLAY_NAMES = {
+        "db": "DB",
+        "mix": "Mixed",
+        "interp": "Interp",
+    }
+    """
+
+SOURCES_OK = """
+    _SOURCES = {
+        "db": None,
+        "mix": None,
+        "interp": None,
+    }
+    """
+
+SOURCE_PATH = "src/repro/trace/source.py"
+WORKLOADS_PATH = "src/repro/trace/synth/workloads.py"
+
+
+@pytest.fixture
+def source_tree(lint_tree):
+    """Base tree plus a minimal trace package with a synced source registry."""
+
+    def build(overrides=None):
+        files = {
+            WORKLOADS_PATH: WORKLOADS_OK,
+            SOURCE_PATH: SOURCES_OK,
+        }
+        files.update(overrides or {})
+        return lint_tree(files)
+
+    return build
+
+
+class TestTraceSourceRegistrySync:
+    def test_synced_registry_passes(self, source_tree):
+        # "mix" is composite (no profile of its own) and must be exempt.
+        assert CatalogSyncRule().check(source_tree()) == []
+
+    def test_inactive_without_a_source_module(self, lint_tree):
+        # Synthetic fixture trees carry no trace package; the sub-check
+        # must not demand one.
+        project = lint_tree({WORKLOADS_PATH: WORKLOADS_OK})
+        assert CatalogSyncRule().check(project) == []
+
+    def test_unregistered_profile_fails(self, source_tree):
+        source = WORKLOADS_OK.replace(
+            '"interp": None,', '"interp": None,\n        "osmix": None,'
+        )
+        project = source_tree({WORKLOADS_PATH: source})
+        violations = CatalogSyncRule().check(project)
+        # the missing _SOURCES entry, not a display-name complaint
+        assert len(violations) == 1
+        assert violations[0].path == WORKLOADS_PATH
+        assert "'osmix'" in violations[0].message
+        assert "no RunSpec can name it" in violations[0].message
+
+    def test_source_without_profile_fails(self, source_tree):
+        source = SOURCES_OK.replace(
+            '"interp": None,', '"interp": None,\n        "ghost": None,'
+        )
+        project = source_tree({SOURCE_PATH: source})
+        violations = CatalogSyncRule().check(project)
+        messages = "\n".join(v.message for v in violations)
+        assert "no workload profile defines it" in messages
+        assert "'ghost'" in messages
+
+    def test_source_without_display_label_fails(self, source_tree):
+        workloads = WORKLOADS_OK.replace('"interp": "Interp",', "")
+        project = source_tree({WORKLOADS_PATH: workloads})
+        violations = CatalogSyncRule().check(project)
+        assert len(violations) == 1
+        assert violations[0].path == SOURCE_PATH
+        assert "no DISPLAY_NAMES label" in violations[0].message
+
+    def test_display_label_for_unknown_source_fails(self, source_tree):
+        workloads = WORKLOADS_OK.replace(
+            '"interp": "Interp",',
+            '"interp": "Interp",\n        "ghost": "Ghost",',
+        )
+        project = source_tree({WORKLOADS_PATH: workloads})
+        violations = CatalogSyncRule().check(project)
+        assert len(violations) == 1
+        assert violations[0].path == WORKLOADS_PATH
+        assert "unknown trace source 'ghost'" in violations[0].message
+
+    def test_non_literal_sources_dict_raises(self, source_tree):
+        source = SOURCES_OK.replace("_SOURCES = {", "_SOURCES = dict(**{").replace(
+            "    }\n    ", "    })\n    "
+        )
+        project = source_tree({SOURCE_PATH: source})
+        with pytest.raises(LintError, match="dict literal"):
+            CatalogSyncRule().check(project)
+
+
 def test_non_literal_catalog_modules_raises(lint_tree):
     project = lint_tree(
         {

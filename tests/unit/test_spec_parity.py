@@ -65,4 +65,4 @@ def test_union_size_is_stable():
     for hashes in data["experiments"].values():
         expected.update(hashes)
     assert union == expected
-    assert len(union) == 416
+    assert len(union) == 440

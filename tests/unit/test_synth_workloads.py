@@ -8,6 +8,7 @@ from repro.trace.synth.workloads import (
     WORKLOADS,
     generate_trace,
     get_profile,
+    synth_workload_names,
     workload_names,
 )
 
@@ -28,7 +29,7 @@ class TestRegistry:
             get_profile("oracle")
 
     def test_display_names_cover_all_plus_mix(self):
-        assert set(DISPLAY_NAMES) == set(workload_names()) | {"mix"}
+        assert set(DISPLAY_NAMES) == set(synth_workload_names()) | {"mix"}
 
     def test_profiles_are_valid(self):
         # Construction runs __post_init__ validation; also sanity-check the

@@ -95,3 +95,35 @@ class TestMalformedFiles:
         path.write_bytes(header + event)
         with pytest.raises(TraceFormatError, match="zero-instruction"):
             read_trace(path)
+
+    def test_truncated_name_field(self, tmp_path):
+        path = tmp_path / "name.bin"
+        # header promises a 32-byte name but only 2 bytes follow
+        path.write_bytes(struct.Struct("<8sQQH").pack(b"RPTRACE1", 0, 0, 32) + b"ab")
+        with pytest.raises(TraceFormatError, match="truncated name"):
+            read_trace(path)
+
+    def test_invalid_utf8_name(self, tmp_path):
+        path = tmp_path / "utf8.bin"
+        path.write_bytes(struct.Struct("<8sQQH").pack(b"RPTRACE1", 0, 0, 2) + b"\xff\xfe")
+        with pytest.raises(TraceFormatError, match="not valid UTF-8"):
+            read_trace(path)
+
+    def test_absurd_event_count_rejected_up_front(self, tmp_path):
+        path = tmp_path / "absurd.bin"
+        # one real event on disk, but the header claims 2**40 — the
+        # reader must reject from the byte bound, not loop to find out
+        header = struct.Struct("<8sQQH").pack(b"RPTRACE1", 0, 2**40, 0)
+        event = struct.Struct("<QHBB").pack(0, 1, SEQ, 0)
+        path.write_bytes(header + event)
+        with pytest.raises(TraceFormatError, match="header declares"):
+            read_trace(path)
+
+    def test_truncated_data_list(self, tmp_path):
+        path = tmp_path / "data.bin"
+        header = struct.Struct("<8sQQH").pack(b"RPTRACE1", 0, 1, 0)
+        # event promises 2 data words but only one (partial) follows
+        event = struct.Struct("<QHBB").pack(0, 1, SEQ, 2)
+        path.write_bytes(header + event + b"\0" * 8)
+        with pytest.raises(TraceFormatError, match="truncated data list"):
+            read_trace(path)
